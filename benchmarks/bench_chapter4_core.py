@@ -1,0 +1,49 @@
+"""Benchmarks regenerating Figures 4.2-4.8: O/I ratios, CPU cost and
+latency for the three Chapter-4 filter groups."""
+
+N_TUPLES = 2000
+REPEATS = 5
+
+
+def test_fig_4_2(run_experiment):
+    """Figure 4.2: O/I ratios; GA must beat SI for every group."""
+    report = run_experiment("fig_4_2", n_tuples=3000, seed=7)
+    for group, ratios in report.data.items():
+        for variant in ("RG", "RG+C", "PS", "PS+C"):
+            assert ratios[variant] <= ratios["SI"], (group, variant)
+
+
+def test_fig_4_3(run_experiment):
+    """Figure 4.3: DC_Fluoro CPU cost per tuple (box plots)."""
+    report = run_experiment("fig_4_3", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG"]["median"] >= report.data["SI"]["median"]
+
+
+def test_fig_4_4(run_experiment):
+    """Figure 4.4: DC_Hybrid CPU cost per tuple."""
+    report = run_experiment("fig_4_4", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["PS"]["median"] >= report.data["SI"]["median"]
+
+
+def test_fig_4_5(run_experiment):
+    """Figure 4.5: DC_Tmpr CPU cost per tuple."""
+    report = run_experiment("fig_4_5", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG+C"]["median"] >= report.data["SI"]["median"]
+
+
+def test_fig_4_6(run_experiment):
+    """Figure 4.6: DC_Fluoro latency; batching makes GA slower than SI."""
+    report = run_experiment("fig_4_6", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG"]["median"] > report.data["SI"]["median"]
+
+
+def test_fig_4_7(run_experiment):
+    """Figure 4.7: DC_Hybrid latency."""
+    report = run_experiment("fig_4_7", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["PS"]["median"] > report.data["SI"]["median"]
+
+
+def test_fig_4_8(run_experiment):
+    """Figure 4.8: DC_Tmpr latency."""
+    report = run_experiment("fig_4_8", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG"]["median"] > report.data["SI"]["median"]

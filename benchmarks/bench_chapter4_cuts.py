@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Figures 4.9-4.12: effectiveness of timely
+cuts on the DC_Fluoro group (cut budgets 125 ms down to 8 ms)."""
+
+N_TUPLES = 2000
+REPEATS = 3
+
+
+def test_fig_4_9(run_experiment):
+    """Figure 4.9: tightening the cut budget drops per-tuple latency."""
+    report = run_experiment("fig_4_9", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG+C(05)"] < report.data["RG+C(01)"]
+
+
+def test_fig_4_10(run_experiment):
+    """Figure 4.10: the CPU cost of enforcing cuts stays small."""
+    report = run_experiment("fig_4_10", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    for cost in report.data.values():
+        assert cost < 10.0  # well under the 10 ms arrival interval
+
+
+def test_fig_4_11(run_experiment):
+    """Figure 4.11: tighter budgets cut a larger share of regions."""
+    report = run_experiment("fig_4_11", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["RG+C(05)"] >= report.data["RG+C(01)"]
+
+
+def test_fig_4_12(run_experiment):
+    """Figure 4.12: cuts affect the O/I ratio only modestly."""
+    report = run_experiment("fig_4_12", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    ratios = list(report.data.values())
+    assert max(ratios) <= 1.0
+    assert min(ratios) > 0.0

@@ -1,0 +1,37 @@
+"""Benchmarks regenerating Figures 4.15-4.18: slack, delta and group
+size sweeps."""
+
+
+def test_fig_4_15(run_experiment):
+    """Figure 4.15: more slack -> lower output ratio (more sharing)."""
+    report = run_experiment("fig_4_15", n_tuples=2000, repeats=2, seed=7)
+    fractions = sorted(report.data)
+    assert report.data[fractions[-1]] < report.data[fractions[0]]
+    assert report.data[fractions[0]] > 0.9  # near-zero slack ~ no sharing
+
+
+def test_fig_4_16(run_experiment):
+    """Figure 4.16: the delta sweep stays within valid ratio bounds."""
+    report = run_experiment("fig_4_16", n_tuples=2000, repeats=2, seed=7)
+    for ratio in report.data.values():
+        assert 0.0 < ratio <= 1.0
+
+
+def test_fig_4_17(run_experiment):
+    """Figure 4.17: bigger groups trend toward lower output ratios."""
+    report = run_experiment("fig_4_17", n_tuples=1500, repeats=3, seed=7)
+    sizes = sorted(report.data)
+    small = report.data[sizes[0]]
+    large = report.data[sizes[-1]]
+    assert large <= small * 1.05  # downward (or at worst flat) trend
+
+
+def test_fig_4_18(run_experiment):
+    """Figure 4.18: CPU per batch grows with group size; GA > SI."""
+    report = run_experiment("fig_4_18", n_tuples=1500, repeats=1, seed=7)
+    sizes = sorted(report.data)
+    assert (
+        report.data[sizes[-1]]["group_aware"] > report.data[sizes[0]]["group_aware"]
+    )
+    for size in sizes:
+        assert report.data[size]["group_aware"] >= report.data[size]["self_interested"]

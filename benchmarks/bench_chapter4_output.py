@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Figures 4.13-4.14: output strategies."""
+
+N_TUPLES = 2000
+REPEATS = 3
+
+
+def test_fig_4_13(run_experiment):
+    """Figure 4.13: Pcs < region-gated PS << batched; SI smallest."""
+    report = run_experiment("fig_4_13", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["SI"] <= report.data["PS(Pcs)"]
+    assert report.data["PS(Pcs)"] <= report.data["PS"]
+    assert report.data["PS"] <= report.data["PS(B)-400"]
+
+
+def test_fig_4_14(run_experiment):
+    """Figure 4.14: CPU cost across output strategies."""
+    report = run_experiment("fig_4_14", n_tuples=N_TUPLES, repeats=REPEATS, seed=7)
+    assert report.data["SI"] <= report.data["PS"]

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating Figures 4.19-4.24: multiple data sources."""
+
+
+def test_fig_4_19(run_experiment):
+    """Figure 4.19: filter specifications for cow/volcano/fire."""
+    report = run_experiment("fig_4_19", n_tuples=2000, seed=7)
+    assert set(report.data) == {"DC_cow", "DC_volcano", "DC_fireExp"}
+
+
+def test_fig_4_20(run_experiment):
+    """Figure 4.20: per-source savings; the smooth fire curve saves the
+    most, the bursty cow trace the least."""
+    report = run_experiment("fig_4_20", n_tuples=3000, seed=7)
+    relative = {
+        name: ratios["RG"] / ratios["SI"] for name, ratios in report.data.items()
+    }
+    assert relative["DC_fireExp"] < relative["DC_volcano"]
+    assert relative["DC_volcano"] <= relative["DC_cow"] * 1.05
+    for name, ratios in report.data.items():
+        assert ratios["RG"] <= ratios["SI"], name
+
+
+def test_fig_4_21(run_experiment):
+    """Figure 4.21: the cow orientation trace shape."""
+    report = run_experiment("fig_4_21", n_tuples=2000, seed=7)
+    assert report.data["max"] - report.data["min"] > 1.0  # visible bursts
+
+
+def test_fig_4_22(run_experiment):
+    """Figure 4.22: the volcano seismic trace shape."""
+    report = run_experiment("fig_4_22", n_tuples=2000, seed=7)
+    assert abs(report.data["max"]) < 0.2  # near-zero signal
+
+
+def test_fig_4_23(run_experiment):
+    """Figure 4.23: the fire HRR(Q) growth curve."""
+    report = run_experiment("fig_4_23", n_tuples=2000, seed=7)
+    assert report.data["max"] > 3.0
+
+
+def test_fig_4_24(run_experiment):
+    """Figure 4.24: CPU cost per source; GA overhead stays bounded."""
+    report = run_experiment("fig_4_24", n_tuples=2000, seed=7)
+    for name, costs in report.data.items():
+        assert costs["RG"] >= costs["SI"] * 0.5, name

@@ -1,0 +1,13 @@
+"""Benchmarks regenerating Tables 4.1 and 4.2."""
+
+
+def test_table_4_1(run_experiment):
+    """Table 4.1: specifications for the three filter groups."""
+    report = run_experiment("table_4_1", n_tuples=2000, seed=7)
+    assert len(report.data["groups"]) == 3
+
+
+def test_table_4_2(run_experiment):
+    """Table 4.2: filter type notations."""
+    report = run_experiment("table_4_2")
+    assert "RG" in report.data["notations"]

@@ -1,0 +1,49 @@
+"""Benchmarks regenerating the Chapter-5 tables, figures and scenarios."""
+
+
+def test_table_5_1(run_experiment):
+    """Table 5.1: the filter-type taxonomy."""
+    report = run_experiment("table_5_1")
+    assert len(report.data["types"]) == 4
+
+
+def test_table_5_2(run_experiment):
+    """Table 5.2: the ten heterogeneous filter groups."""
+    report = run_experiment("table_5_2", n_tuples=1500, seed=9)
+    assert len(report.data["groups"]) == 10
+
+
+def test_fig_5_2(run_experiment):
+    """Figure 5.2: most groups' output ratio falls below 0.8 (paper: 8/10)."""
+    report = run_experiment("fig_5_2", n_tuples=3000, seed=9)
+    below = sum(1 for ratio in report.data.values() if ratio < 0.8)
+    assert below >= 6
+    assert all(ratio <= 1.05 for ratio in report.data.values())
+
+
+def test_table_5_3(run_experiment):
+    """Table 5.3: CPU per 100-tuple batch, group-aware vs self-interested."""
+    report = run_experiment("table_5_3", n_tuples=2000, seed=9)
+    for group, (ga_cost, si_cost) in report.data.items():
+        assert ga_cost >= si_cost, group
+        assert ga_cost / 100.0 < 10.0, group  # per-tuple cost under arrival rate
+
+
+def test_fig_5_3(run_experiment):
+    """Figure 5.3: CPU overhead ratios exceed 1 (group coordination)."""
+    report = run_experiment("fig_5_3", n_tuples=2000, seed=9)
+    assert all(ratio > 1.0 for ratio in report.data.values())
+
+
+def test_fig_5_4_scenario(run_experiment):
+    """Section 5.5.1: the chlorine drill saves mesh bandwidth (~15%)."""
+    report = run_experiment("fig_5_4_scenario", n_tuples=2000, seed=23)
+    assert report.data["saving"] > 0.05
+    assert report.data["ga_bytes"] < report.data["si_bytes"]
+
+
+def test_fig_5_5_scenario(run_experiment):
+    """Section 5.5.2: group-aware indexing transmits fewer images."""
+    report = run_experiment("fig_5_5_scenario", n_tuples=2000, seed=11)
+    assert report.data["ga_images"] <= report.data["si_images"]
+    assert report.data["ga_bytes"] <= report.data["si_bytes"]

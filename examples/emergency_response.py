@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Emergency response: chlorine monitoring over a wireless mesh overlay.
+
+The scenario of section 5.5.1 / Figure 5.4: a train carrying chlorine
+derails; wireless routers on fire trucks, police cars and ambulances
+form a mesh overlay.  A chlorine-concentration source (continuous-leak
+Gaussian plume with meandering wind) feeds three command-and-control
+applications with different granularity needs:
+
+* fire prediction      - updates every ~5% of peak concentration;
+* responder safety     - every ~8%;
+* situation assessment - every ~12%.
+
+The script deploys group-aware filters at the source node, disseminates
+over Scribe-style tuple-level multicast, and compares link bandwidth and
+end-to-end latency against self-interested filtering.
+
+Run:  python examples/emergency_response.py
+"""
+
+from repro.net import LinkModel, OverlayNetwork, ScribeMulticast, StreamingSystem
+from repro.sources import chlorine_trace
+
+MESH_NODES = [
+    "engine-7",
+    "ladder-2",
+    "police-11",
+    "ambulance-3",
+    "command-post",
+    "hazmat-1",
+    "relay-balloon",
+]
+
+
+def build_system() -> StreamingSystem:
+    """A 7-node mesh with 1 Mbps effective links, as in the Emulab setup."""
+    overlay = OverlayNetwork(MESH_NODES, LinkModel(bandwidth_mbps=1.0, latency_ms=5.0))
+    multicast = ScribeMulticast(overlay, software_overhead_ms=50.0)
+    return StreamingSystem(overlay, multicast, tuple_size_bytes=64)
+
+
+def subscribe_applications(system: StreamingSystem, peak_ppm: float) -> None:
+    granularity = {
+        "fire-prediction": ("command-post", 0.05),
+        "responder-safety": ("hazmat-1", 0.08),
+        "situation-assessment": ("police-11", 0.12),
+    }
+    for app_name, (node, fraction) in granularity.items():
+        delta = fraction * peak_ppm
+        spec = f"DC1(cl_near, {delta:.6g}, {delta / 2:.6g})"
+        system.subscribe(app_name, node, "chlorine", spec)
+
+
+def main() -> None:
+    trace = chlorine_trace(n=3000, seed=23)
+    peak = max(trace.column("cl_near"))
+    print(f"Replaying {len(trace)} chlorine readings (peak ~{peak:.0f} ppm-scale).\n")
+
+    results = {}
+    for label, algorithm in (
+        ("group-aware (per-candidate-set)", "per_candidate_set"),
+        ("self-interested", "self_interested"),
+    ):
+        system = build_system()
+        system.add_source("chlorine", "engine-7")
+        subscribe_applications(system, peak)
+        results[label] = system.disseminate("chlorine", trace, algorithm=algorithm)
+
+    print(f"{'dissemination':34} {'tuples':>7} {'link msgs':>10} {'link bytes':>11} {'e2e ms':>8}")
+    for label, result in results.items():
+        engine = result.engine_result
+        print(
+            f"{label:34} {engine.output_count:7d} "
+            f"{result.accounting.total_messages:10d} "
+            f"{result.accounting.total_bytes:11d} "
+            f"{result.mean_end_to_end_ms():8.1f}"
+        )
+
+    ga = results["group-aware (per-candidate-set)"]
+    si = results["self-interested"]
+    saving = 1.0 - ga.total_link_bytes / si.total_link_bytes
+    print(
+        f"\nGroup-aware filtering saved {saving:.1%} of the mesh bandwidth "
+        "beyond self-interested filtering (the paper's drill measured ~15%)."
+    )
+    print("\nBusiest links under group-aware dissemination:")
+    for (sender, receiver), usage in ga.accounting.busiest_links(3):
+        print(f"  {sender} -> {receiver}: {usage.messages} msgs, {usage.bytes} bytes")
+
+
+if __name__ == "__main__":
+    main()

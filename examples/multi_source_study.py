@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Multi-source study: how data characteristics drive bandwidth savings.
+
+Reproduces the section 4.7.4 investigation on three real-world-shaped
+sources (cow orientation, volcano seismic, fire HRR(Q)) plus the NAMOS
+buoy trace, running the full algorithm matrix (RG, RG+C, PS, PS+C vs SI)
+on each and reporting O/I ratios, CPU cost, latency and the
+timely-cut/latency trade-off.
+
+Run:  python examples/multi_source_study.py
+"""
+
+from repro import src_statistics
+from repro.experiments.harness import STANDARD_VARIANTS, run_variant
+from repro.metrics.cpu import cpu_ms_per_tuple
+from repro.metrics.latency import mean_latency_ms
+from repro.sources import cow_trace, fire_trace, namos_trace, volcano_trace
+
+N_TUPLES = 3000
+
+
+def recipe_specs(trace, attribute):
+    """The paper's parameter recipe: deltas at 1x/2x/2.5x srcStatistics,
+    slack at 50% of delta (section 4.3)."""
+    statistic = src_statistics(trace, attribute)
+    specs = []
+    for multiplier in (1.0, 2.0, 2.5):
+        delta = float(f"{multiplier * statistic:.6g}")
+        slack = min(float(f"{delta / 2:.6g}"), delta / 2)
+        specs.append(f"DC1({attribute}, {delta:.10g}, {slack:.10g})")
+    return specs
+
+
+def main() -> None:
+    sources = {
+        "NAMOS buoy (tmpr4)": (namos_trace(n=N_TUPLES, seed=7), "tmpr4"),
+        "cow orientation": (cow_trace(n=N_TUPLES, seed=111), "E-orient"),
+        "volcano seismic": (volcano_trace(n=N_TUPLES, seed=213), "seis"),
+        "fire HRR(Q)": (fire_trace(n=N_TUPLES, seed=317), "HRR"),
+    }
+
+    print(f"{'source':22} {'variant':7} {'O/I':>7} {'GA/SI':>7} {'CPU ms/t':>9} {'lat ms':>8}")
+    for source_name, (trace, attribute) in sources.items():
+        specs = recipe_specs(trace, attribute)
+        results = {
+            variant: run_variant(specs, trace, variant)
+            for variant in STANDARD_VARIANTS
+        }
+        si_output = results["SI"].output_count
+        for variant in STANDARD_VARIANTS:
+            result = results[variant]
+            relative = result.output_count / si_output if si_output else float("nan")
+            print(
+                f"{source_name:22} {variant:7} {result.oi_ratio:7.4f} "
+                f"{relative:7.3f} {cpu_ms_per_tuple(result):9.4f} "
+                f"{mean_latency_ms(result):8.1f}"
+            )
+        print()
+
+    print(
+        "Reading the table: smoother update patterns (fire) leave more\n"
+        "room for candidate-set overlap, so group-aware filtering saves\n"
+        "more there than on bursty sources (cow) - the ordering the\n"
+        "paper's Figure 4.20 reports.  Cuts (+C) trade a little bandwidth\n"
+        "for bounded latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Multi-modal sensing: cheap sensors index an expensive imager.
+
+The scenario of section 5.5.2 / Figure 5.5: a surveillance site bundles
+low-cost motion sensors with a high-resolution camera.  Several
+surveillance applications filter the motion stream at different
+granularities; the union of the filters' outputs is the *index* that
+selects which images are worth transmitting.  The smaller the index,
+the fewer 4 KB images cross the wireless uplink - so group-aware
+filtering on the cheap stream directly saves expensive image bandwidth.
+
+Run:  python examples/multimodal_sensing.py
+"""
+
+from repro import GroupAwareEngine, SelfInterestedEngine, parse_group, src_statistics
+from repro.sources import cow_trace
+
+IMAGE_DEBOUNCE_MS = 10.0  # snapshot-on-demand: at most one capture per frame time
+IMAGE_BYTES = 4096
+TUPLE_BYTES = 64
+
+
+def images_triggered(result) -> int:
+    """Each selected tuple triggers a capture, debounced per camera.
+
+    This is the robot-exploration variant of the scenario: "the indexing
+    data may trigger cameras to take pictures" (section 5.5.2), so fewer
+    index tuples directly means fewer captures and transmissions.
+    """
+    count = 0
+    last_capture = float("-inf")
+    for emission in sorted(result.emissions, key=lambda e: e.item.timestamp):
+        if emission.item.timestamp - last_capture >= IMAGE_DEBOUNCE_MS:
+            count += 1
+            last_capture = emission.item.timestamp
+    return count
+
+
+def main() -> None:
+    # A bursty orientation/motion stream stands in for the motion sensors.
+    trace = cow_trace(n=3000, seed=11)
+    statistic = src_statistics(trace, "E-orient")
+
+    def make_group():
+        specs = []
+        for multiplier in (2.0, 3.0, 4.0):
+            delta = multiplier * statistic
+            specs.append(f"DC1(E-orient, {delta:.6g}, {delta / 2:.6g})")
+        return parse_group(specs, prefix="surveillance-")
+
+    group_aware = GroupAwareEngine(make_group(), algorithm="region").run(trace)
+    self_interested = SelfInterestedEngine(make_group()).run(trace)
+
+    print(f"{'filtering':18} {'index tuples':>13} {'images':>7} {'bytes on uplink':>16}")
+    totals = {}
+    for label, result in (
+        ("group-aware", group_aware),
+        ("self-interested", self_interested),
+    ):
+        images = images_triggered(result)
+        total = result.output_count * TUPLE_BYTES + images * IMAGE_BYTES
+        totals[label] = total
+        print(f"{label:18} {result.output_count:13d} {images:7d} {total:16d}")
+
+    print(
+        f"\nGroup-aware indexing cut uplink traffic by "
+        f"{1 - totals['group-aware'] / totals['self-interested']:.1%}; every "
+        "application still receives a motion update within its granularity slack."
+    )
+
+
+if __name__ == "__main__":
+    main()

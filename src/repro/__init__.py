@@ -1,0 +1,78 @@
+"""Group-aware stream filtering.
+
+A reproduction of "Group-aware Stream Filtering" (Li & Kotz, 2007; Li's
+Dartmouth dissertation TR2008-621): cooperative data-selection filters
+that trade CPU time for network bandwidth in bandwidth-constrained
+stream-processing systems.
+
+Quick start::
+
+    from repro import (
+        Trace, GroupAwareEngine, SelfInterestedEngine, DeltaCompressionFilter,
+    )
+
+    trace = Trace.from_values([0, 35, 29, 45, 50, 59, 80, 97, 100, 112], "temp")
+    group = [
+        DeltaCompressionFilter("A", "temp", delta=50, slack=10),
+        DeltaCompressionFilter("B", "temp", delta=40, slack=5),
+        DeltaCompressionFilter("C", "temp", delta=80, slack=25),
+    ]
+    result = GroupAwareEngine(group).run(trace)
+    print(result.output_count)   # 3 tuples serve all three applications
+
+Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.filters`
+(filter framework), :mod:`repro.sources` (synthetic traces),
+:mod:`repro.net` (simulated Solar-like dissemination),
+:mod:`repro.timeliness` (delay models), :mod:`repro.metrics`
+(evaluation metrics) and :mod:`repro.experiments` (table/figure
+reproduction harness).
+"""
+
+from repro.core import (
+    BatchedOutput,
+    EngineResult,
+    GroupAwareEngine,
+    PerCandidateSetOutput,
+    RegionOutput,
+    RuntimePredictor,
+    SelfInterestedEngine,
+    StreamTuple,
+    TimeConstraint,
+    Trace,
+    src_statistics,
+)
+from repro.filters import (
+    AveragedDeltaFilter,
+    DeltaCompressionFilter,
+    GroupAwareFilter,
+    StatefulDeltaCompressionFilter,
+    StratifiedSamplingFilter,
+    TrendDeltaFilter,
+    parse_filter,
+    parse_group,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AveragedDeltaFilter",
+    "BatchedOutput",
+    "DeltaCompressionFilter",
+    "EngineResult",
+    "GroupAwareEngine",
+    "GroupAwareFilter",
+    "PerCandidateSetOutput",
+    "RegionOutput",
+    "RuntimePredictor",
+    "SelfInterestedEngine",
+    "StatefulDeltaCompressionFilter",
+    "StratifiedSamplingFilter",
+    "StreamTuple",
+    "TimeConstraint",
+    "Trace",
+    "TrendDeltaFilter",
+    "__version__",
+    "parse_filter",
+    "parse_group",
+    "src_statistics",
+]

@@ -1,0 +1,130 @@
+"""Dynamic enabling/disabling of group-awareness.
+
+Section 6.2: "For situations where group-aware filtering does not affect
+bandwidth savings, we can dynamically disable group-awareness, and
+enable group-awareness in the filters when the predicted benefit is
+high."  The controller runs the stream in windows; in each window it
+measures the realized benefit (group-aware output vs the self-interested
+reference count, which the engine tracks for free via candidate-set
+counts) and switches mode for the next window with hysteresis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.engine import EngineResult, GroupAwareEngine, SelfInterestedEngine
+from repro.core.tuples import StreamTuple, Trace
+from repro.filters.base import GroupAwareFilter
+
+__all__ = ["WindowOutcome", "AdaptiveController", "AdaptiveOutcome"]
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """Bookkeeping for one adaptation window."""
+
+    window_index: int
+    mode: str  # "group_aware" | "self_interested"
+    output_count: int
+    reference_count: int
+
+    @property
+    def benefit(self) -> float:
+        """Realized (or foregone) saving vs the reference output."""
+        if self.reference_count == 0:
+            return 0.0
+        return 1.0 - self.output_count / self.reference_count
+
+
+@dataclass
+class AdaptiveOutcome:
+    windows: list[WindowOutcome] = field(default_factory=list)
+    total_output: int = 0
+
+    @property
+    def mode_switches(self) -> int:
+        switches = 0
+        for previous, current in zip(self.windows, self.windows[1:]):
+            if previous.mode != current.mode:
+                switches += 1
+        return switches
+
+
+class AdaptiveController:
+    """Window-based controller that toggles group-awareness.
+
+    ``filter_factory`` must build a fresh filter group (engines are
+    single-use); ``enable_threshold``/``disable_threshold`` give the
+    hysteresis band on measured benefit.
+    """
+
+    def __init__(
+        self,
+        filter_factory: Callable[[], Sequence[GroupAwareFilter]],
+        window_size: int = 200,
+        enable_threshold: float = 0.10,
+        disable_threshold: float = 0.03,
+        algorithm: str = "region",
+    ):
+        if window_size < 1:
+            raise ValueError("window_size must be at least 1")
+        if disable_threshold > enable_threshold:
+            raise ValueError("hysteresis requires disable <= enable threshold")
+        self._factory = filter_factory
+        self.window_size = window_size
+        self.enable_threshold = enable_threshold
+        self.disable_threshold = disable_threshold
+        self.algorithm = algorithm
+        self.mode = "group_aware"  # start optimistic, as the paper suggests
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> AdaptiveOutcome:
+        outcome = AdaptiveOutcome()
+        windows = [
+            trace[start : start + self.window_size]
+            for start in range(0, len(trace), self.window_size)
+        ]
+        for index, window in enumerate(windows):
+            result, references = self._run_window(list(window))
+            outcome.windows.append(
+                WindowOutcome(
+                    window_index=index,
+                    mode=self.mode,
+                    output_count=result.output_count,
+                    reference_count=references,
+                )
+            )
+            outcome.total_output += result.output_count
+            self._adapt(outcome.windows[-1])
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_window(self, window: list[StreamTuple]) -> tuple[EngineResult, int]:
+        references = self._reference_count(window)
+        if self.mode == "group_aware":
+            engine = GroupAwareEngine(self._factory(), algorithm=self.algorithm)
+            result = engine.run(window)
+        else:
+            result = SelfInterestedEngine(self._factory()).run(window)
+        return result, references
+
+    def _reference_count(self, window: list[StreamTuple]) -> int:
+        """Distinct self-interested output for the window (the benchmark
+        both modes are judged against)."""
+        result = SelfInterestedEngine(self._factory()).run(window)
+        return result.output_count
+
+    def _adapt(self, outcome: WindowOutcome) -> None:
+        benefit = outcome.benefit
+        if self.mode == "group_aware" and benefit < self.disable_threshold:
+            self.mode = "self_interested"
+        elif self.mode == "self_interested":
+            # Probe: re-enable when the group composition suggests gains.
+            # Without a coordinated run we cannot observe benefit, so the
+            # controller periodically re-enables to re-measure.
+            if outcome.window_index % 3 == 2:
+                self.mode = "group_aware"
+        elif self.mode == "group_aware" and benefit >= self.enable_threshold:
+            self.mode = "group_aware"

@@ -1,0 +1,91 @@
+"""Filter (re)grouping strategies.
+
+Section 4.8: "Another way to alleviate the congestion-causing effect of
+group-aware filtering is to reduce the group size.  Large groups increase
+CPU overhead and, in some cases, may violate the latency constraints ...
+We thus need to develop strategies for (re)grouping the filters."
+
+Two strategies are provided:
+
+* :func:`isolate_greedy_filters` - split out filters whose selectivity
+  is so high that coordination cannot help (they need nearly all data
+  anyway);
+* :func:`partition_by_attribute` - group filters that read overlapping
+  attribute sets, since candidate-set overlap requires shared inputs;
+* :func:`cap_group_size` - bound group size to bound coordination cost
+  (the CPU-per-batch growth of Figure 4.18).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.filters.base import GroupAwareFilter
+
+__all__ = ["isolate_greedy_filters", "partition_by_attribute", "cap_group_size"]
+
+
+def isolate_greedy_filters(
+    filters: Sequence[GroupAwareFilter],
+    selectivity: Mapping[str, float],
+    threshold: float = 0.8,
+) -> tuple[list[GroupAwareFilter], list[GroupAwareFilter]]:
+    """Split into (coordinated, self-interested) by selectivity.
+
+    Filters above ``threshold`` go to the self-interested side: their
+    output dominates the union regardless of coordination, so spending
+    CPU on them is wasted (section 4.8's "bad" filters).
+    """
+    coordinated: list[GroupAwareFilter] = []
+    isolated: list[GroupAwareFilter] = []
+    for flt in filters:
+        if selectivity.get(flt.name, 0.0) > threshold:
+            isolated.append(flt)
+        else:
+            coordinated.append(flt)
+    return coordinated, isolated
+
+
+def partition_by_attribute(
+    filters: Sequence[GroupAwareFilter],
+) -> list[list[GroupAwareFilter]]:
+    """Partition into groups whose attribute sets transitively overlap.
+
+    Filters reading disjoint attributes can never share candidate sets,
+    so splitting them reduces region sizes (and hence latency and CPU)
+    at zero bandwidth cost.
+    """
+    remaining = list(filters)
+    groups: list[list[GroupAwareFilter]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        attributes = set(seed.taxonomy.candidate_computation.attributes)
+        changed = True
+        while changed:
+            changed = False
+            for flt in list(remaining):
+                flt_attributes = set(flt.taxonomy.candidate_computation.attributes)
+                if flt_attributes & attributes:
+                    group.append(flt)
+                    remaining.remove(flt)
+                    attributes |= flt_attributes
+                    changed = True
+        groups.append(group)
+    return groups
+
+
+def cap_group_size(
+    filters: Sequence[GroupAwareFilter], max_size: int
+) -> list[list[GroupAwareFilter]]:
+    """Chunk a group to at most ``max_size`` filters each.
+
+    A blunt instrument for bounding coordination cost; attribute-aware
+    partitioning should run first so related filters stay together.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be at least 1")
+    return [
+        list(filters[start : start + max_size])
+        for start in range(0, len(filters), max_size)
+    ]

@@ -1,0 +1,67 @@
+"""Online selectivity monitoring.
+
+Section 4.8: "when a group has a filter that requires most of the data
+from the source, group-aware filtering will not save much bandwidth ...
+It is desirable to isolate those 'bad' filters from the rest ... It is
+thus important to monitor the selectivity of each filter."
+
+:class:`SelectivityMonitor` tracks, per filter, the fraction of input
+tuples selected over a sliding window of recent inputs, from the
+engine's decision log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.engine import EngineResult
+
+__all__ = ["SelectivityMonitor", "selectivity_from_result"]
+
+
+class SelectivityMonitor:
+    """Sliding-window output/input fraction per filter."""
+
+    def __init__(self, filter_names: Iterable[str], window: int = 500):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._selected: dict[str, deque[bool]] = {
+            name: deque(maxlen=window) for name in filter_names
+        }
+        if not self._selected:
+            raise ValueError("monitor needs at least one filter")
+
+    def observe(self, selected_by: set[str]) -> None:
+        """Record one input tuple and the filters that selected it."""
+        for name, history in self._selected.items():
+            history.append(name in selected_by)
+
+    def selectivity(self, name: str) -> float:
+        history = self._selected[name]
+        if not history:
+            return 0.0
+        return sum(history) / len(history)
+
+    def greedy_filters(self, threshold: float = 0.8) -> list[str]:
+        """Filters selecting more than ``threshold`` of the input - the
+        'bad' filters section 4.8 suggests isolating."""
+        return sorted(
+            name
+            for name in self._selected
+            if self.selectivity(name) > threshold
+        )
+
+    def observations(self, name: str) -> int:
+        return len(self._selected[name])
+
+
+def selectivity_from_result(result: EngineResult) -> dict[str, float]:
+    """Per-filter selectivity of a finished engine run."""
+    if result.input_count == 0:
+        return {name: 0.0 for name in result.decisions}
+    return {
+        name: len(result.outputs_for(name)) / result.input_count
+        for name in result.decisions
+    }

@@ -1,0 +1,64 @@
+"""Core of the group-aware stream filtering library.
+
+The subpackage implements the paper's primary contribution: the tuple and
+candidate-set model (sections 2.2.1-2.2.3), region-based segmentation
+(section 2.3.2), the greedy hitting-set solvers (sections 2.2.4 and 5.3),
+the two filtering algorithms (section 2.3.3), timely cuts (Chapter 3) and
+the output strategies (section 3.4).
+"""
+
+from repro.core.candidates import CandidateSet, TimeCover
+from repro.core.cuts import RuntimePredictor, TimeConstraint
+from repro.core.engine import (
+    EngineResult,
+    FilterContext,
+    GroupAwareEngine,
+    GroupFilterProtocol,
+    SelfInterestedEngine,
+)
+from repro.core.hitting_set import (
+    Selection,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    harmonic,
+)
+from repro.core.output import (
+    BatchedOutput,
+    Decision,
+    Emission,
+    OutputStrategy,
+    PerCandidateSetOutput,
+    RegionOutput,
+)
+from repro.core.regions import Region, RegionTracker
+from repro.core.state import DecidedOutputs, GroupUtility
+from repro.core.tuples import StreamTuple, Trace, src_statistics
+
+__all__ = [
+    "BatchedOutput",
+    "CandidateSet",
+    "DecidedOutputs",
+    "Decision",
+    "Emission",
+    "EngineResult",
+    "FilterContext",
+    "GroupAwareEngine",
+    "GroupFilterProtocol",
+    "GroupUtility",
+    "OutputStrategy",
+    "PerCandidateSetOutput",
+    "Region",
+    "RegionOutput",
+    "RegionTracker",
+    "RuntimePredictor",
+    "Selection",
+    "SelfInterestedEngine",
+    "StreamTuple",
+    "TimeConstraint",
+    "TimeCover",
+    "Trace",
+    "exact_minimum_hitting_set",
+    "greedy_hitting_set",
+    "harmonic",
+    "src_statistics",
+]

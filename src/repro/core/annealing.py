@@ -1,0 +1,105 @@
+"""Simulated-annealing hitting-set solver (the section 2.4.4 alternative).
+
+The paper surveys heuristics beyond greedy - simulated annealing, neural
+networks, genetic algorithms - and argues that "all those complex
+evolutionary algorithms take much longer to find a good solution ...
+compared with a deterministic greedy algorithm.  For timeliness concerns,
+we opt out of these types of algorithms."  This module implements the
+simulated-annealing variant so that claim can be measured rather than
+assumed; `benchmarks/bench_ablations.py` compares solution quality and
+run time against the greedy solver.
+
+The state space is the set of *hitting assignments* (one chosen tuple per
+candidate set); the energy is the number of distinct chosen tuples.  A
+move re-assigns one random candidate set to another of its members, which
+keeps every visited state feasible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.core.candidates import CandidateSet
+from repro.core.hitting_set import Selection
+
+__all__ = ["anneal_hitting_set"]
+
+
+def _energy(assignment: dict[int, int]) -> int:
+    return len(set(assignment.values()))
+
+
+def anneal_hitting_set(
+    sets: Sequence[CandidateSet],
+    iterations: int = 2000,
+    start_temperature: float = 2.0,
+    cooling: float = 0.995,
+    rng: Optional[random.Random] = None,
+) -> Selection:
+    """Approximate minimum hitting set by simulated annealing.
+
+    Supports degree-1 sets (the core problem of Theorem 1).  Starts from
+    a random feasible assignment and anneals with geometric cooling;
+    returns the best assignment seen.
+    """
+    for candidate_set in sets:
+        if candidate_set.degree != 1:
+            raise ValueError("annealing solver supports degree-1 sets only")
+        if not candidate_set.eligible_tuples:
+            raise ValueError(
+                f"candidate set {candidate_set.set_id} has no eligible tuples"
+            )
+    if rng is None:
+        rng = random.Random(0)
+
+    members = {
+        cs.set_id: [item for item in cs.eligible_tuples] for cs in sets
+    }
+    tuple_by_seq = {
+        item.seq: item for items in members.values() for item in items
+    }
+    set_ids = [cs.set_id for cs in sets]
+
+    assignment = {
+        set_id: rng.choice(items).seq for set_id, items in members.items()
+    }
+    best = dict(assignment)
+    best_energy = _energy(best)
+    current_energy = best_energy
+    temperature = start_temperature
+
+    for _ in range(iterations):
+        set_id = rng.choice(set_ids)
+        options = members[set_id]
+        if len(options) == 1:
+            temperature *= cooling
+            continue
+        proposed_seq = rng.choice(options).seq
+        if proposed_seq == assignment[set_id]:
+            temperature *= cooling
+            continue
+        previous = assignment[set_id]
+        assignment[set_id] = proposed_seq
+        proposed_energy = _energy(assignment)
+        delta = proposed_energy - current_energy
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current_energy = proposed_energy
+            if current_energy < best_energy:
+                best_energy = current_energy
+                best = dict(assignment)
+        else:
+            assignment[set_id] = previous
+        temperature *= cooling
+
+    selection = Selection()
+    chosen_seqs: list[int] = []
+    for candidate_set in sets:
+        seq = best[candidate_set.set_id]
+        item = tuple_by_seq[seq]
+        selection.assignments[candidate_set.set_id] = [item]
+        if seq not in chosen_seqs:
+            chosen_seqs.append(seq)
+            selection.chosen.append(item)
+    return selection

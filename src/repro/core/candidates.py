@@ -1,0 +1,169 @@
+"""Candidate sets and time covers.
+
+A *candidate set* (section 2.2.3) contains the tuples that are equivalent
+in quality for one output of a filter: "Choosing any tuples from the
+candidate set corresponding to a reference tuple would be quality
+equivalent to choosing the corresponding reference tuple for the output."
+
+A *time cover* (Definition 1) is the timestamp interval spanned by a
+candidate set.  Axiom 1 requires that the time covers of one group's
+candidate sets produced by a single filter do not intersect, which for
+delta-compression filters is guaranteed by ``slack < delta / 2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.tuples import StreamTuple
+
+__all__ = ["TimeCover", "CandidateSet"]
+
+_set_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class TimeCover:
+    """Closed timestamp interval ``[min_ts, max_ts]`` (Definition 1)."""
+
+    min_ts: float
+    max_ts: float
+
+    def intersects(self, other: "TimeCover") -> bool:
+        """True when the two intervals overlap (Definition 2's "connected")."""
+        return self.min_ts <= other.max_ts and other.min_ts <= self.max_ts
+
+    def union(self, other: "TimeCover") -> "TimeCover":
+        return TimeCover(min(self.min_ts, other.min_ts), max(self.max_ts, other.max_ts))
+
+    @property
+    def span(self) -> float:
+        return self.max_ts - self.min_ts
+
+
+class CandidateSet:
+    """The set of quality-equivalent tuples for one output of one filter.
+
+    The set is built online: tuples are admitted as they arrive, possibly
+    dismissed later ("It is still possible for a filter to adjust the set
+    of candidates for an output before moving on", section 2.2.2), and the
+    set eventually *closes*, after which it is immutable.
+
+    ``degree`` generalizes to the multi-degree hitting-set problem of
+    Chapter 5 (Definition 6): the number of tuples that must be selected
+    from this set.  Plain filters use degree 1.
+
+    ``eligible`` optionally restricts which members may be chosen as
+    output; it implements Chapter 5's "top"/"bottom" output prescriptions.
+    When ``None``, every member is eligible.
+    """
+
+    __slots__ = (
+        "set_id",
+        "filter_name",
+        "_tuples",
+        "_order",
+        "closed",
+        "reference",
+        "degree",
+        "_eligible",
+        "cut",
+    )
+
+    def __init__(self, filter_name: str):
+        self.set_id: int = next(_set_ids)
+        self.filter_name = filter_name
+        self._tuples: dict[int, StreamTuple] = {}
+        self._order: list[int] = []
+        self.closed = False
+        self.reference: Optional[StreamTuple] = None
+        self.degree = 1
+        self._eligible: Optional[frozenset[int]] = None
+        self.cut = False
+
+    # ------------------------------------------------------------------
+    # Mutation (only while open)
+    # ------------------------------------------------------------------
+    def add(self, item: StreamTuple) -> None:
+        if self.closed:
+            raise RuntimeError(f"candidate set {self.set_id} is closed")
+        if item.seq not in self._tuples:
+            self._tuples[item.seq] = item
+            self._order.append(item.seq)
+
+    def remove(self, item: StreamTuple) -> None:
+        if self.closed:
+            raise RuntimeError(f"candidate set {self.set_id} is closed")
+        self._tuples.pop(item.seq, None)
+        try:
+            self._order.remove(item.seq)
+        except ValueError:
+            pass
+
+    def close(self, cut: bool = False) -> None:
+        self.closed = True
+        self.cut = cut
+
+    def restrict_eligible(self, members: Iterable[StreamTuple]) -> None:
+        """Limit output selection to ``members`` (top/bottom prescriptions)."""
+        eligible = frozenset(t.seq for t in members)
+        unknown = eligible - self._tuples.keys()
+        if unknown:
+            raise ValueError(f"eligible tuples {sorted(unknown)} are not members")
+        self._eligible = eligible
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, item: StreamTuple) -> bool:
+        return item.seq in self._tuples
+
+    def contains_seq(self, seq: int) -> bool:
+        return seq in self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def tuples(self) -> list[StreamTuple]:
+        """Members in arrival order."""
+        return [self._tuples[seq] for seq in self._order]
+
+    @property
+    def seqs(self) -> list[int]:
+        return list(self._order)
+
+    def is_eligible(self, item: StreamTuple) -> bool:
+        if item.seq not in self._tuples:
+            return False
+        return self._eligible is None or item.seq in self._eligible
+
+    @property
+    def eligible_tuples(self) -> list[StreamTuple]:
+        if self._eligible is None:
+            return self.tuples
+        return [self._tuples[seq] for seq in self._order if seq in self._eligible]
+
+    @property
+    def time_cover(self) -> Optional[TimeCover]:
+        """The set's time cover, or ``None`` while empty (Definition 1)."""
+        if not self._order:
+            return None
+        timestamps = [self._tuples[seq].timestamp for seq in self._order]
+        return TimeCover(min(timestamps), max(timestamps))
+
+    def connected(self, other: "CandidateSet") -> bool:
+        """Definition 2: candidate sets with intersecting time covers."""
+        mine, theirs = self.time_cover, other.time_cover
+        if mine is None or theirs is None:
+            return False
+        return mine.intersects(theirs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"CandidateSet(id={self.set_id}, filter={self.filter_name!r}, "
+            f"n={len(self)}, degree={self.degree}, {state})"
+        )

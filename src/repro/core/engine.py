@@ -1,0 +1,515 @@
+"""Group-aware filtering engines.
+
+This module implements the paper's two-stage process (Figure 2.4): each
+filter *admits candidates* online, and an *output decider* selects one
+(or ``degree`` many) tuples per candidate set so that the multiplexed
+output is small.  Two deciders are provided, matching the paper's two
+heuristics-based algorithms:
+
+* ``algorithm="region"`` - REGION-BASED-GREEDY-FILTERING (Figure 2.6):
+  wait for a region of connected candidate sets to close, then run the
+  greedy hitting-set over the region;
+* ``algorithm="per_candidate_set"`` - PER-CANDIDATE-SET-GREEDY-FILTERING
+  (Figure 2.10): each filter decides as soon as its candidate set closes,
+  preferring tuples already chosen by other filters, then tuples of
+  highest group utility.  Stateful filters always decide this way, even
+  under the region algorithm (section 2.3.3).
+
+Passing a :class:`~repro.core.cuts.TimeConstraint` enables *timely cuts*
+(Figure 3.3): open candidate sets are force-closed when the accumulated
+span plus the predicted greedy run time would violate the constraint.
+
+:class:`SelfInterestedEngine` is the paper's baseline: every filter picks
+its reference tuples with no group coordination.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.candidates import CandidateSet
+from repro.core.cuts import RuntimePredictor, TimeConstraint
+from repro.core.hitting_set import greedy_hitting_set
+from repro.core.output import (
+    Decision,
+    Emission,
+    OutputStrategy,
+    RegionOutput,
+    merge_decisions,
+)
+from repro.core.regions import RegionTracker
+from repro.core.state import DecidedOutputs, GroupUtility
+from repro.core.tuples import StreamTuple
+
+__all__ = [
+    "GroupFilterProtocol",
+    "SelfInterestedFilterProtocol",
+    "FilterContext",
+    "EngineResult",
+    "GroupAwareEngine",
+    "SelfInterestedEngine",
+]
+
+
+@runtime_checkable
+class GroupFilterProtocol(Protocol):
+    """What the engine requires of a group-aware filter (section 2.2.2)."""
+
+    name: str
+    stateful: bool
+
+    def process(self, item: StreamTuple, ctx: "FilterContext") -> None:
+        """Admit/dismiss candidates for ``item``; close sets as needed."""
+
+    def flush(self, ctx: "FilterContext") -> None:
+        """End of stream: close any open candidate set."""
+
+    def on_force_close(self, ctx: "FilterContext") -> None:
+        """A timely cut demands the open candidate set be closed now."""
+
+    def on_output_decided(self, chosen: Sequence[StreamTuple]) -> None:
+        """The decider chose ``chosen`` for this filter's last closed set."""
+
+    def make_self_interested(self) -> "SelfInterestedFilterProtocol":
+        """A fresh, uncoordinated instance for the SI baseline."""
+
+
+class SelfInterestedFilterProtocol(Protocol):
+    """Baseline filter: emits its own preferred outputs immediately."""
+
+    name: str
+
+    def process(self, item: StreamTuple) -> list[StreamTuple]: ...
+
+    def flush(self) -> list[StreamTuple]: ...
+
+
+class FilterContext:
+    """Per-filter view of the shared global state (Figure 4.1).
+
+    Filters never touch the group state directly; they admit, dismiss and
+    close through this context, which keeps group utilities, the region
+    tracker and the decided-output log consistent.
+    """
+
+    def __init__(self, engine: "GroupAwareEngine", flt: GroupFilterProtocol):
+        self._engine = engine
+        self.filter = flt
+        self._current: Optional[CandidateSet] = None
+        self.last_decided: tuple[StreamTuple, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_set(self) -> Optional[CandidateSet]:
+        return self._current
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    def admit(self, item: StreamTuple) -> None:
+        """First stage: add ``item`` to the filter's current candidate set."""
+        if self._current is None or self._current.closed:
+            self._current = CandidateSet(self.filter.name)
+            self._engine._tracker.watch(self._current)
+        if item not in self._current:
+            self._current.add(item)
+            self._engine._utility.increment(item)
+
+    def dismiss(self, item: StreamTuple) -> None:
+        """Retract a tentatively admitted candidate (section 2.3.3)."""
+        if self._current is None or item not in self._current:
+            return
+        self._current.remove(item)
+        self._engine._utility.decrement(item)
+
+    def mark_reference(self, item: StreamTuple) -> None:
+        """Record the reference tuple of the current candidate set."""
+        if self._current is None or item not in self._current:
+            raise ValueError("reference tuple must be an admitted candidate")
+        self._current.reference = item
+
+    def set_degree(self, degree: int) -> None:
+        """Multi-degree candidacy (Chapter 5): pick ``degree`` tuples."""
+        if self._current is None:
+            raise ValueError("no open candidate set")
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self._current.degree = degree
+
+    def restrict_eligible(self, members: Iterable[StreamTuple]) -> None:
+        """Apply a top/bottom output prescription to the current set."""
+        if self._current is None:
+            raise ValueError("no open candidate set")
+        self._current.restrict_eligible(members)
+
+    def close_set(self, cut: bool = False) -> None:
+        """Second stage trigger: the current candidate set is complete."""
+        if self._current is None:
+            return
+        if len(self._current) == 0:
+            # Nothing was admitted; recycle the set silently.
+            self._engine._tracker.discard(self._current)
+            self._current = None
+            return
+        self._current.close(cut=cut)
+        self._engine._on_set_closed(self, self._current)
+        self._current = None
+
+    def has_open_candidates(self) -> bool:
+        return self._current is not None and not self._current.closed and len(self._current) > 0
+
+
+@dataclass
+class EngineResult:
+    """Everything measured during one engine run."""
+
+    input_count: int = 0
+    emissions: list[Emission] = field(default_factory=list)
+    decisions: dict[str, list[Decision]] = field(default_factory=dict)
+    cpu_ns_per_tuple: list[int] = field(default_factory=list)
+    greedy_runtimes_ms: list[float] = field(default_factory=list)
+    regions_emitted: int = 0
+    regions_cut: int = 0
+    cuts_triggered: int = 0
+    algorithm: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def distinct_output_seqs(self) -> set[int]:
+        """Distinct tuples in the multiplexed output stream."""
+        return {e.item.seq for e in self.emissions}
+
+    @property
+    def output_count(self) -> int:
+        return len(self.distinct_output_seqs)
+
+    @property
+    def oi_ratio(self) -> float:
+        """Output/input ratio: "total number of output tuples over the
+        number of input tuples" (section 4.4)."""
+        if self.input_count == 0:
+            return 0.0
+        return self.output_count / self.input_count
+
+    @property
+    def transmissions(self) -> int:
+        """Emission events, counting re-sends of an already-sent tuple."""
+        return len(self.emissions)
+
+    def outputs_for(self, filter_name: str) -> list[StreamTuple]:
+        """The tuples delivered to one application, in timestamp order."""
+        items: dict[int, StreamTuple] = {}
+        for decision in self.decisions.get(filter_name, []):
+            for item in decision.tuples:
+                items[item.seq] = item
+        return sorted(items.values(), key=lambda t: t.timestamp)
+
+    @property
+    def total_cpu_ms(self) -> float:
+        return sum(self.cpu_ns_per_tuple) / 1e6
+
+    @property
+    def mean_cpu_ms_per_tuple(self) -> float:
+        if not self.cpu_ns_per_tuple:
+            return 0.0
+        return self.total_cpu_ms / len(self.cpu_ns_per_tuple)
+
+    @property
+    def latencies_ms(self) -> list[float]:
+        """Per-emitted-tuple delay from source timestamp to emission."""
+        return [e.delay_ms for e in self.emissions]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        delays = self.latencies_ms
+        if not delays:
+            return 0.0
+        return sum(delays) / len(delays)
+
+    @property
+    def percent_regions_cut(self) -> float:
+        if self.regions_emitted == 0:
+            return 0.0
+        return 100.0 * self.regions_cut / self.regions_emitted
+
+
+class GroupAwareEngine:
+    """Coordinator for a group of filters sharing one data source."""
+
+    def __init__(
+        self,
+        filters: Sequence[GroupFilterProtocol],
+        algorithm: str = "region",
+        output_strategy: Optional[OutputStrategy] = None,
+        time_constraint: Optional[TimeConstraint] = None,
+        predictor: Optional[RuntimePredictor] = None,
+    ):
+        if algorithm not in ("region", "per_candidate_set"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        names = [f.name for f in filters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"filter names must be unique, got {names}")
+        if not filters:
+            raise ValueError("a group needs at least one filter")
+
+        self.algorithm = algorithm
+        self._contexts = [FilterContext(self, f) for f in filters]
+        self._strategy = output_strategy if output_strategy is not None else RegionOutput()
+        self._constraint = time_constraint
+        self._predictor = predictor if predictor is not None else RuntimePredictor()
+
+        self._utility = GroupUtility()
+        self._decided = DecidedOutputs()
+        self._tracker = RegionTracker()
+        self._early_decided_sets: set[int] = set()
+        self.now = 0.0
+        self._result = EngineResult(algorithm=algorithm)
+        for name in names:
+            self._result.decisions[name] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def filters(self) -> list[GroupFilterProtocol]:
+        return [ctx.filter for ctx in self._contexts]
+
+    def run(self, trace: Iterable[StreamTuple]) -> EngineResult:
+        """Process a whole trace and return the measurements."""
+        for item in trace:
+            self.process(item)
+        return self.finish()
+
+    def process(self, item: StreamTuple) -> list[Emission]:
+        """Process one input tuple; return any emissions it triggered."""
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        started = time.perf_counter_ns()
+        self.now = item.timestamp
+        self._result.input_count += 1
+        emissions: list[Emission] = []
+
+        for ctx in self._contexts:
+            ctx.filter.process(item, ctx)
+
+        if self._constraint is not None:
+            emissions.extend(self._check_cut())
+
+        emissions.extend(self._poll_regions())
+        emissions.extend(self._strategy.on_input(self.now))
+
+        self._result.cpu_ns_per_tuple.append(time.perf_counter_ns() - started)
+        self._result.emissions.extend(emissions)
+        return emissions
+
+    def finish(self) -> EngineResult:
+        """End of stream: flush all filters and release buffered output."""
+        if self._finished:
+            return self._result
+        emissions: list[Emission] = []
+        for ctx in self._contexts:
+            ctx.filter.flush(ctx)
+        emissions.extend(self._poll_regions(final=True))
+        emissions.extend(self._strategy.flush(self.now))
+        self._result.emissions.extend(emissions)
+        self._result.regions_emitted = self._tracker.regions_emitted
+        self._result.regions_cut = self._tracker.regions_cut
+        self._finished = True
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Second stage: deciding outputs
+    # ------------------------------------------------------------------
+    def _on_set_closed(self, ctx: FilterContext, candidate_set: CandidateSet) -> None:
+        decide_early = self.algorithm == "per_candidate_set" or ctx.filter.stateful
+        if decide_early:
+            self._decide_per_candidate_set(ctx, candidate_set)
+
+    def _decide_per_candidate_set(
+        self, ctx: FilterContext, candidate_set: CandidateSet
+    ) -> None:
+        """Figure 2.10 second stage: the filter decides its own output.
+
+        Heuristic 1: prefer tuples already chosen by other filters.
+        Heuristic 2: otherwise take the highest group utility.  Both are
+        subject to the freshest-timestamp tie-break.
+        """
+        eligible = candidate_set.eligible_tuples
+        degree = min(candidate_set.degree, len(eligible))
+        picks: list[StreamTuple] = []
+        pool = list(eligible)
+        while len(picks) < degree:
+            already = self._decided.chosen_by_others(pool, ctx.filter.name)
+            source = already if already else pool
+            best = self._utility.best(source)
+            assert best is not None
+            picks.append(best)
+            pool.remove(best)
+
+        for member in candidate_set.tuples:
+            self._utility.decrement(member)
+        for item in picks:
+            self._decided.record(item, ctx.filter.name)
+
+        decision = Decision(
+            filter_name=ctx.filter.name,
+            set_id=candidate_set.set_id,
+            tuples=tuple(picks),
+            decide_ts=self.now,
+        )
+        self._early_decided_sets.add(candidate_set.set_id)
+        self._result.decisions[ctx.filter.name].append(decision)
+        ctx.last_decided = tuple(picks)
+        ctx.filter.on_output_decided(picks)
+        emitted = self._strategy.on_decisions([decision], self.now)
+        self._result.emissions.extend(emitted)
+
+    def _poll_regions(self, final: bool = False, cut: bool = False) -> list[Emission]:
+        if final:
+            for ctx in self._contexts:
+                ctx.close_set()
+        regions = self._tracker.poll(self.now, final=final, cut=cut)
+        emissions: list[Emission] = []
+        for region in regions:
+            undecided = [
+                s for s in region.sets if s.set_id not in self._early_decided_sets
+            ]
+            if undecided:
+                started = time.perf_counter_ns()
+                selection = greedy_hitting_set(undecided)
+                elapsed_ms = (time.perf_counter_ns() - started) / 1e6
+                self._result.greedy_runtimes_ms.append(elapsed_ms)
+                self._predictor.observe(region.size, elapsed_ms)
+                decisions = []
+                for candidate_set in undecided:
+                    picks = tuple(selection.assignments[candidate_set.set_id])
+                    decision = Decision(
+                        filter_name=candidate_set.filter_name,
+                        set_id=candidate_set.set_id,
+                        tuples=picks,
+                        decide_ts=self.now,
+                    )
+                    decisions.append(decision)
+                    self._result.decisions[candidate_set.filter_name].append(decision)
+                    for item in picks:
+                        self._decided.record(item, candidate_set.filter_name)
+                emissions.extend(self._strategy.on_decisions(decisions, self.now))
+            emissions.extend(self._strategy.on_region_close(region, self.now))
+            seqs = region.tuple_seqs
+            self._utility.forget(seqs)
+            self._decided.forget(seqs)
+            self._early_decided_sets.difference_update(
+                s.set_id for s in region.sets
+            )
+        return emissions
+
+    # ------------------------------------------------------------------
+    # Timely cuts (Chapter 3)
+    # ------------------------------------------------------------------
+    def _check_cut(self) -> list[Emission]:
+        assert self._constraint is not None
+        if self.algorithm == "region":
+            return self._check_region_cut()
+        return self._check_per_set_cut()
+
+    def _check_region_cut(self) -> list[Emission]:
+        """Figure 3.3 line 8: cut when span exceeds the remaining budget."""
+        assert self._constraint is not None
+        if not self._tracker.has_open_sets():
+            return []
+        span = self._tracker.active_span(self.now)
+        predicted = (
+            self._predictor.predict(self._tracker.active_tuple_count() + 1)
+            + self._constraint.overestimate_ms
+        )
+        if span < self._constraint.max_delay_ms - predicted:
+            return []
+        self._result.cuts_triggered += 1
+        for ctx in self._contexts:
+            if ctx.has_open_candidates():
+                ctx.filter.on_force_close(ctx)
+        return self._poll_regions(cut=True)
+
+    def _check_per_set_cut(self) -> list[Emission]:
+        """Per-candidate-set cut: close any set older than the constraint."""
+        assert self._constraint is not None
+        emissions: list[Emission] = []
+        any_cut = False
+        for ctx in self._contexts:
+            if not ctx.has_open_candidates():
+                continue
+            cover = ctx.current_set.time_cover  # type: ignore[union-attr]
+            assert cover is not None
+            if self.now - cover.min_ts >= self._constraint.max_delay_ms:
+                self._result.cuts_triggered += 1
+                any_cut = True
+                ctx.filter.on_force_close(ctx)
+        if any_cut:
+            emissions.extend(self._poll_regions())
+        return emissions
+
+
+class SelfInterestedEngine:
+    """The paper's baseline: uncoordinated filters, immediate output.
+
+    Each filter emits exactly its reference tuples (or its own samples,
+    for sampling filters) the moment they are recognized; the multiplexer
+    merges same-instant outputs of different filters into one emission.
+    """
+
+    def __init__(self, filters: Sequence[GroupFilterProtocol]):
+        if not filters:
+            raise ValueError("a group needs at least one filter")
+        self._filters = [f.make_self_interested() for f in filters]
+        self._result = EngineResult(algorithm="self_interested")
+        for flt in self._filters:
+            self._result.decisions[flt.name] = []
+        self._set_counter = 0
+        self._finished = False
+        self.now = 0.0
+
+    def run(self, trace: Iterable[StreamTuple]) -> EngineResult:
+        for item in trace:
+            self.process(item)
+        return self.finish()
+
+    def process(self, item: StreamTuple) -> list[Emission]:
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        started = time.perf_counter_ns()
+        self.now = item.timestamp
+        self._result.input_count += 1
+        decisions = []
+        for flt in self._filters:
+            for output in flt.process(item):
+                decisions.append(self._make_decision(flt.name, output))
+        emissions = merge_decisions(decisions, emit_ts=self.now)
+        self._result.cpu_ns_per_tuple.append(time.perf_counter_ns() - started)
+        self._result.emissions.extend(emissions)
+        return emissions
+
+    def finish(self) -> EngineResult:
+        if self._finished:
+            return self._result
+        decisions = []
+        for flt in self._filters:
+            for output in flt.flush():
+                decisions.append(self._make_decision(flt.name, output))
+        self._result.emissions.extend(merge_decisions(decisions, emit_ts=self.now))
+        self._finished = True
+        return self._result
+
+    def _make_decision(self, filter_name: str, output: StreamTuple) -> Decision:
+        self._set_counter += 1
+        decision = Decision(
+            filter_name=filter_name,
+            set_id=-self._set_counter,
+            tuples=(output,),
+            decide_ts=self.now,
+        )
+        self._result.decisions[filter_name].append(decision)
+        return decision

@@ -1,0 +1,165 @@
+"""Hitting-set solvers for group-aware filtering.
+
+Theorem 1 reduces group-aware filtering to the minimum hitting-set
+problem, which is NP-hard; the paper therefore uses "the greedy algorithm
+[that] produces a rho(n) approximation to the optimal solution ... where
+rho(n) = H(max set size)" (section 2.2.4).  Chapter 5 generalizes to the
+*multi-degree* hitting-set problem (Definition 6, also NP-hard by
+Axiom 3), where each set must contribute ``degree`` chosen tuples.
+
+This module implements:
+
+* :func:`greedy_hitting_set` - the greedy heuristic of Figure 2.7,
+  generalized to multi-degree sets per section 5.3;
+* :func:`exact_minimum_hitting_set` - a brute-force optimal solver used
+  by tests to check optimality preservation (Theorem 2) and the greedy
+  approximation bound (Theorem 3);
+* :func:`harmonic` - H(n), the greedy approximation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Optional, Sequence
+
+from repro.core.candidates import CandidateSet
+from repro.core.tuples import StreamTuple
+
+__all__ = [
+    "Selection",
+    "greedy_hitting_set",
+    "exact_minimum_hitting_set",
+    "harmonic",
+]
+
+
+@dataclass
+class Selection:
+    """Result of a hitting-set solve.
+
+    ``assignments`` maps each candidate set id to the tuples selected for
+    it (``degree`` many); ``chosen`` lists the distinct selected tuples in
+    pick order.  The union of assignments is exactly ``chosen``.
+    """
+
+    assignments: dict[int, list[StreamTuple]] = field(default_factory=dict)
+    chosen: list[StreamTuple] = field(default_factory=list)
+
+    @property
+    def output_size(self) -> int:
+        return len(self.chosen)
+
+
+def greedy_hitting_set(sets: Sequence[CandidateSet]) -> Selection:
+    """Greedy multi-degree hitting set (Figure 2.7 / section 5.3).
+
+    Repeatedly picks the tuple contained in (and eligible for) the most
+    still-unsatisfied candidate sets; ties are broken by the latest
+    timestamp "to favor time freshness".  Selecting a tuple counts toward
+    every unsatisfied set that contains it; once a set has received its
+    ``degree`` tuples it stops contributing utility.
+    """
+    remaining: dict[int, int] = {}
+    eligible_of_set: dict[int, list[StreamTuple]] = {}
+    sets_of_tuple: dict[int, list[int]] = {}
+    tuple_by_seq: dict[int, StreamTuple] = {}
+
+    for candidate_set in sets:
+        eligible = candidate_set.eligible_tuples
+        if not eligible:
+            raise ValueError(
+                f"candidate set {candidate_set.set_id} has no eligible tuples"
+            )
+        # A set can never need more tuples than it can offer.
+        degree = min(candidate_set.degree, len(eligible))
+        remaining[candidate_set.set_id] = degree
+        eligible_of_set[candidate_set.set_id] = eligible
+        for item in eligible:
+            sets_of_tuple.setdefault(item.seq, []).append(candidate_set.set_id)
+            tuple_by_seq[item.seq] = item
+
+    utility: dict[int, int] = {
+        seq: len(set_ids) for seq, set_ids in sets_of_tuple.items()
+    }
+    assigned: dict[int, set[int]] = {sid: set() for sid in remaining}
+    selection = Selection(assignments={sid: [] for sid in remaining})
+
+    def _retire(set_id: int) -> None:
+        """A satisfied set stops contributing utility for unpicked tuples."""
+        for item in eligible_of_set[set_id]:
+            if item.seq in utility and item.seq not in assigned[set_id]:
+                utility[item.seq] -= 1
+                if utility[item.seq] <= 0:
+                    del utility[item.seq]
+
+    while any(count > 0 for count in remaining.values()):
+        best_seq: Optional[int] = None
+        best_key: tuple[int, float, int] | None = None
+        for seq, count in utility.items():
+            item = tuple_by_seq[seq]
+            key = (count, item.timestamp, item.seq)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_seq = seq
+        if best_seq is None:  # pragma: no cover - guarded by degree clamp
+            raise RuntimeError("unsatisfiable hitting-set instance")
+
+        chosen = tuple_by_seq[best_seq]
+        selection.chosen.append(chosen)
+        del utility[best_seq]
+        for set_id in sets_of_tuple[best_seq]:
+            if remaining[set_id] <= 0:
+                continue
+            remaining[set_id] -= 1
+            assigned[set_id].add(best_seq)
+            selection.assignments[set_id].append(chosen)
+            if remaining[set_id] == 0:
+                _retire(set_id)
+    return selection
+
+
+def exact_minimum_hitting_set(
+    sets: Sequence[CandidateSet], max_universe: int = 24
+) -> Selection:
+    """Brute-force minimum hitting set (degree-1 sets only).
+
+    Enumerates subsets of the tuple universe by increasing size and
+    returns the first that hits every set.  Exponential; refuses instances
+    with more than ``max_universe`` distinct tuples.  Used by tests to
+    verify Theorems 2 and 3 on small instances.
+    """
+    for candidate_set in sets:
+        if candidate_set.degree != 1:
+            raise ValueError("exact solver supports degree-1 sets only")
+
+    universe: dict[int, StreamTuple] = {}
+    for candidate_set in sets:
+        for item in candidate_set.eligible_tuples:
+            universe[item.seq] = item
+    if len(universe) > max_universe:
+        raise ValueError(
+            f"universe of {len(universe)} tuples exceeds max_universe={max_universe}"
+        )
+
+    members = sorted(universe.values(), key=lambda t: t.seq)
+    set_seqs = [
+        frozenset(item.seq for item in candidate_set.eligible_tuples)
+        for candidate_set in sets
+    ]
+    for size in range(0, len(members) + 1):
+        for combo in combinations(members, size):
+            picked = frozenset(item.seq for item in combo)
+            if all(seqs & picked for seqs in set_seqs):
+                selection = Selection()
+                selection.chosen = list(combo)
+                for candidate_set, seqs in zip(sets, set_seqs):
+                    hit = next(item for item in combo if item.seq in seqs)
+                    selection.assignments[candidate_set.set_id] = [hit]
+                return selection
+    raise RuntimeError("no hitting set exists (empty candidate set?)")
+
+
+def harmonic(n: int) -> float:
+    """H(n) = 1 + 1/2 + ... + 1/n, the greedy approximation factor."""
+    return sum(1.0 / k for k in range(1, n + 1))

@@ -1,0 +1,179 @@
+"""Output scheduling strategies.
+
+Section 3.4 describes three output patterns for decided tuples:
+
+* **region-based earliest** (default) - release a region's outputs as
+  soon as the region closes; "the earliest possible time for output
+  tuples of a region without hurting the optimality of the solution";
+* **batched** ``(B)-x`` - release every ``x`` input tuples;
+* **per-candidate-set** ``(Pcs)`` - release each filter's output as soon
+  as its candidate set closes, trading possible disorder for lower
+  average delay.
+
+Strategies consume :class:`Decision` objects (a filter's selection for
+one candidate set) and produce :class:`Emission` objects (a tuple handed
+to the multiplexer with its recipient list, as in Figure 1.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.regions import Region
+from repro.core.tuples import StreamTuple
+
+__all__ = [
+    "Decision",
+    "Emission",
+    "OutputStrategy",
+    "RegionOutput",
+    "PerCandidateSetOutput",
+    "BatchedOutput",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One filter's selection for one candidate set."""
+
+    filter_name: str
+    set_id: int
+    tuples: tuple[StreamTuple, ...]
+    decide_ts: float
+
+
+@dataclass(frozen=True)
+class Emission:
+    """A tuple handed to the multiplexer for multicast.
+
+    ``recipients`` is the set of filter (application) names the tuple is
+    labelled with, so that "each tuple is transmitted at most once on any
+    link" (section 1.2).
+    """
+
+    item: StreamTuple
+    recipients: frozenset[str]
+    emit_ts: float
+    decide_ts: float
+
+    @property
+    def delay_ms(self) -> float:
+        """Delay from the tuple's source timestamp to its emission."""
+        return self.emit_ts - self.item.timestamp
+
+
+def merge_decisions(decisions: Iterable[Decision], emit_ts: float) -> list[Emission]:
+    """Multiplex decisions into per-tuple emissions with merged recipients."""
+    recipients: dict[int, set[str]] = {}
+    first_decide: dict[int, float] = {}
+    items: dict[int, StreamTuple] = {}
+    for decision in decisions:
+        for item in decision.tuples:
+            items[item.seq] = item
+            recipients.setdefault(item.seq, set()).add(decision.filter_name)
+            first = first_decide.get(item.seq)
+            if first is None or decision.decide_ts < first:
+                first_decide[item.seq] = decision.decide_ts
+    emissions = [
+        Emission(
+            item=items[seq],
+            recipients=frozenset(recipients[seq]),
+            emit_ts=emit_ts,
+            decide_ts=first_decide[seq],
+        )
+        for seq in sorted(items, key=lambda s: (items[s].timestamp, s))
+    ]
+    return emissions
+
+
+class OutputStrategy(ABC):
+    """Scheduler for decided outputs; see section 3.4."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def on_decisions(self, decisions: Sequence[Decision], now: float) -> list[Emission]:
+        """New decisions were made while processing the tuple at ``now``."""
+
+    def on_region_close(self, region: Region, now: float) -> list[Emission]:
+        """A region closed at ``now``; release anything region-gated."""
+        return []
+
+    def on_input(self, now: float) -> list[Emission]:
+        """An input tuple finished processing (used by batched output)."""
+        return []
+
+    @abstractmethod
+    def flush(self, now: float) -> list[Emission]:
+        """End of stream: release everything still buffered."""
+
+
+class RegionOutput(OutputStrategy):
+    """Default order-preserving strategy: release at region closure."""
+
+    name = "region"
+
+    def __init__(self) -> None:
+        self._pending: list[Decision] = []
+
+    def on_decisions(self, decisions: Sequence[Decision], now: float) -> list[Emission]:
+        self._pending.extend(decisions)
+        return []
+
+    def on_region_close(self, region: Region, now: float) -> list[Emission]:
+        region_sets = {s.set_id for s in region.sets}
+        ready = [d for d in self._pending if d.set_id in region_sets]
+        self._pending = [d for d in self._pending if d.set_id not in region_sets]
+        return merge_decisions(ready, emit_ts=now)
+
+    def flush(self, now: float) -> list[Emission]:
+        ready, self._pending = self._pending, []
+        return merge_decisions(ready, emit_ts=now)
+
+
+class PerCandidateSetOutput(OutputStrategy):
+    """``(Pcs)``: release each decision the moment it is made.
+
+    Lowers average delay at the cost of possible disorder across the
+    candidate sets of a region (section 3.4); disorder would be signalled
+    downstream via stream punctuations.
+    """
+
+    name = "pcs"
+
+    def on_decisions(self, decisions: Sequence[Decision], now: float) -> list[Emission]:
+        return merge_decisions(decisions, emit_ts=now)
+
+    def flush(self, now: float) -> list[Emission]:
+        return []
+
+
+class BatchedOutput(OutputStrategy):
+    """``(B)-x``: release accumulated outputs every ``batch_size`` inputs."""
+
+    name = "batched"
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.batch_size = batch_size
+        self._pending: list[Decision] = []
+        self._since_release = 0
+
+    def on_decisions(self, decisions: Sequence[Decision], now: float) -> list[Emission]:
+        self._pending.extend(decisions)
+        return []
+
+    def on_input(self, now: float) -> list[Emission]:
+        self._since_release += 1
+        if self._since_release < self.batch_size:
+            return []
+        self._since_release = 0
+        ready, self._pending = self._pending, []
+        return merge_decisions(ready, emit_ts=now)
+
+    def flush(self, now: float) -> list[Emission]:
+        ready, self._pending = self._pending, []
+        return merge_decisions(ready, emit_ts=now)

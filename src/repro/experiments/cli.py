@@ -1,0 +1,75 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig_4_2
+    python -m repro.experiments run fig_4_17 --tuples 1500 --repeats 3
+    python -m repro.experiments all --tuples 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id")
+    _add_knobs(run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    _add_knobs(everything)
+    return parser
+
+
+def _add_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tuples", type=int, default=3000, help="trace length")
+    parser.add_argument("--repeats", type=int, default=None, help="repetitions")
+    parser.add_argument("--seed", type=int, default=7, help="base random seed")
+
+
+def _kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"n_tuples": args.tuples, "seed": args.seed}
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS.ids():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        report = EXPERIMENTS.run(args.experiment_id, **_kwargs(args))
+        print(report)
+        return 0
+    # "all"
+    for experiment_id in EXPERIMENTS.ids():
+        started = time.perf_counter()
+        report = EXPERIMENTS.run(experiment_id, **_kwargs(args))
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Shared experiment harness: algorithm variants and group runs.
+
+Table 4.2 names the algorithm variants compared throughout Chapter 4
+(SI, RG, RG+C, PS, PS+C, plus output-strategy suffixes).  This module
+maps those names to engine configurations and runs a filter group under
+each, with fresh filter instances per run so state never leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.cuts import TimeConstraint
+from repro.core.engine import EngineResult, GroupAwareEngine, SelfInterestedEngine
+from repro.core.output import BatchedOutput, PerCandidateSetOutput, RegionOutput
+from repro.core.tuples import Trace
+from repro.filters.spec import parse_group
+
+__all__ = ["Variant", "STANDARD_VARIANTS", "run_variant", "run_group", "GroupRun"]
+
+#: Default group time constraint for +C variants.  The paper "set the
+#: group time constraint large enough so that few regions were cut" for
+#: the headline comparison (section 4.4).
+DEFAULT_CONSTRAINT_MS = 500.0
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One named engine configuration (Table 4.2 notation)."""
+
+    name: str
+    algorithm: str  # "region" | "per_candidate_set" | "self_interested"
+    cuts: bool = False
+    constraint_ms: float = DEFAULT_CONSTRAINT_MS
+    output: str = "region"  # "region" | "pcs" | "batched"
+    batch_size: int = 100
+
+    def make_strategy(self):
+        if self.output == "region":
+            return RegionOutput()
+        if self.output == "pcs":
+            return PerCandidateSetOutput()
+        if self.output == "batched":
+            return BatchedOutput(self.batch_size)
+        raise ValueError(f"unknown output strategy {self.output!r}")
+
+
+def variant_from_name(name: str) -> Variant:
+    """Parse Table 4.2 notation like ``"RG+C"`` or ``"PS(B)-200"``."""
+    text = name.strip()
+    if text == "SI":
+        return Variant("SI", "self_interested")
+    if text.startswith("RG"):
+        algorithm = "region"
+        rest = text[2:]
+    elif text.startswith("PS"):
+        algorithm = "per_candidate_set"
+        rest = text[2:]
+    else:
+        raise ValueError(f"unknown variant {name!r}")
+    cuts = "+C" in rest
+    output = "region"
+    batch = 100
+    if "(Pcs)" in rest:
+        output = "pcs"
+    elif "(B)" in rest:
+        output = "batched"
+        if ")-" in rest:
+            batch = int(rest.split(")-", 1)[1])
+    return Variant(text, algorithm, cuts=cuts, output=output, batch_size=batch)
+
+
+STANDARD_VARIANTS = ("RG", "RG+C", "PS", "PS+C", "SI")
+
+
+def run_variant(
+    specs: Sequence[str],
+    trace: Trace,
+    variant: Variant | str,
+    constraint_ms: Optional[float] = None,
+) -> EngineResult:
+    """Run one filter group (given as spec strings) under one variant."""
+    if isinstance(variant, str):
+        variant = variant_from_name(variant)
+    filters = parse_group(list(specs))
+    if variant.algorithm == "self_interested":
+        return SelfInterestedEngine(filters).run(trace)
+    constraint = None
+    if variant.cuts:
+        constraint = TimeConstraint(
+            constraint_ms if constraint_ms is not None else variant.constraint_ms
+        )
+    engine = GroupAwareEngine(
+        filters,
+        algorithm=variant.algorithm,
+        output_strategy=variant.make_strategy(),
+        time_constraint=constraint,
+    )
+    return engine.run(trace)
+
+
+@dataclass
+class GroupRun:
+    """Results of running one group under several variants."""
+
+    group_name: str
+    results: dict[str, EngineResult] = field(default_factory=dict)
+
+    def oi_ratio(self, variant: str) -> float:
+        return self.results[variant].oi_ratio
+
+    def output_ratio(self, variant: str, baseline: str = "SI") -> float:
+        base = self.results[baseline].output_count
+        if base == 0:
+            raise ValueError("baseline produced no output")
+        return self.results[variant].output_count / base
+
+
+def run_group(
+    group_name: str,
+    specs: Sequence[str],
+    trace: Trace,
+    variants: Sequence[str] = STANDARD_VARIANTS,
+    constraint_ms: Optional[float] = None,
+) -> GroupRun:
+    """Run a filter group under each named variant on the same trace."""
+    run = GroupRun(group_name=group_name)
+    for name in variants:
+        run.results[name] = run_variant(specs, trace, name, constraint_ms)
+    return run

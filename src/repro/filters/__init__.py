@@ -1,0 +1,62 @@
+"""Group-aware filters: the extensible filter framework of Chapter 5.
+
+All filters are pure data-selection operators ("the output of a filter is
+a subset of the source data", section 1.2).  The package ships the
+paper's evaluated types - DC1/DC2/DC3 delta compression, stateful DC and
+stratified sampling - plus the taxonomy, the function library and the
+textual spec parser through which applications declare their needs.
+"""
+
+from repro.filters.base import (
+    CandidateComputation,
+    DependencySpec,
+    FilterTaxonomy,
+    GroupAwareFilter,
+    OutputSelection,
+)
+from repro.filters.delta import (
+    DeltaCompressionFilter,
+    DeltaFilterBase,
+    SelfInterestedDelta,
+    StatefulDeltaCompressionFilter,
+)
+from repro.filters.location import LocationDeltaFilter
+from repro.filters.membership import Band, BandTransitionFilter
+from repro.filters.multiattr import AveragedDeltaFilter
+from repro.filters.reservoir import ReservoirSamplingFilter
+from repro.filters.sampling import SelfInterestedSampler, StratifiedSamplingFilter
+from repro.filters.spec import format_spec, parse_filter, parse_group
+from repro.filters.trend import TrendDeltaFilter
+from repro.filters.validate import (
+    QualityReport,
+    RecordingContext,
+    replay_candidate_sets,
+    validate_outputs,
+)
+
+__all__ = [
+    "AveragedDeltaFilter",
+    "Band",
+    "BandTransitionFilter",
+    "CandidateComputation",
+    "DeltaCompressionFilter",
+    "DeltaFilterBase",
+    "DependencySpec",
+    "FilterTaxonomy",
+    "GroupAwareFilter",
+    "LocationDeltaFilter",
+    "OutputSelection",
+    "QualityReport",
+    "RecordingContext",
+    "ReservoirSamplingFilter",
+    "SelfInterestedDelta",
+    "SelfInterestedSampler",
+    "StatefulDeltaCompressionFilter",
+    "StratifiedSamplingFilter",
+    "TrendDeltaFilter",
+    "format_spec",
+    "parse_filter",
+    "parse_group",
+    "replay_candidate_sets",
+    "validate_outputs",
+]

@@ -1,0 +1,149 @@
+"""Library of distance, membership and aggregate functions.
+
+Section 5.3: "in the group-aware filtering service package we include a
+library of distance, membership, and aggregate functions that can be
+easily customized with application-specific parameters", which
+applications reference from their quality specifications.  Domain
+extensions register additional functions under their own names.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from repro.core.tuples import StreamTuple
+
+__all__ = [
+    "absolute_distance",
+    "euclidean_distance",
+    "manhattan_distance",
+    "mean_of",
+    "range_of",
+    "rate_of_change",
+    "band_membership",
+    "above_threshold",
+    "FunctionRegistry",
+    "DISTANCE_FUNCTIONS",
+    "AGGREGATE_FUNCTIONS",
+    "MEMBERSHIP_FUNCTIONS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Distance functions (used to compare a tuple against a reference value)
+# ---------------------------------------------------------------------------
+def absolute_distance(a: float, b: float) -> float:
+    """``|a - b|`` - the distance used by plain delta-compression."""
+    return abs(a - b)
+
+
+def euclidean_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance, e.g. for two-dimensional location tuples."""
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def manhattan_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------------
+# Aggregate / state-update functions (derive the filtered value)
+# ---------------------------------------------------------------------------
+def mean_of(attributes: Sequence[str]) -> Callable[[StreamTuple], float]:
+    """Average over several attributes - DC3's "averaged readings over
+    multiple attributes of the source data" (section 5.1)."""
+    names = tuple(attributes)
+    if not names:
+        raise ValueError("mean_of needs at least one attribute")
+
+    def derive(item: StreamTuple) -> float:
+        return sum(item.value(name) for name in names) / len(names)
+
+    return derive
+
+
+def range_of(values: Sequence[float]) -> float:
+    """Sample range (max - min): the stratified sampler's dynamics measure."""
+    if not values:
+        raise ValueError("range of an empty sequence is undefined")
+    return max(values) - min(values)
+
+
+def rate_of_change(
+    value: float, previous: float, dt_ms: float
+) -> float:
+    """Change per second - DC2's "trend" state update (section 5.1)."""
+    if dt_ms <= 0:
+        raise ValueError("dt_ms must be positive")
+    return (value - previous) / (dt_ms / 1000.0)
+
+
+# ---------------------------------------------------------------------------
+# Membership functions (classification-based candidate admission)
+# ---------------------------------------------------------------------------
+def band_membership(low: float, high: float) -> Callable[[float], bool]:
+    """Membership in a closed band, e.g. fuzzy "safe zone" rules."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    return lambda value: low <= value <= high
+
+
+def above_threshold(threshold: float) -> Callable[[float], bool]:
+    return lambda value: value >= threshold
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class FunctionRegistry:
+    """Named function lookup so quality specifications can reference the
+    library (or application-supplied extensions) by identifier."""
+
+    def __init__(self, initial: Mapping[str, Callable] | None = None):
+        self._functions: dict[str, Callable] = dict(initial or {})
+
+    def register(self, name: str, function: Callable) -> None:
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already registered")
+        self._functions[name] = function
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown function {name!r}; registered: {sorted(self._functions)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+DISTANCE_FUNCTIONS = FunctionRegistry(
+    {
+        "absolute": absolute_distance,
+        "euclidean": euclidean_distance,
+        "manhattan": manhattan_distance,
+    }
+)
+
+AGGREGATE_FUNCTIONS = FunctionRegistry(
+    {
+        "range": range_of,
+    }
+)
+
+MEMBERSHIP_FUNCTIONS = FunctionRegistry(
+    {
+        "band": band_membership,
+        "above": above_threshold,
+    }
+)

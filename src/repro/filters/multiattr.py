@@ -1,0 +1,47 @@
+"""DC3: delta compression on the average of several attributes.
+
+Section 5.1: "if a data stream consists of readings from multiple sensors
+of similar sensing capacities deployed in close vicinity, a filter may
+compute the 'averaged' readings over multiple attributes of the source
+data" and run delta compression on the average.  Table 5.1's
+``DC3(attrib1, attrib2, attrib3, delta, slack)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.tuples import StreamTuple
+from repro.filters.delta import DeltaFilterBase, SelfInterestedDelta
+from repro.filters.functions import mean_of
+
+__all__ = ["AveragedDeltaFilter"]
+
+
+class AveragedDeltaFilter(DeltaFilterBase):
+    """DC3: monitors the change of ``average(attributes)``."""
+
+    state_update = "average"
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        delta: float,
+        slack: float,
+        stateful: bool = False,
+    ):
+        super().__init__(name, delta, slack, stateful=stateful)
+        if len(attributes) < 2:
+            raise ValueError("DC3 averages at least two attributes")
+        self.attributes = tuple(attributes)
+        self._mean = mean_of(self.attributes)
+
+    def _attributes(self) -> tuple[str, ...]:
+        return self.attributes
+
+    def _derive(self, item: StreamTuple) -> Optional[float]:
+        return self._mean(item)
+
+    def make_self_interested(self) -> SelfInterestedDelta:
+        return SelfInterestedDelta(self.name, self.delta, mean_of(self.attributes))

@@ -1,0 +1,175 @@
+"""Textual filter specifications.
+
+Applications in the paper "specify which functions to use and the
+corresponding parameters in their subscription files" (section 5.3); the
+evaluation tables write these as, e.g., ``DC1(thermo4, 0.0310, 0.0155)``
+or ``SS(thermo4, 1000, 0.15, 50, 20)``.  This module parses that notation
+into filter instances so experiment configurations and subscriptions can
+be expressed exactly as the paper prints them.
+
+Recognized types (Tables 4.1, 4.19, 5.1):
+
+* ``DC(attr, delta, slack)`` / ``DC1(attr, delta, slack)`` - single
+  attribute delta compression;
+* ``SDC(attr, delta, slack)`` - stateful delta compression (Figure 2.9);
+* ``DC2(attr, delta, slack)`` - trend delta compression;
+* ``DC3(a1, a2, a3, delta, slack)`` - averaged delta compression;
+* ``SS(attr, interval_ms, threshold, high%, low%[, prescription])`` -
+  stratified sampling;
+* ``RS(size, window)`` - reservoir sampling (section 5.1);
+* ``LOC(x_attr, y_attr, delta, slack)`` - Euclidean location delta
+  compression (section 5.1);
+* ``BAND(attr, witness_window, name:low:high, ...)`` - band-transition
+  membership filter (section 5.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Optional
+
+from repro.filters.base import GroupAwareFilter
+from repro.filters.delta import DeltaCompressionFilter, StatefulDeltaCompressionFilter
+from repro.filters.location import LocationDeltaFilter
+from repro.filters.membership import Band, BandTransitionFilter
+from repro.filters.multiattr import AveragedDeltaFilter
+from repro.filters.reservoir import ReservoirSamplingFilter
+from repro.filters.sampling import StratifiedSamplingFilter
+from repro.filters.trend import TrendDeltaFilter
+
+__all__ = ["parse_filter", "parse_group", "format_spec"]
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
+_auto_names = itertools.count()
+
+
+def _split_args(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _floats(parts: list[str], spec: str) -> list[float]:
+    try:
+        return [float(part) for part in parts]
+    except ValueError as exc:
+        raise ValueError(f"non-numeric parameter in {spec!r}: {exc}") from None
+
+
+def parse_filter(spec: str, name: Optional[str] = None) -> GroupAwareFilter:
+    """Parse one filter specification string into a filter instance.
+
+    ``name`` defaults to the spec string plus a unique suffix, so a group
+    may contain several filters with identical parameters.
+    """
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"malformed filter spec {spec!r}")
+    kind = match.group(1).upper()
+    args = _split_args(match.group(2))
+    if name is None:
+        name = f"{spec.strip()}#{next(_auto_names)}"
+
+    if kind in ("DC", "DC1", "SDC"):
+        if len(args) != 3:
+            raise ValueError(f"{kind} takes (attribute, delta, slack): {spec!r}")
+        attribute = args[0]
+        delta, slack = _floats(args[1:], spec)
+        cls = StatefulDeltaCompressionFilter if kind == "SDC" else DeltaCompressionFilter
+        return cls(name, attribute, delta, slack)
+
+    if kind == "DC2":
+        if len(args) != 3:
+            raise ValueError(f"DC2 takes (attribute, delta, slack): {spec!r}")
+        attribute = args[0]
+        delta, slack = _floats(args[1:], spec)
+        return TrendDeltaFilter(name, attribute, delta, slack)
+
+    if kind == "DC3":
+        if len(args) < 4:
+            raise ValueError(f"DC3 takes (attr..., delta, slack): {spec!r}")
+        attributes = args[:-2]
+        delta, slack = _floats(args[-2:], spec)
+        return AveragedDeltaFilter(name, attributes, delta, slack)
+
+    if kind == "SS":
+        if len(args) not in (5, 6):
+            raise ValueError(
+                f"SS takes (attribute, interval, threshold, high%, low%"
+                f"[, prescription]): {spec!r}"
+            )
+        attribute = args[0]
+        interval, threshold, high, low = _floats(args[1:5], spec)
+        prescription = args[5] if len(args) == 6 else "random"
+        return StratifiedSamplingFilter(
+            name, attribute, interval, threshold, high, low, prescription=prescription
+        )
+
+    if kind == "RS":
+        if len(args) != 2:
+            raise ValueError(f"RS takes (reservoir_size, window): {spec!r}")
+        size, window = _floats(args, spec)
+        return ReservoirSamplingFilter(name, int(size), int(window))
+
+    if kind == "LOC":
+        if len(args) != 4:
+            raise ValueError(f"LOC takes (x_attr, y_attr, delta, slack): {spec!r}")
+        x_attribute, y_attribute = args[0], args[1]
+        delta, slack = _floats(args[2:], spec)
+        return LocationDeltaFilter(name, x_attribute, y_attribute, delta, slack)
+
+    if kind == "BAND":
+        if len(args) < 3:
+            raise ValueError(
+                f"BAND takes (attribute, witness_window, name:low:high...): {spec!r}"
+            )
+        attribute = args[0]
+        witness_window = int(_floats(args[1:2], spec)[0])
+        bands = []
+        for part in args[2:]:
+            pieces = part.split(":")
+            if len(pieces) != 3:
+                raise ValueError(f"band {part!r} must be name:low:high in {spec!r}")
+            low, high = _floats(pieces[1:], spec)
+            bands.append(Band(pieces[0], low, high))
+        return BandTransitionFilter(name, attribute, bands, witness_window)
+
+    raise ValueError(f"unknown filter type {kind!r} in {spec!r}")
+
+
+def parse_group(specs: list[str], prefix: str = "f") -> list[GroupAwareFilter]:
+    """Parse a list of specifications into a group with unique names."""
+    return [
+        parse_filter(spec, name=f"{prefix}{index}:{spec.strip()}")
+        for index, spec in enumerate(specs)
+    ]
+
+
+def format_spec(flt: GroupAwareFilter) -> str:
+    """Render a filter back into the paper's notation."""
+    if isinstance(flt, StatefulDeltaCompressionFilter):
+        return f"SDC({flt.attribute}, {flt.delta:.4g}, {flt.slack:.4g})"
+    if isinstance(flt, TrendDeltaFilter):
+        return f"DC2({flt.attribute}, {flt.delta:.4g}, {flt.slack:.4g})"
+    if isinstance(flt, AveragedDeltaFilter):
+        attrs = ", ".join(flt.attributes)
+        return f"DC3({attrs}, {flt.delta:.4g}, {flt.slack:.4g})"
+    if isinstance(flt, DeltaCompressionFilter):
+        return f"DC1({flt.attribute}, {flt.delta:.4g}, {flt.slack:.4g})"
+    if isinstance(flt, StratifiedSamplingFilter):
+        return (
+            f"SS({flt.attribute}, {flt.interval_ms:.4g}, {flt.threshold:.4g}, "
+            f"{flt.high_rate_percent:.4g}, {flt.low_rate_percent:.4g})"
+        )
+    if isinstance(flt, ReservoirSamplingFilter):
+        return f"RS({flt.reservoir_size}, {flt.window})"
+    if isinstance(flt, LocationDeltaFilter):
+        return (
+            f"LOC({flt.x_attribute}, {flt.y_attribute}, "
+            f"{flt.delta:.4g}, {flt.slack:.4g})"
+        )
+    if isinstance(flt, BandTransitionFilter):
+        bands = ", ".join(
+            f"{band.name}:{band.low:.4g}:{band.high:.4g}" for band in flt.bands
+        )
+        return f"BAND({flt.attribute}, {flt.witness_window}, {bands})"
+    raise TypeError(f"cannot format {type(flt).__name__}")

@@ -1,0 +1,58 @@
+"""CPU-cost metrics.
+
+The paper reports "CPU time per tuple, representing the CPU overhead of
+group-aware filtering" (section 4.4) and, for Chapter 5, "average CPU
+cost per batch of 100 tuples" (Table 5.3) plus the overhead ratio of
+group-aware to self-interested cost (Figure 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineResult
+from repro.metrics.summary import BoxPlot, mean
+
+__all__ = [
+    "cpu_ms_per_tuple",
+    "cpu_ms_per_batch",
+    "cpu_overhead_ratio",
+    "cpu_boxplot",
+]
+
+
+def cpu_ms_per_tuple(result: EngineResult) -> float:
+    """Mean per-tuple processing cost in milliseconds."""
+    return result.mean_cpu_ms_per_tuple
+
+
+def cpu_ms_per_batch(result: EngineResult, batch_size: int = 100) -> list[float]:
+    """Total CPU cost of each ``batch_size``-tuple input batch, in ms."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    batches: list[float] = []
+    samples = result.cpu_ns_per_tuple
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start : start + batch_size]
+        batches.append(sum(chunk) / 1e6)
+    return batches
+
+
+def cpu_overhead_ratio(
+    group_aware: EngineResult, self_interested: EngineResult
+) -> float:
+    """Figure 5.3's ratio of group-aware to self-interested CPU cost."""
+    base = self_interested.total_cpu_ms
+    if base <= 0:
+        raise ValueError("baseline CPU cost is zero; ratio undefined")
+    return group_aware.total_cpu_ms / base
+
+
+def cpu_boxplot(results: list[EngineResult]) -> BoxPlot:
+    """Box plot of mean per-tuple CPU cost across repeated runs
+    (the paper's Figures 4.3-4.5 summarize ten runs)."""
+    return BoxPlot.of([cpu_ms_per_tuple(result) for result in results])
+
+
+def mean_cpu_ms_per_batch(result: EngineResult, batch_size: int = 100) -> float:
+    """Table 5.3's "Average CPU cost per batch of 100 tuples"."""
+    batches = cpu_ms_per_batch(result, batch_size)
+    return mean(batches)

@@ -1,0 +1,81 @@
+"""Bandwidth metrics: O/I ratio and output ratio.
+
+Two related metrics appear in the paper:
+
+* **O/I ratio** (section 4.4): distinct output tuples over input tuples
+  - "A lower O/I ratio means low bandwidth consumption";
+* **output ratio** (sections 4.7 and 5.4): the group-aware output size
+  relative to the self-interested output size, sometimes computed "for
+  each batch of 100 tuples" with average and median across batches
+  (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import EngineResult
+from repro.metrics.summary import mean, median
+
+__all__ = ["oi_ratio", "output_ratio", "BatchRatios", "batch_output_ratios"]
+
+
+def oi_ratio(result: EngineResult) -> float:
+    """Distinct output tuples / input tuples."""
+    return result.oi_ratio
+
+
+def output_ratio(group_aware: EngineResult, self_interested: EngineResult) -> float:
+    """Group-aware distinct output relative to self-interested."""
+    si = self_interested.output_count
+    if si == 0:
+        raise ValueError("self-interested output is empty; ratio undefined")
+    return group_aware.output_count / si
+
+
+@dataclass(frozen=True)
+class BatchRatios:
+    """Per-batch output ratios plus their average and median."""
+
+    ratios: tuple[float, ...]
+    average: float
+    median: float
+    batch_size: int
+
+
+def batch_output_ratios(
+    group_aware: EngineResult,
+    self_interested: EngineResult,
+    batch_size: int = 100,
+) -> BatchRatios:
+    """Section 5.4's metric: output ratio per ``batch_size`` input tuples.
+
+    A batch's ratio is the number of distinct group-aware output tuples
+    originating in the batch over the self-interested count.  Batches
+    where the baseline output nothing are skipped (ratio undefined).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+
+    def per_batch(result: EngineResult) -> dict[int, int]:
+        counts: dict[int, set[int]] = {}
+        for emission in result.emissions:
+            batch = emission.item.seq // batch_size
+            counts.setdefault(batch, set()).add(emission.item.seq)
+        return {batch: len(seqs) for batch, seqs in counts.items()}
+
+    ga_counts = per_batch(group_aware)
+    si_counts = per_batch(self_interested)
+    ratios = []
+    for batch, si_count in sorted(si_counts.items()):
+        if si_count == 0:
+            continue
+        ratios.append(ga_counts.get(batch, 0) / si_count)
+    if not ratios:
+        raise ValueError("no batches with self-interested output")
+    return BatchRatios(
+        ratios=tuple(ratios),
+        average=mean(ratios),
+        median=median(ratios),
+        batch_size=batch_size,
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark and CLI experiment prints its rows through this module,
+so the regenerated tables and figure series look the same everywhere
+(and land legibly in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        if magnitude >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Render a fixed-width table with a title banner."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: Sequence[tuple], x_label: str, y_label: str) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return render_table(title, [x_label, y_label], [list(p) for p in points])

@@ -1,0 +1,95 @@
+"""Statistical summaries used by the evaluation figures.
+
+The paper presents CPU and latency results as box plots: "the minimum,
+25% quartile, median, 75% quartile, and maximum ... Any data observation
+which lies more than 1.5 * IQR lower than the first quartile or
+1.5 * IQR higher than the third quartile is considered an outlier"
+(section 4.4).  :class:`BoxPlot` reproduces exactly that summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BoxPlot", "mean", "median", "quantile"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (same convention as numpy default)."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def median(values: Sequence[float]) -> float:
+    return quantile(values, 0.5)
+
+
+@dataclass(frozen=True)
+class BoxPlot:
+    """Five-number summary with 1.5*IQR outliers (section 4.4)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    outliers: tuple[float, ...]
+    mean: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "BoxPlot":
+        if not values:
+            raise ValueError("cannot summarize an empty sequence")
+        q1 = quantile(values, 0.25)
+        q3 = quantile(values, 0.75)
+        iqr = q3 - q1
+        lower_fence = q1 - 1.5 * iqr
+        upper_fence = q3 + 1.5 * iqr
+        outliers = tuple(
+            sorted(v for v in values if v < lower_fence or v > upper_fence)
+        )
+        inliers = [v for v in values if lower_fence <= v <= upper_fence]
+        body = inliers if inliers else list(values)
+        return cls(
+            minimum=min(body),
+            q1=q1,
+            median=median(values),
+            q3=q3,
+            maximum=max(body),
+            outliers=outliers,
+            mean=mean(values),
+            n=len(values),
+        )
+
+    def row(self) -> dict[str, float]:
+        """Flat representation for table printing."""
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "mean": self.mean,
+            "outliers": float(len(self.outliers)),
+        }

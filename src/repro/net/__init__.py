@@ -1,0 +1,31 @@
+"""Simulated Solar-like dissemination substrate.
+
+Implements, as a discrete-event simulation, the infrastructure the
+paper's prototype ran on: a DHT-ring overlay (section 2.2.1), a
+Scribe-style application-level multicast with tuple-level recipient
+labels (sections 1.2 and 4.1.1), per-link bandwidth accounting and a
+publish/subscribe layer that deploys group-aware filters on source
+nodes (Figure 4.1).
+"""
+
+from repro.net.accounting import BandwidthAccounting, LinkUsage
+from repro.net.multicast import MulticastGroup, PublishReceipt, ScribeMulticast
+from repro.net.overlay import LinkModel, OverlayNetwork, OverlayNode, key_for
+from repro.net.pubsub import Delivery, DisseminationResult, StreamingSystem
+from repro.net.sim import Simulator
+
+__all__ = [
+    "BandwidthAccounting",
+    "Delivery",
+    "DisseminationResult",
+    "LinkModel",
+    "LinkUsage",
+    "MulticastGroup",
+    "OverlayNetwork",
+    "OverlayNode",
+    "PublishReceipt",
+    "ScribeMulticast",
+    "Simulator",
+    "StreamingSystem",
+    "key_for",
+]

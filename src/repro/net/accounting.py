@@ -1,0 +1,53 @@
+"""Per-link bandwidth accounting.
+
+The point of group-aware filtering is fewer bytes on the wire; this
+module counts them.  Every transmission of a message across one overlay
+hop is recorded, so experiments can compare total link transmissions and
+bytes between self-interested and group-aware dissemination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LinkUsage", "BandwidthAccounting"]
+
+
+@dataclass
+class LinkUsage:
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class BandwidthAccounting:
+    """Tallies of traffic per directed overlay link."""
+
+    links: dict[tuple[str, str], LinkUsage] = field(default_factory=dict)
+
+    def record(self, sender: str, receiver: str, size_bytes: int) -> None:
+        if sender == receiver:
+            return  # local hand-off, nothing crosses the network
+        usage = self.links.setdefault((sender, receiver), LinkUsage())
+        usage.messages += 1
+        usage.bytes += size_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return sum(usage.messages for usage in self.links.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(usage.bytes for usage in self.links.values())
+
+    def busiest_links(self, top: int = 5) -> list[tuple[tuple[str, str], LinkUsage]]:
+        ranked = sorted(
+            self.links.items(), key=lambda item: item[1].bytes, reverse=True
+        )
+        return ranked[:top]
+
+    def merge(self, other: "BandwidthAccounting") -> None:
+        for link, usage in other.links.items():
+            mine = self.links.setdefault(link, LinkUsage())
+            mine.messages += usage.messages
+            mine.bytes += usage.bytes

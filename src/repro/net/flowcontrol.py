@@ -1,0 +1,113 @@
+"""Input-buffer flow control (section 4.8).
+
+"Yet, with a large group size, the overhead can cause congestion at the
+input buffer of the filter.  The system needs to resort to other
+mechanisms to resolve it.  For example, Solar installs flow-control
+filters in the buffer to alleviate congestion.  The system may also
+employ more aggressive sampling to shed data load, or gracefully degrade
+the quality requirements of the filters."
+
+This module provides a bounded input buffer with three shedding
+policies:
+
+* ``drop_tail``    - refuse arrivals when full (classic tail drop);
+* ``drop_random``  - evict a random buffered tuple (unbiased shedding,
+  like Aurora's random drop operators);
+* ``sample``       - admit only every k-th tuple once congested
+  (aggressive sampling).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.tuples import StreamTuple
+
+__all__ = ["FlowControlledBuffer", "BufferStats"]
+
+_POLICIES = ("drop_tail", "drop_random", "sample")
+
+
+@dataclass
+class BufferStats:
+    arrived: int = 0
+    admitted: int = 0
+    shed: int = 0
+    peak_occupancy: int = 0
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.arrived == 0:
+            return 0.0
+        return self.shed / self.arrived
+
+
+@dataclass
+class FlowControlledBuffer:
+    """Bounded FIFO with a load-shedding policy."""
+
+    capacity: int
+    policy: str = "drop_tail"
+    sample_stride: int = 2
+    seed: int = 0
+    stats: BufferStats = field(default_factory=BufferStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be at least 1")
+        self._queue: list[StreamTuple] = []
+        self._rng = random.Random(self.seed)
+        self._congested_count = 0
+
+    # ------------------------------------------------------------------
+    def offer(self, item: StreamTuple) -> bool:
+        """Present an arriving tuple; returns True if it was admitted."""
+        self.stats.arrived += 1
+        if len(self._queue) < self.capacity:
+            self._admit(item)
+            return True
+        # Congested: apply the shedding policy.
+        if self.policy == "drop_tail":
+            self.stats.shed += 1
+            return False
+        if self.policy == "drop_random":
+            victim_index = self._rng.randrange(len(self._queue))
+            self._queue.pop(victim_index)
+            self.stats.shed += 1
+            self._admit(item)
+            return True
+        # "sample": admit every sample_stride-th congested arrival by
+        # displacing the oldest buffered tuple.
+        self._congested_count += 1
+        if self._congested_count % self.sample_stride == 0:
+            self._queue.pop(0)
+            self.stats.shed += 1
+            self._admit(item)
+            return True
+        self.stats.shed += 1
+        return False
+
+    def _admit(self, item: StreamTuple) -> None:
+        self._queue.append(item)
+        self.stats.admitted += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._queue))
+
+    # ------------------------------------------------------------------
+    def take(self) -> Optional[StreamTuple]:
+        """Dequeue the next tuple for the filter stage, FIFO order."""
+        if not self._queue:
+            return None
+        return self._queue.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> list[StreamTuple]:
+        items, self._queue = self._queue, []
+        return items

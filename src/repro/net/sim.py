@@ -1,0 +1,68 @@
+"""Discrete-event simulation kernel for the overlay substrate.
+
+The paper's prototype ran on Solar over Emulab; this reproduction runs
+the same logical system over a simulated network.  The kernel is a plain
+event queue with a millisecond clock - deterministic, single-threaded,
+and fast enough to disseminate hundreds of thousands of tuples.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Priority-queue discrete-event scheduler (time unit: milliseconds)."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = start_ms
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay_ms`` from the current time."""
+        if delay_ms < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ms})")
+        self.schedule_at(self._now + delay_ms, action)
+
+    def schedule_at(self, time_ms: float, action: Callable[[], None]) -> None:
+        if time_ms < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_ms} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (time_ms, next(self._counter), action))
+
+    def run(self, until_ms: Optional[float] = None) -> float:
+        """Drain the event queue (optionally up to ``until_ms``).
+
+        Returns the final clock value.  Events scheduled while running
+        are processed in timestamp order; ties run in scheduling order.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                time_ms, _, action = self._queue[0]
+                if until_ms is not None and time_ms > until_ms:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time_ms
+                action()
+            if until_ms is not None and until_ms > self._now:
+                self._now = until_ms
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,12 @@
+"""Quality specification management and propagation
+(Figures 2.2, 3.1 and 4.1; sections 3.1 and 3.5.1)."""
+
+from repro.qos.propagation import PropagatedRequirements, propagate
+from repro.qos.spec import DegradationPolicy, QualitySpec
+
+__all__ = [
+    "DegradationPolicy",
+    "PropagatedRequirements",
+    "QualitySpec",
+    "propagate",
+]

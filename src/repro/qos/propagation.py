@@ -1,0 +1,77 @@
+"""Quality-requirement propagation through the operator graph.
+
+Figure 2.2: "Data quality specifications propagates from applications to
+the sources"; Figure 3.1 shows the propagated *group* requirement
+arriving at the shared operator, where a group-aware filter serves all
+downstream operators.  "Each operator knows about the data-quality
+requirements of all its downstream operators" (section 3.1).
+
+:func:`propagate` walks a work-flow graph from the applications back to
+the sources, accumulating at every node the set of quality specs it must
+serve.  Nodes serving more than one downstream requirement are the
+*data-sharing junctures* where group-aware filters are deployed
+(section 1.1: "we consider any data-sharing junctures in a
+stream-processing work flow 'data sources'").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qos.spec import QualitySpec
+from repro.workflow.graph import WorkflowGraph
+
+__all__ = ["PropagatedRequirements", "propagate"]
+
+
+@dataclass
+class PropagatedRequirements:
+    """Quality specs accumulated at each work-flow node."""
+
+    #: node name -> specs of every application reachable downstream
+    at_node: dict[str, list[QualitySpec]] = field(default_factory=dict)
+
+    def specs_at(self, node: str) -> list[QualitySpec]:
+        return list(self.at_node.get(node, ()))
+
+    def group_junctures(self) -> list[str]:
+        """Nodes serving two or more applications - where group-aware
+        filtering applies."""
+        return sorted(
+            node for node, specs in self.at_node.items() if len(specs) >= 2
+        )
+
+
+def propagate(
+    graph: WorkflowGraph, specs: dict[str, QualitySpec]
+) -> PropagatedRequirements:
+    """Push application specs source-ward along reverse edges.
+
+    ``specs`` maps application node names to their requirements; every
+    application in the graph must have one.  Returns the accumulated
+    requirements at every node (applications excluded).
+    """
+    missing = [app for app in graph.applications() if app not in specs]
+    if missing:
+        raise ValueError(f"applications without quality specs: {missing}")
+    unknown = [name for name in specs if name not in graph.applications()]
+    if unknown:
+        raise ValueError(f"specs for unknown applications: {unknown}")
+
+    result = PropagatedRequirements()
+    # Walk nodes in reverse topological order so each node sees its
+    # downstream nodes' accumulated specs.
+    for node in reversed(graph.topological_order()):
+        if node in graph.applications():
+            continue
+        gathered: dict[str, QualitySpec] = {}
+        for downstream in graph.downstream(node):
+            if downstream in specs:
+                gathered[specs[downstream].app_name] = specs[downstream]
+            else:
+                for spec in result.at_node.get(downstream, ()):
+                    gathered[spec.app_name] = spec
+        result.at_node[node] = sorted(
+            gathered.values(), key=lambda spec: spec.app_name
+        )
+    return result

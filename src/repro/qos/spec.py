@@ -1,0 +1,100 @@
+"""Data-quality specifications.
+
+Section 2.1: "Data quality is normally measured as the accuracy,
+granularity, timeliness, and completeness of the data."  Applications
+declare their needs as a :class:`QualitySpec` - a filter specification
+(granularity + slack, in the paper's textual notation) plus a latency
+tolerance ("an application needs to choose a filter function and specify
+its parameters, along with a latency-tolerance parameter", section
+2.2.2).  Degradation policies (section 3.1's robot-tracking example:
+"in times of severe network conditions ... it may be willing to degrade
+requirements") are expressed as ordered fallback levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cuts import TimeConstraint
+from repro.filters.base import GroupAwareFilter
+from repro.filters.spec import parse_filter
+
+__all__ = ["QualitySpec", "DegradationPolicy"]
+
+
+@dataclass(frozen=True)
+class QualitySpec:
+    """One application's data-quality requirement.
+
+    ``filter_spec`` uses the paper's notation (``DC1(attr, delta,
+    slack)`` etc.); ``latency_tolerance_ms`` bounds the delay the
+    filtering stage may add (None = best effort); ``priority`` orders
+    conflicting requirements during negotiation (section 3.5.1's win-win
+    integration).
+    """
+
+    app_name: str
+    filter_spec: str
+    latency_tolerance_ms: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.app_name:
+            raise ValueError("app_name must be non-empty")
+        if self.latency_tolerance_ms is not None and self.latency_tolerance_ms <= 0:
+            raise ValueError("latency_tolerance_ms must be positive")
+        parse_filter(self.filter_spec, name="validation")  # must parse
+
+    def instantiate(self) -> GroupAwareFilter:
+        """Build the filter named after the application."""
+        return parse_filter(self.filter_spec, name=self.app_name)
+
+    def group_time_constraint(self, *others: "QualitySpec") -> Optional[TimeConstraint]:
+        """The group requirement: "a conjunction of the time requirements
+        of all the filters in the group" (section 3.5.1) = the minimum."""
+        tolerances = [
+            spec.latency_tolerance_ms
+            for spec in (self, *others)
+            if spec.latency_tolerance_ms is not None
+        ]
+        if not tolerances:
+            return None
+        return TimeConstraint(min(tolerances))
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Ordered fallback quality levels for bandwidth adaptation.
+
+    ``levels[0]`` is the preferred specification; later entries trade
+    granularity for bandwidth (section 3.1's 1 s -> 5 s location-update
+    example).  ``bandwidth_floor_kbps`` gives the trigger per level: use
+    level *i* while available bandwidth stays above its floor.
+    """
+
+    app_name: str
+    levels: tuple[QualitySpec, ...]
+    bandwidth_floors_kbps: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a degradation policy needs at least one level")
+        if any(level.app_name != self.app_name for level in self.levels):
+            raise ValueError("every level must belong to the same application")
+        if self.bandwidth_floors_kbps and len(self.bandwidth_floors_kbps) != len(
+            self.levels
+        ):
+            raise ValueError("one bandwidth floor per level (or none)")
+        floors = self.bandwidth_floors_kbps
+        if floors and list(floors) != sorted(floors, reverse=True):
+            raise ValueError("bandwidth floors must be non-increasing")
+
+    def level_for_bandwidth(self, available_kbps: float) -> QualitySpec:
+        """The best quality level the available bandwidth supports."""
+        if not self.bandwidth_floors_kbps:
+            return self.levels[0]
+        for spec, floor in zip(self.levels, self.bandwidth_floors_kbps):
+            if available_kbps >= floor:
+                return spec
+        return self.levels[-1]

@@ -1,0 +1,57 @@
+"""Synthetic data sources standing in for the paper's real-world traces.
+
+See DESIGN.md "Substitutions" for the mapping from the paper's traces
+(NAMOS buoys, cow orientation, volcano seismic, fire HRR(Q), chlorine
+drill) to these generators and why the substitution preserves the
+filtering behaviour under evaluation.
+"""
+
+from repro.core.tuples import src_statistics
+from repro.sources.base import (
+    SourceCatalog,
+    bounded_random_walk,
+    damped_oscillation,
+    replay,
+    scale_to_statistics,
+    smooth,
+)
+from repro.sources.chlorine import Station, chlorine_trace
+from repro.sources.cow import cow_trace
+from repro.sources.fire import fire_trace
+from repro.sources.namos import NAMOS_STATISTICS, namos_trace
+from repro.sources.synthetic import ramp_trace, random_walk_trace, sine_trace, step_trace
+from repro.sources.volcano import volcano_trace
+
+__all__ = [
+    "CATALOG",
+    "NAMOS_STATISTICS",
+    "SourceCatalog",
+    "Station",
+    "bounded_random_walk",
+    "chlorine_trace",
+    "cow_trace",
+    "damped_oscillation",
+    "fire_trace",
+    "namos_trace",
+    "ramp_trace",
+    "random_walk_trace",
+    "replay",
+    "scale_to_statistics",
+    "sine_trace",
+    "smooth",
+    "src_statistics",
+    "step_trace",
+    "volcano_trace",
+]
+
+#: All named sources, for the experiment CLI.
+CATALOG = SourceCatalog()
+CATALOG.register("namos", namos_trace)
+CATALOG.register("cow", cow_trace)
+CATALOG.register("volcano", volcano_trace)
+CATALOG.register("fire", fire_trace)
+CATALOG.register("chlorine", chlorine_trace)
+CATALOG.register("random_walk", random_walk_trace)
+CATALOG.register("sine", sine_trace)
+CATALOG.register("step", step_trace)
+CATALOG.register("ramp", ramp_trace)

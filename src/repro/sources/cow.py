@@ -1,0 +1,56 @@
+"""Synthetic cow-orientation trace (Figure 4.21).
+
+"The first source is a cow's movement data, specifically its orientation
+change ... collected by a bio-monitoring research group" (section 4.7.4).
+Figure 4.21 shows east-orientation values around 810-817 that are flat
+for long stretches and change in *clustered brief bursts* - the animal
+stands still, then turns.  This shape yields the smallest group-aware
+savings of the three sources in the paper (O/I ~83% of SI), because the
+candidate sets cluster tightly around the bursts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tuples import Trace
+
+__all__ = ["cow_trace"]
+
+
+def cow_trace(
+    n: int = 3000,
+    seed: int = 11,
+    interval_ms: float = 10.0,
+    baseline: float = 813.0,
+    burst_probability: float = 0.01,
+    turn_scale: float = 0.3,
+    spike_probability: float = 0.006,
+    spike_scale: float = 8.0,
+) -> Trace:
+    """Generate an ``n``-tuple orientation trace.
+
+    Most samples sit at the current heading with tiny jitter; with
+    probability ``burst_probability`` per tuple the animal turns: the
+    heading moves with a persistent velocity for 10-40 samples, then
+    settles at a new plateau.  Rare single-sample spikes model collar
+    sensor glitches.
+    """
+    rng = random.Random(seed)
+    values: list[float] = []
+    heading = baseline
+    velocity = 0.0
+    burst_remaining = 0
+    for _ in range(n):
+        if burst_remaining > 0:
+            velocity = 0.9 * velocity + rng.gauss(0.0, turn_scale * 0.3)
+            heading += velocity
+            burst_remaining -= 1
+        elif rng.random() < burst_probability:
+            burst_remaining = rng.randint(10, 40)
+            velocity = rng.gauss(0.0, turn_scale)
+        sample = heading + rng.gauss(0.0, 0.01)
+        if rng.random() < spike_probability:
+            sample += rng.gauss(0.0, spike_scale)
+        values.append(sample)
+    return Trace.from_values(values, attribute="E-orient", interval_ms=interval_ms)

@@ -1,0 +1,67 @@
+"""Generic synthetic sources for tests and micro-experiments."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.tuples import Trace
+from repro.sources.base import bounded_random_walk
+
+__all__ = ["random_walk_trace", "sine_trace", "step_trace", "ramp_trace"]
+
+
+def random_walk_trace(
+    n: int = 1000,
+    seed: int = 0,
+    step_scale: float = 1.0,
+    start: float = 0.0,
+    attribute: str = "value",
+    interval_ms: float = 10.0,
+) -> Trace:
+    """A mean-reverting random walk; the workhorse of the property tests."""
+    rng = random.Random(seed)
+    values = bounded_random_walk(rng, n, start=start, step_scale=step_scale)
+    return Trace.from_values(values, attribute=attribute, interval_ms=interval_ms)
+
+
+def sine_trace(
+    n: int = 1000,
+    period: int = 200,
+    amplitude: float = 10.0,
+    noise: float = 0.0,
+    seed: int = 0,
+    attribute: str = "value",
+    interval_ms: float = 10.0,
+) -> Trace:
+    """A smooth periodic source: steady state-update rate, ideal for DC."""
+    rng = random.Random(seed)
+    values = [
+        amplitude * math.sin(2.0 * math.pi * i / period) + rng.gauss(0.0, noise)
+        for i in range(n)
+    ]
+    return Trace.from_values(values, attribute=attribute, interval_ms=interval_ms)
+
+
+def step_trace(
+    n: int = 1000,
+    step_every: int = 100,
+    step_height: float = 5.0,
+    attribute: str = "value",
+    interval_ms: float = 10.0,
+) -> Trace:
+    """A staircase: long flat runs with abrupt jumps (worst case for
+    candidate-set overlap - every set is nearly a singleton)."""
+    values = [step_height * (i // step_every) for i in range(n)]
+    return Trace.from_values(values, attribute=attribute, interval_ms=interval_ms)
+
+
+def ramp_trace(
+    n: int = 1000,
+    slope: float = 1.0,
+    attribute: str = "value",
+    interval_ms: float = 10.0,
+) -> Trace:
+    """A monotone ramp: maximal candidate-set overlap between filters."""
+    values = [slope * i for i in range(n)]
+    return Trace.from_values(values, attribute=attribute, interval_ms=interval_ms)

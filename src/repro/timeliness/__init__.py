@@ -1,0 +1,17 @@
+"""Data-timeliness models (Chapter 3).
+
+Re-exports the cut machinery from :mod:`repro.core.cuts` and adds the
+delay decomposition of section 3.2 and the input-buffer queueing model.
+"""
+
+from repro.core.cuts import RuntimePredictor, TimeConstraint
+from repro.timeliness.model import DelayBreakdown, decompose_delays
+from repro.timeliness.queueing import input_buffer_delays
+
+__all__ = [
+    "DelayBreakdown",
+    "RuntimePredictor",
+    "TimeConstraint",
+    "decompose_delays",
+    "input_buffer_delays",
+]

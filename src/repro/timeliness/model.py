@@ -1,0 +1,67 @@
+"""Delay decomposition for group-aware filtering (section 3.2).
+
+``D = D_input_buffer + D_filter + D_output_buffer + D_multicast``
+(Figure 3.2).  In the simulated system:
+
+* ``D_filter`` is the wait from a tuple's arrival until its candidate
+  set (PS) or region (RG) is decided - the dominant, batching-induced
+  term the paper's Figures 4.6-4.8 measure;
+* ``D_output_buffer`` is the extra wait the output strategy imposes
+  between decision and emission;
+* ``D_multicast`` is the application-level multicast cost, dominated by
+  the software invocation overhead ("about 130 ms" on the Emulab
+  overlay, section 4.1.2) rather than transmission;
+* ``D_input_buffer`` appears when the processing rate cannot keep up
+  with the arrival rate (see :mod:`repro.timeliness.queueing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import EngineResult
+
+__all__ = ["DelayBreakdown", "decompose_delays"]
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """Average per-tuple delay contributions, in milliseconds."""
+
+    input_buffer_ms: float
+    filter_ms: float
+    output_buffer_ms: float
+    multicast_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.input_buffer_ms
+            + self.filter_ms
+            + self.output_buffer_ms
+            + self.multicast_ms
+        )
+
+
+def decompose_delays(
+    result: EngineResult,
+    multicast_overhead_ms: float = 0.0,
+    input_buffer_ms: float = 0.0,
+) -> DelayBreakdown:
+    """Split an engine run's mean latency into the section-3.2 terms.
+
+    ``filter`` covers arrival to decision; ``output buffer`` covers
+    decision to emission (zero for the earliest-possible strategies,
+    large for batched output).
+    """
+    if not result.emissions:
+        return DelayBreakdown(input_buffer_ms, 0.0, 0.0, multicast_overhead_ms)
+    filter_delays = [e.decide_ts - e.item.timestamp for e in result.emissions]
+    output_delays = [e.emit_ts - e.decide_ts for e in result.emissions]
+    n = len(result.emissions)
+    return DelayBreakdown(
+        input_buffer_ms=input_buffer_ms,
+        filter_ms=sum(filter_delays) / n,
+        output_buffer_ms=sum(output_delays) / n,
+        multicast_ms=multicast_overhead_ms,
+    )

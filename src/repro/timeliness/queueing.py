@@ -1,0 +1,39 @@
+"""Input-buffer queueing model.
+
+"The bottom-line requirement for group-aware filtering is that its
+processing rate, compared with incoming data rate, should be fast enough
+not to cause congestion in the input queue" (section 3.2).  This module
+computes the FIFO single-server queueing delay each tuple would suffer
+given measured per-tuple service times, so experiments can check the
+no-congestion requirement and study what happens when group size pushes
+service time past the arrival interval (section 4.8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["input_buffer_delays"]
+
+
+def input_buffer_delays(
+    arrival_ts_ms: Sequence[float],
+    service_ms: Sequence[float],
+) -> list[float]:
+    """Per-tuple waiting time in the filter's input buffer.
+
+    ``arrival_ts_ms`` are tuple arrival times; ``service_ms`` the time
+    the filter spends on each.  Standard Lindley recursion: tuple *i*
+    starts at ``max(arrival_i, finish_{i-1})``.
+    """
+    if len(arrival_ts_ms) != len(service_ms):
+        raise ValueError("arrival and service sequences must align")
+    delays: list[float] = []
+    previous_finish = float("-inf")
+    for arrival, service in zip(arrival_ts_ms, service_ms):
+        if service < 0:
+            raise ValueError("service times must be non-negative")
+        start = max(arrival, previous_finish)
+        delays.append(start - arrival)
+        previous_finish = start + service
+    return delays

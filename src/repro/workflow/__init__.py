@@ -1,0 +1,7 @@
+"""Stream-processing work-flow graphs and deployment planning
+(Figure 1.1, sections 1.1 and 2.2.1)."""
+
+from repro.workflow.deploy import JuncturePlan, plan_deployment
+from repro.workflow.graph import NodeKind, WorkflowGraph
+
+__all__ = ["JuncturePlan", "NodeKind", "WorkflowGraph", "plan_deployment"]

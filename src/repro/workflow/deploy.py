@@ -1,0 +1,74 @@
+"""Deployment planning: where do group-aware filters go?
+
+Section 2.2.1: "Our bandwidth optimization focuses on data sources or
+operators that need to send data to remote downstream operators or
+proxies via multicast."  Given a work-flow graph and the propagated
+quality requirements, :func:`plan_deployment` decides, per data-sharing
+juncture, whether to install a group-aware filter service (fan-out of at
+least two subscribing applications) or a plain self-interested filter,
+and assembles the per-juncture engine configuration (filters + the
+group's conjoined time constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.cuts import TimeConstraint
+from repro.filters.base import GroupAwareFilter
+from repro.workflow.graph import NodeKind, WorkflowGraph
+
+if TYPE_CHECKING:  # pragma: no cover - break the qos <-> workflow cycle
+    from repro.qos.propagation import PropagatedRequirements
+    from repro.qos.spec import QualitySpec
+
+__all__ = ["JuncturePlan", "plan_deployment"]
+
+
+@dataclass
+class JuncturePlan:
+    """Filtering configuration for one data-sharing juncture."""
+
+    node: str
+    specs: list["QualitySpec"]
+    group_aware: bool
+    time_constraint: Optional[TimeConstraint]
+
+    def build_filters(self) -> list[GroupAwareFilter]:
+        return [spec.instantiate() for spec in self.specs]
+
+
+def plan_deployment(
+    graph: WorkflowGraph,
+    requirements: "PropagatedRequirements",
+    min_group_size: int = 2,
+) -> list[JuncturePlan]:
+    """One plan per source/operator that serves at least one application.
+
+    Junctures serving ``min_group_size`` or more applications get a
+    group-aware service; single-subscriber nodes fall back to plain
+    filtering (no group to coordinate).
+    """
+    if min_group_size < 2:
+        raise ValueError("a group needs at least two members")
+    plans: list[JuncturePlan] = []
+    for node in graph.nodes():
+        if graph.kind(node) is NodeKind.APPLICATION:
+            continue
+        specs = requirements.specs_at(node)
+        if not specs:
+            continue
+        group_aware = len(specs) >= min_group_size
+        constraint = None
+        if group_aware:
+            constraint = specs[0].group_time_constraint(*specs[1:])
+        plans.append(
+            JuncturePlan(
+                node=node,
+                specs=specs,
+                group_aware=group_aware,
+                time_constraint=constraint,
+            )
+        )
+    return plans

@@ -1,0 +1,163 @@
+"""Stream-processing work-flow graphs (Figure 1.1).
+
+"The data-fusion graph for an application is a tree rooted at an
+application with data sources as the leaves, and operators as
+intermediate nodes; multiple applications may share data sources or
+operators and thus we can use a circle-and-arrow acyclic graph ... to
+represent a general structure of work flows" (section 1.1).
+
+:class:`WorkflowGraph` models that DAG: sources (no inputs),
+applications (no outputs) and operators in between, with validation and
+the queries requirement propagation and filter deployment need.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["NodeKind", "WorkflowGraph"]
+
+
+class NodeKind(Enum):
+    SOURCE = "source"
+    OPERATOR = "operator"
+    APPLICATION = "application"
+
+
+class WorkflowGraph:
+    """An acyclic source -> operators -> applications flow graph."""
+
+    def __init__(self) -> None:
+        self._kind: dict[str, NodeKind] = {}
+        self._downstream: dict[str, set[str]] = {}
+        self._upstream: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_source(self, name: str) -> None:
+        self._add_node(name, NodeKind.SOURCE)
+
+    def add_operator(self, name: str) -> None:
+        self._add_node(name, NodeKind.OPERATOR)
+
+    def add_application(self, name: str) -> None:
+        self._add_node(name, NodeKind.APPLICATION)
+
+    def _add_node(self, name: str, kind: NodeKind) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if name in self._kind:
+            raise ValueError(f"node {name!r} already exists")
+        self._kind[name] = kind
+        self._downstream[name] = set()
+        self._upstream[name] = set()
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Add a data-flow edge; validates kinds and acyclicity."""
+        for name in (upstream, downstream):
+            if name not in self._kind:
+                raise KeyError(f"unknown node {name!r}")
+        if self._kind[upstream] is NodeKind.APPLICATION:
+            raise ValueError("applications are sinks; they have no downstream")
+        if self._kind[downstream] is NodeKind.SOURCE:
+            raise ValueError("sources are roots; they have no upstream")
+        if upstream == downstream:
+            raise ValueError("self-loops are not allowed")
+        if self._reaches(downstream, upstream):
+            raise ValueError(
+                f"edge {upstream!r} -> {downstream!r} would create a cycle"
+            )
+        self._downstream[upstream].add(downstream)
+        self._upstream[downstream].add(upstream)
+
+    def _reaches(self, start: str, target: str) -> bool:
+        frontier = [start]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._downstream[node])
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def kind(self, name: str) -> NodeKind:
+        try:
+            return self._kind[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> list[str]:
+        return sorted(self._kind)
+
+    def sources(self) -> list[str]:
+        return sorted(n for n, k in self._kind.items() if k is NodeKind.SOURCE)
+
+    def applications(self) -> list[str]:
+        return sorted(n for n, k in self._kind.items() if k is NodeKind.APPLICATION)
+
+    def operators(self) -> list[str]:
+        return sorted(n for n, k in self._kind.items() if k is NodeKind.OPERATOR)
+
+    def downstream(self, name: str) -> list[str]:
+        self.kind(name)
+        return sorted(self._downstream[name])
+
+    def upstream(self, name: str) -> list[str]:
+        self.kind(name)
+        return sorted(self._upstream[name])
+
+    def fan_out(self, name: str) -> int:
+        """Number of direct downstream consumers of a node's output."""
+        return len(self._downstream[name])
+
+    def topological_order(self) -> list[str]:
+        """Sources first, applications last; deterministic order."""
+        in_degree = {name: len(self._upstream[name]) for name in self._kind}
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            inserted = []
+            for downstream in self._downstream[node]:
+                in_degree[downstream] -= 1
+                if in_degree[downstream] == 0:
+                    inserted.append(downstream)
+            for name in sorted(inserted):
+                ready.append(name)
+            ready.sort()
+        if len(order) != len(self._kind):  # pragma: no cover - guarded by connect()
+            raise RuntimeError("graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check the deployment is complete: every application can trace
+        back to at least one source, and no node dangles."""
+        for app in self.applications():
+            if not self._reaches_upstream_source(app):
+                raise ValueError(f"application {app!r} is not fed by any source")
+        for operator in self.operators():
+            if not self._downstream[operator]:
+                raise ValueError(f"operator {operator!r} feeds nobody")
+            if not self._upstream[operator]:
+                raise ValueError(f"operator {operator!r} has no input")
+
+    def _reaches_upstream_source(self, name: str) -> bool:
+        frontier = [name]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if self._kind[node] is NodeKind.SOURCE:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._upstream[node])
+        return False

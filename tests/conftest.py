@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tuples import StreamTuple, Trace
+from repro.filters.delta import DeltaCompressionFilter
+
+#: The nine-tuple sequence of section 2.1.1 plus the closing 112 used by
+#: the worked examples of Figures 2.5/2.8/2.11/3.4/3.5.
+PAPER_VALUES = [0, 35, 29, 45, 50, 59, 80, 97, 100, 112]
+
+
+@pytest.fixture
+def paper_trace() -> Trace:
+    return Trace.from_values(PAPER_VALUES, attribute="temp", interval_ms=10)
+
+
+def paper_group() -> list[DeltaCompressionFilter]:
+    """The three DC filters of the worked examples: A=(10,50), B=(5,40),
+    C=(25,80) in the paper's (slack, delta) notation."""
+    return [
+        DeltaCompressionFilter("A", "temp", delta=50, slack=10),
+        DeltaCompressionFilter("B", "temp", delta=40, slack=5),
+        DeltaCompressionFilter("C", "temp", delta=80, slack=25),
+    ]
+
+
+def make_tuples(values, interval_ms: float = 10.0) -> list[StreamTuple]:
+    return [
+        StreamTuple(seq=i, timestamp=i * interval_ms, values={"value": v})
+        for i, v in enumerate(values)
+    ]
+
+
+def random_walk_values(n: int, seed: int, scale: float = 1.0) -> list[float]:
+    rng = random.Random(seed)
+    values = [0.0]
+    for _ in range(n - 1):
+        values.append(values[-1] + rng.gauss(0.0, scale))
+    return values
+
+
+def temps(result, name: str) -> list[float]:
+    """Per-filter delivered temperature values, in order."""
+    return [t.value("temp") for t in result.outputs_for(name)]

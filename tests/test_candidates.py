@@ -1,0 +1,164 @@
+"""Unit tests for candidate sets and time covers."""
+
+import pytest
+
+from repro.core.candidates import CandidateSet, TimeCover
+from tests.conftest import make_tuples
+
+
+class TestTimeCover:
+    def test_intersects_overlapping(self):
+        assert TimeCover(0, 10).intersects(TimeCover(5, 15))
+        assert TimeCover(5, 15).intersects(TimeCover(0, 10))
+
+    def test_intersects_touching(self):
+        assert TimeCover(0, 10).intersects(TimeCover(10, 20))
+
+    def test_disjoint(self):
+        assert not TimeCover(0, 10).intersects(TimeCover(10.5, 20))
+
+    def test_containment(self):
+        assert TimeCover(0, 100).intersects(TimeCover(40, 50))
+
+    def test_union(self):
+        assert TimeCover(0, 10).union(TimeCover(5, 20)) == TimeCover(0, 20)
+
+    def test_span(self):
+        assert TimeCover(5, 25).span == 20
+
+
+class TestCandidateSet:
+    def test_add_and_membership(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        assert items[0] in cs
+        assert items[1] not in cs
+        assert len(cs) == 1
+
+    def test_add_is_idempotent(self):
+        item = make_tuples([1.0])[0]
+        cs = CandidateSet("f")
+        cs.add(item)
+        cs.add(item)
+        assert len(cs) == 1
+
+    def test_tuples_in_arrival_order(self):
+        items = make_tuples([3.0, 1.0, 2.0])
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        assert cs.tuples == items
+
+    def test_remove(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cs.remove(items[0])
+        assert items[0] not in cs
+        assert cs.tuples == [items[1]]
+
+    def test_remove_absent_is_noop(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        cs.remove(items[1])
+        assert len(cs) == 1
+
+    def test_mutation_after_close_raises(self):
+        item = make_tuples([1.0])[0]
+        cs = CandidateSet("f")
+        cs.add(item)
+        cs.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cs.add(item)
+        with pytest.raises(RuntimeError, match="closed"):
+            cs.remove(item)
+
+    def test_close_cut_flag(self):
+        cs = CandidateSet("f")
+        cs.add(make_tuples([1.0])[0])
+        cs.close(cut=True)
+        assert cs.cut
+
+    def test_time_cover_empty(self):
+        assert CandidateSet("f").time_cover is None
+
+    def test_time_cover(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cover = cs.time_cover
+        assert cover == TimeCover(0.0, 20.0)
+
+    def test_time_cover_shrinks_on_remove(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cs.remove(items[2])
+        assert cs.time_cover == TimeCover(0.0, 10.0)
+
+    def test_connected(self):
+        items = make_tuples([1.0, 2.0, 3.0, 4.0], interval_ms=10)
+        a = CandidateSet("f")
+        a.add(items[0])
+        a.add(items[1])
+        b = CandidateSet("g")
+        b.add(items[1])
+        b.add(items[2])
+        c = CandidateSet("h")
+        c.add(items[3])
+        assert a.connected(b)
+        assert not a.connected(c)
+
+    def test_connected_with_empty_is_false(self):
+        a = CandidateSet("f")
+        a.add(make_tuples([1.0])[0])
+        assert not a.connected(CandidateSet("g"))
+
+    def test_default_degree(self):
+        assert CandidateSet("f").degree == 1
+
+    def test_eligible_defaults_to_all(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        assert cs.eligible_tuples == items
+        assert cs.is_eligible(items[0])
+
+    def test_restrict_eligible(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cs.restrict_eligible([items[1]])
+        assert cs.eligible_tuples == [items[1]]
+        assert not cs.is_eligible(items[0])
+        assert cs.is_eligible(items[1])
+
+    def test_restrict_eligible_requires_membership(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        with pytest.raises(ValueError, match="not members"):
+            cs.restrict_eligible([items[1]])
+
+    def test_is_eligible_for_non_member(self):
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        assert not cs.is_eligible(items[1])
+
+    def test_unique_ids(self):
+        assert CandidateSet("f").set_id != CandidateSet("f").set_id
+
+    def test_reference_tracking(self):
+        items = make_tuples([1.0])
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        cs.reference = items[0]
+        assert cs.reference == items[0]

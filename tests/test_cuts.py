@@ -1,0 +1,186 @@
+"""Unit tests for timely cuts and the run-time predictor (Chapter 3)."""
+
+import pytest
+
+from repro.core.cuts import RuntimePredictor, TimeConstraint
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter
+from tests.conftest import paper_group, random_walk_values
+
+
+class TestTimeConstraint:
+    def test_positive_delay_required(self):
+        with pytest.raises(ValueError):
+            TimeConstraint(0)
+        with pytest.raises(ValueError):
+            TimeConstraint(-5)
+
+    def test_negative_overestimate_rejected(self):
+        with pytest.raises(ValueError):
+            TimeConstraint(10, overestimate_ms=-1)
+
+    def test_valid(self):
+        constraint = TimeConstraint(125.0, overestimate_ms=2.0)
+        assert constraint.max_delay_ms == 125.0
+
+
+class TestRuntimePredictor:
+    def test_no_observations_predicts_zero(self):
+        assert RuntimePredictor().predict(100) == 0.0
+
+    def test_single_observation_is_constant(self):
+        predictor = RuntimePredictor()
+        predictor.observe(10, 5.0)
+        assert predictor.predict(10) == 5.0
+        assert predictor.predict(100) == 5.0
+
+    def test_fits_linear_data_exactly(self):
+        predictor = RuntimePredictor()
+        for size in (2, 4, 6, 8):
+            predictor.observe(size, 3.0 * size + 1.0)
+        slope, intercept = predictor.coefficients()
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(1.0)
+        assert predictor.predict(10) == pytest.approx(31.0)
+
+    def test_same_size_observations_use_mean(self):
+        predictor = RuntimePredictor()
+        predictor.observe(5, 2.0)
+        predictor.observe(5, 4.0)
+        assert predictor.predict(5) == pytest.approx(3.0)
+        assert predictor.predict(50) == pytest.approx(3.0)
+
+    def test_window_drops_old_observations(self):
+        predictor = RuntimePredictor(window=2)
+        predictor.observe(1, 100.0)
+        predictor.observe(2, 2.0)
+        predictor.observe(3, 3.0)  # evicts the 100.0 outlier
+        slope, intercept = predictor.coefficients()
+        assert slope == pytest.approx(1.0)
+        assert intercept == pytest.approx(0.0, abs=1e-9)
+
+    def test_prediction_never_negative(self):
+        predictor = RuntimePredictor()
+        predictor.observe(10, 1.0)
+        predictor.observe(20, 0.1)
+        assert predictor.predict(1000) >= 0.0
+
+    def test_negative_runtime_clamped(self):
+        predictor = RuntimePredictor()
+        predictor.observe(10, -5.0)
+        assert predictor.predict(10) == 0.0
+
+    def test_window_minimum(self):
+        with pytest.raises(ValueError):
+            RuntimePredictor(window=1)
+
+    def test_observation_count(self):
+        predictor = RuntimePredictor(window=3)
+        for i in range(5):
+            predictor.observe(i + 1, float(i))
+        assert predictor.observation_count == 3
+
+
+class TestRegionCuts:
+    def _run(self, constraint_ms, trace):
+        return GroupAwareEngine(
+            paper_group(),
+            algorithm="region",
+            time_constraint=TimeConstraint(constraint_ms),
+        ).run(trace)
+
+    def test_cuts_bound_emission_delay(self):
+        values = random_walk_values(600, seed=1, scale=0.4)
+        trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+
+        def run(constraint_ms):
+            group = [
+                DeltaCompressionFilter("A", "temp", 2.0, 1.0),
+                DeltaCompressionFilter("B", "temp", 3.0, 1.5),
+            ]
+            engine = GroupAwareEngine(
+                group,
+                algorithm="region",
+                time_constraint=TimeConstraint(constraint_ms),
+            )
+            return engine.run(trace)
+
+        tight = run(50)
+        loose = run(5000)
+        tight_delays = [e.delay_ms for e in tight.emissions]
+        loose_delays = [e.delay_ms for e in loose.emissions]
+        assert max(tight_delays) <= max(loose_delays)
+        assert sum(tight_delays) / len(tight_delays) <= sum(loose_delays) / len(
+            loose_delays
+        )
+
+    def test_tighter_cuts_cut_more_regions(self):
+        values = random_walk_values(600, seed=2, scale=0.4)
+        trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+        percents = []
+        for constraint_ms in (40, 120, 5000):
+            result = GroupAwareEngine(
+                [
+                    DeltaCompressionFilter("A", "temp", 2.0, 1.0),
+                    DeltaCompressionFilter("B", "temp", 3.0, 1.5),
+                ],
+                algorithm="region",
+                time_constraint=TimeConstraint(constraint_ms),
+            ).run(trace)
+            percents.append(result.percent_regions_cut)
+        assert percents[0] >= percents[1] >= percents[2]
+
+    def test_cuts_never_worse_than_si(self):
+        for seed in range(4):
+            values = random_walk_values(400, seed=seed, scale=0.5)
+            trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+
+            def group():
+                return [
+                    DeltaCompressionFilter("A", "temp", 2.0, 1.0),
+                    DeltaCompressionFilter("B", "temp", 3.0, 1.5),
+                    DeltaCompressionFilter("C", "temp", 4.5, 2.0),
+                ]
+
+            si = SelfInterestedEngine(group()).run(trace)
+            for constraint_ms in (30, 80, 200):
+                cut = GroupAwareEngine(
+                    group(),
+                    algorithm="region",
+                    time_constraint=TimeConstraint(constraint_ms),
+                ).run(trace)
+                assert cut.output_count <= si.output_count
+
+    def test_quality_preserved_under_cuts(self, paper_trace):
+        """Every filter still receives one output per reference step."""
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="region",
+            time_constraint=TimeConstraint(40),
+        ).run(paper_trace)
+        # A's references are 0, 50, 100; even cut, A gets 3 updates (or
+        # fewer only if a reference step was consumed by a cut set).
+        assert 2 <= len(result.outputs_for("A")) <= 3
+        assert len(result.outputs_for("B")) >= 2
+
+
+class TestPerCandidateSetCuts:
+    def test_set_span_bounded(self):
+        values = random_walk_values(500, seed=5, scale=0.3)
+        trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+        constraint_ms = 60.0
+        result = GroupAwareEngine(
+            [
+                DeltaCompressionFilter("A", "temp", 2.0, 1.0),
+                DeltaCompressionFilter("B", "temp", 3.5, 1.7),
+            ],
+            algorithm="per_candidate_set",
+            time_constraint=TimeConstraint(constraint_ms),
+        ).run(trace)
+        assert result.cuts_triggered > 0
+        # Decisions happen within one arrival of the constraint.
+        for decisions in result.decisions.values():
+            for decision in decisions:
+                for item in decision.tuples:
+                    assert decision.decide_ts - item.timestamp <= constraint_ms + 10.0

@@ -1,0 +1,237 @@
+"""Unit tests for delta-compression filters (DC1/DC2/DC3, stateful)."""
+
+import pytest
+
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter, StatefulDeltaCompressionFilter
+from repro.filters.multiattr import AveragedDeltaFilter
+from repro.filters.trend import TrendDeltaFilter
+from repro.filters.validate import replay_candidate_sets
+
+
+def _sets_as_values(sets, attribute="temp"):
+    return [[t.value(attribute) for t in cs.tuples] for cs in sets]
+
+
+def _replay(filter_factory, values, attribute="temp"):
+    trace = Trace.from_values(values, attribute=attribute, interval_ms=10)
+    return replay_candidate_sets(filter_factory, trace)
+
+
+class TestConstruction:
+    def test_axiom_1_enforced(self):
+        with pytest.raises(ValueError, match="Axiom 1"):
+            DeltaCompressionFilter("f", "temp", delta=10, slack=6)
+
+    def test_boundary_slack_allowed(self):
+        DeltaCompressionFilter("f", "temp", delta=10, slack=5)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError, match="delta"):
+            DeltaCompressionFilter("f", "temp", delta=-1, slack=0)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError, match="slack"):
+            DeltaCompressionFilter("f", "temp", delta=10, slack=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            DeltaCompressionFilter("", "temp", delta=10, slack=1)
+
+    def test_taxonomy(self):
+        flt = DeltaCompressionFilter("f", "temp", delta=10, slack=1)
+        taxonomy = flt.taxonomy
+        assert taxonomy.candidate_computation.attributes == ("temp",)
+        assert not taxonomy.dependency.stateful
+        assert not flt.stateful
+
+    def test_stateful_taxonomy(self):
+        flt = StatefulDeltaCompressionFilter("f", "temp", delta=10, slack=1)
+        assert flt.stateful
+        assert flt.taxonomy.dependency.dependent_state == "previous-chosen-tuples"
+
+
+class TestCandidateSets:
+    """Candidate sets of the Figure 2.5 worked example, per filter."""
+
+    def test_filter_a(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("A", "temp", 50, 10),
+            [0, 35, 29, 45, 50, 59, 80, 97, 100, 112],
+        )
+        assert _sets_as_values(sets) == [[0], [45, 50, 59], [97, 100]]
+
+    def test_filter_b(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("B", "temp", 40, 5),
+            [0, 35, 29, 45, 50, 59, 80, 97, 100, 112],
+        )
+        assert _sets_as_values(sets) == [[0], [45, 50], [97, 100]]
+
+    def test_filter_c(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("C", "temp", 80, 25),
+            [0, 35, 29, 45, 50, 59, 80, 97, 100, 112],
+        )
+        assert _sets_as_values(sets) == [[0], [59, 80, 97, 100]]
+
+    def test_references_marked(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("A", "temp", 50, 10),
+            [0, 35, 29, 45, 50, 59, 80, 97, 100, 112],
+        )
+        assert [cs.reference.value("temp") for cs in sets] == [0, 50, 100]
+
+    def test_first_tuple_is_seed_reference(self):
+        sets = _replay(lambda: DeltaCompressionFilter("f", "temp", 10, 2), [5.0])
+        # Flush discards nothing: the seed set must be emitted.
+        assert _sets_as_values(sets) == [[5.0]]
+
+    def test_decreasing_values(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 10, 3),
+            [100, 95, 91, 89, 80, 70],
+        )
+        # refs at 100, 89 (|89-100|=11>=10), 70 (|70-89|=19)
+        values = _sets_as_values(sets)
+        assert values[0] == [100]
+        assert 89 in values[1]
+        assert 70 in values[2]
+
+    def test_tentative_dismissed_on_contiguity_break(self):
+        """A tuple in the pre-reference zone is dismissed if the series
+        leaves the zone before the reference materializes."""
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 50, 10),
+            [0, 45, 20, 50, 80],
+        )
+        # 45 enters the zone [40, 60] but 20 breaks contiguity; the
+        # reference 50 then starts a fresh vicinity.
+        assert _sets_as_values(sets) == [[0], [50]]
+
+    def test_tentative_kept_when_contiguous(self):
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 50, 10),
+            [0, 45, 50, 80],
+        )
+        assert _sets_as_values(sets) == [[0], [45, 50]]
+
+    def test_tentative_outside_slack_of_reference_dismissed(self):
+        """Zone members farther than slack from the realized reference
+        are dismissed when the reference is found."""
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 50, 10),
+            [0, 41, 52, 80],
+        )
+        # 41 is in the zone [40, 60] but |41-52| = 11 > 10.
+        assert _sets_as_values(sets) == [[0], [52]]
+
+    def test_overshoot_reference(self):
+        """A big jump lands the reference beyond delta in one step."""
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 50, 10), [0, 120, 240]
+        )
+        assert _sets_as_values(sets) == [[0], [120], [240]]
+
+    def test_pre_reference_tail_discarded_at_flush(self):
+        """Zone members with no realized reference are owed to nobody."""
+        sets = _replay(
+            lambda: DeltaCompressionFilter("f", "temp", 50, 10), [0, 45]
+        )
+        assert _sets_as_values(sets) == [[0]]
+
+    def test_axiom_1_time_covers_disjoint(self):
+        values = [0, 35, 29, 45, 50, 59, 80, 97, 100, 112]
+        sets = _replay(lambda: DeltaCompressionFilter("A", "temp", 50, 10), values)
+        for first, second in zip(sets, sets[1:]):
+            assert not first.time_cover.intersects(second.time_cover)
+
+
+class TestSelfInterested:
+    def test_reference_outputs(self):
+        flt = DeltaCompressionFilter("A", "temp", 50, 10).make_self_interested()
+        trace = Trace.from_values(
+            [0, 35, 29, 45, 50, 59, 80, 97, 100], attribute="temp"
+        )
+        outputs = []
+        for item in trace:
+            outputs.extend(flt.process(item))
+        outputs.extend(flt.flush())
+        assert [t.value("temp") for t in outputs] == [0, 50, 100]
+
+    def test_fresh_instance_each_time(self):
+        flt = DeltaCompressionFilter("A", "temp", 50, 10)
+        first = flt.make_self_interested()
+        second = flt.make_self_interested()
+        item = Trace.from_values([5.0], attribute="temp")[0]
+        assert first.process(item) == [item]
+        assert second.process(item) == [item]
+
+
+class TestTrendFilter:
+    def test_trend_references(self):
+        # Values move at +1/tuple (trend 100/s at 10 ms spacing), then
+        # accelerate to +3/tuple (300/s): the trend change triggers a ref.
+        values = [0, 1, 2, 3, 6, 9, 12]
+        sets = _replay(lambda: TrendDeltaFilter("f", "temp", 150, 50), values)
+        # Seed set (trend 0), then a set triggered by the 100/s step is
+        # not reached (|100-0| < 150); the 300/s step is (|300-0| >= 150
+        # relative to base 0? base advances to 100 after first close).
+        assert len(sets) >= 2
+
+    def test_trend_first_tuple_zero(self):
+        sets = _replay(lambda: TrendDeltaFilter("f", "temp", 10, 1), [5.0, 5.0])
+        assert len(sets) == 1  # constant series: only the seed reference
+
+    def test_self_interested_matches_group_count(self):
+        values = [0, 1, 2, 3, 6, 9, 12, 13, 14]
+        trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+        sets = replay_candidate_sets(
+            lambda: TrendDeltaFilter("f", "temp", 150, 50), trace
+        )
+        si = TrendDeltaFilter("f", "temp", 150, 50).make_self_interested()
+        outputs = []
+        for item in trace:
+            outputs.extend(si.process(item))
+        assert len(sets) == len(outputs)
+
+
+class TestAveragedFilter:
+    def test_requires_two_attributes(self):
+        with pytest.raises(ValueError, match="at least two"):
+            AveragedDeltaFilter("f", ["a"], 10, 1)
+
+    def test_average_drives_references(self):
+        trace = Trace.from_columns(
+            {"a": [0.0, 10.0, 20.0], "b": [0.0, 10.0, 20.0]}, interval_ms=10
+        )
+        sets = replay_candidate_sets(
+            lambda: AveragedDeltaFilter("f", ["a", "b"], 10, 2), trace
+        )
+        assert len(sets) == 3  # averages 0, 10, 20 all reference
+
+    def test_mixed_channels_cancel(self):
+        trace = Trace.from_columns(
+            {"a": [0.0, 10.0, 20.0], "b": [0.0, -10.0, -20.0]}, interval_ms=10
+        )
+        sets = replay_candidate_sets(
+            lambda: AveragedDeltaFilter("f", ["a", "b"], 10, 2), trace
+        )
+        assert len(sets) == 1  # average stays 0
+
+
+class TestStatefulFilter:
+    def test_base_follows_chosen_output(self):
+        """Figure 2.9: the next candidate set is computed from the chosen
+        tuple, not the reference."""
+        from repro.core.engine import GroupAwareEngine
+
+        values = [0, 48, 52, 100, 148]
+        trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+        flt = StatefulDeltaCompressionFilter("S", "temp", 50, 10)
+        result = GroupAwareEngine([flt], algorithm="per_candidate_set").run(trace)
+        delivered = [t.value("temp") for t in result.outputs_for("S")]
+        assert delivered[0] == 0
+        # The second set is {48, 52}; whichever is chosen becomes the base
+        # for the third reference.
+        assert delivered[1] in (48, 52)

@@ -1,0 +1,150 @@
+"""Property-based tests for the extension filters and punctuations."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.output import PerCandidateSetOutput
+from repro.core.punctuation import OrderingBuffer, measure_disorder
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter
+from repro.filters.location import LocationDeltaFilter
+from repro.filters.membership import Band, BandTransitionFilter
+from repro.filters.reservoir import ReservoirSamplingFilter
+from repro.filters.validate import replay_candidate_sets
+
+walk_2d = st.lists(
+    st.tuples(
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    ),
+    min_size=10,
+    max_size=80,
+)
+
+
+def _position_trace(steps):
+    xs, ys = [0.0], [0.0]
+    for dx, dy in steps:
+        xs.append(xs[-1] + dx)
+        ys.append(ys[-1] + dy)
+    return Trace.from_columns({"x": xs, "y": ys}, interval_ms=10)
+
+
+@given(
+    walk_2d,
+    st.floats(min_value=1.0, max_value=6.0),
+    st.floats(min_value=0.0, max_value=0.5),
+)
+@settings(max_examples=30, deadline=None)
+def test_location_candidates_within_slack(steps, delta, slack_fraction):
+    trace = _position_trace(steps)
+    slack = delta * slack_fraction
+    sets = replay_candidate_sets(
+        lambda: LocationDeltaFilter("l", "x", "y", delta, slack), trace
+    )
+    for cs in sets:
+        rx, ry = cs.reference.value("x"), cs.reference.value("y")
+        for item in cs.tuples:
+            distance = math.hypot(item.value("x") - rx, item.value("y") - ry)
+            assert distance <= slack + 1e-9
+
+
+@given(walk_2d)
+@settings(max_examples=25, deadline=None)
+def test_location_group_never_worse_than_si(steps):
+    trace = _position_trace(steps)
+
+    def group():
+        return [
+            LocationDeltaFilter("a", "x", "y", 2.0, 1.0),
+            LocationDeltaFilter("b", "x", "y", 3.0, 1.4),
+        ]
+
+    ga = GroupAwareEngine(group()).run(trace)
+    si = SelfInterestedEngine(group()).run(trace)
+    assert ga.output_count <= si.output_count
+
+
+band_values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=5,
+    max_size=80,
+)
+
+_BANDS = [Band("low", 0.0, 33.0), Band("mid", 33.5, 66.0), Band("high", 66.5, 100.0)]
+
+
+@given(band_values, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_band_witnesses_share_the_reference_band(values, window):
+    trace = Trace.from_values(values, attribute="v", interval_ms=10)
+    flt = BandTransitionFilter("b", "v", _BANDS, witness_window=window)
+    sets = replay_candidate_sets(
+        lambda: BandTransitionFilter("b", "v", _BANDS, witness_window=window), trace
+    )
+    for cs in sets:
+        bands = {flt.classify(item.value("v")) for item in cs.tuples}
+        assert len(bands) == 1  # every witness certifies the same band
+        assert len(cs) <= window
+
+
+@given(band_values)
+@settings(max_examples=30, deadline=None)
+def test_band_group_matches_si_transition_count(values):
+    """Per filter, group-aware output = one tuple per transition = SI count."""
+    trace = Trace.from_values(values, attribute="v", interval_ms=10)
+    flt = BandTransitionFilter("b", "v", _BANDS, witness_window=3)
+    ga = GroupAwareEngine([flt]).run(trace)
+    si_filter = BandTransitionFilter("b", "v", _BANDS, witness_window=3)
+    si = SelfInterestedEngine([si_filter]).run(trace)
+    assert len(ga.outputs_for("b")) == len(si.outputs_for("b"))
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=5, max_value=30),
+    st.integers(min_value=20, max_value=120),
+)
+@settings(max_examples=30, deadline=None)
+def test_reservoir_degree_met_in_every_window(size, window, n):
+    if size > window:
+        size = window
+    trace = Trace.from_values([float(i % 7) for i in range(n)], attribute="v")
+    flt = ReservoirSamplingFilter("r", reservoir_size=size, window=window)
+    result = GroupAwareEngine([flt]).run(trace)
+    full_windows, remainder = divmod(n, window)
+    expected = full_windows * size + (min(size, remainder) if remainder else 0)
+    assert len(result.outputs_for("r")) == expected
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        min_size=10,
+        max_size=100,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_punctuated_pcs_stream_always_repairable(steps):
+    values = [0.0]
+    for step in steps:
+        values.append(values[-1] + step)
+    trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+    group = [
+        DeltaCompressionFilter("A", "temp", 2.0, 1.0),
+        DeltaCompressionFilter("B", "temp", 3.0, 1.5),
+    ]
+    result = GroupAwareEngine(
+        group,
+        algorithm="per_candidate_set",
+        output_strategy=PerCandidateSetOutput(),
+    ).run(trace)
+    buffer = OrderingBuffer()
+    for emission in result.emissions:
+        buffer.offer(emission)
+    buffer.flush()
+    buffer.assert_ordered()
+    assert measure_disorder(buffer.released) == 0
+    assert len(buffer.released) == len(result.emissions)

@@ -1,0 +1,210 @@
+"""Unit tests for the section-5.1 extension filters: reservoir sampling,
+Euclidean location delta compression and band-transition membership."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.tuples import Trace
+from repro.filters.location import LocationDeltaFilter
+from repro.filters.membership import Band, BandTransitionFilter
+from repro.filters.reservoir import ReservoirSamplingFilter
+from repro.filters.validate import replay_candidate_sets, validate_outputs
+
+
+class TestReservoirFilter:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ReservoirSamplingFilter("r", reservoir_size=0, window=10)
+        with pytest.raises(ValueError):
+            ReservoirSamplingFilter("r", reservoir_size=5, window=3)
+
+    def test_candidate_set_is_whole_window(self):
+        trace = Trace.from_values([float(i) for i in range(20)], attribute="v")
+        sets = replay_candidate_sets(
+            lambda: ReservoirSamplingFilter("r", reservoir_size=3, window=10), trace
+        )
+        assert len(sets) == 2
+        assert all(len(cs) == 10 for cs in sets)
+        assert all(cs.degree == 3 for cs in sets)
+
+    def test_partial_window_flushed_with_clamped_degree(self):
+        trace = Trace.from_values([float(i) for i in range(12)], attribute="v")
+        sets = replay_candidate_sets(
+            lambda: ReservoirSamplingFilter("r", reservoir_size=5, window=10), trace
+        )
+        assert len(sets) == 2
+        assert sets[1].degree == 2  # only 2 tuples remained
+
+    def test_engine_satisfies_degree(self):
+        trace = Trace.from_values([float(i) for i in range(40)], attribute="v")
+        flt = ReservoirSamplingFilter("r", reservoir_size=3, window=10)
+        result = GroupAwareEngine([flt]).run(trace)
+        assert len(result.outputs_for("r")) == 12  # 4 windows x 3 samples
+
+    def test_self_interested_reservoir_counts(self):
+        trace = Trace.from_values([float(i) for i in range(30)], attribute="v")
+        flt = ReservoirSamplingFilter("r", reservoir_size=4, window=10)
+        result = SelfInterestedEngine([flt]).run(trace)
+        assert len(result.outputs_for("r")) == 12
+
+    def test_two_reservoirs_share_samples(self):
+        trace = Trace.from_values([float(i) for i in range(100)], attribute="v")
+
+        def group():
+            return [
+                ReservoirSamplingFilter("r1", reservoir_size=3, window=20, seed=1),
+                ReservoirSamplingFilter("r2", reservoir_size=4, window=20, seed=2),
+            ]
+
+        ga = GroupAwareEngine(group()).run(trace)
+        si = SelfInterestedEngine(group()).run(trace)
+        # Coordinated reservoirs overlap their picks; independent ones don't.
+        assert ga.output_count <= si.output_count
+
+    def test_taxonomy(self):
+        flt = ReservoirSamplingFilter("r", reservoir_size=3, window=10)
+        assert flt.taxonomy.output_selection.quantity == 3
+        assert not flt.stateful
+
+
+def _spiral_trace(n=200, step=1.0):
+    """A position trace spiralling outward: steady movement."""
+    xs, ys = [], []
+    for i in range(n):
+        radius = 1.0 + 0.05 * i
+        xs.append(radius * math.cos(0.2 * i) * step)
+        ys.append(radius * math.sin(0.2 * i) * step)
+    return Trace.from_columns({"x": xs, "y": ys}, interval_ms=10)
+
+
+class TestLocationFilter:
+    def test_validates_axiom(self):
+        with pytest.raises(ValueError):
+            LocationDeltaFilter("l", "x", "y", delta=2.0, slack=1.5)
+        with pytest.raises(ValueError):
+            LocationDeltaFilter("l", "x", "y", delta=0.0, slack=0.0)
+
+    def test_references_spaced_by_delta(self):
+        trace = _spiral_trace()
+        flt = LocationDeltaFilter("l", "x", "y", delta=3.0, slack=1.0)
+        sets = replay_candidate_sets(
+            lambda: LocationDeltaFilter("l", "x", "y", delta=3.0, slack=1.0), trace
+        )
+        assert len(sets) >= 3
+        # Consecutive references are at least delta - 2*slack apart.
+        references = [cs.reference for cs in sets]
+        for first, second in zip(references, references[1:]):
+            dx = first.value("x") - second.value("x")
+            dy = first.value("y") - second.value("y")
+            assert math.hypot(dx, dy) >= 3.0 - 2 * 1.0 - 1e-9
+
+    def test_candidates_within_slack_of_reference(self):
+        trace = _spiral_trace()
+        sets = replay_candidate_sets(
+            lambda: LocationDeltaFilter("l", "x", "y", delta=3.0, slack=1.0), trace
+        )
+        for cs in sets:
+            rx, ry = cs.reference.value("x"), cs.reference.value("y")
+            for item in cs.tuples:
+                distance = math.hypot(item.value("x") - rx, item.value("y") - ry)
+                assert distance <= 1.0 + 1e-9
+
+    def test_group_aware_never_worse_than_si(self):
+        trace = _spiral_trace(n=300)
+
+        def group():
+            return [
+                LocationDeltaFilter("a", "x", "y", delta=2.0, slack=1.0),
+                LocationDeltaFilter("b", "x", "y", delta=3.0, slack=1.5),
+            ]
+
+        ga = GroupAwareEngine(group()).run(trace)
+        si = SelfInterestedEngine(group()).run(trace)
+        assert ga.output_count <= si.output_count
+
+    def test_quality_validates(self):
+        trace = _spiral_trace(n=300)
+        flt = LocationDeltaFilter("a", "x", "y", delta=2.0, slack=1.0)
+        result = GroupAwareEngine([flt]).run(trace)
+        sets = replay_candidate_sets(
+            lambda: LocationDeltaFilter("a", "x", "y", delta=2.0, slack=1.0), trace
+        )
+        assert validate_outputs(sets, result.outputs_for("a")).ok
+
+    def test_stationary_entity_emits_once(self):
+        trace = Trace.from_columns({"x": [0.0] * 50, "y": [0.0] * 50})
+        flt = LocationDeltaFilter("l", "x", "y", delta=5.0, slack=2.0)
+        result = GroupAwareEngine([flt]).run(trace)
+        assert len(result.outputs_for("l")) == 1  # the seed position only
+
+
+BANDS = [
+    Band("safe", 0.0, 10.0),
+    Band("warning", 10.0 + 1e-9, 50.0),
+    Band("danger", 50.0 + 1e-9, 1e9),
+]
+
+
+class TestBandTransitionFilter:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            BandTransitionFilter("b", "v", [])
+        with pytest.raises(ValueError):
+            BandTransitionFilter("b", "v", BANDS, witness_window=0)
+        with pytest.raises(ValueError, match="unique"):
+            BandTransitionFilter("b", "v", [Band("x", 0, 1), Band("x", 2, 3)])
+        with pytest.raises(ValueError):
+            Band("bad", 5.0, 1.0)
+
+    def test_detects_transitions(self):
+        values = [1.0, 2.0, 20.0, 22.0, 60.0, 61.0, 5.0]
+        trace = Trace.from_values(values, attribute="v")
+        flt = BandTransitionFilter("b", "v", BANDS, witness_window=2)
+        si = SelfInterestedEngine([flt]).run(trace)
+        transitions = [t.value("v") for t in si.outputs_for("b")]
+        assert transitions == [1.0, 20.0, 60.0, 5.0]
+
+    def test_witness_sets_quality_equivalent(self):
+        values = [1.0, 2.0, 20.0, 22.0, 25.0, 60.0]
+        trace = Trace.from_values(values, attribute="v")
+        sets = replay_candidate_sets(
+            lambda: BandTransitionFilter("b", "v", BANDS, witness_window=3), trace
+        )
+        # The warning-entry set holds up to 3 witnesses: 20, 22, 25.
+        warning_set = sets[1]
+        assert [t.value("v") for t in warning_set.tuples] == [20.0, 22.0, 25.0]
+
+    def test_group_sharing_on_transitions(self):
+        values = [1.0] * 5 + [20.0, 21.0, 22.0] + [60.0, 62.0] + [1.0] * 3
+        trace = Trace.from_values(values, attribute="v")
+
+        def group():
+            return [
+                BandTransitionFilter("w1", "v", BANDS, witness_window=3),
+                BandTransitionFilter("w2", "v", BANDS, witness_window=2),
+            ]
+
+        ga = GroupAwareEngine(group()).run(trace)
+        si = SelfInterestedEngine(group()).run(trace)
+        assert ga.output_count <= si.output_count
+        # Both watchers agree on transitions, so sharing is total.
+        assert ga.output_count == len(si.outputs_for("w1"))
+
+    def test_out_of_band_values_ignored(self):
+        bands = [Band("low", 0.0, 1.0)]
+        values = [0.5, 99.0, 0.6]
+        trace = Trace.from_values(values, attribute="v")
+        flt = BandTransitionFilter("b", "v", bands, witness_window=1)
+        si = SelfInterestedEngine([flt]).run(trace)
+        # 99.0 belongs to no band; re-entry at 0.6 is not a transition
+        # (the band never changed).
+        assert [t.value("v") for t in si.outputs_for("b")] == [0.5]
+
+    def test_classify(self):
+        flt = BandTransitionFilter("b", "v", BANDS)
+        assert flt.classify(5.0) == "safe"
+        assert flt.classify(20.0) == "warning"
+        assert flt.classify(-1.0) is None

@@ -1,0 +1,91 @@
+"""Unit tests for input-buffer flow control (section 4.8)."""
+
+import pytest
+
+from repro.net.flowcontrol import FlowControlledBuffer
+from tests.conftest import make_tuples
+
+
+class TestConstruction:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlowControlledBuffer(capacity=0)
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            FlowControlledBuffer(capacity=1, policy="yolo")
+
+    def test_stride_validated(self):
+        with pytest.raises(ValueError):
+            FlowControlledBuffer(capacity=1, policy="sample", sample_stride=0)
+
+
+class TestDropTail:
+    def test_admits_until_full(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        buffer = FlowControlledBuffer(capacity=2)
+        assert buffer.offer(items[0])
+        assert buffer.offer(items[1])
+        assert not buffer.offer(items[2])
+        assert buffer.stats.shed == 1
+        assert buffer.stats.admitted == 2
+        assert len(buffer) == 2
+
+    def test_fifo_order(self):
+        items = make_tuples([1.0, 2.0])
+        buffer = FlowControlledBuffer(capacity=2)
+        buffer.offer(items[0])
+        buffer.offer(items[1])
+        assert buffer.take() == items[0]
+        assert buffer.take() == items[1]
+        assert buffer.take() is None
+
+    def test_drains_then_admits(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        buffer = FlowControlledBuffer(capacity=1)
+        buffer.offer(items[0])
+        buffer.take()
+        assert buffer.offer(items[1])
+
+
+class TestDropRandom:
+    def test_new_tuple_always_admitted(self):
+        items = make_tuples([float(i) for i in range(10)])
+        buffer = FlowControlledBuffer(capacity=3, policy="drop_random", seed=5)
+        for item in items:
+            assert buffer.offer(item)
+        assert len(buffer) == 3
+        assert buffer.stats.shed == 7
+        # The newest tuple always survives a random-drop admission.
+        assert items[-1] in buffer.drain()
+
+
+class TestSampling:
+    def test_every_kth_congested_arrival_admitted(self):
+        items = make_tuples([float(i) for i in range(7)])
+        buffer = FlowControlledBuffer(capacity=2, policy="sample", sample_stride=2)
+        buffer.offer(items[0])
+        buffer.offer(items[1])
+        admitted = [buffer.offer(item) for item in items[2:]]
+        assert admitted == [False, True, False, True, False]
+
+    def test_shed_fraction(self):
+        items = make_tuples([float(i) for i in range(10)])
+        buffer = FlowControlledBuffer(capacity=2, policy="sample", sample_stride=2)
+        for item in items:
+            buffer.offer(item)
+        assert buffer.stats.shed_fraction > 0.0
+        assert buffer.stats.arrived == 10
+
+
+class TestStats:
+    def test_peak_occupancy(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        buffer = FlowControlledBuffer(capacity=3)
+        for item in items:
+            buffer.offer(item)
+        buffer.take()
+        assert buffer.stats.peak_occupancy == 3
+
+    def test_empty_shed_fraction(self):
+        assert FlowControlledBuffer(capacity=1).stats.shed_fraction == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for the filter function library."""
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.filters.functions import (
+    AGGREGATE_FUNCTIONS,
+    DISTANCE_FUNCTIONS,
+    MEMBERSHIP_FUNCTIONS,
+    FunctionRegistry,
+    above_threshold,
+    absolute_distance,
+    band_membership,
+    euclidean_distance,
+    manhattan_distance,
+    mean_of,
+    range_of,
+    rate_of_change,
+)
+
+
+class TestDistances:
+    def test_absolute(self):
+        assert absolute_distance(3.0, -2.0) == 5.0
+
+    def test_euclidean(self):
+        assert euclidean_distance([0, 0], [3, 4]) == 5.0
+
+    def test_euclidean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance([0], [1, 2])
+
+    def test_manhattan(self):
+        assert manhattan_distance([0, 0], [3, 4]) == 7.0
+
+    def test_manhattan_length_mismatch(self):
+        with pytest.raises(ValueError):
+            manhattan_distance([0, 1, 2], [1, 2])
+
+
+class TestAggregates:
+    def test_mean_of(self):
+        derive = mean_of(["a", "b"])
+        item = StreamTuple(seq=0, timestamp=0.0, values={"a": 2.0, "b": 4.0})
+        assert derive(item) == 3.0
+
+    def test_mean_of_empty(self):
+        with pytest.raises(ValueError):
+            mean_of([])
+
+    def test_range_of(self):
+        assert range_of([3.0, 9.0, 1.0]) == 8.0
+
+    def test_range_of_empty(self):
+        with pytest.raises(ValueError):
+            range_of([])
+
+    def test_rate_of_change(self):
+        assert rate_of_change(10.0, 5.0, dt_ms=500.0) == 10.0  # +5 in 0.5s
+
+    def test_rate_of_change_bad_dt(self):
+        with pytest.raises(ValueError):
+            rate_of_change(1.0, 0.0, dt_ms=0.0)
+
+
+class TestMemberships:
+    def test_band(self):
+        member = band_membership(1.0, 2.0)
+        assert member(1.0) and member(1.5) and member(2.0)
+        assert not member(0.9) and not member(2.1)
+
+    def test_band_validates(self):
+        with pytest.raises(ValueError):
+            band_membership(2.0, 1.0)
+
+    def test_above(self):
+        member = above_threshold(5.0)
+        assert member(5.0) and member(6.0)
+        assert not member(4.9)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        registry.register("f", abs)
+        assert registry.get("f") is abs
+        assert "f" in registry
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry({"f": abs})
+        with pytest.raises(ValueError):
+            registry.register("f", abs)
+
+    def test_unknown_raises_with_listing(self):
+        registry = FunctionRegistry({"f": abs})
+        with pytest.raises(KeyError, match="registered"):
+            registry.get("g")
+
+    def test_builtin_registries_populated(self):
+        assert "absolute" in DISTANCE_FUNCTIONS
+        assert "euclidean" in DISTANCE_FUNCTIONS
+        assert "range" in AGGREGATE_FUNCTIONS
+        assert "band" in MEMBERSHIP_FUNCTIONS
+        assert DISTANCE_FUNCTIONS.names() == sorted(DISTANCE_FUNCTIONS.names())

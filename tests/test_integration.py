@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.core.cuts import TimeConstraint
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.experiments.configs import TABLE_4_1_GROUPS, table_5_2_groups
+from repro.experiments.harness import STANDARD_VARIANTS, run_group
+from repro.filters.spec import parse_filter, parse_group
+from repro.filters.validate import replay_candidate_sets, validate_outputs
+from repro.net.overlay import LinkModel, OverlayNetwork
+from repro.net.pubsub import StreamingSystem
+from repro.sources import chlorine_trace, namos_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return namos_trace(n=1200, seed=7)
+
+
+class TestTable41Groups(object):
+    """The headline Chapter-4 comparison on the NAMOS trace."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, request):
+        shared = namos_trace(n=1200, seed=7)
+        return {
+            name: run_group(name, specs, shared, STANDARD_VARIANTS)
+            for name, specs in TABLE_4_1_GROUPS.items()
+        }
+
+    def test_group_aware_beats_self_interested(self, runs):
+        for name, run in runs.items():
+            for variant in ("RG", "RG+C", "PS", "PS+C"):
+                assert run.oi_ratio(variant) <= run.oi_ratio("SI"), (name, variant)
+
+    def test_savings_are_substantial(self, runs):
+        """The paper: group-aware under 80% of SI bandwidth.  We allow a
+        modest margin for the synthetic trace."""
+        for name, run in runs.items():
+            assert run.output_ratio("RG") < 0.9, name
+
+    def test_rg_and_ps_comparable(self, runs):
+        for name, run in runs.items():
+            assert run.oi_ratio("PS") == pytest.approx(
+                run.oi_ratio("RG"), rel=0.1
+            ), name
+
+    def test_quality_for_every_application(self, runs, trace):
+        for name, specs in TABLE_4_1_GROUPS.items():
+            result = runs[name].results["RG"]
+            filters = parse_group(specs)
+            for index, flt in enumerate(filters):
+                sets = replay_candidate_sets(
+                    lambda spec=specs[index]: parse_filter(spec, name="check"),
+                    trace,
+                )
+                delivered = result.outputs_for(flt.name)
+                report = validate_outputs(sets, delivered)
+                assert report.ok, (name, flt.name)
+
+
+class TestTenGroups:
+    def test_all_groups_run_and_save(self):
+        shared = namos_trace(n=1000, seed=9)
+        groups = table_5_2_groups(shared, seed=9)
+        for group_id, specs in groups.items():
+            ga = GroupAwareEngine(parse_group(specs), algorithm="region").run(shared)
+            si = SelfInterestedEngine(parse_group(specs)).run(shared)
+            assert ga.output_count <= si.output_count, group_id
+            assert ga.output_count > 0, group_id
+
+
+class TestCutsEndToEnd:
+    def test_cut_ladder_reduces_latency_monotonically(self, trace):
+        specs = TABLE_4_1_GROUPS["DC_Fluoro"]
+        means = []
+        for constraint_ms in (2000.0, 250.0, 60.0):
+            filters = parse_group(specs)
+            result = GroupAwareEngine(
+                filters,
+                algorithm="region",
+                time_constraint=TimeConstraint(constraint_ms),
+            ).run(trace)
+            delays = [e.delay_ms for e in result.emissions]
+            means.append(sum(delays) / len(delays))
+        assert means[0] >= means[1] >= means[2]
+
+
+class TestFullDissemination:
+    def test_chlorine_scenario_pipeline(self):
+        """Source -> group-aware filters -> multicast -> applications."""
+        plume = chlorine_trace(n=1000, seed=23)
+        peak = max(plume.column("cl_near"))
+        overlay = OverlayNetwork(
+            [f"truck{i}" for i in range(5)], LinkModel(bandwidth_mbps=1.0)
+        )
+        system = StreamingSystem(overlay)
+        system.add_source("cl", "truck0")
+        for index, fraction in enumerate((0.05, 0.08, 0.12)):
+            delta = fraction * peak
+            system.subscribe(
+                f"app{index}",
+                f"truck{index + 1}",
+                "cl",
+                f"DC1(cl_near, {delta:.6g}, {delta / 2:.6g})",
+            )
+        result = system.disseminate("cl", plume, algorithm="per_candidate_set")
+        assert result.engine_result.output_count > 0
+        assert result.accounting.total_messages > 0
+        # Every application's deliveries match the engine's decisions.
+        for index in range(3):
+            name = f"app{index}"
+            delivered = {d.item.seq for d in result.deliveries_for(name)}
+            owed = {t.seq for t in result.engine_result.outputs_for(name)}
+            assert delivered == owed

@@ -1,0 +1,153 @@
+"""Unit tests for Scribe-style tuple-level multicast."""
+
+import pytest
+
+from repro.net.accounting import BandwidthAccounting
+from repro.net.multicast import ScribeMulticast
+from repro.net.overlay import OverlayNetwork
+
+NAMES = [f"node{i}" for i in range(8)]
+
+
+def _system():
+    overlay = OverlayNetwork(NAMES)
+    multicast = ScribeMulticast(overlay, software_overhead_ms=50.0)
+    multicast.create_group("g")
+    return overlay, multicast
+
+
+class TestGroups:
+    def test_create_duplicate_rejected(self):
+        _, multicast = _system()
+        with pytest.raises(ValueError):
+            multicast.create_group("g")
+
+    def test_unknown_group(self):
+        _, multicast = _system()
+        with pytest.raises(KeyError):
+            multicast.group("nope")
+
+    def test_join_registers_member(self):
+        _, multicast = _system()
+        multicast.join("g", "app1", "node3")
+        assert multicast.group("g").members == {"app1": "node3"}
+
+    def test_double_join_rejected(self):
+        _, multicast = _system()
+        multicast.join("g", "app1", "node3")
+        with pytest.raises(ValueError):
+            multicast.join("g", "app1", "node4")
+
+    def test_tree_paths_lead_to_rendezvous(self):
+        _, multicast = _system()
+        for index, name in enumerate(NAMES):
+            multicast.join("g", f"app{index}", name)
+        group = multicast.group("g")
+        for name in NAMES:
+            current = name
+            hops = 0
+            while current != group.rendezvous.name:
+                current = group.parent[current]
+                hops += 1
+                assert hops < 50  # no cycles
+
+
+class TestPublish:
+    def test_delivers_to_all_recipients(self):
+        _, multicast = _system()
+        for index in range(4):
+            multicast.join("g", f"app{index}", NAMES[index + 1])
+        receipt = multicast.publish(
+            "g", NAMES[0], frozenset({"app0", "app2"}), size_bytes=64, send_ms=100.0
+        )
+        assert set(receipt.delivery_ms) == {"app0", "app2"}
+        for delivered in receipt.delivery_ms.values():
+            assert delivered > 100.0
+
+    def test_software_overhead_dominates(self):
+        _, multicast = _system()
+        multicast.join("g", "app0", NAMES[1])
+        receipt = multicast.publish(
+            "g", NAMES[0], frozenset({"app0"}), size_bytes=64, send_ms=0.0
+        )
+        assert receipt.delivery_ms["app0"] >= 50.0
+
+    def test_empty_recipient_set_costs_nothing(self):
+        _, multicast = _system()
+        multicast.join("g", "app0", NAMES[1])
+        receipt = multicast.publish("g", NAMES[0], frozenset(), 64, 0.0)
+        assert receipt.delivery_ms == {}
+        assert receipt.link_transmissions == 0
+
+    def test_unknown_recipient_rejected(self):
+        _, multicast = _system()
+        multicast.join("g", "app0", NAMES[1])
+        with pytest.raises(KeyError, match="not members"):
+            multicast.publish("g", NAMES[0], frozenset({"ghost"}), 64, 0.0)
+
+    def test_at_most_once_per_link(self):
+        """Section 1.2: 'each tuple is transmitted at most once on any
+        link', even with many recipients behind shared tree edges."""
+        overlay = OverlayNetwork(NAMES)
+        accounting = BandwidthAccounting()
+        multicast = ScribeMulticast(overlay, accounting)
+        multicast.create_group("g")
+        for index, name in enumerate(NAMES):
+            multicast.join("g", f"app{index}", name)
+        before = {link: usage.messages for link, usage in accounting.links.items()}
+        multicast.publish(
+            "g",
+            NAMES[0],
+            frozenset(f"app{i}" for i in range(len(NAMES))),
+            size_bytes=64,
+            send_ms=0.0,
+        )
+        for link, usage in accounting.links.items():
+            assert usage.messages - before.get(link, 0) <= 1
+
+    def test_pruning_skips_uninterested_branches(self):
+        """Recipient subsets must not pay for the full group tree."""
+        overlay = OverlayNetwork(NAMES)
+        multicast = ScribeMulticast(overlay)
+        multicast.create_group("g")
+        for index, name in enumerate(NAMES):
+            multicast.join("g", f"app{index}", name)
+        everyone = multicast.publish(
+            "g", NAMES[0], frozenset(f"app{i}" for i in range(8)), 64, 0.0
+        )
+        subset = multicast.publish("g", NAMES[0], frozenset({"app1"}), 64, 0.0)
+        assert subset.link_transmissions <= everyone.link_transmissions
+
+    def test_accounting_totals(self):
+        overlay = OverlayNetwork(NAMES)
+        accounting = BandwidthAccounting()
+        multicast = ScribeMulticast(overlay, accounting)
+        multicast.create_group("g")
+        multicast.join("g", "app0", NAMES[2])
+        receipt = multicast.publish("g", NAMES[0], frozenset({"app0"}), 100, 0.0)
+        assert accounting.total_messages == receipt.link_transmissions
+        assert accounting.total_bytes == receipt.bytes_sent
+
+
+class TestAccounting:
+    def test_local_handoff_not_counted(self):
+        accounting = BandwidthAccounting()
+        accounting.record("a", "a", 100)
+        assert accounting.total_messages == 0
+
+    def test_merge(self):
+        first = BandwidthAccounting()
+        first.record("a", "b", 10)
+        second = BandwidthAccounting()
+        second.record("a", "b", 5)
+        second.record("b", "c", 7)
+        first.merge(second)
+        assert first.total_bytes == 22
+        assert first.links[("a", "b")].messages == 2
+
+    def test_busiest_links(self):
+        accounting = BandwidthAccounting()
+        accounting.record("a", "b", 10)
+        accounting.record("c", "d", 100)
+        top = accounting.busiest_links(1)
+        assert top[0][0] == ("c", "d")

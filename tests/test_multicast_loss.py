@@ -1,0 +1,73 @@
+"""Unit tests for the lossy-link multicast extension."""
+
+import pytest
+
+from repro.net.multicast import ScribeMulticast
+from repro.net.overlay import OverlayNetwork
+
+NAMES = [f"node{i}" for i in range(8)]
+
+
+def _multicast(loss_rate, seed=0):
+    overlay = OverlayNetwork(NAMES)
+    multicast = ScribeMulticast(overlay, loss_rate=loss_rate, seed=seed)
+    multicast.create_group("g")
+    for index, name in enumerate(NAMES):
+        multicast.join("g", f"app{index}", name)
+    return multicast
+
+
+class TestLossyLinks:
+    def test_loss_rate_validated(self):
+        overlay = OverlayNetwork(NAMES)
+        with pytest.raises(ValueError):
+            ScribeMulticast(overlay, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ScribeMulticast(overlay, loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            ScribeMulticast(overlay, max_retries=-1)
+
+    def test_no_loss_means_no_retransmissions(self):
+        multicast = _multicast(loss_rate=0.0)
+        multicast.publish("g", NAMES[0], frozenset({"app3"}), 64, 0.0)
+        assert multicast.retransmissions == 0
+
+    def test_loss_costs_bandwidth(self):
+        clean = _multicast(loss_rate=0.0)
+        lossy = _multicast(loss_rate=0.4, seed=3)
+        recipients = frozenset(f"app{i}" for i in range(8))
+        clean_receipt = clean.publish("g", NAMES[0], recipients, 64, 0.0)
+        lossy_receipt = lossy.publish("g", NAMES[0], recipients, 64, 0.0)
+        assert lossy_receipt.link_transmissions > clean_receipt.link_transmissions
+        assert lossy.retransmissions > 0
+
+    def test_loss_costs_latency(self):
+        clean = _multicast(loss_rate=0.0)
+        lossy = _multicast(loss_rate=0.5, seed=4)
+        recipients = frozenset(f"app{i}" for i in range(8))
+        clean_receipt = clean.publish("g", NAMES[0], recipients, 64, 0.0)
+        lossy_receipt = lossy.publish("g", NAMES[0], recipients, 64, 0.0)
+        assert max(lossy_receipt.delivery_ms.values()) >= max(
+            clean_receipt.delivery_ms.values()
+        )
+
+    def test_delivery_still_complete_under_loss(self):
+        """Hop-by-hop ARQ: every recipient is still reached."""
+        lossy = _multicast(loss_rate=0.6, seed=5)
+        recipients = frozenset(f"app{i}" for i in range(8))
+        receipt = lossy.publish("g", NAMES[0], recipients, 64, 0.0)
+        assert set(receipt.delivery_ms) == recipients
+
+    def test_retry_cap_bounds_attempts(self):
+        overlay = OverlayNetwork(NAMES)
+        multicast = ScribeMulticast(overlay, loss_rate=0.9, max_retries=2, seed=6)
+        assert multicast._hop_attempts() <= 3  # 1 try + 2 retries
+
+    def test_deterministic_given_seed(self):
+        first = _multicast(loss_rate=0.3, seed=9)
+        second = _multicast(loss_rate=0.3, seed=9)
+        recipients = frozenset({"app1", "app5"})
+        a = first.publish("g", NAMES[0], recipients, 64, 0.0)
+        b = second.publish("g", NAMES[0], recipients, 64, 0.0)
+        assert a.link_transmissions == b.link_transmissions
+        assert a.delivery_ms == b.delivery_ms

@@ -1,0 +1,167 @@
+"""Unit tests for output strategies (section 3.4)."""
+
+import pytest
+
+from repro.core.engine import GroupAwareEngine
+from repro.core.output import (
+    BatchedOutput,
+    Decision,
+    Emission,
+    PerCandidateSetOutput,
+    RegionOutput,
+    merge_decisions,
+)
+from repro.core.regions import Region
+from repro.core.candidates import CandidateSet
+from tests.conftest import make_tuples, paper_group
+
+
+def _decision(name, items, set_id=None, decide_ts=0.0):
+    return Decision(
+        filter_name=name,
+        set_id=set_id if set_id is not None else id(items) % 100000,
+        tuples=tuple(items),
+        decide_ts=decide_ts,
+    )
+
+
+class TestMergeDecisions:
+    def test_recipients_merged_per_tuple(self):
+        items = make_tuples([1.0])
+        emissions = merge_decisions(
+            [_decision("A", items), _decision("B", items, set_id=2)], emit_ts=50.0
+        )
+        assert len(emissions) == 1
+        assert emissions[0].recipients == frozenset({"A", "B"})
+        assert emissions[0].emit_ts == 50.0
+
+    def test_order_by_timestamp(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        emissions = merge_decisions(
+            [_decision("A", [items[2], items[0]]), _decision("B", [items[1]], set_id=2)],
+            emit_ts=99.0,
+        )
+        assert [e.item.seq for e in emissions] == [0, 1, 2]
+
+    def test_earliest_decide_ts_kept(self):
+        items = make_tuples([1.0])
+        emissions = merge_decisions(
+            [
+                _decision("A", items, set_id=1, decide_ts=30.0),
+                _decision("B", items, set_id=2, decide_ts=10.0),
+            ],
+            emit_ts=50.0,
+        )
+        assert emissions[0].decide_ts == 10.0
+
+    def test_empty(self):
+        assert merge_decisions([], emit_ts=0.0) == []
+
+    def test_emission_delay(self):
+        items = make_tuples([1.0])
+        emission = Emission(items[0], frozenset({"A"}), emit_ts=70.0, decide_ts=60.0)
+        assert emission.delay_ms == 70.0
+
+
+def _region_of(items, name="f"):
+    cs = CandidateSet(name)
+    for item in items:
+        cs.add(item)
+    cs.close()
+    return Region(sets=[cs]), cs
+
+
+class TestRegionOutput:
+    def test_buffers_until_region_close(self):
+        items = make_tuples([1.0, 2.0])
+        region, cs = _region_of(items)
+        strategy = RegionOutput()
+        assert strategy.on_decisions(
+            [_decision("A", [items[0]], set_id=cs.set_id)], now=10.0
+        ) == []
+        released = strategy.on_region_close(region, now=20.0)
+        assert len(released) == 1
+        assert released[0].emit_ts == 20.0
+
+    def test_unrelated_decisions_stay_buffered(self):
+        items = make_tuples([1.0, 2.0])
+        region, cs = _region_of([items[0]])
+        strategy = RegionOutput()
+        strategy.on_decisions([_decision("A", [items[1]], set_id=999)], now=5.0)
+        assert strategy.on_region_close(region, now=10.0) == []
+        flushed = strategy.flush(now=30.0)
+        assert len(flushed) == 1
+
+    def test_flush_releases_everything(self):
+        items = make_tuples([1.0])
+        strategy = RegionOutput()
+        strategy.on_decisions([_decision("A", items, set_id=1)], now=5.0)
+        assert len(strategy.flush(now=9.0)) == 1
+        assert strategy.flush(now=10.0) == []
+
+
+class TestPerCandidateSetOutput:
+    def test_immediate_release(self):
+        items = make_tuples([1.0])
+        strategy = PerCandidateSetOutput()
+        released = strategy.on_decisions([_decision("A", items)], now=3.0)
+        assert len(released) == 1
+        assert released[0].emit_ts == 3.0
+
+    def test_flush_empty(self):
+        assert PerCandidateSetOutput().flush(now=1.0) == []
+
+
+class TestBatchedOutput:
+    def test_releases_every_batch(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        strategy = BatchedOutput(batch_size=2)
+        strategy.on_decisions([_decision("A", [items[0]])], now=0.0)
+        assert strategy.on_input(now=0.0) == []
+        released = strategy.on_input(now=10.0)
+        assert len(released) == 1
+        assert released[0].emit_ts == 10.0
+
+    def test_empty_batches_release_nothing(self):
+        strategy = BatchedOutput(batch_size=1)
+        assert strategy.on_input(now=0.0) == []
+
+    def test_flush(self):
+        items = make_tuples([1.0])
+        strategy = BatchedOutput(batch_size=100)
+        strategy.on_decisions([_decision("A", items)], now=0.0)
+        assert len(strategy.flush(now=5.0)) == 1
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            BatchedOutput(0)
+
+
+class TestStrategiesEndToEnd:
+    """Figure 4.13's ordering: Pcs <= region-gated <= batched latency."""
+
+    def _mean_delay(self, strategy, paper_trace):
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="per_candidate_set",
+            output_strategy=strategy,
+        ).run(paper_trace)
+        delays = [e.delay_ms for e in result.emissions]
+        return sum(delays) / len(delays)
+
+    def test_latency_ordering(self, paper_trace):
+        pcs = self._mean_delay(PerCandidateSetOutput(), paper_trace)
+        region = self._mean_delay(RegionOutput(), paper_trace)
+        batched = self._mean_delay(BatchedOutput(len(paper_trace)), paper_trace)
+        assert pcs <= region <= batched
+
+    def test_same_tuples_delivered_regardless_of_strategy(self, paper_trace):
+        outputs = set()
+        for strategy in (RegionOutput(), PerCandidateSetOutput(), BatchedOutput(4)):
+            result = GroupAwareEngine(
+                paper_group(),
+                algorithm="per_candidate_set",
+                output_strategy=strategy,
+            ).run(paper_trace)
+            outputs.add(frozenset(result.distinct_output_seqs))
+        assert len(outputs) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the DHT overlay and link model."""
+
+import math
+
+import pytest
+
+from repro.net.overlay import LinkModel, OverlayNetwork, key_for
+
+NAMES = [f"node{i}" for i in range(16)]
+
+
+class TestKeyFor:
+    def test_stable(self):
+        assert key_for("source:buoy") == key_for("source:buoy")
+
+    def test_distinct(self):
+        assert key_for("a") != key_for("b")
+
+    def test_in_id_space(self):
+        assert 0 <= key_for("anything") < (1 << 32)
+
+
+class TestLinkModel:
+    def test_transfer_time(self):
+        link = LinkModel(bandwidth_mbps=1.0, latency_ms=5.0)
+        # 125 bytes = 1000 bits = 1 ms on a 1 Mbps link.
+        assert link.transfer_ms(125) == pytest.approx(6.0)
+
+    def test_zero_bytes_is_latency_only(self):
+        link = LinkModel(bandwidth_mbps=1.0, latency_ms=5.0)
+        assert link.transfer_ms(0) == 5.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel().transfer_ms(-1)
+
+
+class TestOverlayNetwork:
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError, match="unique"):
+            OverlayNetwork(["a", "a"])
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OverlayNetwork([])
+
+    def test_unknown_node(self):
+        overlay = OverlayNetwork(NAMES)
+        with pytest.raises(KeyError):
+            overlay.node("ghost")
+
+    def test_successor_owns_key(self):
+        overlay = OverlayNetwork(NAMES)
+        for key in (0, 123456, (1 << 32) - 1, key_for("x")):
+            owner = overlay.successor(key)
+            assert owner.name in NAMES
+
+    def test_successor_wraps_around(self):
+        overlay = OverlayNetwork(NAMES)
+        max_id = max(overlay.node(name).node_id for name in NAMES)
+        wrapped = overlay.successor(max_id + 1)
+        min_id = min(overlay.node(name).node_id for name in NAMES)
+        assert wrapped.node_id == min_id
+
+    def test_route_reaches_owner(self):
+        overlay = OverlayNetwork(NAMES)
+        for source in NAMES[:4]:
+            for key in (key_for("g1"), key_for("g2"), 42):
+                path = overlay.route(source, key)
+                assert path[0].name == source
+                assert path[-1] == overlay.successor(key)
+
+    def test_route_hop_count_logarithmic(self):
+        overlay = OverlayNetwork([f"n{i}" for i in range(64)])
+        worst = 0
+        for source in ("n0", "n13", "n42"):
+            for target in range(0, 1 << 32, 1 << 28):
+                worst = max(worst, len(overlay.route(source, target)) - 1)
+        assert worst <= 3 * math.ceil(math.log2(64))
+
+    def test_route_to_self(self):
+        overlay = OverlayNetwork(NAMES)
+        node = overlay.node("node3")
+        path = overlay.route("node3", node.node_id)
+        assert path == [node]
+
+    def test_route_between(self):
+        overlay = OverlayNetwork(NAMES)
+        path = overlay.route_between("node0", "node9")
+        assert path[0].name == "node0"
+        assert path[-1].name == "node9"
+
+    def test_single_node_overlay(self):
+        overlay = OverlayNetwork(["solo"])
+        assert overlay.route("solo", 12345)[-1].name == "solo"

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.candidates import CandidateSet
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.hitting_set import (
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    harmonic,
+)
+from repro.core.regions import RegionTracker
+from repro.core.state import GroupUtility
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter
+from repro.filters.validate import replay_candidate_sets, validate_outputs
+from tests.conftest import make_tuples
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+walk_steps = st.lists(
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    min_size=10,
+    max_size=120,
+)
+
+filter_params = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=8.0),  # delta
+        st.floats(min_value=0.0, max_value=0.5),  # slack as fraction of delta
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _trace_from_steps(steps):
+    values = [0.0]
+    for step in steps:
+        values.append(values[-1] + step)
+    return Trace.from_values(values, attribute="v", interval_ms=10)
+
+
+def _group(params):
+    return [
+        DeltaCompressionFilter(f"f{i}", "v", delta, delta * fraction)
+        for i, (delta, fraction) in enumerate(params)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Hitting-set properties
+# ---------------------------------------------------------------------------
+@st.composite
+def hitting_instances(draw):
+    universe = make_tuples([float(i) for i in range(draw(st.integers(4, 10)))])
+    n_sets = draw(st.integers(1, 5))
+    sets = []
+    for i in range(n_sets):
+        members = draw(
+            st.lists(st.sampled_from(universe), min_size=1, max_size=6, unique=True)
+        )
+        cs = CandidateSet(f"s{i}")
+        for item in members:
+            cs.add(item)
+        cs.close()
+        sets.append(cs)
+    return sets
+
+
+@given(hitting_instances())
+@settings(max_examples=60, deadline=None)
+def test_greedy_hits_every_set(sets):
+    selection = greedy_hitting_set(sets)
+    chosen = {t.seq for t in selection.chosen}
+    for cs in sets:
+        assert chosen & {t.seq for t in cs.tuples}
+
+
+@given(hitting_instances())
+@settings(max_examples=40, deadline=None)
+def test_greedy_within_harmonic_bound_of_optimal(sets):
+    greedy = greedy_hitting_set(sets)
+    exact = exact_minimum_hitting_set(sets)
+    largest = max(len(cs) for cs in sets)
+    assert greedy.output_size <= math.ceil(harmonic(largest) * exact.output_size)
+
+
+@given(hitting_instances())
+@settings(max_examples=40, deadline=None)
+def test_greedy_never_exceeds_set_count(sets):
+    assert greedy_hitting_set(sets).output_size <= len(sets)
+
+
+@given(
+    hitting_instances(),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_multi_degree_satisfaction(sets, degree):
+    for cs in sets:
+        cs.degree = degree
+    selection = greedy_hitting_set(sets)
+    for cs in sets:
+        required = min(degree, len(cs))
+        chosen = {t.seq for t in selection.assignments[cs.set_id]}
+        assert len(chosen & {t.seq for t in cs.tuples}) >= required
+
+
+# ---------------------------------------------------------------------------
+# Delta-compression filter properties
+# ---------------------------------------------------------------------------
+@given(walk_steps, filter_params)
+@settings(max_examples=40, deadline=None)
+def test_candidate_tuples_within_slack_of_reference(steps, params):
+    trace = _trace_from_steps(steps)
+    for flt in _group(params):
+        sets = replay_candidate_sets(
+            lambda flt=flt: DeltaCompressionFilter(flt.name, "v", flt.delta, flt.slack),
+            trace,
+        )
+        for cs in sets:
+            assert cs.reference is not None
+            reference_value = cs.reference.value("v")
+            for item in cs.tuples:
+                assert abs(item.value("v") - reference_value) <= flt.slack + 1e-9
+
+
+@given(walk_steps, filter_params)
+@settings(max_examples=40, deadline=None)
+def test_axiom_1_per_filter_time_covers_disjoint(steps, params):
+    trace = _trace_from_steps(steps)
+    for flt in _group(params):
+        sets = replay_candidate_sets(
+            lambda flt=flt: DeltaCompressionFilter(flt.name, "v", flt.delta, flt.slack),
+            trace,
+        )
+        for first, second in zip(sets, sets[1:]):
+            assert first.time_cover.max_ts < second.time_cover.min_ts
+
+
+@given(walk_steps, filter_params)
+@settings(max_examples=40, deadline=None)
+def test_candidate_sets_match_si_reference_count(steps, params):
+    """Stateless candidate sets correspond 1:1 with SI references."""
+    trace = _trace_from_steps(steps)
+    for flt in _group(params):
+        sets = replay_candidate_sets(
+            lambda flt=flt: DeltaCompressionFilter(flt.name, "v", flt.delta, flt.slack),
+            trace,
+        )
+        si = DeltaCompressionFilter(flt.name, "v", flt.delta, flt.slack)
+        baseline = si.make_self_interested()
+        references = []
+        for item in trace:
+            references.extend(baseline.process(item))
+        assert len(sets) == len(references)
+
+
+# ---------------------------------------------------------------------------
+# Engine properties
+# ---------------------------------------------------------------------------
+@given(walk_steps, filter_params, st.sampled_from(["region", "per_candidate_set"]))
+@settings(max_examples=30, deadline=None)
+def test_group_aware_never_worse_than_self_interested(steps, params, algorithm):
+    trace = _trace_from_steps(steps)
+    ga = GroupAwareEngine(_group(params), algorithm=algorithm).run(trace)
+    si = SelfInterestedEngine(_group(params)).run(trace)
+    assert ga.output_count <= si.output_count
+
+
+@given(walk_steps, filter_params, st.sampled_from(["region", "per_candidate_set"]))
+@settings(max_examples=30, deadline=None)
+def test_quality_guarantee_every_candidate_set_hit(steps, params, algorithm):
+    trace = _trace_from_steps(steps)
+    result = GroupAwareEngine(_group(params), algorithm=algorithm).run(trace)
+    for flt in _group(params):
+        sets = replay_candidate_sets(
+            lambda flt=flt: DeltaCompressionFilter(flt.name, "v", flt.delta, flt.slack),
+            trace,
+        )
+        report = validate_outputs(sets, result.outputs_for(flt.name))
+        assert report.ok
+
+
+@given(walk_steps, filter_params)
+@settings(max_examples=30, deadline=None)
+def test_online_regions_match_offline_partition(steps, params):
+    """The tracker's online regions must partition the same candidate
+    sets as the offline Definition 2-4 computation."""
+    trace = _trace_from_steps(steps)
+    engine = GroupAwareEngine(_group(params), algorithm="region")
+    regions = []
+    original_poll = engine._tracker.poll
+
+    def spy(now, final=False, cut=False):
+        closed = original_poll(now, final=final, cut=cut)
+        regions.extend(closed)
+        return closed
+
+    engine._tracker.poll = spy
+    engine.run(trace)
+    all_sets = [cs for region in regions for cs in region.sets]
+    offline = RegionTracker.partition(all_sets)
+    online_partition = sorted(
+        sorted(cs.set_id for cs in region.sets) for region in regions
+    )
+    offline_partition = sorted(
+        sorted(cs.set_id for cs in component) for component in offline
+    )
+    assert online_partition == offline_partition
+
+
+# ---------------------------------------------------------------------------
+# Group utility properties
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.booleans()), min_size=0, max_size=60
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_group_utility_counts_never_negative(operations):
+    items = make_tuples([float(i) for i in range(6)])
+    utility = GroupUtility()
+    shadow = {i: 0 for i in range(6)}
+    for index, is_increment in operations:
+        if is_increment:
+            utility.increment(items[index])
+            shadow[index] += 1
+        elif shadow[index] > 0:
+            utility.decrement(items[index])
+            shadow[index] -= 1
+    for index, count in shadow.items():
+        assert utility.get(items[index]) == count

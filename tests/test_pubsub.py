@@ -1,0 +1,121 @@
+"""Unit tests for the Solar-like publish/subscribe layer."""
+
+import pytest
+
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter
+from repro.net.overlay import OverlayNetwork
+from repro.net.pubsub import StreamingSystem
+from tests.conftest import random_walk_values
+
+NODES = [f"node{i}" for i in range(6)]
+
+
+def _system():
+    return StreamingSystem(OverlayNetwork(NODES))
+
+
+def _trace(n=300, seed=0):
+    return Trace.from_values(
+        random_walk_values(n, seed=seed), attribute="temp", interval_ms=10
+    )
+
+
+def _subscribe_three(system):
+    system.add_source("src", "node0")
+    for index, (delta, slack) in enumerate([(2.0, 1.0), (3.0, 1.5), (4.4, 2.0)]):
+        system.subscribe(
+            f"app{index}",
+            NODES[index + 1],
+            "src",
+            DeltaCompressionFilter(f"app{index}", "temp", delta, slack),
+        )
+
+
+class TestRegistration:
+    def test_duplicate_source_rejected(self):
+        system = _system()
+        system.add_source("src", "node0")
+        with pytest.raises(ValueError):
+            system.add_source("src", "node1")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            _system().add_source("src", "ghost")
+
+    def test_subscribe_unknown_source(self):
+        with pytest.raises(KeyError):
+            _system().subscribe(
+                "app", "node1", "ghost", DeltaCompressionFilter("app", "temp", 1, 0.4)
+            )
+
+    def test_filter_name_must_match_app(self):
+        system = _system()
+        system.add_source("src", "node0")
+        with pytest.raises(ValueError, match="must equal"):
+            system.subscribe(
+                "app", "node1", "src", DeltaCompressionFilter("other", "temp", 1, 0.4)
+            )
+
+    def test_textual_spec_subscription(self):
+        system = _system()
+        system.add_source("src", "node0")
+        system.subscribe("app", "node1", "src", "DC1(temp, 2.0, 1.0)")
+        assert system.subscribers("src") == ["app"]
+
+    def test_disseminate_without_subscribers(self):
+        system = _system()
+        system.add_source("src", "node0")
+        with pytest.raises(ValueError, match="no subscribers"):
+            system.disseminate("src", _trace())
+
+
+class TestDissemination:
+    def test_group_aware_saves_link_bytes(self):
+        trace = _trace(n=400, seed=2)
+        ga_system = _system()
+        _subscribe_three(ga_system)
+        ga = ga_system.disseminate("src", trace, algorithm="region")
+
+        si_system = _system()
+        _subscribe_three(si_system)
+        si = si_system.disseminate("src", trace, algorithm="self_interested")
+
+        assert ga.engine_result.output_count <= si.engine_result.output_count
+        assert ga.total_link_bytes <= si.total_link_bytes
+
+    def test_every_app_receives_its_outputs(self):
+        trace = _trace(n=300, seed=3)
+        system = _system()
+        _subscribe_three(system)
+        result = system.disseminate("src", trace, algorithm="region")
+        for index in range(3):
+            name = f"app{index}"
+            delivered = {d.item.seq for d in result.deliveries_for(name)}
+            owed = {t.seq for t in result.engine_result.outputs_for(name)}
+            assert delivered == owed
+
+    def test_end_to_end_latency_positive(self):
+        trace = _trace(n=200, seed=4)
+        system = _system()
+        _subscribe_three(system)
+        result = system.disseminate("src", trace, algorithm="per_candidate_set")
+        assert result.deliveries
+        for delivery in result.deliveries:
+            assert delivery.end_to_end_ms > 0
+
+    def test_mean_end_to_end_per_app(self):
+        trace = _trace(n=200, seed=5)
+        system = _system()
+        _subscribe_three(system)
+        result = system.disseminate("src", trace, algorithm="self_interested")
+        assert result.mean_end_to_end_ms("app0") > 0
+        assert result.mean_end_to_end_ms() > 0
+
+    def test_mean_end_to_end_empty(self):
+        from repro.core.engine import EngineResult
+        from repro.net.accounting import BandwidthAccounting
+        from repro.net.pubsub import DisseminationResult
+
+        result = DisseminationResult(EngineResult(), BandwidthAccounting())
+        assert result.mean_end_to_end_ms() == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for stream punctuations and downstream reordering."""
+
+from repro.core.engine import GroupAwareEngine
+from repro.core.output import Emission, PerCandidateSetOutput
+from repro.core.punctuation import (
+    OrderingBuffer,
+    PunctuatedStream,
+    Punctuation,
+    measure_disorder,
+)
+from tests.conftest import make_tuples, paper_group
+
+
+def _emission(item, ts):
+    return Emission(item, frozenset({"A"}), emit_ts=ts, decide_ts=ts)
+
+
+class TestPunctuatedStream:
+    def test_interleaving(self):
+        items = make_tuples([1.0, 2.0])
+        stream = PunctuatedStream()
+        stream.emit(_emission(items[0], 10.0))
+        stream.punctuate(low_watermark=10.0, now=12.0)
+        stream.emit(_emission(items[1], 20.0))
+        elements = stream.elements
+        assert isinstance(elements[1], Punctuation)
+        assert elements[1].low_watermark == 10.0
+
+
+class TestOrderingBuffer:
+    def test_releases_in_order_at_watermark(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        buffer = OrderingBuffer()
+        # Arrive out of order: seq 1 (ts 10) before seq 0 (ts 0).
+        assert buffer.offer(_emission(items[1], 30.0)) == []
+        assert buffer.offer(_emission(items[0], 31.0)) == []
+        released = buffer.offer(Punctuation(low_watermark=10.0, emit_ts=32.0))
+        assert [e.item.seq for e in released] == [0, 1]
+        buffer.assert_ordered()
+
+    def test_holds_beyond_watermark(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        buffer = OrderingBuffer()
+        buffer.offer(_emission(items[1], 30.0))  # ts 10
+        released = buffer.offer(Punctuation(low_watermark=5.0, emit_ts=31.0))
+        assert released == []
+        assert len(buffer.flush()) == 1
+
+    def test_flush_sorts(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        buffer = OrderingBuffer()
+        buffer.offer(_emission(items[2], 50.0))
+        buffer.offer(_emission(items[0], 51.0))
+        flushed = buffer.flush()
+        assert [e.item.seq for e in flushed] == [0, 2]
+        buffer.assert_ordered()
+
+
+class TestMeasureDisorder:
+    def test_ordered_stream(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        emissions = [_emission(item, 100.0) for item in items]
+        assert measure_disorder(emissions) == 0
+
+    def test_counts_inversions(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        emissions = [
+            _emission(items[2], 100.0),
+            _emission(items[0], 101.0),
+            _emission(items[1], 102.0),
+        ]
+        assert measure_disorder(emissions) == 2
+
+
+class TestDisorderOfPcsOutput:
+    def test_pcs_disorder_is_repairable(self, paper_trace):
+        """Section 3.4: Pcs output may be disordered across a region's
+        candidate sets; punctuations let downstream repair it."""
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="per_candidate_set",
+            output_strategy=PerCandidateSetOutput(),
+        ).run(paper_trace)
+        buffer = OrderingBuffer()
+        for emission in result.emissions:
+            buffer.offer(emission)
+        buffer.flush()
+        buffer.assert_ordered()
+        assert len(buffer.released) == len(result.emissions)

@@ -1,0 +1,145 @@
+"""Unit tests for quality specifications and propagation."""
+
+import pytest
+
+from repro.qos import DegradationPolicy, QualitySpec, propagate
+from repro.workflow import WorkflowGraph
+
+
+def _spec(app, delta=2.0, latency=None, priority=0):
+    return QualitySpec(
+        app_name=app,
+        filter_spec=f"DC1(temp, {delta}, {delta / 2})",
+        latency_tolerance_ms=latency,
+        priority=priority,
+    )
+
+
+class TestQualitySpec:
+    def test_validates_filter_spec(self):
+        with pytest.raises(ValueError):
+            QualitySpec("app", "DC1(temp, broken)")
+
+    def test_validates_app_name(self):
+        with pytest.raises(ValueError):
+            QualitySpec("", "DC1(temp, 2, 1)")
+
+    def test_validates_latency(self):
+        with pytest.raises(ValueError):
+            QualitySpec("app", "DC1(temp, 2, 1)", latency_tolerance_ms=0)
+
+    def test_instantiate_names_after_app(self):
+        flt = _spec("tracker").instantiate()
+        assert flt.name == "tracker"
+        assert flt.delta == 2.0
+
+    def test_group_constraint_is_minimum(self):
+        a = _spec("a", latency=200)
+        b = _spec("b", latency=80)
+        c = _spec("c")  # best effort
+        constraint = a.group_time_constraint(b, c)
+        assert constraint.max_delay_ms == 80
+
+    def test_group_constraint_all_best_effort(self):
+        assert _spec("a").group_time_constraint(_spec("b")) is None
+
+
+class TestDegradationPolicy:
+    def _policy(self):
+        return DegradationPolicy(
+            app_name="tracker",
+            levels=(
+                _spec("tracker", delta=1.0),
+                _spec("tracker", delta=2.0),
+                _spec("tracker", delta=5.0),
+            ),
+            bandwidth_floors_kbps=(500.0, 200.0, 0.0),
+        )
+
+    def test_best_level_when_bandwidth_plenty(self):
+        policy = self._policy()
+        assert policy.level_for_bandwidth(1000.0).instantiate().delta == 1.0
+
+    def test_degrades_progressively(self):
+        policy = self._policy()
+        assert policy.level_for_bandwidth(300.0).instantiate().delta == 2.0
+        assert policy.level_for_bandwidth(50.0).instantiate().delta == 5.0
+
+    def test_no_floors_always_best(self):
+        policy = DegradationPolicy("tracker", (_spec("tracker", delta=1.0),))
+        assert policy.level_for_bandwidth(0.0).instantiate().delta == 1.0
+
+    def test_validates_levels(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DegradationPolicy("tracker", ())
+        with pytest.raises(ValueError, match="same application"):
+            DegradationPolicy("tracker", (_spec("other"),))
+
+    def test_validates_floors(self):
+        with pytest.raises(ValueError, match="one bandwidth floor"):
+            DegradationPolicy(
+                "tracker",
+                (_spec("tracker"),),
+                bandwidth_floors_kbps=(1.0, 2.0),
+            )
+        with pytest.raises(ValueError, match="non-increasing"):
+            DegradationPolicy(
+                "tracker",
+                (_spec("tracker", delta=1.0), _spec("tracker", delta=2.0)),
+                bandwidth_floors_kbps=(100.0, 200.0),
+            )
+
+
+def _diamond() -> WorkflowGraph:
+    """source -> op -> {app1, app2}; source -> app3 directly."""
+    graph = WorkflowGraph()
+    graph.add_source("src")
+    graph.add_operator("op")
+    graph.add_application("app1")
+    graph.add_application("app2")
+    graph.add_application("app3")
+    graph.connect("src", "op")
+    graph.connect("op", "app1")
+    graph.connect("op", "app2")
+    graph.connect("src", "app3")
+    return graph
+
+
+class TestPropagation:
+    def test_specs_accumulate_source_ward(self):
+        graph = _diamond()
+        specs = {name: _spec(name) for name in ("app1", "app2", "app3")}
+        propagated = propagate(graph, specs)
+        assert [s.app_name for s in propagated.specs_at("op")] == ["app1", "app2"]
+        assert [s.app_name for s in propagated.specs_at("src")] == [
+            "app1",
+            "app2",
+            "app3",
+        ]
+
+    def test_group_junctures(self):
+        graph = _diamond()
+        specs = {name: _spec(name) for name in ("app1", "app2", "app3")}
+        propagated = propagate(graph, specs)
+        assert propagated.group_junctures() == ["op", "src"]
+
+    def test_single_subscriber_is_not_a_juncture(self):
+        graph = WorkflowGraph()
+        graph.add_source("src")
+        graph.add_application("solo")
+        graph.connect("src", "solo")
+        propagated = propagate(graph, {"solo": _spec("solo")})
+        assert propagated.group_junctures() == []
+        assert [s.app_name for s in propagated.specs_at("src")] == ["solo"]
+
+    def test_missing_spec_rejected(self):
+        graph = _diamond()
+        with pytest.raises(ValueError, match="without quality specs"):
+            propagate(graph, {"app1": _spec("app1")})
+
+    def test_unknown_app_rejected(self):
+        graph = _diamond()
+        specs = {name: _spec(name) for name in ("app1", "app2", "app3")}
+        specs["ghost"] = _spec("ghost")
+        with pytest.raises(ValueError, match="unknown applications"):
+            propagate(graph, specs)

@@ -1,0 +1,172 @@
+"""Unit tests for region-based segmentation (section 2.3.2)."""
+
+import pytest
+
+from repro.core.candidates import CandidateSet
+from repro.core.regions import Region, RegionTracker
+from tests.conftest import make_tuples
+
+
+def _set(filter_name, items, closed=True):
+    cs = CandidateSet(filter_name)
+    for item in items:
+        cs.add(item)
+    if closed:
+        cs.close()
+    return cs
+
+
+class TestRegion:
+    def test_time_cover_union(self):
+        items = make_tuples([1.0, 2.0, 3.0, 4.0], interval_ms=10)
+        region = Region(sets=[_set("a", items[:2]), _set("b", items[2:])])
+        assert region.time_cover.min_ts == 0.0
+        assert region.time_cover.max_ts == 30.0
+
+    def test_tuple_seqs_deduplicated(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        region = Region(sets=[_set("a", items[:2]), _set("b", items[1:])])
+        assert region.tuple_seqs == {0, 1, 2}
+        assert region.size == 3
+        assert len(region) == 2
+
+    def test_empty_region_cover_raises(self):
+        with pytest.raises(ValueError, match="no tuples"):
+            Region(sets=[]).time_cover
+
+
+class TestOfflinePartition:
+    def test_paper_example_two_regions(self):
+        """Figure 2.5: three DC filters produce exactly two regions."""
+        items = make_tuples([0, 35, 29, 45, 50, 59, 80, 97, 100, 112], interval_ms=10)
+        by_value = {int(t.value("value")): t for t in items}
+        sets = [
+            _set("A", [by_value[0]]),
+            _set("A", [by_value[45], by_value[50], by_value[59]]),
+            _set("A", [by_value[97], by_value[100]]),
+            _set("B", [by_value[0]]),
+            _set("B", [by_value[45], by_value[50]]),
+            _set("B", [by_value[97], by_value[100]]),
+            _set("C", [by_value[0]]),
+            _set("C", [by_value[59], by_value[80], by_value[97], by_value[100]]),
+        ]
+        regions = RegionTracker.partition(sets)
+        assert len(regions) == 2
+        assert len(regions[0]) == 3  # the three singleton {0} sets
+        assert len(regions[1]) == 5
+
+    def test_transitive_connectivity(self):
+        """Definition 3: A-B connected and B-C connected puts A and C in
+        one region even if A and C do not intersect."""
+        items = make_tuples([1.0] * 5, interval_ms=10)
+        a = _set("a", items[0:2])  # covers [0, 10]
+        b = _set("b", items[1:4])  # covers [10, 30]
+        c = _set("c", items[3:5])  # covers [30, 40]
+        regions = RegionTracker.partition([a, c, b])
+        assert len(regions) == 1
+
+    def test_empty_sets_ignored(self):
+        items = make_tuples([1.0])
+        assert len(RegionTracker.partition([_set("a", items), CandidateSet("b")])) == 1
+
+    def test_no_sets(self):
+        assert RegionTracker.partition([]) == []
+
+
+class TestRegionTracker:
+    def test_region_not_closed_while_sets_open(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        open_set = _set("a", items, closed=False)
+        tracker.watch(open_set)
+        assert tracker.poll(now=100.0) == []
+
+    def test_region_closes_after_all_sets_closed(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        cs = _set("a", items)
+        tracker.watch(cs)
+        regions = tracker.poll(now=20.0)
+        assert len(regions) == 1
+        assert regions[0].sets == [cs]
+        assert tracker.regions_emitted == 1
+
+    def test_closed_component_waits_for_now_to_pass(self):
+        """A component whose cover reaches 'now' could still be joined."""
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        tracker.watch(_set("a", items))
+        assert tracker.poll(now=10.0) == []  # cover max == now
+        assert len(tracker.poll(now=10.1)) == 1
+
+    def test_final_flush_ignores_now(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        tracker.watch(_set("a", items))
+        assert len(tracker.poll(now=10.0, final=True)) == 1
+
+    def test_open_set_blocks_connected_component_only(self):
+        items = make_tuples([1.0] * 6, interval_ms=10)
+        tracker = RegionTracker()
+        early = _set("a", items[0:2])  # [0, 10] closed
+        blocker = _set("b", items[1:3], closed=False)  # [10, 20] open
+        tracker.watch(early)
+        tracker.watch(blocker)
+        assert tracker.poll(now=100.0) == []
+        blocker.close()
+        assert len(tracker.poll(now=100.0)) == 1
+
+    def test_disjoint_components_close_independently(self):
+        items = make_tuples([1.0] * 8, interval_ms=10)
+        tracker = RegionTracker()
+        done = _set("a", items[0:2])  # [0, 10]
+        pending = _set("b", items[5:7], closed=False)  # [50, 60] open
+        tracker.watch(done)
+        tracker.watch(pending)
+        regions = tracker.poll(now=60.0)
+        assert len(regions) == 1
+        assert regions[0].sets == [done]
+
+    def test_cut_marking(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        cs = _set("a", items, closed=False)
+        cs.close(cut=True)
+        tracker.watch(cs)
+        regions = tracker.poll(now=20.0)
+        assert regions[0].cut
+        assert tracker.regions_cut == 1
+
+    def test_active_span(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        tracker.watch(_set("a", items, closed=False))
+        assert tracker.active_span(now=35.0) == 35.0
+
+    def test_active_span_empty(self):
+        assert RegionTracker().active_span(now=10.0) == 0.0
+
+    def test_active_tuple_count_dedups(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        tracker = RegionTracker()
+        tracker.watch(_set("a", items[:2], closed=False))
+        tracker.watch(_set("b", items[1:], closed=False))
+        assert tracker.active_tuple_count() == 3
+
+    def test_has_open_sets(self):
+        items = make_tuples([1.0])
+        tracker = RegionTracker()
+        assert not tracker.has_open_sets()
+        cs = _set("a", items, closed=False)
+        tracker.watch(cs)
+        assert tracker.has_open_sets()
+        cs.close()
+        assert not tracker.has_open_sets()
+
+    def test_empty_closed_sets_are_discarded(self):
+        tracker = RegionTracker()
+        cs = CandidateSet("a")
+        tracker.watch(cs)
+        cs.close()
+        tracker.poll(now=10.0)
+        assert tracker.active_sets() == []

@@ -1,0 +1,67 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.sim import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(30, lambda: log.append("c"))
+        sim.schedule(10, lambda: log.append("a"))
+        sim.schedule(20, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append(1))
+        sim.schedule(5, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_events_scheduled_while_running(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(5, lambda: log.append("second"))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert log == ["first", "second"]
+        assert sim.now == 15
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10, lambda: log.append("early"))
+        sim.schedule(100, lambda: log.append("late"))
+        sim.run(until_ms=50)
+        assert log == ["early"]
+        assert sim.now == 50
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_ms=100)
+        with pytest.raises(ValueError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_custom_start(self):
+        sim = Simulator(start_ms=1000)
+        fired = []
+        sim.schedule(5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1005]

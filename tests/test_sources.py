@@ -1,0 +1,139 @@
+"""Unit tests for the synthetic data sources."""
+
+import pytest
+
+from repro.core.tuples import src_statistics
+from repro.sources import (
+    CATALOG,
+    NAMOS_STATISTICS,
+    chlorine_trace,
+    cow_trace,
+    fire_trace,
+    namos_trace,
+    ramp_trace,
+    random_walk_trace,
+    scale_to_statistics,
+    sine_trace,
+    step_trace,
+    volcano_trace,
+)
+
+
+class TestNamos:
+    def test_length_and_attributes(self):
+        trace = namos_trace(n=500, seed=7)
+        assert len(trace) == 500
+        assert trace.attributes == sorted(NAMOS_STATISTICS)
+
+    def test_statistics_match_targets(self):
+        """The Table 4.1 recipe values must apply to this trace."""
+        trace = namos_trace(n=2000, seed=7)
+        for attribute, target in NAMOS_STATISTICS.items():
+            assert src_statistics(trace, attribute) == pytest.approx(target, rel=1e-6)
+
+    def test_deterministic(self):
+        assert namos_trace(n=100, seed=7).column("tmpr4") == namos_trace(
+            n=100, seed=7
+        ).column("tmpr4")
+
+    def test_seed_changes_trace(self):
+        assert namos_trace(n=100, seed=7).column("tmpr4") != namos_trace(
+            n=100, seed=8
+        ).column("tmpr4")
+
+    def test_ten_ms_spacing(self):
+        trace = namos_trace(n=10, seed=7)
+        gaps = [b.timestamp - a.timestamp for a, b in zip(trace, trace[1:])]
+        assert all(gap == pytest.approx(10.0) for gap in gaps)
+
+
+class TestShapes:
+    def test_cow_range_plausible(self):
+        trace = cow_trace(n=1000, seed=11)
+        column = trace.column("E-orient")
+        assert 700 < min(column) and max(column) < 950
+
+    def test_volcano_near_zero(self):
+        trace = volcano_trace(n=1000, seed=13)
+        column = trace.column("seis")
+        assert max(abs(v) for v in column) < 0.2
+
+    def test_fire_curve(self):
+        trace = fire_trace(n=1000, seed=17)
+        column = trace.column("HRR")
+        peak_index = column.index(max(column))
+        # Peaks during growth/plateau, not in the first tenth.
+        assert peak_index > len(column) // 10
+        assert max(column) > 3.0
+
+    def test_chlorine_nonnegative_multistation(self):
+        trace = chlorine_trace(n=500, seed=23)
+        assert set(trace.attributes) == {"cl_near", "cl_mid", "cl_far"}
+        for attribute in trace.attributes:
+            assert min(trace.column(attribute)) >= 0.0
+
+    def test_chlorine_has_signal(self):
+        trace = chlorine_trace(n=1500, seed=23)
+        assert max(trace.column("cl_near")) > 0.0
+
+
+class TestGenericSources:
+    def test_random_walk_deterministic(self):
+        assert random_walk_trace(n=50, seed=1).column("value") == random_walk_trace(
+            n=50, seed=1
+        ).column("value")
+
+    def test_sine_period(self):
+        trace = sine_trace(n=200, period=100, amplitude=5.0)
+        column = trace.column("value")
+        assert column[0] == pytest.approx(column[100], abs=1e-9)
+
+    def test_step_heights(self):
+        trace = step_trace(n=30, step_every=10, step_height=2.0)
+        assert trace.column("value")[:11] == [0.0] * 10 + [2.0]
+
+    def test_ramp_slope(self):
+        trace = ramp_trace(n=5, slope=2.0)
+        assert trace.column("value") == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+
+class TestScaleToStatistics:
+    def test_scales_exactly(self):
+        values = [0.0, 1.0, 3.0, 2.0]
+        scaled = scale_to_statistics(values, 0.5)
+        stat = sum(abs(b - a) for a, b in zip(scaled, scaled[1:])) / 3
+        assert stat == pytest.approx(0.5)
+
+    def test_preserves_anchor(self):
+        values = [10.0, 11.0, 12.0]
+        scaled = scale_to_statistics(values, 5.0)
+        assert scaled[0] == 10.0
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            scale_to_statistics([1.0, 1.0], 0.5)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            scale_to_statistics([1.0], 0.5)
+
+
+class TestCatalog:
+    def test_all_sources_registered(self):
+        expected = {
+            "namos", "cow", "volcano", "fire", "chlorine",
+            "random_walk", "sine", "step", "ramp",
+        }
+        assert expected <= set(CATALOG.names())
+
+    def test_make(self):
+        trace = CATALOG.make("cow", n=50, seed=1)
+        assert len(trace) == 50
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError, match="available"):
+            CATALOG.make("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            CATALOG.register("cow", cow_trace)

@@ -1,0 +1,112 @@
+"""Unit tests for the textual filter-spec parser."""
+
+import pytest
+
+from repro.filters.delta import DeltaCompressionFilter, StatefulDeltaCompressionFilter
+from repro.filters.multiattr import AveragedDeltaFilter
+from repro.filters.sampling import StratifiedSamplingFilter
+from repro.filters.spec import format_spec, parse_filter, parse_group
+from repro.filters.trend import TrendDeltaFilter
+
+
+class TestParseFilter:
+    def test_dc(self):
+        flt = parse_filter("DC(fluoro, 0.0301, 0.0150)")
+        assert isinstance(flt, DeltaCompressionFilter)
+        assert flt.attribute == "fluoro"
+        assert flt.delta == 0.0301
+        assert flt.slack == 0.0150
+
+    def test_dc1_alias(self):
+        flt = parse_filter("DC1(tmpr4, 0.0310, 0.0155)")
+        assert isinstance(flt, DeltaCompressionFilter)
+
+    def test_sdc_stateful(self):
+        flt = parse_filter("SDC(tmpr4, 0.0310, 0.0155)")
+        assert isinstance(flt, StatefulDeltaCompressionFilter)
+        assert flt.stateful
+
+    def test_dc2(self):
+        flt = parse_filter("DC2(fluoro, 11.59, 5.79)")
+        assert isinstance(flt, TrendDeltaFilter)
+        assert flt.delta == 11.59
+
+    def test_dc3(self):
+        flt = parse_filter("DC3(tmpr2, tmpr4, tmpr6, 0.0300, 0.0150)")
+        assert isinstance(flt, AveragedDeltaFilter)
+        assert flt.attributes == ("tmpr2", "tmpr4", "tmpr6")
+
+    def test_ss(self):
+        flt = parse_filter("SS(thermo4, 1000, 0.15, 50, 20)")
+        assert isinstance(flt, StratifiedSamplingFilter)
+        assert flt.interval_ms == 1000
+        assert flt.threshold == 0.15
+        assert flt.high_rate_percent == 50
+        assert flt.low_rate_percent == 20
+        assert flt.prescription == "random"
+
+    def test_ss_with_prescription(self):
+        flt = parse_filter("SS(thermo4, 1000, 0.15, 50, 20, top)")
+        assert flt.prescription == "top"
+
+    def test_case_insensitive_type(self):
+        assert isinstance(parse_filter("dc1(x, 1, 0.2)"), DeltaCompressionFilter)
+
+    def test_custom_name(self):
+        flt = parse_filter("DC1(x, 1, 0.2)", name="app-7")
+        assert flt.name == "app-7"
+
+    def test_auto_names_unique(self):
+        a = parse_filter("DC1(x, 1, 0.2)")
+        b = parse_filter("DC1(x, 1, 0.2)")
+        assert a.name != b.name
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "DC1(x, 1)",  # missing slack
+            "DC1(x, 1, 0.2, 3)",  # extra arg
+            "DC1(x, one, 0.2)",  # non-numeric
+            "DC3(a, 1, 0.2)",  # too few attrs
+            "SS(x, 1000, 0.1, 50)",  # missing rate
+            "WAT(x, 1, 0.2)",  # unknown type
+            "DC1 x, 1, 0.2",  # malformed
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_filter(bad)
+
+
+class TestParseGroup:
+    def test_names_unique_even_for_identical_specs(self):
+        group = parse_group(["DC1(x, 1, 0.2)", "DC1(x, 1, 0.2)"])
+        assert group[0].name != group[1].name
+
+    def test_prefix(self):
+        group = parse_group(["DC1(x, 1, 0.2)"], prefix="app")
+        assert group[0].name.startswith("app0:")
+
+
+class TestFormatSpec:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "DC1(fluoro, 0.0301, 0.015)",
+            "SDC(tmpr4, 0.031, 0.0155)",
+            "DC2(fluoro, 11.59, 5.79)",
+            "DC3(tmpr2, tmpr4, tmpr6, 0.03, 0.015)",
+            "SS(thermo4, 1000, 0.15, 50, 20)",
+        ],
+    )
+    def test_round_trip(self, spec):
+        flt = parse_filter(spec)
+        reparsed = parse_filter(format_spec(flt))
+        assert type(reparsed) is type(flt)
+
+    def test_unknown_type_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            format_spec(Weird())

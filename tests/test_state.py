@@ -1,0 +1,109 @@
+"""Unit tests for group utility and decided-output state."""
+
+import pytest
+
+from repro.core.state import DecidedOutputs, GroupUtility
+from tests.conftest import make_tuples
+
+
+class TestGroupUtility:
+    def test_increment_and_get(self):
+        items = make_tuples([1.0, 2.0])
+        utility = GroupUtility()
+        utility.increment(items[0])
+        utility.increment(items[0])
+        utility.increment(items[1])
+        assert utility.get(items[0]) == 2
+        assert utility.get(items[1]) == 1
+
+    def test_get_unknown_is_zero(self):
+        utility = GroupUtility()
+        assert utility.get(make_tuples([1.0])[0]) == 0
+
+    def test_decrement_removes_at_zero(self):
+        item = make_tuples([1.0])[0]
+        utility = GroupUtility()
+        utility.increment(item)
+        utility.decrement(item)
+        assert utility.get(item) == 0
+        assert len(utility) == 0
+
+    def test_decrement_unknown_raises(self):
+        utility = GroupUtility()
+        with pytest.raises(KeyError):
+            utility.decrement(make_tuples([1.0])[0])
+
+    def test_best_by_utility(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        utility = GroupUtility()
+        for item in items:
+            utility.increment(item)
+        utility.increment(items[1])
+        assert utility.best(items) == items[1]
+
+    def test_best_tie_breaks_by_freshness(self):
+        """Ties are broken by the latest timestamp (section 2.3.3)."""
+        items = make_tuples([1.0, 2.0, 3.0])
+        utility = GroupUtility()
+        for item in items:
+            utility.increment(item)
+        assert utility.best(items) == items[2]
+
+    def test_best_of_empty_is_none(self):
+        assert GroupUtility().best([]) is None
+
+    def test_best_with_zero_utilities(self):
+        items = make_tuples([1.0, 2.0])
+        assert GroupUtility().best(items) == items[1]
+
+    def test_forget(self):
+        items = make_tuples([1.0, 2.0])
+        utility = GroupUtility()
+        for item in items:
+            utility.increment(item)
+        utility.forget([items[0].seq, 999])
+        assert utility.get(items[0]) == 0
+        assert utility.get(items[1]) == 1
+
+    def test_snapshot_is_copy(self):
+        item = make_tuples([1.0])[0]
+        utility = GroupUtility()
+        utility.increment(item)
+        snap = utility.snapshot()
+        snap[item.seq] = 99
+        assert utility.get(item) == 1
+
+
+class TestDecidedOutputs:
+    def test_record_and_choosers(self):
+        item = make_tuples([1.0])[0]
+        decided = DecidedOutputs()
+        decided.record(item, "A")
+        decided.record(item, "B")
+        assert decided.choosers(item) == frozenset({"A", "B"})
+        assert item in decided
+
+    def test_chosen_by_others_excludes_self_only(self):
+        items = make_tuples([1.0, 2.0, 3.0])
+        decided = DecidedOutputs()
+        decided.record(items[0], "A")  # only A chose it
+        decided.record(items[1], "B")
+        assert decided.chosen_by_others(items, "A") == [items[1]]
+        assert decided.chosen_by_others(items, "C") == [items[0], items[1]]
+
+    def test_chosen_by_both_self_and_other_counts(self):
+        items = make_tuples([1.0])
+        decided = DecidedOutputs()
+        decided.record(items[0], "A")
+        decided.record(items[0], "B")
+        assert decided.chosen_by_others(items, "A") == [items[0]]
+
+    def test_forget(self):
+        items = make_tuples([1.0, 2.0])
+        decided = DecidedOutputs()
+        decided.record(items[0], "A")
+        decided.record(items[1], "A")
+        decided.forget([items[0].seq])
+        assert items[0] not in decided
+        assert items[1] in decided
+        assert len(decided) == 1

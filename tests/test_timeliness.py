@@ -1,0 +1,78 @@
+"""Unit tests for the timeliness models (Chapter 3)."""
+
+import pytest
+
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.timeliness import DelayBreakdown, decompose_delays, input_buffer_delays
+from tests.conftest import paper_group
+
+
+class TestDelayBreakdown:
+    def test_total(self):
+        breakdown = DelayBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.total_ms == 10.0
+
+
+class TestDecompose:
+    def test_group_aware_filter_term_dominates(self, paper_trace):
+        result = GroupAwareEngine(paper_group()).run(paper_trace)
+        breakdown = decompose_delays(result, multicast_overhead_ms=130.0)
+        assert breakdown.filter_ms > 0
+        assert breakdown.output_buffer_ms == pytest.approx(0.0)
+        assert breakdown.multicast_ms == 130.0
+
+    def test_batched_output_moves_delay_to_output_buffer(self, paper_trace):
+        from repro.core.output import BatchedOutput
+
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="per_candidate_set",
+            output_strategy=BatchedOutput(len(paper_trace)),
+        ).run(paper_trace)
+        breakdown = decompose_delays(result)
+        assert breakdown.output_buffer_ms > 0
+
+    def test_self_interested_no_filter_delay(self, paper_trace):
+        result = SelfInterestedEngine(paper_group()).run(paper_trace)
+        breakdown = decompose_delays(result)
+        assert breakdown.filter_ms == pytest.approx(0.0)
+
+    def test_empty_result(self):
+        from repro.core.engine import EngineResult
+
+        breakdown = decompose_delays(EngineResult(), multicast_overhead_ms=7.0)
+        assert breakdown.total_ms == 7.0
+
+    def test_decomposition_sums_to_mean_delay(self, paper_trace):
+        result = GroupAwareEngine(paper_group()).run(paper_trace)
+        breakdown = decompose_delays(result)
+        mean_delay = sum(e.delay_ms for e in result.emissions) / len(result.emissions)
+        assert breakdown.filter_ms + breakdown.output_buffer_ms == pytest.approx(
+            mean_delay
+        )
+
+
+class TestInputBuffer:
+    def test_no_congestion_when_service_fast(self):
+        arrivals = [0.0, 10.0, 20.0, 30.0]
+        delays = input_buffer_delays(arrivals, [1.0] * 4)
+        assert delays == [0.0, 0.0, 0.0, 0.0]
+
+    def test_congestion_accumulates(self):
+        """Service slower than arrival: the classic Lindley build-up."""
+        arrivals = [0.0, 10.0, 20.0, 30.0]
+        delays = input_buffer_delays(arrivals, [15.0] * 4)
+        assert delays == [0.0, 5.0, 10.0, 15.0]
+
+    def test_queue_drains_during_gaps(self):
+        arrivals = [0.0, 10.0, 100.0]
+        delays = input_buffer_delays(arrivals, [15.0, 15.0, 1.0])
+        assert delays == [0.0, 5.0, 0.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            input_buffer_delays([0.0], [1.0, 2.0])
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            input_buffer_delays([0.0], [-1.0])

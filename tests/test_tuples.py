@@ -1,0 +1,104 @@
+"""Unit tests for the tuple and trace model."""
+
+import pytest
+
+from repro.core.tuples import StreamTuple, Trace, src_statistics
+
+
+class TestStreamTuple:
+    def test_value_access(self):
+        t = StreamTuple(seq=0, timestamp=0.0, values={"temp": 21.5})
+        assert t.value("temp") == 21.5
+
+    def test_missing_attribute_raises(self):
+        t = StreamTuple(seq=0, timestamp=0.0, values={"temp": 21.5})
+        with pytest.raises(KeyError):
+            t.value("humidity")
+
+    def test_identity_is_seq(self):
+        a = StreamTuple(seq=3, timestamp=0.0, values={"x": 1.0})
+        b = StreamTuple(seq=3, timestamp=99.0, values={"x": 2.0})
+        c = StreamTuple(seq=4, timestamp=0.0, values={"x": 1.0})
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_equality_against_other_types(self):
+        t = StreamTuple(seq=0, timestamp=0.0, values={})
+        assert t != 0
+        assert t != "tuple"
+
+    def test_usable_in_sets(self):
+        tuples = {StreamTuple(seq=i % 3, timestamp=float(i), values={}) for i in range(9)}
+        assert len(tuples) == 3
+
+    def test_values_are_copied(self):
+        source = {"x": 1.0}
+        t = StreamTuple(seq=0, timestamp=0.0, values=source)
+        source["x"] = 2.0
+        assert t.value("x") == 1.0
+
+
+class TestTrace:
+    def test_from_values_spacing(self):
+        trace = Trace.from_values([1.0, 2.0, 3.0], attribute="v", interval_ms=10)
+        assert [t.timestamp for t in trace] == [0.0, 10.0, 20.0]
+        assert [t.seq for t in trace] == [0, 1, 2]
+
+    def test_from_values_custom_start(self):
+        trace = Trace.from_values([1.0, 2.0], attribute="v", interval_ms=5, start_ms=100)
+        assert [t.timestamp for t in trace] == [100.0, 105.0]
+
+    def test_from_columns(self):
+        trace = Trace.from_columns({"a": [1, 2], "b": [3, 4]})
+        assert trace[0].value("a") == 1
+        assert trace[1].value("b") == 4
+        assert trace.attributes == ["a", "b"]
+
+    def test_from_columns_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            Trace.from_columns({"a": [1, 2], "b": [3]})
+
+    def test_timestamps_must_increase(self):
+        tuples = [
+            StreamTuple(seq=0, timestamp=10.0, values={}),
+            StreamTuple(seq=1, timestamp=10.0, values={}),
+        ]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Trace(tuples)
+
+    def test_column(self):
+        trace = Trace.from_values([5.0, 6.0, 7.0], attribute="v")
+        assert trace.column("v") == [5.0, 6.0, 7.0]
+
+    def test_slice(self):
+        trace = Trace.from_values(list(range(10)), attribute="v")
+        sub = trace.slice(2, 5)
+        assert len(sub) == 3
+        assert sub.column("v") == [2, 3, 4]
+
+    def test_getitem_slice_returns_trace(self):
+        trace = Trace.from_values(list(range(5)), attribute="v")
+        assert isinstance(trace[1:3], Trace)
+        assert len(trace[1:3]) == 2
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.attributes == []
+
+
+class TestSrcStatistics:
+    def test_constant_series(self):
+        trace = Trace.from_values([5.0, 5.0, 5.0], attribute="v")
+        assert src_statistics(trace, "v") == 0.0
+
+    def test_known_value(self):
+        trace = Trace.from_values([0.0, 1.0, 3.0, 2.0], attribute="v")
+        # |1| + |2| + |1| over three gaps
+        assert src_statistics(trace, "v") == pytest.approx(4.0 / 3.0)
+
+    def test_single_tuple_raises(self):
+        trace = Trace.from_values([1.0], attribute="v")
+        with pytest.raises(ValueError, match="at least two"):
+            src_statistics(trace, "v")

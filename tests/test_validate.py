@@ -1,0 +1,75 @@
+"""Unit tests for the independent quality validator."""
+
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.tuples import Trace
+from repro.filters.delta import DeltaCompressionFilter
+from repro.filters.validate import replay_candidate_sets, validate_outputs
+from tests.conftest import paper_group, random_walk_values
+
+
+def _paper_sets(trace, name):
+    params = {"A": (50, 10), "B": (40, 5), "C": (80, 25)}[name]
+    return replay_candidate_sets(
+        lambda: DeltaCompressionFilter(name, "temp", *params), trace
+    )
+
+
+class TestValidator:
+    def test_group_aware_outputs_validate(self, paper_trace):
+        result = GroupAwareEngine(paper_group()).run(paper_trace)
+        for name in ("A", "B", "C"):
+            sets = _paper_sets(paper_trace, name)
+            report = validate_outputs(sets, result.outputs_for(name))
+            assert report.ok
+            assert report.satisfied_sets == report.candidate_sets
+
+    def test_self_interested_outputs_validate(self, paper_trace):
+        result = SelfInterestedEngine(paper_group()).run(paper_trace)
+        for name in ("A", "B", "C"):
+            sets = _paper_sets(paper_trace, name)
+            assert validate_outputs(sets, result.outputs_for(name)).ok
+
+    def test_detects_missing_output(self, paper_trace):
+        sets = _paper_sets(paper_trace, "A")
+        result = GroupAwareEngine(paper_group()).run(paper_trace)
+        outputs = result.outputs_for("A")[:-1]  # drop the last delivery
+        report = validate_outputs(sets, outputs)
+        assert not report.complete
+        assert len(report.unsatisfied_sets) == 1
+
+    def test_detects_foreign_tuple(self, paper_trace):
+        sets = _paper_sets(paper_trace, "A")
+        foreign = paper_trace[1]  # value 35, not in any candidate set
+        result = GroupAwareEngine(paper_group()).run(paper_trace)
+        report = validate_outputs(sets, result.outputs_for("A") + [foreign])
+        assert not report.granular
+        assert report.foreign_tuples == [1]
+
+    def test_empty_outputs_with_no_sets(self):
+        report = validate_outputs([], [])
+        assert report.ok
+        assert report.candidate_sets == 0
+
+    def test_all_variants_validate_on_random_walks(self):
+        for seed in range(3):
+            values = random_walk_values(300, seed=seed)
+            trace = Trace.from_values(values, attribute="temp", interval_ms=10)
+            params = [("A", 2.0, 1.0), ("B", 3.0, 1.5), ("C", 4.4, 2.0)]
+
+            def group():
+                return [
+                    DeltaCompressionFilter(name, "temp", delta, slack)
+                    for name, delta, slack in params
+                ]
+
+            for algorithm in ("region", "per_candidate_set"):
+                result = GroupAwareEngine(group(), algorithm=algorithm).run(trace)
+                for name, delta, slack in params:
+                    sets = replay_candidate_sets(
+                        lambda name=name, delta=delta, slack=slack: (
+                            DeltaCompressionFilter(name, "temp", delta, slack)
+                        ),
+                        trace,
+                    )
+                    report = validate_outputs(sets, result.outputs_for(name))
+                    assert report.ok, (algorithm, name, seed)

@@ -1,0 +1,143 @@
+"""The paper's worked examples, reproduced end to end.
+
+These tests pin the engine to the exact traces of Figures 2.8 (region-
+based greedy), 2.11 (per-candidate-set greedy) and the section 2.1.3
+motivating example, using the ten-tuple temperature stream
+{0, 35, 29, 45, 50, 59, 80, 97, 100, 112}.
+"""
+
+from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
+from repro.core.cuts import TimeConstraint
+from tests.conftest import paper_group, temps
+
+
+class TestSelfInterestedBaseline:
+    """Section 2.1: the uncoordinated outputs."""
+
+    def test_per_filter_outputs(self, paper_trace):
+        result = SelfInterestedEngine(paper_group()).run(paper_trace)
+        assert temps(result, "A") == [0, 50, 100]
+        assert temps(result, "B") == [0, 45, 97]
+        assert temps(result, "C") == [0, 80]
+
+    def test_distinct_output_count(self, paper_trace):
+        result = SelfInterestedEngine(paper_group()).run(paper_trace)
+        assert result.output_count == 6
+
+    def test_a_and_b_multiplex_to_five(self, paper_trace):
+        """Section 2.1.3: 'there are thus 5 tuples to output when
+        multiplexing the output streams' of A and B alone."""
+        result = SelfInterestedEngine(paper_group()[:2]).run(paper_trace)
+        assert result.output_count == 5
+
+
+class TestRegionBasedGreedy:
+    """Figure 2.8."""
+
+    def test_chosen_outputs(self, paper_trace):
+        result = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        assert temps(result, "A") == [0, 50, 100]
+        assert temps(result, "B") == [0, 50, 100]
+        assert temps(result, "C") == [0, 100]
+
+    def test_three_distinct_tuples(self, paper_trace):
+        result = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        assert result.output_count == 3
+
+    def test_two_regions(self, paper_trace):
+        result = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        assert result.regions_emitted == 2
+
+    def test_compression_ratio_preserved(self, paper_trace):
+        """Section 2.3.3: the region-based algorithm does not change a
+        filter's compression ratio - one output per reference."""
+        group_aware = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        baseline = SelfInterestedEngine(paper_group()).run(paper_trace)
+        for name in ("A", "B", "C"):
+            assert len(group_aware.outputs_for(name)) == len(baseline.outputs_for(name))
+
+    def test_recipient_labels(self, paper_trace):
+        """Figure 2.8: 0 -> {A,B,C}, 100 -> {A,B,C}, 50 -> {A,B}."""
+        result = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        labels = {}
+        for emission in result.emissions:
+            value = int(emission.item.value("temp"))
+            labels[value] = labels.get(value, frozenset()) | emission.recipients
+        assert labels == {
+            0: frozenset({"A", "B", "C"}),
+            100: frozenset({"A", "B", "C"}),
+            50: frozenset({"A", "B"}),
+        }
+
+
+class TestPerCandidateSetGreedy:
+    """Figure 2.11."""
+
+    def test_chosen_outputs(self, paper_trace):
+        result = GroupAwareEngine(
+            paper_group(), algorithm="per_candidate_set"
+        ).run(paper_trace)
+        assert temps(result, "A") == [0, 50, 100]
+        assert temps(result, "B") == [0, 50, 100]
+        assert temps(result, "C") == [0, 100]
+
+    def test_three_distinct_tuples(self, paper_trace):
+        result = GroupAwareEngine(
+            paper_group(), algorithm="per_candidate_set"
+        ).run(paper_trace)
+        assert result.output_count == 3
+
+    def test_b_decides_50_first_then_a_follows(self, paper_trace):
+        """At slot 6 B closes {45, 50} and picks 50 by freshness; at
+        slot 7 A's first heuristic makes it follow B's choice."""
+        result = GroupAwareEngine(
+            paper_group(), algorithm="per_candidate_set"
+        ).run(paper_trace)
+        decisions_b = result.decisions["B"]
+        decisions_a = result.decisions["A"]
+        assert decisions_b[1].tuples[0].value("temp") == 50
+        assert decisions_a[1].tuples[0].value("temp") == 50
+        assert decisions_b[1].decide_ts < decisions_a[1].decide_ts
+
+
+class TestTimelyCuts:
+    """Chapter 3's cut behaviour on the same stream."""
+
+    def test_cut_output_never_worse_than_si(self, paper_trace):
+        baseline = SelfInterestedEngine(paper_group()).run(paper_trace)
+        for constraint_ms in (20, 30, 40, 60, 100):
+            result = GroupAwareEngine(
+                paper_group(),
+                algorithm="region",
+                time_constraint=TimeConstraint(constraint_ms),
+            ).run(paper_trace)
+            assert result.output_count <= baseline.output_count
+
+    def test_tight_constraint_triggers_cuts(self, paper_trace):
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="region",
+            time_constraint=TimeConstraint(40),
+        ).run(paper_trace)
+        assert result.cuts_triggered > 0
+        assert result.regions_cut > 0
+
+    def test_loose_constraint_matches_uncut(self, paper_trace):
+        uncut = GroupAwareEngine(paper_group(), algorithm="region").run(paper_trace)
+        loose = GroupAwareEngine(
+            paper_group(),
+            algorithm="region",
+            time_constraint=TimeConstraint(10_000),
+        ).run(paper_trace)
+        assert loose.output_count == uncut.output_count
+        assert loose.regions_cut == 0
+
+    def test_per_candidate_set_cut(self, paper_trace):
+        result = GroupAwareEngine(
+            paper_group(),
+            algorithm="per_candidate_set",
+            time_constraint=TimeConstraint(30),
+        ).run(paper_trace)
+        assert result.cuts_triggered > 0
+        baseline = SelfInterestedEngine(paper_group()).run(paper_trace)
+        assert result.output_count <= baseline.output_count
