@@ -3,14 +3,19 @@
 These complement the table/figure reproductions: they measure raw
 throughput of the greedy hitting-set solver, the two engines and the
 multicast forwarding so performance regressions are visible.
+
+``BENCH_MICRO_TUPLES`` scales the engine/replay trace lengths (default
+1000) so CI smoke jobs can run tiny sizes just to catch perf-path
+import or interface errors.
 """
 
+import os
 import random
 
 from repro.core.candidates import CandidateSet
 from repro.core.engine import GroupAwareEngine, SelfInterestedEngine
 from repro.core.hitting_set import greedy_hitting_set
-from repro.core.tuples import StreamTuple, Trace
+from repro.core.tuples import StreamTuple
 from repro.filters.spec import parse_group
 from repro.net.multicast import ScribeMulticast
 from repro.net.overlay import OverlayNetwork
@@ -21,6 +26,8 @@ SPECS = [
     "DC1(tmpr4, 0.0480, 0.0240)",
     "DC1(tmpr4, 0.0310, 0.0155)",
 ]
+
+N_TUPLES = int(os.environ.get("BENCH_MICRO_TUPLES", "1000"))
 
 
 def _hitting_instance(n_sets=40, set_size=6, universe=120, seed=3):
@@ -47,7 +54,7 @@ def test_greedy_hitting_set_throughput(benchmark):
 
 
 def test_group_aware_engine_throughput(benchmark):
-    trace = namos_trace(n=1000, seed=7)
+    trace = namos_trace(n=N_TUPLES, seed=7)
 
     def run():
         return GroupAwareEngine(parse_group(SPECS), algorithm="region").run(trace)
@@ -57,7 +64,7 @@ def test_group_aware_engine_throughput(benchmark):
 
 
 def test_per_candidate_set_engine_throughput(benchmark):
-    trace = namos_trace(n=1000, seed=7)
+    trace = namos_trace(n=N_TUPLES, seed=7)
 
     def run():
         return GroupAwareEngine(
@@ -69,7 +76,7 @@ def test_per_candidate_set_engine_throughput(benchmark):
 
 
 def test_self_interested_engine_throughput(benchmark):
-    trace = namos_trace(n=1000, seed=7)
+    trace = namos_trace(n=N_TUPLES, seed=7)
 
     def run():
         return SelfInterestedEngine(parse_group(SPECS)).run(trace)
@@ -94,12 +101,12 @@ def test_multicast_publish_throughput(benchmark):
 
 
 def test_trace_generation_throughput(benchmark):
-    trace = benchmark(namos_trace, 2000, 7)
-    assert len(trace) == 2000
+    trace = benchmark(namos_trace, 2 * N_TUPLES, 7)
+    assert len(trace) == 2 * N_TUPLES
 
 
 def test_trace_replay_throughput(benchmark):
-    trace = namos_trace(n=2000, seed=7)
+    trace = namos_trace(n=2 * N_TUPLES, seed=7)
 
     def scan():
         total = 0.0

@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-Kept so that ``pip install -e .`` works on offline machines without the
-``wheel`` package (pip falls back to ``setup.py develop``).  All real
-metadata lives in ``pyproject.toml``.
+All real metadata lives in ``pyproject.toml`` (PEP 621); CI and any
+networked machine should use ``pip install -e .``.  This shim is kept
+for offline machines whose pip cannot build-isolate (no ``wheel``
+package, no index): there, ``python setup.py develop`` installs the
+same src-layout package and console script from the pyproject metadata.
 """
 
 from setuptools import setup

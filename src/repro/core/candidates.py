@@ -19,9 +19,56 @@ from typing import Iterable, Optional
 
 from repro.core.tuples import StreamTuple
 
-__all__ = ["TimeCover", "CandidateSet"]
+__all__ = ["TimeCover", "TupleInterner", "CandidateSet"]
 
 _set_ids = itertools.count()
+
+
+class TupleInterner:
+    """Dense bit indices for tuple sequence numbers.
+
+    Candidate-set membership is represented as integer bitsets: each
+    distinct tuple ``seq`` is interned to a small bit index, and a set of
+    tuples becomes an ``int`` whose set bits are the interned indices.
+    Set algebra (intersection, counting shared members) then compiles to
+    ``&`` and ``int.bit_count`` instead of per-tuple ``set`` operations.
+
+    Indices are recycled: :meth:`release` returns the slots of forgotten
+    tuples to a free list, so on an infinite stream the bit width of the
+    masks stays proportional to the number of *live* tuples (the tuples
+    of still-unsolved regions), not to the stream length.
+    """
+
+    __slots__ = ("_id_of_seq", "_seq_at", "_free")
+
+    def __init__(self) -> None:
+        self._id_of_seq: dict[int, int] = {}
+        self._seq_at: dict[int, int] = {}
+        self._free: list[int] = []
+
+    def intern(self, seq: int) -> int:
+        """Return the bit index for ``seq``, assigning one if needed."""
+        bit = self._id_of_seq.get(seq)
+        if bit is None:
+            bit = self._free.pop() if self._free else len(self._id_of_seq)
+            self._id_of_seq[seq] = bit
+            self._seq_at[bit] = seq
+        return bit
+
+    def seq_at(self, bit: int) -> int:
+        """Inverse lookup: the sequence number interned at ``bit``."""
+        return self._seq_at[bit]
+
+    def release(self, seqs: Iterable[int]) -> None:
+        """Recycle the slots of tuples that no longer appear in any set."""
+        for seq in seqs:
+            bit = self._id_of_seq.pop(seq, None)
+            if bit is not None:
+                del self._seq_at[bit]
+                self._free.append(bit)
+
+    def __len__(self) -> int:
+        return len(self._id_of_seq)
 
 
 @dataclass(frozen=True)
@@ -145,6 +192,27 @@ class CandidateSet:
         if self._eligible is None:
             return self.tuples
         return [self._tuples[seq] for seq in self._order if seq in self._eligible]
+
+    def tuple_for(self, seq: int) -> StreamTuple:
+        """The member tuple with sequence number ``seq``."""
+        return self._tuples[seq]
+
+    def member_mask(self, interner: TupleInterner) -> int:
+        """Membership as an integer bitset over ``interner``'s indices."""
+        mask = 0
+        for seq in self._order:
+            mask |= 1 << interner.intern(seq)
+        return mask
+
+    def eligible_mask(self, interner: TupleInterner) -> int:
+        """Eligible membership as an integer bitset (output candidates)."""
+        if self._eligible is None:
+            return self.member_mask(interner)
+        mask = 0
+        for seq in self._order:
+            if seq in self._eligible:
+                mask |= 1 << interner.intern(seq)
+        return mask
 
     @property
     def time_cover(self) -> Optional[TimeCover]:

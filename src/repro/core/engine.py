@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
 
-from repro.core.candidates import CandidateSet
+from repro.core.candidates import CandidateSet, TupleInterner
 from repro.core.cuts import RuntimePredictor, TimeConstraint
 from repro.core.hitting_set import greedy_hitting_set
 from repro.core.output import (
@@ -264,6 +264,7 @@ class GroupAwareEngine:
         self._utility = GroupUtility()
         self._decided = DecidedOutputs()
         self._tracker = RegionTracker()
+        self._interner = TupleInterner()
         self._early_decided_sets: set[int] = set()
         self.now = 0.0
         self._result = EngineResult(algorithm=algorithm)
@@ -380,7 +381,7 @@ class GroupAwareEngine:
             ]
             if undecided:
                 started = time.perf_counter_ns()
-                selection = greedy_hitting_set(undecided)
+                selection = greedy_hitting_set(undecided, interner=self._interner)
                 elapsed_ms = (time.perf_counter_ns() - started) / 1e6
                 self._result.greedy_runtimes_ms.append(elapsed_ms)
                 self._predictor.observe(region.size, elapsed_ms)
@@ -402,6 +403,7 @@ class GroupAwareEngine:
             seqs = region.tuple_seqs
             self._utility.forget(seqs)
             self._decided.forget(seqs)
+            self._interner.release(seqs)
             self._early_decided_sets.difference_update(
                 s.set_id for s in region.sets
             )

@@ -20,10 +20,11 @@ This module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from itertools import combinations
 from typing import Optional, Sequence
 
-from repro.core.candidates import CandidateSet
+from repro.core.candidates import CandidateSet, TupleInterner
 from repro.core.tuples import StreamTuple
 
 __all__ = [
@@ -51,7 +52,9 @@ class Selection:
         return len(self.chosen)
 
 
-def greedy_hitting_set(sets: Sequence[CandidateSet]) -> Selection:
+def greedy_hitting_set(
+    sets: Sequence[CandidateSet], interner: Optional[TupleInterner] = None
+) -> Selection:
     """Greedy multi-degree hitting set (Figure 2.7 / section 5.3).
 
     Repeatedly picks the tuple contained in (and eligible for) the most
@@ -59,63 +62,79 @@ def greedy_hitting_set(sets: Sequence[CandidateSet]) -> Selection:
     timestamp "to favor time freshness".  Selecting a tuple counts toward
     every unsatisfied set that contains it; once a set has received its
     ``degree`` tuples it stops contributing utility.
-    """
-    remaining: dict[int, int] = {}
-    eligible_of_set: dict[int, list[StreamTuple]] = {}
-    sets_of_tuple: dict[int, list[int]] = {}
-    tuple_by_seq: dict[int, StreamTuple] = {}
 
-    for candidate_set in sets:
-        eligible = candidate_set.eligible_tuples
-        if not eligible:
+    Membership is interned to integer bitsets (see
+    :class:`~repro.core.candidates.TupleInterner`): a tuple's utility is
+    ``(tuple_sets_mask & active_sets_mask).bit_count()``, so the inner
+    loop is popcount/AND work rather than Python set algebra.  A caller
+    that solves many regions (the engine) may pass a long-lived interner;
+    by default a solve-local one is used.
+    """
+    if interner is None:
+        interner = TupleInterner()
+
+    n_sets = len(sets)
+    set_ids: list[int] = []
+    remaining: list[int] = []
+    # Per interned tuple bit: which sets (by position) contain the tuple.
+    sets_mask_of: dict[int, int] = {}
+    tuple_of: dict[int, StreamTuple] = {}
+
+    for position, candidate_set in enumerate(sets):
+        members = candidate_set.eligible_mask(interner)
+        if members == 0:
             raise ValueError(
                 f"candidate set {candidate_set.set_id} has no eligible tuples"
             )
         # A set can never need more tuples than it can offer.
-        degree = min(candidate_set.degree, len(eligible))
-        remaining[candidate_set.set_id] = degree
-        eligible_of_set[candidate_set.set_id] = eligible
-        for item in eligible:
-            sets_of_tuple.setdefault(item.seq, []).append(candidate_set.set_id)
-            tuple_by_seq[item.seq] = item
+        remaining.append(min(candidate_set.degree, members.bit_count()))
+        set_ids.append(candidate_set.set_id)
+        position_bit = 1 << position
+        while members:
+            low = members & -members
+            members ^= low
+            bit = low.bit_length() - 1
+            sets_mask_of[bit] = sets_mask_of.get(bit, 0) | position_bit
+            if bit not in tuple_of:
+                tuple_of[bit] = candidate_set.tuple_for(interner.seq_at(bit))
 
-    utility: dict[int, int] = {
-        seq: len(set_ids) for seq, set_ids in sets_of_tuple.items()
-    }
-    assigned: dict[int, set[int]] = {sid: set() for sid in remaining}
-    selection = Selection(assignments={sid: [] for sid in remaining})
+    selection = Selection(assignments={sid: [] for sid in set_ids})
+    active = (1 << n_sets) - 1
 
-    def _retire(set_id: int) -> None:
-        """A satisfied set stops contributing utility for unpicked tuples."""
-        for item in eligible_of_set[set_id]:
-            if item.seq in utility and item.seq not in assigned[set_id]:
-                utility[item.seq] -= 1
-                if utility[item.seq] <= 0:
-                    del utility[item.seq]
+    # A tuple's utility is popcount(tuple_sets_mask & active_sets_mask).
+    # ``active`` only ever loses bits, so utilities are monotonically
+    # non-increasing and a lazy max-heap is sound: pop the stored best,
+    # recompute its utility with one AND/popcount, and either accept it
+    # (still accurate, hence still the maximum) or push it back with the
+    # smaller value.  Heap keys are (-utility, -timestamp, -seq): highest
+    # utility first, ties broken by the freshest timestamp (Figure 2.7).
+    heap = [
+        (-mask.bit_count(), -tuple_of[bit].timestamp, -tuple_of[bit].seq, bit)
+        for bit, mask in sets_mask_of.items()
+    ]
+    heapify(heap)
 
-    while any(count > 0 for count in remaining.values()):
-        best_seq: Optional[int] = None
-        best_key: tuple[int, float, int] | None = None
-        for seq, count in utility.items():
-            item = tuple_by_seq[seq]
-            key = (count, item.timestamp, item.seq)
-            if best_key is None or key > best_key:
-                best_key = key
-                best_seq = seq
-        if best_seq is None:  # pragma: no cover - guarded by degree clamp
+    while active:
+        if not heap:  # pragma: no cover - guarded by degree clamp
             raise RuntimeError("unsatisfiable hitting-set instance")
+        stored, neg_ts, neg_seq, bit = heappop(heap)
+        hit = sets_mask_of[bit] & active
+        utility = hit.bit_count()
+        if utility != -stored:
+            if utility:
+                heappush(heap, (-utility, neg_ts, neg_seq, bit))
+            continue
 
-        chosen = tuple_by_seq[best_seq]
+        chosen = tuple_of[bit]
         selection.chosen.append(chosen)
-        del utility[best_seq]
-        for set_id in sets_of_tuple[best_seq]:
-            if remaining[set_id] <= 0:
-                continue
-            remaining[set_id] -= 1
-            assigned[set_id].add(best_seq)
-            selection.assignments[set_id].append(chosen)
-            if remaining[set_id] == 0:
-                _retire(set_id)
+        while hit:
+            low = hit & -hit
+            hit ^= low
+            position = low.bit_length() - 1
+            remaining[position] -= 1
+            selection.assignments[set_ids[position]].append(chosen)
+            if remaining[position] == 0:
+                active ^= low
     return selection
 
 

@@ -15,7 +15,6 @@ from repro.core.tuples import Trace, src_statistics
 from repro.experiments.configs import (
     FILTER_TYPE_NOTATIONS,
     TABLE_4_1_GROUPS,
-    dc_specs_from_statistics,
     fig_4_19_groups,
 )
 from repro.experiments.harness import (

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.experiments.harness import run_variant
 from repro.experiments.report import ExperimentRegistry, ExperimentReport
-from repro.filters.spec import parse_group
 from repro.metrics.cpu import mean_cpu_ms_per_batch
 from repro.metrics.ratios import batch_output_ratios
 from repro.metrics.report import render_table

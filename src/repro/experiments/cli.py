@@ -15,6 +15,8 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import set_parallelism
+from repro.runtime import EXECUTORS
 
 __all__ = ["main"]
 
@@ -37,10 +39,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
 def _add_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tuples", type=int, default=3000, help="trace length")
     parser.add_argument("--repeats", type=int, default=None, help="repetitions")
     parser.add_argument("--seed", type=int, default=7, help="base random seed")
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="run variant engines on N parallel shards (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="process",
+        help="shard executor when --shards > 1 (default: process)",
+    )
 
 
 def _kwargs(args: argparse.Namespace) -> dict:
@@ -52,6 +76,8 @@ def _kwargs(args: argparse.Namespace) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "shards", None) is not None:
+        set_parallelism(args.shards, args.executor)
     if args.command == "list":
         for experiment_id in EXPERIMENTS.ids():
             print(experiment_id)

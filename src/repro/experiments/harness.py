@@ -11,18 +11,48 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.cuts import TimeConstraint
-from repro.core.engine import EngineResult, GroupAwareEngine, SelfInterestedEngine
-from repro.core.output import BatchedOutput, PerCandidateSetOutput, RegionOutput
+from repro.core.engine import EngineResult
 from repro.core.tuples import Trace
-from repro.filters.spec import parse_group
+from repro.runtime import EngineConfig, GroupTask, ShardedRuntime
+from repro.runtime import EXECUTORS as _EXECUTORS
+from repro.runtime import run_task as run_worker_task
 
-__all__ = ["Variant", "STANDARD_VARIANTS", "run_variant", "run_group", "GroupRun"]
+__all__ = [
+    "Variant",
+    "STANDARD_VARIANTS",
+    "run_variant",
+    "run_group",
+    "GroupRun",
+    "set_parallelism",
+    "get_parallelism",
+]
 
 #: Default group time constraint for +C variants.  The paper "set the
 #: group time constraint large enough so that few regions were cut" for
 #: the headline comparison (section 4.4).
 DEFAULT_CONSTRAINT_MS = 500.0
+
+#: Session-wide parallelism defaults, set by the CLI's ``--shards`` /
+#: ``--executor`` flags.  ``run_group`` consults these when the caller
+#: does not pass ``shards`` explicitly, so every registered experiment
+#: picks up the flag without changing its signature.
+_DEFAULT_SHARDS: int = 1
+_DEFAULT_EXECUTOR: str = "process"
+
+
+def set_parallelism(shards: int, executor: str = "process") -> None:
+    """Set the default shard count / executor used by :func:`run_group`."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if executor not in _EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected {_EXECUTORS}")
+    global _DEFAULT_SHARDS, _DEFAULT_EXECUTOR
+    _DEFAULT_SHARDS = shards
+    _DEFAULT_EXECUTOR = executor
+
+
+def get_parallelism() -> tuple[int, str]:
+    return _DEFAULT_SHARDS, _DEFAULT_EXECUTOR
 
 
 @dataclass(frozen=True)
@@ -36,14 +66,17 @@ class Variant:
     output: str = "region"  # "region" | "pcs" | "batched"
     batch_size: int = 100
 
-    def make_strategy(self):
-        if self.output == "region":
-            return RegionOutput()
-        if self.output == "pcs":
-            return PerCandidateSetOutput()
-        if self.output == "batched":
-            return BatchedOutput(self.batch_size)
-        raise ValueError(f"unknown output strategy {self.output!r}")
+    def to_engine_config(self, constraint_ms: Optional[float] = None) -> EngineConfig:
+        """Portable config for the sharded runtime (same engine settings)."""
+        constraint: Optional[float] = None
+        if self.cuts:
+            constraint = constraint_ms if constraint_ms is not None else self.constraint_ms
+        return EngineConfig(
+            algorithm=self.algorithm,
+            output=self.output,
+            batch_size=self.batch_size,
+            constraint_ms=constraint,
+        )
 
 
 def variant_from_name(name: str) -> Variant:
@@ -80,24 +113,18 @@ def run_variant(
     variant: Variant | str,
     constraint_ms: Optional[float] = None,
 ) -> EngineResult:
-    """Run one filter group (given as spec strings) under one variant."""
+    """Run one filter group (given as spec strings) under one variant.
+
+    Delegates to the runtime worker's engine construction so the
+    sequential and sharded paths are the same code — whatever engine a
+    config produces here is exactly what a shard worker produces.
+    """
     if isinstance(variant, str):
         variant = variant_from_name(variant)
-    filters = parse_group(list(specs))
-    if variant.algorithm == "self_interested":
-        return SelfInterestedEngine(filters).run(trace)
-    constraint = None
-    if variant.cuts:
-        constraint = TimeConstraint(
-            constraint_ms if constraint_ms is not None else variant.constraint_ms
-        )
-    engine = GroupAwareEngine(
-        filters,
-        algorithm=variant.algorithm,
-        output_strategy=variant.make_strategy(),
-        time_constraint=constraint,
+    config = variant.to_engine_config(constraint_ms)
+    return run_worker_task(
+        GroupTask.build(key=variant.name, specs=specs, stream=trace, config=config)
     )
-    return engine.run(trace)
 
 
 @dataclass
@@ -123,9 +150,36 @@ def run_group(
     trace: Trace,
     variants: Sequence[str] = STANDARD_VARIANTS,
     constraint_ms: Optional[float] = None,
+    shards: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> GroupRun:
-    """Run a filter group under each named variant on the same trace."""
+    """Run a filter group under each named variant on the same trace.
+
+    Variant runs are independent engine executions, so with ``shards > 1``
+    they are dispatched to the sharded runtime (one :class:`GroupTask`
+    per variant, keyed by variant name) and run in parallel.  Decided
+    outputs are identical to the sequential path; only wall-clock
+    changes.  When ``shards`` is ``None`` the CLI-settable default from
+    :func:`set_parallelism` applies.
+    """
+    if shards is None:
+        shards = _DEFAULT_SHARDS
+    if executor is None:
+        executor = _DEFAULT_EXECUTOR
     run = GroupRun(group_name=group_name)
+    if shards > 1 and len(variants) > 1:
+        tasks = [
+            GroupTask.build(
+                key=name,
+                specs=specs,
+                stream=trace,
+                config=variant_from_name(name).to_engine_config(constraint_ms),
+            )
+            for name in variants
+        ]
+        sharded = ShardedRuntime(shards=shards, executor=executor).run(tasks)
+        run.results.update(sharded.results)
+        return run
     for name in variants:
         run.results[name] = run_variant(specs, trace, name, constraint_ms)
     return run

@@ -16,7 +16,6 @@ window.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.engine import FilterContext
 from repro.core.tuples import StreamTuple

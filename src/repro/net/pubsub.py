@@ -11,7 +11,7 @@ multicast facility with per-tuple recipient labels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.cuts import TimeConstraint
 from repro.core.engine import (

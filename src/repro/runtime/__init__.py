@@ -1,0 +1,46 @@
+"""Sharded, parallel execution layer over the group-aware engines.
+
+The paper's engines coordinate one *group* of filters over one stream;
+groups never share state.  This package scales that model out: a
+workload of independent :class:`GroupTask`s is partitioned by group key
+across N worker shards (process, thread or serial executors), each shard
+runs a fresh engine per group, and the per-shard
+:class:`~repro.core.engine.EngineResult`s are merged into one consistent
+result whose decided outputs are identical to a sequential run.
+"""
+
+from repro.runtime.merge import CombinedResult, canonical_result, combine
+from repro.runtime.partition import (
+    PLACEMENTS,
+    partition_keyed_stream,
+    partition_tasks,
+    shard_for_key,
+)
+from repro.runtime.sharded import (
+    EXECUTORS,
+    ShardedResult,
+    ShardedRuntime,
+    run_sequential,
+    run_tasks,
+)
+from repro.runtime.tasks import EngineConfig, GroupTask
+from repro.runtime.worker import build_engine, run_task
+
+__all__ = [
+    "CombinedResult",
+    "EXECUTORS",
+    "EngineConfig",
+    "PLACEMENTS",
+    "GroupTask",
+    "ShardedResult",
+    "ShardedRuntime",
+    "build_engine",
+    "canonical_result",
+    "combine",
+    "partition_keyed_stream",
+    "partition_tasks",
+    "run_sequential",
+    "run_task",
+    "run_tasks",
+    "shard_for_key",
+]

@@ -1,0 +1,113 @@
+"""Merging and canonicalization of per-shard engine results.
+
+Two concerns live here:
+
+* :func:`combine` folds the per-group :class:`EngineResult` objects of a
+  sharded run into one :class:`CombinedResult` with group-aware totals
+  (inputs, distinct outputs, transmissions, CPU, cuts) and a single
+  time-ordered multiplexed emission log tagged by group key.
+* :func:`canonical_result` reduces an :class:`EngineResult` to a plain,
+  comparable structure that is independent of process-local artifacts —
+  candidate-set ids come from a per-process counter and wall-clock
+  timings jitter, so equality of sharded vs. sequential runs is defined
+  over decisions (which tuples, for which filter, decided when) and
+  emissions (which tuples, to whom, emitted when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.engine import EngineResult
+from repro.core.output import Emission
+
+__all__ = ["CombinedResult", "combine", "canonical_result"]
+
+
+def canonical_result(result: EngineResult) -> dict:
+    """Deterministic, comparable view of one engine run."""
+    decisions = {
+        filter_name: [
+            (decision.decide_ts, tuple(item.seq for item in decision.tuples))
+            for decision in decided
+        ]
+        for filter_name, decided in result.decisions.items()
+    }
+    emissions = [
+        (
+            emission.emit_ts,
+            emission.item.seq,
+            tuple(sorted(emission.recipients)),
+            emission.decide_ts,
+        )
+        for emission in result.emissions
+    ]
+    return {
+        "algorithm": result.algorithm,
+        "input_count": result.input_count,
+        "decisions": decisions,
+        "emissions": emissions,
+    }
+
+
+@dataclass
+class CombinedResult:
+    """Group-aware totals over the per-group results of one run."""
+
+    results: Mapping[str, EngineResult]
+    #: The merged multiplexed output: (group_key, emission), ordered by
+    #: emission time, then source timestamp, then group key.
+    emissions: list[tuple[str, Emission]] = field(default_factory=list)
+
+    @property
+    def input_count(self) -> int:
+        return sum(result.input_count for result in self.results.values())
+
+    @property
+    def output_count(self) -> int:
+        """Distinct output tuples, counted per group (seqs are per-stream)."""
+        return sum(result.output_count for result in self.results.values())
+
+    @property
+    def transmissions(self) -> int:
+        return sum(result.transmissions for result in self.results.values())
+
+    @property
+    def oi_ratio(self) -> float:
+        inputs = self.input_count
+        if inputs == 0:
+            return 0.0
+        return self.output_count / inputs
+
+    @property
+    def total_cpu_ms(self) -> float:
+        return sum(result.total_cpu_ms for result in self.results.values())
+
+    @property
+    def regions_emitted(self) -> int:
+        return sum(result.regions_emitted for result in self.results.values())
+
+    @property
+    def regions_cut(self) -> int:
+        return sum(result.regions_cut for result in self.results.values())
+
+    @property
+    def cuts_triggered(self) -> int:
+        return sum(result.cuts_triggered for result in self.results.values())
+
+    @property
+    def mean_latency_ms(self) -> float:
+        delays = [emission.delay_ms for _, emission in self.emissions]
+        if not delays:
+            return 0.0
+        return sum(delays) / len(delays)
+
+
+def combine(results: Mapping[str, EngineResult]) -> CombinedResult:
+    """Merge per-group results into one consistent, ordered view."""
+    merged: list[tuple[str, Emission]] = []
+    for key, result in results.items():
+        merged.extend((key, emission) for emission in result.emissions)
+    merged.sort(key=lambda pair: (pair[1].emit_ts, pair[1].item.timestamp, pair[0]))
+    return CombinedResult(results=dict(results), emissions=merged)

@@ -1,0 +1,74 @@
+"""Stable group-key partitioning.
+
+Shard placement must be deterministic across processes and runs —
+Python's builtin ``hash`` is salted per interpreter, so hashed
+placement uses BLAKE2 instead.  All tuples of one group key land on one
+shard, which is what keeps sharded runs bit-identical to sequential
+runs: the engine's coordination state never spans shards.
+
+Two placements are provided.  ``"balanced"`` (the default) deals a
+finite, known workload round-robin, which spreads small task lists
+evenly — hashing five variant names can put four of them on one shard.
+``"hashed"`` places by key alone, independent of what other tasks are
+in the workload; use it when the same key must land on the same shard
+across different workloads (open-ended keyed streams).
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2s
+from typing import Iterable, Sequence
+
+from repro.core.tuples import StreamTuple
+from repro.runtime.tasks import GroupTask
+
+__all__ = ["PLACEMENTS", "shard_for_key", "partition_tasks", "partition_keyed_stream"]
+
+PLACEMENTS = ("balanced", "hashed")
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """Deterministic shard index for ``key`` in ``range(shards)``."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if shards == 1:
+        return 0
+    digest = blake2s(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def partition_tasks(
+    tasks: Sequence[GroupTask], shards: int, placement: str = "balanced"
+) -> list[list[GroupTask]]:
+    """Assign tasks to shards, preserving task order per shard.
+
+    ``"balanced"`` deals tasks round-robin by workload position (even
+    load, deterministic for a given workload order); ``"hashed"`` uses
+    :func:`shard_for_key` (stable per key across workloads).
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; expected {PLACEMENTS}")
+    buckets: list[list[GroupTask]] = [[] for _ in range(shards)]
+    for position, task in enumerate(tasks):
+        if placement == "balanced":
+            index = position % shards
+        else:
+            index = shard_for_key(task.key, shards)
+        buckets[index].append(task)
+    return buckets
+
+
+def partition_keyed_stream(
+    items: Iterable[tuple[str, StreamTuple]],
+) -> dict[str, list[StreamTuple]]:
+    """Demultiplex one keyed stream into per-group sub-streams.
+
+    Arrival order is preserved within each key, so every sub-stream stays
+    a time-ordered series as the paper's stream model requires.
+    """
+    streams: dict[str, list[StreamTuple]] = {}
+    for key, item in items:
+        streams.setdefault(key, []).append(item)
+    return streams

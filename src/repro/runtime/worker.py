@@ -1,0 +1,68 @@
+"""Shard worker: build an engine from a task and run it.
+
+The module-level :func:`run_shard` is the process-pool entry point; it
+must stay importable (no closures) so it pickles by reference.  Filters
+are re-parsed from their spec strings inside the worker, which keeps the
+payload small and avoids shipping stateful filter objects across the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.core.cuts import TimeConstraint
+from repro.core.engine import EngineResult, GroupAwareEngine, SelfInterestedEngine
+from repro.core.output import BatchedOutput, PerCandidateSetOutput, RegionOutput
+from repro.filters.spec import parse_group
+from repro.runtime.tasks import EngineConfig, GroupTask
+
+__all__ = ["build_engine", "run_task", "run_shard"]
+
+
+def _make_strategy(config: EngineConfig):
+    if config.output == "region":
+        return RegionOutput()
+    if config.output == "pcs":
+        return PerCandidateSetOutput()
+    return BatchedOutput(config.batch_size)
+
+
+def build_engine(
+    specs: tuple[str, ...], config: EngineConfig
+) -> Union[GroupAwareEngine, SelfInterestedEngine]:
+    """Fresh engine for one task (fresh filters, no shared state)."""
+    filters = parse_group(list(specs))
+    if config.algorithm == "self_interested":
+        return SelfInterestedEngine(filters)
+    constraint: Optional[TimeConstraint] = None
+    if config.constraint_ms is not None:
+        constraint = TimeConstraint(config.constraint_ms)
+    return GroupAwareEngine(
+        filters,
+        algorithm=config.algorithm,
+        output_strategy=_make_strategy(config),
+        time_constraint=constraint,
+    )
+
+
+def run_task(task: GroupTask) -> EngineResult:
+    """Run one group's engine over its stream, start to finish."""
+    engine = build_engine(task.specs, task.config)
+    return engine.run(task.tuples)
+
+
+def run_shard(payloads: list[tuple]) -> tuple[float, list[tuple[str, EngineResult]]]:
+    """Process-pool entry point: run every task payload of one shard.
+
+    Returns the shard's wall-clock milliseconds and the per-key results
+    in task order.
+    """
+    started = time.perf_counter()
+    results = []
+    for payload in payloads:
+        task = GroupTask.from_payload(payload)
+        results.append((task.key, run_task(task)))
+    wall_ms = (time.perf_counter() - started) * 1e3
+    return wall_ms, results

@@ -64,7 +64,7 @@ class TestVariantParsing:
 
     def test_bad_strategy(self):
         with pytest.raises(ValueError):
-            Variant("x", "region", output="weird").make_strategy()
+            Variant("x", "region", output="weird").to_engine_config()
 
 
 class TestConfigs:

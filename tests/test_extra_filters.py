@@ -2,7 +2,6 @@
 Euclidean location delta compression and band-transition membership."""
 
 import math
-import random
 
 import pytest
 
