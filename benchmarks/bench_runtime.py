@@ -14,10 +14,16 @@ Usable two ways:
 * ``python benchmarks/bench_runtime.py`` — prints the shards/wall-ms/
   speedup table.
 
+Script mode also writes a ``BENCH_runtime.json`` trajectory artifact —
+one ``{"size", "shards", "wall_s", "speedup"}`` row per shard count —
+so successive CI runs accumulate a perf history to diff against.
+
 Environment knobs (also used by the CI bench-smoke job):
 ``BENCH_RUNTIME_TUPLES`` (trace length, default 2000),
 ``BENCH_RUNTIME_REPLICAS`` (workload copies, default 3),
 ``BENCH_RUNTIME_SHARDS`` (comma list, default ``1,2,4,8``),
+``BENCH_RUNTIME_JSON`` (artifact path, default ``BENCH_runtime.json``;
+set empty to skip writing),
 ``BENCH_RUNTIME_REQUIRE_SPEEDUP`` (default ``1``; set ``0`` on noisy
 shared runners to report the measured speedup without failing on it —
 correctness/determinism is always enforced).
@@ -25,6 +31,7 @@ correctness/determinism is always enforced).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -126,6 +133,7 @@ def main() -> int:
     throughput = total_inputs / (sequential_ms / 1e3)
     print(f"{'shards':>7} {'executor':>9} {'wall ms':>9} {'speedup':>8} {'tuples/s':>10}")
     print(f"{'seq':>7} {'serial':>9} {sequential_ms:>9.0f} {1.0:>8.2f} {throughput:>10.0f}")
+    rows = []
     for shards in SHARD_COUNTS:
         wall_ms, run = _timed(lambda: run_tasks(tasks, shards=shards, executor="process"))
         matches = run.canonical() == canonical
@@ -136,8 +144,22 @@ def main() -> int:
             f"{shards:>7} {run.executor:>9} {wall_ms:>9.0f} "
             f"{speedup:>8.2f} {throughput:>10.0f}{flag}"
         )
+        rows.append(
+            {
+                "size": total_inputs,
+                "shards": shards,
+                "wall_s": round(wall_ms / 1e3, 4),
+                "speedup": round(speedup, 3),
+            }
+        )
         if not matches:
             return 1
+    artifact = os.environ.get("BENCH_RUNTIME_JSON", "BENCH_runtime.json")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as stream:
+            json.dump(rows, stream, indent=2)
+            stream.write("\n")
+        print(f"trajectory written to {artifact}")
     return 0
 
 

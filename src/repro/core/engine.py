@@ -307,6 +307,32 @@ class GroupAwareEngine:
         self._result.emissions.extend(emissions)
         return emissions
 
+    def tick(self, now: float) -> list[Emission]:
+        """Timer-driven pass with no input tuple (live-service clock tick).
+
+        Advances the engine clock to ``now`` (never backwards), applies the
+        timely-cut test, and sweeps finished regions.  As long as ``now``
+        does not exceed the timestamp of the next tuple that will arrive,
+        a tick (with no time constraint) can only close regions that the
+        next ``process`` call would have closed anyway, so decided outputs
+        equal those of an untick-ed run; only emission timestamps may be
+        earlier.  Ticking *past* the next arrival closes regions that a
+        still-in-span tuple could have joined — valid live behaviour, but
+        no longer batch-identical; callers that need equivalence must
+        bound the tick clock (the load generator clamps its extrapolated
+        stream clock to one inter-arrival interval past the last offer).
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        if now > self.now:
+            self.now = now
+        emissions: list[Emission] = []
+        if self._constraint is not None:
+            emissions.extend(self._check_cut())
+        emissions.extend(self._poll_regions())
+        self._result.emissions.extend(emissions)
+        return emissions
+
     def finish(self) -> EngineResult:
         """End of stream: flush all filters and release buffered output."""
         if self._finished:

@@ -1,4 +1,4 @@
-"""Command-line interface for the experiment harness.
+"""Command-line interface for the experiment harness and live service.
 
 Examples::
 
@@ -6,11 +6,14 @@ Examples::
     python -m repro.experiments run fig_4_2
     python -m repro.experiments run fig_4_17 --tuples 1500 --repeats 3
     python -m repro.experiments all --tuples 2000
+    python -m repro.experiments serve --rate 200 --duration 10
+    python -m repro.experiments loadgen --rate 500 --duration 2 --size tiny
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -36,7 +39,88 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_knobs(everything)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live dissemination broker against a replayed source",
+    )
+    _add_service_knobs(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="load-generate against the broker, writing a run manifest",
+    )
+    _add_service_knobs(loadgen)
+    loadgen.add_argument(
+        "--out",
+        default="runs/loadgen",
+        help="artifact directory for metrics.jsonl + summary.json",
+    )
+    loadgen.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the offered trace through the batch engine and "
+        "record whether decided outputs match",
+    )
     return parser
+
+
+def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
+    from repro.service import LOADGEN_SOURCES, OVERFLOW_POLICIES, SIZES
+
+    parser.add_argument("--source", choices=LOADGEN_SOURCES, default="random_walk")
+    parser.add_argument("--size", choices=sorted(SIZES), default="tiny")
+    parser.add_argument("--rate", type=float, default=500.0, help="tuples/sec")
+    parser.add_argument("--duration", type=float, default=2.0, help="seconds")
+    parser.add_argument("--mode", choices=("open", "closed"), default="open")
+    parser.add_argument(
+        "--algorithm", choices=("region", "per_candidate_set"), default="region"
+    )
+    parser.add_argument("--constraint-ms", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--queue-capacity", type=int, default=16)
+    parser.add_argument("--overflow", choices=OVERFLOW_POLICIES, default="block")
+    parser.add_argument("--batch-items", type=int, default=8)
+    parser.add_argument("--batch-delay-ms", type=float, default=50.0)
+    parser.add_argument(
+        "--consumer-delay-ms",
+        type=float,
+        default=0.0,
+        help="simulated per-batch consumer service time",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="apply the default subscriber churn schedule",
+    )
+
+
+def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool):
+    from repro.service import LoadGenConfig, default_churn
+    from repro.service.loadgen import _make_trace
+
+    config = LoadGenConfig(
+        source=args.source,
+        size=args.size,
+        rate=args.rate,
+        duration_s=args.duration,
+        mode=args.mode,
+        algorithm=args.algorithm,
+        constraint_ms=args.constraint_ms,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        overflow=args.overflow,
+        batch_max_items=args.batch_items,
+        batch_max_delay_ms=args.batch_delay_ms,
+        consumer_delay_ms=args.consumer_delay_ms,
+        out_dir=out_dir,
+        verify=verify,
+    )
+    if args.churn:
+        from dataclasses import replace
+
+        config = replace(config, churn=default_churn(config, _make_trace(config)))
+    return config
 
 
 def _positive_int(text: str) -> int:
@@ -85,6 +169,40 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         report = EXPERIMENTS.run(args.experiment_id, **_kwargs(args))
         print(report)
+        return 0
+    if args.command == "serve":
+        from repro.service import run_loadgen
+
+        def show(record: dict) -> None:
+            print(
+                f"[{record['t_s']:7.2f}s] offered={record['offered']} "
+                f"decided={record['decided_emissions']} "
+                f"delivered={record['delivered_tuples']} "
+                f"dropped={record['dropped_tuples']} "
+                f"sessions={record['session_count']} "
+                f"p99={record['decide_p99_ms']:.1f}ms"
+            )
+
+        summary = run_loadgen(_service_config(args, None, False), on_record=show)
+        print(json.dumps({k: summary[k] for k in (
+            "offered", "delivered_tuples", "dropped_tuples",
+            "decide_latency_ms", "regroups", "clean_shutdown",
+        )}, indent=2))
+        return 0
+    if args.command == "loadgen":
+        from repro.service import run_loadgen
+
+        summary = run_loadgen(_service_config(args, args.out, args.verify))
+        print(
+            f"loadgen: {summary['offered']} offered, "
+            f"{summary['delivered_tuples']} delivered, "
+            f"{summary['dropped_tuples']} dropped, "
+            f"p99 decide {summary['decide_latency_ms']['p99']:.1f} ms; "
+            f"artifacts in {args.out}/"
+        )
+        if summary["equivalent_to_batch"] is False:
+            print("ERROR: live decided outputs diverged from the batch engine")
+            return 1
         return 0
     # "all"
     for experiment_id in EXPERIMENTS.ids():

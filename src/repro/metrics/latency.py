@@ -10,10 +10,17 @@ same node) and the application-level multicast cost can be added on top.
 
 from __future__ import annotations
 
-from repro.core.engine import EngineResult
-from repro.metrics.summary import BoxPlot
+from typing import Sequence
 
-__all__ = ["latency_ms_per_tuple", "latency_boxplot", "mean_latency_ms"]
+from repro.core.engine import EngineResult
+from repro.metrics.summary import BoxPlot, quantile
+
+__all__ = [
+    "latency_ms_per_tuple",
+    "latency_boxplot",
+    "latency_percentiles",
+    "mean_latency_ms",
+]
 
 #: Default per-tuple software overhead, matching the prototype's ~12 ms
 #: baseline for self-interested filtering on the source node.
@@ -41,6 +48,23 @@ def mean_latency_ms(
     if not delays:
         return 0.0
     return sum(delays) / len(delays)
+
+
+def latency_percentiles(
+    delays_ms: Sequence[float], percentiles: Sequence[int] = (50, 99)
+) -> dict[str, float]:
+    """``{"p50": ..., "p99": ...}`` over a window of per-tuple delays.
+
+    The live dissemination service reports decide latency this way in its
+    stats snapshots; an empty window yields zeros so a freshly started
+    broker can always be snapshotted.
+    """
+    result: dict[str, float] = {}
+    for p in percentiles:
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be within [0, 100], got {p}")
+        result[f"p{p}"] = quantile(delays_ms, p / 100.0) if delays_ms else 0.0
+    return result
 
 
 def latency_boxplot(

@@ -65,12 +65,18 @@ class ScribeMulticast:
         loss_rate: float = 0.0,
         max_retries: int = 8,
         seed: int = 0,
+        rng: random.Random | None = None,
     ):
         """``loss_rate`` models lossy wireless hops: each transmission
         fails independently with that probability and is retransmitted
         (hop-by-hop ARQ) up to ``max_retries`` times, costing extra
         bandwidth and latency - the wireless-dynamics dimension the
-        dissertation leaves to future work (section 6.2)."""
+        dissertation leaves to future work (section 6.2).
+
+        ``rng`` injects the loss-model randomness source; pass a
+        ``random.Random(seed)`` shared with the rest of a run so service
+        runs and tests are deterministic end to end.  When omitted, a
+        private ``random.Random(seed)`` is used."""
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         if max_retries < 0:
@@ -81,7 +87,7 @@ class ScribeMulticast:
         self.delivery_overhead_ms = delivery_overhead_ms
         self.loss_rate = loss_rate
         self.max_retries = max_retries
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self.retransmissions = 0
         self._groups: dict[str, MulticastGroup] = {}
 

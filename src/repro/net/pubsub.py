@@ -136,9 +136,41 @@ class StreamingSystem:
             raise ValueError(
                 f"filter name {flt.name!r} must equal app name {app_name!r}"
             )
-        self.multicast.join(source.group_name, app_name, node_name)
+        if any(
+            s.app_name == app_name for s in self._subscriptions[source_name]
+        ):
+            raise ValueError(
+                f"app {app_name!r} is already subscribed to {source_name!r}"
+            )
+        group = self.multicast.group(source.group_name)
+        if app_name not in group.members:
+            # Re-subscribing after an unsubscribe reuses the grafted tree
+            # branch instead of joining the Scribe group twice.
+            self.multicast.join(source.group_name, app_name, node_name)
+        elif group.members[app_name] != node_name:
+            raise ValueError(
+                f"app {app_name!r} re-subscribed from node {node_name!r} but "
+                f"is grafted at {group.members[app_name]!r}"
+            )
         self._subscriptions[source_name].append(
             _Subscription(app_name, node_name, source_name, flt)
+        )
+
+    def unsubscribe(self, app_name: str, source_name: str) -> None:
+        """Withdraw an application's subscription.
+
+        The Scribe tree branch stays grafted (re-joins are cheap and the
+        paper's tuple-level multicast never forwards to a branch with no
+        interested member), but the filter leaves the source's group so
+        later dissemination excludes the application.
+        """
+        subscriptions = self._subscriptions[self._source(source_name).name]
+        for index, subscription in enumerate(subscriptions):
+            if subscription.app_name == app_name:
+                del subscriptions[index]
+                return
+        raise KeyError(
+            f"app {app_name!r} is not subscribed to source {source_name!r}"
         )
 
     def subscribers(self, source_name: str) -> list[str]:

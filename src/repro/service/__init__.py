@@ -1,0 +1,50 @@
+"""Live dissemination service: asyncio broker over the batch engine.
+
+The batch layers run one-shot experiments over pre-materialized traces;
+this package turns the same engine into a long-running *service* the way
+the paper's Solar prototype worked (section 4.1): dynamic subscriptions,
+incremental decides on arrival and on timer ticks, per-session
+micro-batched delivery with bounded queues and backpressure, and an
+open/closed-loop load generator that emits replayable run manifests.
+"""
+
+from repro.service.batching import Batch, MicroBatcher
+from repro.service.broker import DisseminationService, ServiceConfig
+from repro.service.loadgen import (
+    LOADGEN_SOURCES,
+    SIZES,
+    ChurnEvent,
+    LoadGenConfig,
+    decided_map,
+    default_churn,
+    run_loadgen,
+)
+from repro.service.session import (
+    OVERFLOW_POLICIES,
+    DeliveryQueue,
+    SessionDisconnected,
+    SessionStats,
+    SubscriberSession,
+)
+from repro.service.snapshot import ServiceSnapshot, SessionSnapshot
+
+__all__ = [
+    "Batch",
+    "ChurnEvent",
+    "DeliveryQueue",
+    "DisseminationService",
+    "LOADGEN_SOURCES",
+    "LoadGenConfig",
+    "MicroBatcher",
+    "OVERFLOW_POLICIES",
+    "ServiceConfig",
+    "ServiceSnapshot",
+    "SessionDisconnected",
+    "SessionSnapshot",
+    "SessionStats",
+    "SubscriberSession",
+    "decided_map",
+    "default_churn",
+    "run_loadgen",
+    "SIZES",
+]

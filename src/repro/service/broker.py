@@ -1,0 +1,635 @@
+"""Long-running asyncio dissemination broker over the batch engine.
+
+The paper's prototype is a *service* (section 4.1): applications
+subscribe with filter specs at runtime and the group-aware filtering
+engine streams decided tuples to them continuously.
+:class:`DisseminationService` provides that shape on top of the existing
+batch machinery:
+
+* it owns a :class:`~repro.net.pubsub.StreamingSystem` (overlay +
+  Scribe multicast) and one :class:`~repro.core.engine.GroupAwareEngine`
+  per source *epoch*;
+* tuples arrive incrementally (:meth:`offer` / :meth:`feed`) and drive
+  candidate-set closing and region decisions on arrival; timer ticks
+  (:meth:`tick`) drive timely cuts and latency-bounded batch flushes
+  between arrivals;
+* subscriptions are dynamic — :meth:`subscribe`, :meth:`unsubscribe` and
+  :meth:`re_filter` *cut the current engine over* (open candidate sets
+  are flushed and decided) and rebuild the filter group from the new
+  subscription set, optionally regrouped via
+  :mod:`repro.adaptive.regroup`;
+* decided emissions are micro-batched per subscriber session and pushed
+  into bounded queues whose overflow policy (block / drop-oldest /
+  disconnect) makes slow consumers exert backpressure instead of
+  growing broker memory.
+
+For a fixed trace with static subscriptions the service calls exactly
+the same engine methods in the same order as the batch path, so its
+decided outputs are identical to ``GroupAwareEngine.run`` —
+``tests/test_service.py`` asserts this for both decide algorithms.
+
+When regrouping splits a source's filters into several subgroups, each
+subgroup runs its own engine; with ``ServiceConfig.shards > 1`` the
+subgroup decides for one arrival run in parallel on a thread pool, the
+in-broker analogue of the ``repro.runtime`` shard executors (subgroup
+placement reuses the same stable-key hashing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.adaptive.regroup import cap_group_size, partition_by_attribute
+from repro.core.cuts import TimeConstraint
+from repro.core.engine import EngineResult, GroupAwareEngine
+from repro.core.output import (
+    BatchedOutput,
+    Emission,
+    OutputStrategy,
+    PerCandidateSetOutput,
+    RegionOutput,
+)
+from repro.core.tuples import StreamTuple
+from repro.filters.base import GroupAwareFilter
+from repro.filters.spec import parse_filter
+from repro.net.multicast import ScribeMulticast
+from repro.net.overlay import OverlayNetwork
+from repro.net.pubsub import StreamingSystem
+from repro.runtime.partition import shard_for_key
+from repro.runtime.tasks import EngineConfig
+from repro.service.batching import MicroBatcher
+from repro.service.session import (
+    OVERFLOW_POLICIES,
+    DeliveryQueue,
+    SubscriberSession,
+)
+from repro.service.snapshot import ServiceSnapshot, SessionSnapshot
+
+__all__ = ["ServiceConfig", "DisseminationService"]
+
+#: Default overlay ring when the caller does not bring a system.
+_DEFAULT_NODES = tuple(f"node{i}" for i in range(8))
+
+
+def _make_strategy(output: str, batch_size: int) -> OutputStrategy:
+    if output == "region":
+        return RegionOutput()
+    if output == "pcs":
+        return PerCandidateSetOutput()
+    return BatchedOutput(batch_size)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Broker-wide defaults; per-session knobs can override queueing."""
+
+    #: Decide algorithm, output strategy and cut constraint — the same
+    #: portable :class:`~repro.runtime.tasks.EngineConfig` vocabulary the
+    #: sharded runtime uses.
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Micro-batching bounds per session (see :mod:`repro.service.batching`).
+    batch_max_items: int = 8
+    batch_max_delay_ms: float = 50.0
+    #: Session outbound queue bound and overflow policy defaults.
+    queue_capacity: int = 16
+    overflow: str = "block"
+    #: Regrouping on subscription churn: cap subgroup size and/or split
+    #: by attribute overlap (``adaptive/regroup.py``).  ``None``/False
+    #: keeps one engine per source, which is the batch-identical mode.
+    max_group_size: Optional[int] = None
+    partition_attributes: bool = False
+    #: Thread lanes for parallel subgroup decides (>1 only matters when
+    #: regrouping produced several engines for one source).
+    shards: int = 1
+    tuple_size_bytes: int = 64
+    #: Seed for the multicast loss model's injected RNG.
+    seed: int = 0
+    #: Sliding-window length for snapshot decide-latency percentiles.
+    decide_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.engine.algorithm == "self_interested":
+            raise ValueError(
+                "the live service coordinates filters; use the batch "
+                "SelfInterestedEngine for the uncoordinated baseline"
+            )
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.overflow!r}; "
+                f"expected {OVERFLOW_POLICIES}"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+
+
+@dataclass
+class _EngineSlot:
+    """One live engine (a whole source group or a regrouped subgroup)."""
+
+    apps: tuple[str, ...]
+    engine: GroupAwareEngine
+    #: Emissions already routed to sessions, as a prefix length of the
+    #: engine result's emission log (lets cutover route only the tail).
+    routed: int = 0
+
+
+@dataclass
+class _SourceState:
+    name: str
+    node: str
+    group_name: str
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    sessions: dict[str, SubscriberSession] = field(default_factory=dict)
+    slots: list[_EngineSlot] = field(default_factory=list)
+    #: Finished engine results, one per subscription epoch and subgroup.
+    epochs: list[EngineResult] = field(default_factory=list)
+    offered: int = 0
+    #: Tuples fed to the current epoch's engines (resets on rebuild).
+    fed: int = 0
+
+
+class DisseminationService:
+    """Live broker: incremental decides, dynamic sessions, backpressure."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        system: Optional[StreamingSystem] = None,
+        nodes: Optional[Sequence[str]] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        if system is not None:
+            if nodes is not None:
+                raise ValueError("pass either a system or node names, not both")
+            self.system = system
+            self._nodes = tuple(system.overlay.names)
+        else:
+            self._nodes = tuple(nodes) if nodes is not None else _DEFAULT_NODES
+            overlay = OverlayNetwork(list(self._nodes))
+            self.system = StreamingSystem(
+                overlay,
+                multicast=ScribeMulticast(
+                    overlay, rng=random.Random(self.config.seed)
+                ),
+                tuple_size_bytes=self.config.tuple_size_bytes,
+            )
+        self._sources: dict[str, _SourceState] = {}
+        self._app_sources: dict[str, str] = {}
+        self._retired: list[SessionSnapshot] = []
+        self._decide_window: deque[float] = deque(maxlen=self.config.decide_window)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._now = 0.0
+        self._offered = 0
+        self._decided_emissions = 0
+        self._regroups = 0
+        self._ticks = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_source(self, source_name: str, node_name: Optional[str] = None) -> None:
+        """Advertise a source; its proxy node defaults deterministically."""
+        if node_name is None:
+            node_name = self._place(f"src:{source_name}")
+        self.system.add_source(source_name, node_name)
+        self._sources[source_name] = _SourceState(
+            name=source_name,
+            node=node_name,
+            group_name=f"src:{source_name}",
+        )
+
+    def _place(self, key: str) -> str:
+        """Stable node placement, reusing the runtime's key hashing."""
+        return self._nodes[shard_for_key(key, len(self._nodes))]
+
+    def _src(self, source_name: str) -> _SourceState:
+        try:
+            return self._sources[source_name]
+        except KeyError:
+            raise KeyError(f"unknown source {source_name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Dynamic subscriptions
+    # ------------------------------------------------------------------
+    async def subscribe(
+        self,
+        app_name: str,
+        source_name: str,
+        spec: str,
+        node: Optional[str] = None,
+        *,
+        queue_capacity: Optional[int] = None,
+        overflow: Optional[str] = None,
+        batch_max_items: Optional[int] = None,
+        batch_max_delay_ms: Optional[float] = None,
+    ) -> SubscriberSession:
+        """Attach a subscriber at runtime; forces an engine regroup."""
+        src = self._src(source_name)
+        async with src.lock:
+            if app_name in self._app_sources:
+                raise ValueError(f"app {app_name!r} is already subscribed")
+            if node is None:
+                node = self._place(app_name)
+            parse_filter(spec, name=app_name)  # validate before any churn
+            # All fallible registration (node validation, graft checks)
+            # happens before the cutover: a failed subscribe must leave
+            # the current epoch's engines serving, not a stranded source.
+            self.system.subscribe(app_name, node, source_name, spec)
+            await self._cutover(src)
+            cfg = self.config
+            session = SubscriberSession(
+                app_name=app_name,
+                source_name=source_name,
+                spec=spec,
+                node=node,
+                queue=DeliveryQueue(
+                    capacity=queue_capacity
+                    if queue_capacity is not None
+                    else cfg.queue_capacity,
+                    policy=overflow if overflow is not None else cfg.overflow,
+                ),
+                batcher=MicroBatcher(
+                    max_items=batch_max_items
+                    if batch_max_items is not None
+                    else cfg.batch_max_items,
+                    max_delay_ms=batch_max_delay_ms
+                    if batch_max_delay_ms is not None
+                    else cfg.batch_max_delay_ms,
+                ),
+                _broker=self,
+            )
+            src.sessions[app_name] = session
+            self._app_sources[app_name] = source_name
+            self._rebuild(src)
+            return session
+
+    async def unsubscribe(self, app_name: str) -> None:
+        """Detach a subscriber at runtime; forces an engine regroup."""
+        source_name = self._require_app(app_name)
+        src = self._src(source_name)
+        async with src.lock:
+            await self._detach(src, app_name)
+
+    async def re_filter(self, app_name: str, new_spec: str) -> None:
+        """Swap a live subscriber's filter spec; forces an engine regroup."""
+        source_name = self._require_app(app_name)
+        src = self._src(source_name)
+        async with src.lock:
+            session = src.sessions[app_name]
+            parse_filter(new_spec, name=app_name)
+            # Swap the registration before the cutover so a failure leaves
+            # the old epoch intact (and the old spec restored).
+            self.system.unsubscribe(app_name, source_name)
+            try:
+                self.system.subscribe(
+                    app_name, session.node, source_name, new_spec
+                )
+            except Exception:
+                self.system.subscribe(
+                    app_name, session.node, source_name, session.spec
+                )
+                raise
+            await self._cutover(src)
+            session.spec = new_spec
+            self._rebuild(src)
+
+    def subscriptions(self, source_name: str) -> list[tuple[str, str]]:
+        """Current ``(app, spec)`` pairs in broker (engine) order."""
+        return [
+            (s.app_name, s.spec) for s in self._src(source_name).sessions.values()
+        ]
+
+    def _require_app(self, app_name: str) -> str:
+        try:
+            return self._app_sources[app_name]
+        except KeyError:
+            raise KeyError(f"app {app_name!r} is not subscribed") from None
+
+    async def _detach(self, src: _SourceState, app_name: str) -> None:
+        """Remove one session (caller holds the source lock)."""
+        session = src.sessions.get(app_name)
+        if session is None:
+            return
+        await self._cutover(src)
+        self.system.unsubscribe(app_name, src.name)
+        del src.sessions[app_name]
+        del self._app_sources[app_name]
+        await session.close()
+        # Keep the departed session's counters in broker-wide totals.
+        self._retired.append(self._session_snapshot(session))
+        self._rebuild(src)
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle (epochs)
+    # ------------------------------------------------------------------
+    def _parse_group(self, src: _SourceState) -> list[GroupAwareFilter]:
+        return [
+            parse_filter(session.spec, name=app)
+            for app, session in src.sessions.items()
+        ]
+
+    def _rebuild(self, src: _SourceState) -> None:
+        """Fresh engines from the current subscription set."""
+        filters = self._parse_group(src)
+        if not filters:
+            src.slots = []
+            return
+        groups: list[list[GroupAwareFilter]] = (
+            partition_by_attribute(filters)
+            if self.config.partition_attributes
+            else [list(filters)]
+        )
+        if self.config.max_group_size is not None:
+            groups = [
+                chunk
+                for group in groups
+                for chunk in cap_group_size(group, self.config.max_group_size)
+            ]
+        engine_cfg = self.config.engine
+        constraint = (
+            TimeConstraint(engine_cfg.constraint_ms)
+            if engine_cfg.constraint_ms is not None
+            else None
+        )
+        src.fed = 0
+        src.slots = [
+            _EngineSlot(
+                apps=tuple(f.name for f in group),
+                engine=GroupAwareEngine(
+                    group,
+                    algorithm=engine_cfg.algorithm,
+                    output_strategy=_make_strategy(
+                        engine_cfg.output, engine_cfg.batch_size
+                    ),
+                    time_constraint=constraint,
+                ),
+            )
+            for group in groups
+        ]
+        self._regroups += 1
+
+    async def _cutover(self, src: _SourceState) -> None:
+        """Finish the live engines, delivering their tail emissions.
+
+        Open candidate sets are flushed and decided (the same semantics as
+        end-of-stream), so a subscription change never strands admitted
+        tuples; the next epoch starts from clean coordination state.
+        """
+        if not src.slots:
+            return
+        if src.fed == 0:
+            # Nothing was ever offered to this epoch: no candidate state
+            # to flush, so skip the empty EngineResult entirely.
+            src.slots = []
+            return
+        tails: list[Emission] = []
+        for slot in src.slots:
+            result = slot.engine.finish()
+            tails.extend(result.emissions[slot.routed :])
+            src.epochs.append(result)
+        src.slots = []
+        self._note_emissions(tails)
+        await self._route(src, tails, now=self._now)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    async def offer(self, source_name: str, item: StreamTuple) -> int:
+        """Feed one tuple; decide, batch and deliver what it triggers.
+
+        Returns the number of emissions the arrival produced.  With a
+        ``block`` overflow policy this call awaits queue space on slow
+        consumers — backpressure reaches the source feed here.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        src = self._src(source_name)
+        async with src.lock:
+            src.offered += 1
+            src.fed += 1
+            self._offered += 1
+            self._now = max(self._now, item.timestamp)
+            emissions = await self._run_slots(
+                src, lambda engine: engine.process(item)
+            )
+            await self._dispatch(src, emissions, now=item.timestamp)
+            return len(emissions)
+
+    async def feed(
+        self,
+        source_name: str,
+        items: Iterable[StreamTuple],
+        *,
+        interval_s: float = 0.0,
+    ) -> int:
+        """Offer a whole iterable (optionally paced); returns tuple count."""
+        count = 0
+        for item in items:
+            await self.offer(source_name, item)
+            count += 1
+            if interval_s > 0.0:
+                await asyncio.sleep(interval_s)
+        return count
+
+    async def tick(
+        self, now_ms: float, source_name: Optional[str] = None
+    ) -> int:
+        """Timer tick: timely cuts, region sweeps, latency-bound flushes."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        targets = (
+            [self._src(source_name)]
+            if source_name is not None
+            else list(self._sources.values())
+        )
+        emitted = 0
+        for src in targets:
+            async with src.lock:
+                self._ticks += 1
+                self._now = max(self._now, now_ms)
+                emissions = await self._run_slots(
+                    src, lambda engine: engine.tick(now_ms)
+                )
+                await self._dispatch(src, emissions, now=now_ms)
+                emitted += len(emissions)
+        return emitted
+
+    async def _run_slots(
+        self,
+        src: _SourceState,
+        step: Callable[[GroupAwareEngine], list[Emission]],
+    ) -> list[Emission]:
+        """Run one engine step on every slot, in parallel when sharded."""
+        if not src.slots:
+            return []
+        if len(src.slots) == 1 or self.config.shards == 1:
+            per_slot = [step(slot.engine) for slot in src.slots]
+        else:
+            loop = asyncio.get_running_loop()
+            pool = self._decide_pool()
+            per_slot = await asyncio.gather(
+                *(
+                    loop.run_in_executor(pool, step, slot.engine)
+                    for slot in src.slots
+                )
+            )
+        emissions: list[Emission] = []
+        for slot, slot_emissions in zip(src.slots, per_slot):
+            slot.routed += len(slot_emissions)
+            emissions.extend(slot_emissions)
+        self._note_emissions(emissions)
+        return emissions
+
+    def _decide_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.shards,
+                thread_name_prefix="repro-decide",
+            )
+        return self._pool
+
+    def _note_emissions(self, emissions: Sequence[Emission]) -> None:
+        self._decided_emissions += len(emissions)
+        for emission in emissions:
+            self._decide_window.append(emission.delay_ms)
+
+    async def _dispatch(
+        self, src: _SourceState, emissions: Sequence[Emission], now: float
+    ) -> None:
+        """Route emissions, run latency-due flushes, reap disconnects."""
+        await self._route(src, emissions, now)
+        for session in list(src.sessions.values()):
+            if session.batcher.due(now):
+                batch = session.batcher.flush(now)
+                if batch is not None:
+                    await self._ship(src, session, batch)
+        dead = [
+            app for app, session in src.sessions.items() if session.disconnected
+        ]
+        for app in dead:
+            await self._detach(src, app)
+
+    async def _route(
+        self, src: _SourceState, emissions: Sequence[Emission], now: float
+    ) -> None:
+        for emission in emissions:
+            for app in sorted(emission.recipients):
+                session = src.sessions.get(app)
+                if session is None or session.disconnected:
+                    continue
+                session.stats.staged_tuples += 1
+                batch = session.batcher.stage(emission.item, emission.emit_ts)
+                if batch is not None:
+                    await self._ship(src, session, batch)
+
+    async def _ship(
+        self, src: _SourceState, session: SubscriberSession, batch
+    ) -> None:
+        await session.deliver(batch)
+        if session.disconnected or session.queue.closed:
+            return
+        # Tuple-level multicast accounting: one publish per flushed batch,
+        # labelled for this session only (per-session batching trades the
+        # shared-emission publish of the batch path for bounded queues).
+        self.system.multicast.publish(
+            src.group_name,
+            src.node,
+            frozenset({session.app_name}),
+            len(batch) * self.config.tuple_size_bytes,
+            batch.flushed_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Observation and shutdown
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _session_snapshot(session: SubscriberSession) -> SessionSnapshot:
+        return SessionSnapshot(
+            app_name=session.app_name,
+            source_name=session.source_name,
+            spec=session.spec,
+            node=session.node,
+            policy=session.queue.policy,
+            queue_depth=session.queue.depth,
+            queue_capacity=session.queue.capacity,
+            batcher_pending=session.batcher.pending,
+            staged_tuples=session.stats.staged_tuples,
+            enqueued_batches=session.stats.enqueued_batches,
+            delivered_batches=session.stats.delivered_batches,
+            delivered_tuples=session.stats.delivered_tuples,
+            dropped_batches=session.stats.dropped_batches,
+            dropped_tuples=session.stats.dropped_tuples,
+            disconnected=session.disconnected,
+        )
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Live stats: sessions, queue depths, drops, decide percentiles."""
+        sessions = tuple(
+            self._session_snapshot(session)
+            for src in self._sources.values()
+            for session in src.sessions.values()
+        )
+        cuts = sum(
+            epoch.cuts_triggered
+            for src in self._sources.values()
+            for epoch in src.epochs
+        )
+        return ServiceSnapshot.capture(
+            now_ms=self._now,
+            sources=tuple(self._sources),
+            sessions=sessions,
+            retired=tuple(self._retired),
+            offered=self._offered,
+            decided_emissions=self._decided_emissions,
+            regroups=self._regroups,
+            ticks=self._ticks,
+            cuts_triggered=cuts,
+            decide_window_ms=list(self._decide_window),
+        )
+
+    def results(self, source_name: str) -> list[EngineResult]:
+        """Finished engine epochs for one source (complete after close)."""
+        return list(self._src(source_name).epochs)
+
+    async def close(self) -> dict[str, list[EngineResult]]:
+        """Flush everything, finish engines, close sessions.
+
+        Final flushes never block: if a closing batch cannot be enqueued
+        it is counted as dropped rather than deadlocking shutdown.
+        """
+        if self._closed:
+            return {src.name: list(src.epochs) for src in self._sources.values()}
+        for src in self._sources.values():
+            async with src.lock:
+                await self._cutover(src)
+                for session in src.sessions.values():
+                    batch = session.batcher.flush(self._now)
+                    if batch is not None:
+                        rejected = session.queue.put_nowait(batch)
+                        if rejected is not None:
+                            # Either the final batch itself was refused,
+                            # or drop_oldest evicted an older one for it.
+                            session.stats.dropped_batches += 1
+                            session.stats.dropped_tuples += len(rejected)
+                        if rejected is not batch:
+                            session.stats.enqueued_batches += 1
+                            self.system.multicast.publish(
+                                src.group_name,
+                                src.node,
+                                frozenset({session.app_name}),
+                                len(batch) * self.config.tuple_size_bytes,
+                                batch.flushed_ms,
+                            )
+                    await session.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+        return {src.name: list(src.epochs) for src in self._sources.values()}

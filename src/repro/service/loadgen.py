@@ -1,0 +1,373 @@
+"""Open- and closed-loop load generation against the live broker.
+
+Replays a synthetic source trace (volcano, fire, cow, NAMOS, ...) into a
+:class:`~repro.service.broker.DisseminationService` at a target
+tuples/sec, with optional subscriber-churn schedules, and emits the
+reproducibility-harness artifacts the related curv-embedding repo uses
+for long-running systems: a ``metrics.jsonl`` stream of periodic
+snapshots plus a ``summary.json`` run manifest (deterministic seeds,
+config echo, totals, decide-latency percentiles, clean-shutdown flag).
+
+Two offered-load models:
+
+* **open loop** — arrivals follow the schedule regardless of service
+  speed: each offer is a fire-and-forget task (bounded by
+  ``max_in_flight``; excess arrivals are counted as *shed*), so queueing
+  delay shows up as in-flight growth, the honest way to measure an
+  overloaded broker;
+* **closed loop** — each arrival awaits the previous offer, so a
+  ``block`` overflow policy throttles the generator to the slowest
+  consumer (end-to-end backpressure).
+
+``verify=True`` replays the offered prefix through a fresh batch engine
+built from the final subscription set afterwards and records whether
+the live decided outputs match (exact equality for churn-free runs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.engine import EngineResult, GroupAwareEngine
+from repro.core.tuples import StreamTuple, Trace
+from repro.experiments.configs import dc_specs_from_statistics
+from repro.filters.spec import parse_filter
+from repro.runtime.tasks import EngineConfig
+from repro.service.broker import DisseminationService, ServiceConfig
+from repro.sources import CATALOG
+
+__all__ = [
+    "SIZES",
+    "LOADGEN_SOURCES",
+    "ChurnEvent",
+    "LoadGenConfig",
+    "default_churn",
+    "run_loadgen",
+    "decided_map",
+]
+
+#: Subscriber-count presets.
+SIZES = {"tiny": 2, "small": 8, "medium": 32}
+
+#: Catalog sources whose generators take plain ``(n, seed)`` kwargs.
+LOADGEN_SOURCES = ("random_walk", "sine", "namos", "volcano", "fire", "cow")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled subscription change, ``at_s`` seconds into the run."""
+
+    at_s: float
+    op: str  # "subscribe" | "unsubscribe" | "re_filter"
+    app: str
+    spec: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("subscribe", "unsubscribe", "re_filter"):
+            raise ValueError(f"unknown churn op {self.op!r}")
+        if self.op in ("subscribe", "re_filter") and self.spec is None:
+            raise ValueError(f"churn op {self.op!r} needs a filter spec")
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load-generation run, fully determined by this config + seeds."""
+
+    source: str = "random_walk"
+    size: str = "tiny"
+    rate: float = 500.0
+    duration_s: float = 2.0
+    mode: str = "open"  # "open" | "closed"
+    algorithm: str = "region"
+    constraint_ms: Optional[float] = None
+    seed: int = 7
+    queue_capacity: int = 16
+    overflow: str = "block"
+    batch_max_items: int = 8
+    batch_max_delay_ms: float = 50.0
+    consumer_delay_ms: float = 0.0
+    metrics_interval_s: float = 0.25
+    max_in_flight: int = 4096
+    churn: tuple[ChurnEvent, ...] = field(default_factory=tuple)
+    out_dir: Optional[str] = None
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.source not in LOADGEN_SOURCES:
+            raise ValueError(
+                f"unknown loadgen source {self.source!r}; "
+                f"expected one of {LOADGEN_SOURCES}"
+            )
+        if self.size not in SIZES:
+            raise ValueError(f"unknown size {self.size!r}; expected {sorted(SIZES)}")
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.rate <= 0.0:
+            raise ValueError("rate must be positive")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+
+
+def _make_trace(config: LoadGenConfig) -> Trace:
+    n = max(16, int(config.rate * config.duration_s))
+    return CATALOG.make(config.source, n=n, seed=config.seed)
+
+
+def _subscriber_specs(config: LoadGenConfig, trace: Trace) -> list[str]:
+    """Recipe-derived DC specs, one per subscriber, over the first attribute."""
+    attribute = trace.attributes[0]
+    count = SIZES[config.size]
+    multipliers = [1.0 + 0.5 * (i % 4) for i in range(count)]
+    return dc_specs_from_statistics(trace, attribute, multipliers)
+
+
+def default_churn(config: LoadGenConfig, trace: Trace) -> tuple[ChurnEvent, ...]:
+    """A representative schedule: re-filter early, subscribe, unsubscribe."""
+    attribute = trace.attributes[0]
+    tightened = dc_specs_from_statistics(trace, attribute, [0.8, 1.7])
+    d = config.duration_s
+    events = [
+        ChurnEvent(at_s=0.4 * d, op="re_filter", app="app0", spec=tightened[0]),
+        ChurnEvent(at_s=0.5 * d, op="subscribe", app="app-late", spec=tightened[1]),
+    ]
+    if SIZES[config.size] >= 2:
+        events.append(ChurnEvent(at_s=0.7 * d, op="unsubscribe", app="app1"))
+    return tuple(sorted(events, key=lambda e: e.at_s))
+
+
+def decided_map(result: EngineResult) -> dict[str, list[tuple[int, ...]]]:
+    """Per-filter decided tuple seqs, in decision order (tick-invariant)."""
+    return {
+        name: [tuple(item.seq for item in d.tuples) for d in decided]
+        for name, decided in result.decisions.items()
+    }
+
+
+def _merge_decided(epochs: Sequence[EngineResult]) -> dict[str, list[tuple[int, ...]]]:
+    merged: dict[str, list[tuple[int, ...]]] = {}
+    for epoch in epochs:
+        for name, rows in decided_map(epoch).items():
+            merged.setdefault(name, []).extend(rows)
+    return merged
+
+
+def _batch_reference(
+    subscriptions: Sequence[tuple[str, str]],
+    items: Sequence[StreamTuple],
+    config: LoadGenConfig,
+) -> EngineResult:
+    """The batch engine's verdict on the same trace and final group."""
+    filters = [parse_filter(spec, name=app) for app, spec in subscriptions]
+    engine = GroupAwareEngine(filters, algorithm=config.algorithm)
+    return engine.run(items)
+
+
+async def _consume(session, delay_ms: float) -> int:
+    total = 0
+    async for batch in session.batches():
+        total += len(batch)
+        if delay_ms > 0.0:
+            await asyncio.sleep(delay_ms / 1000.0)
+    return total
+
+
+async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
+    trace = _make_trace(config)
+    specs = _subscriber_specs(config, trace)
+    source = config.source
+    service = DisseminationService(
+        ServiceConfig(
+            engine=EngineConfig(
+                algorithm=config.algorithm, constraint_ms=config.constraint_ms
+            ),
+            batch_max_items=config.batch_max_items,
+            batch_max_delay_ms=config.batch_max_delay_ms,
+            queue_capacity=config.queue_capacity,
+            overflow=config.overflow,
+            seed=config.seed,
+        ),
+        nodes=["source-node"]
+        + [f"host{i}" for i in range(len(specs) + len(config.churn) + 1)],
+    )
+    service.add_source(source, "source-node")
+
+    consumers: dict[str, asyncio.Task] = {}
+
+    async def attach(app: str, spec: str) -> None:
+        session = await service.subscribe(app, source, spec)
+        consumers[app] = asyncio.create_task(
+            _consume(session, config.consumer_delay_ms)
+        )
+
+    for index, spec in enumerate(specs):
+        await attach(f"app{index}", spec)
+
+    records: list[dict] = []
+    offered_items: list[StreamTuple] = []
+    in_flight: set[asyncio.Task] = set()
+    shed = 0
+    started = time.perf_counter()
+    # Stream-time milliseconds advanced per wall second at the target rate.
+    stream_dt_ms = (
+        trace[1].timestamp - trace[0].timestamp if len(trace) > 1 else 10.0
+    )
+
+    def stream_now() -> float:
+        # Extrapolate stream time from the wall clock, but never run more
+        # than one inter-arrival interval ahead of the last offered tuple:
+        # ticking past the next arrival's timestamp could close a region a
+        # lagging tuple would still join, breaking batch equivalence (see
+        # GroupAwareEngine.tick).
+        wall = (time.perf_counter() - started) * config.rate * stream_dt_ms
+        last_ts = offered_items[-1].timestamp if offered_items else 0.0
+        return min(wall, last_ts + stream_dt_ms)
+
+    stop_metrics = asyncio.Event()
+
+    async def metrics_loop() -> None:
+        while not stop_metrics.is_set():
+            try:
+                await asyncio.wait_for(
+                    stop_metrics.wait(), timeout=config.metrics_interval_s
+                )
+            except asyncio.TimeoutError:
+                pass
+            await service.tick(stream_now())
+            snapshot = service.snapshot()
+            record = {
+                "t_s": round(time.perf_counter() - started, 4),
+                "in_flight": len(in_flight),
+                "shed": shed,
+                **snapshot.to_dict(),
+            }
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+
+    metrics_task = asyncio.create_task(metrics_loop())
+
+    pending_churn = sorted(config.churn, key=lambda e: e.at_s)
+    churn_applied: list[dict] = []
+
+    async def apply_due_churn(elapsed: float) -> None:
+        while pending_churn and pending_churn[0].at_s <= elapsed:
+            event = pending_churn.pop(0)
+            if event.op == "subscribe":
+                await attach(event.app, event.spec)
+            elif event.op == "unsubscribe":
+                await service.unsubscribe(event.app)
+            else:
+                await service.re_filter(event.app, event.spec)
+            churn_applied.append(asdict(event))
+
+    deadline = started + config.duration_s
+    for index, item in enumerate(trace):
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        target = started + index / config.rate
+        if target > now:
+            await asyncio.sleep(target - now)
+            if time.perf_counter() >= deadline:
+                break
+        await apply_due_churn(time.perf_counter() - started)
+        if config.mode == "closed":
+            offered_items.append(item)
+            await service.offer(source, item)
+        else:
+            if len(in_flight) >= config.max_in_flight:
+                shed += 1
+                continue
+            offered_items.append(item)
+            task = asyncio.create_task(service.offer(source, item))
+            in_flight.add(task)
+            task.add_done_callback(in_flight.discard)
+
+    errors: list[str] = []
+    if in_flight:
+        offer_results = await asyncio.gather(
+            *list(in_flight), return_exceptions=True
+        )
+        errors.extend(repr(r) for r in offer_results if isinstance(r, BaseException))
+    # Late-scheduled churn (at_s near or past the feed's end) still runs
+    # before shutdown; anything genuinely beyond the horizon is reported.
+    await apply_due_churn(time.perf_counter() - started)
+    stop_metrics.set()
+    await metrics_task
+
+    final_subscriptions = service.subscriptions(source)
+    epochs = (await service.close())[source]
+    consumer_results = await asyncio.gather(
+        *consumers.values(), return_exceptions=True
+    )
+    errors.extend(repr(r) for r in consumer_results if isinstance(r, BaseException))
+    delivered = [r for r in consumer_results if not isinstance(r, BaseException)]
+    final_snapshot = service.snapshot()
+    wall_s = time.perf_counter() - started
+
+    equivalent: Optional[bool] = None
+    if config.verify:
+        reference = _batch_reference(final_subscriptions, offered_items, config)
+        live = _merge_decided(epochs)
+        want = decided_map(reference)
+        if config.churn:
+            # Churn cuts epochs over mid-stream; only the final
+            # subscription set's presence is checkable, not equality.
+            equivalent = set(live) >= {app for app, _ in final_subscriptions}
+        else:
+            equivalent = live == want
+
+    summary = {
+        "schema": "repro-loadgen/v1",
+        "config": {
+            **asdict(replace(config, churn=())),
+            "churn": [asdict(event) for event in config.churn],
+        },
+        "trace_tuples": len(trace),
+        "offered": len(offered_items),
+        "shed": shed,
+        "offered_rate_tps": len(offered_items) / wall_s if wall_s > 0 else 0.0,
+        "wall_s": round(wall_s, 4),
+        "delivered_tuples": sum(delivered),
+        "dropped_tuples": final_snapshot.dropped_tuples,
+        "decided_emissions": final_snapshot.decided_emissions,
+        "decide_latency_ms": {
+            "p50": final_snapshot.decide_p50_ms,
+            "p99": final_snapshot.decide_p99_ms,
+        },
+        "regroups": final_snapshot.regroups,
+        "ticks": final_snapshot.ticks,
+        "cuts_triggered": final_snapshot.cuts_triggered,
+        "churn_applied": churn_applied,
+        "churn_unapplied": [asdict(event) for event in pending_churn],
+        "final_subscriptions": [list(pair) for pair in final_subscriptions],
+        "equivalent_to_batch": equivalent,
+        "errors": errors,
+        "clean_shutdown": not errors and not in_flight,
+    }
+    records.append({"t_s": round(wall_s, 4), "final": True, **final_snapshot.to_dict()})
+
+    if config.out_dir is not None:
+        out = Path(config.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        with (out / "metrics.jsonl").open("w", encoding="utf-8") as stream:
+            for record in records:
+                stream.write(json.dumps(record) + "\n")
+        (out / "summary.json").write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
+    return summary
+
+
+def run_loadgen(config: LoadGenConfig, on_record=None) -> dict:
+    """Run one load-generation session to completion (blocking wrapper).
+
+    ``on_record`` is called with each periodic metrics record as it is
+    captured (the ``serve`` CLI prints these live).
+    """
+    return asyncio.run(_run_async(config, on_record=on_record))

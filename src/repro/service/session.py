@@ -1,0 +1,228 @@
+"""Subscriber sessions with bounded outbound queues and backpressure.
+
+Each live subscriber holds a :class:`SubscriberSession`: its filter spec,
+a :class:`MicroBatcher` and a :class:`DeliveryQueue` bounded to
+``capacity`` batches.  What happens when the queue is full is the
+session's *overflow policy*:
+
+* ``"block"`` — the broker awaits queue space, so a slow consumer slows
+  the source feed down (closed-loop backpressure) instead of growing
+  broker memory;
+* ``"drop_oldest"`` — the oldest queued batch is evicted and counted, so
+  a laggard sees fresh data with holes (the paper's timeliness-over-
+  completeness stance, Chapter 3, applied to delivery);
+* ``"disconnect"`` — the session is closed on the spot; the broker then
+  unsubscribes the filter and regroups.
+
+Sessions are re-filterable at runtime (:meth:`SubscriberSession.re_filter`):
+the broker cuts the current engine over and rebuilds the group, which is
+the filter-churn path of ``adaptive/regroup.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, AsyncIterator, Optional
+
+from repro.core.tuples import StreamTuple
+from repro.service.batching import Batch, MicroBatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.broker import DisseminationService
+
+__all__ = [
+    "OVERFLOW_POLICIES",
+    "SessionDisconnected",
+    "SessionStats",
+    "DeliveryQueue",
+    "SubscriberSession",
+]
+
+OVERFLOW_POLICIES = ("block", "drop_oldest", "disconnect")
+
+
+class SessionDisconnected(Exception):
+    """Raised toward the broker when a ``disconnect`` session overflows."""
+
+
+@dataclass
+class SessionStats:
+    """Monotonic per-session counters (never reset while live)."""
+
+    staged_tuples: int = 0
+    enqueued_batches: int = 0
+    delivered_batches: int = 0
+    delivered_tuples: int = 0
+    dropped_batches: int = 0
+    dropped_tuples: int = 0
+
+
+class DeliveryQueue:
+    """Bounded asyncio FIFO of :class:`Batch` with an overflow policy."""
+
+    def __init__(self, capacity: int = 16, policy: str = "block"):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {policy!r}; expected {OVERFLOW_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._batches: deque[Batch] = deque()
+        self._changed = asyncio.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._batches)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, batch: Batch) -> Optional[Batch]:
+        """Enqueue one batch, applying the overflow policy.
+
+        Returns the batch that was *dropped* to make room (``drop_oldest``
+        only), ``None`` otherwise.  Raises :class:`SessionDisconnected`
+        when a ``disconnect`` queue overflows.  Puts to a closed queue are
+        silently discarded (the consumer is gone).
+        """
+        async with self._changed:
+            if self._closed:
+                return batch
+            if len(self._batches) >= self.capacity:
+                if self.policy == "disconnect":
+                    raise SessionDisconnected(
+                        f"queue overflow at capacity {self.capacity}"
+                    )
+                if self.policy == "drop_oldest":
+                    dropped = self._batches.popleft()
+                    self._batches.append(batch)
+                    self._changed.notify_all()
+                    return dropped
+                # "block": wait for the consumer — this await is the
+                # backpressure edge from broker to source feed.
+                while len(self._batches) >= self.capacity and not self._closed:
+                    await self._changed.wait()
+                if self._closed:
+                    return batch
+            self._batches.append(batch)
+            self._changed.notify_all()
+            return None
+
+    async def get(self) -> Batch:
+        """Dequeue the next batch; raises ``StopAsyncIteration`` when the
+        queue is closed and drained."""
+        async with self._changed:
+            while not self._batches and not self._closed:
+                await self._changed.wait()
+            if not self._batches:
+                raise StopAsyncIteration
+            batch = self._batches.popleft()
+            self._changed.notify_all()
+            return batch
+
+    def put_nowait(self, batch: Batch) -> Optional[Batch]:
+        """Non-blocking enqueue for shutdown paths.
+
+        Returns the batch that did not make it: the evicted oldest batch
+        under ``drop_oldest``, or ``batch`` itself when the queue is full
+        (``block``/``disconnect``) or closed.  Never waits, never raises.
+        """
+        if self._closed:
+            return batch
+        if len(self._batches) >= self.capacity:
+            if self.policy == "drop_oldest":
+                dropped = self._batches.popleft()
+                self._batches.append(batch)
+                return dropped
+            return batch
+        self._batches.append(batch)
+        return None
+
+    def drain_nowait(self) -> list[Batch]:
+        """Synchronously empty the queue (post-run accounting)."""
+        drained = list(self._batches)
+        self._batches.clear()
+        return drained
+
+    async def close(self) -> None:
+        """Close the queue; blocked producers and consumers wake up."""
+        async with self._changed:
+            self._closed = True
+            self._changed.notify_all()
+
+
+@dataclass
+class SubscriberSession:
+    """One application's live subscription to one source."""
+
+    app_name: str
+    source_name: str
+    spec: str
+    node: str
+    queue: DeliveryQueue
+    batcher: MicroBatcher
+    stats: SessionStats = field(default_factory=SessionStats)
+    disconnected: bool = False
+    _broker: Optional["DisseminationService"] = None
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def __aiter__(self) -> AsyncIterator[Batch]:
+        return self.batches()
+
+    async def batches(self) -> AsyncIterator[Batch]:
+        """Yield delivered batches until the session closes."""
+        while True:
+            try:
+                batch = await self.queue.get()
+            except StopAsyncIteration:
+                return
+            self.stats.delivered_batches += 1
+            self.stats.delivered_tuples += len(batch)
+            yield batch
+
+    async def items(self) -> AsyncIterator[StreamTuple]:
+        """Yield delivered tuples one by one (batch-flattening view)."""
+        async for batch in self.batches():
+            for item in batch.items:
+                yield item
+
+    async def re_filter(self, new_spec: str) -> None:
+        """Swap this session's filter spec at runtime (forces a regroup)."""
+        if self._broker is None:
+            raise RuntimeError("session is not attached to a broker")
+        await self._broker.re_filter(self.app_name, new_spec)
+
+    # ------------------------------------------------------------------
+    # Broker side
+    # ------------------------------------------------------------------
+    async def deliver(self, batch: Batch) -> None:
+        """Enqueue one flushed batch, recording drops/disconnects."""
+        if self.disconnected:
+            self.stats.dropped_batches += 1
+            self.stats.dropped_tuples += len(batch)
+            return
+        try:
+            rejected = await self.queue.put(batch)
+        except SessionDisconnected:
+            self.disconnected = True
+            self.stats.dropped_batches += 1
+            self.stats.dropped_tuples += len(batch)
+            await self.queue.close()
+            return
+        if rejected is not None:
+            self.stats.dropped_batches += 1
+            self.stats.dropped_tuples += len(rejected)
+        if rejected is not batch:
+            self.stats.enqueued_batches += 1
+
+    async def close(self) -> None:
+        await self.queue.close()

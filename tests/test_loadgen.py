@@ -1,0 +1,124 @@
+"""End-to-end tests for the load generator and its run manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ChurnEvent, LoadGenConfig, default_churn, run_loadgen
+from repro.service.loadgen import _make_trace, _subscriber_specs
+
+
+def _config(**overrides) -> LoadGenConfig:
+    base = dict(
+        source="random_walk",
+        size="tiny",
+        rate=400.0,
+        duration_s=0.5,
+        seed=7,
+        metrics_interval_s=0.1,
+    )
+    base.update(overrides)
+    return LoadGenConfig(**base)
+
+
+class TestArtifacts:
+    def test_writes_metrics_and_summary(self, tmp_path):
+        out = tmp_path / "run"
+        summary = run_loadgen(_config(out_dir=str(out)))
+
+        lines = (out / "metrics.jsonl").read_text().strip().splitlines()
+        assert lines, "metrics.jsonl must not be empty"
+        for line in lines:
+            record = json.loads(line)
+            assert "offered" in record and "session_count" in record
+
+        manifest = json.loads((out / "summary.json").read_text())
+        assert manifest["schema"] == "repro-loadgen/v1"
+        assert manifest["clean_shutdown"] is True
+        assert manifest["config"]["seed"] == 7
+        assert manifest["offered"] > 0
+        assert manifest == summary
+
+    def test_open_loop_verify_matches_batch(self):
+        summary = run_loadgen(_config(verify=True))
+        assert summary["equivalent_to_batch"] is True
+        assert summary["delivered_tuples"] > 0
+        assert summary["dropped_tuples"] == 0
+
+    def test_closed_loop_verify_matches_batch(self):
+        summary = run_loadgen(_config(mode="closed", verify=True))
+        assert summary["equivalent_to_batch"] is True
+
+    def test_per_candidate_set_verify_matches_batch(self):
+        summary = run_loadgen(_config(algorithm="per_candidate_set", verify=True))
+        assert summary["equivalent_to_batch"] is True
+
+
+class TestChurnSchedules:
+    def test_default_churn_applies_and_completes(self):
+        config = _config(duration_s=0.6, mode="closed")
+        trace = _make_trace(config)
+        from dataclasses import replace
+
+        config = replace(config, churn=default_churn(config, trace), verify=True)
+        summary = run_loadgen(config)
+        assert summary["clean_shutdown"] is True
+        assert len(summary["churn_applied"]) == len(config.churn)
+        apps = [app for app, _ in summary["final_subscriptions"]]
+        assert "app-late" in apps
+        assert "app1" not in apps  # unsubscribed by the schedule
+        assert summary["regroups"] >= len(config.churn)
+        assert summary["equivalent_to_batch"] is True  # superset check
+
+    def test_custom_churn_validation(self):
+        with pytest.raises(ValueError, match="needs a filter spec"):
+            ChurnEvent(at_s=0.1, op="re_filter", app="app0")
+        with pytest.raises(ValueError, match="unknown churn op"):
+            ChurnEvent(at_s=0.1, op="explode", app="app0")
+
+
+class TestBackpressureUnderLoad:
+    def test_slow_consumer_drop_oldest_reports_drops(self):
+        summary = run_loadgen(
+            _config(
+                rate=800.0,
+                overflow="drop_oldest",
+                queue_capacity=2,
+                consumer_delay_ms=40.0,
+            )
+        )
+        assert summary["dropped_tuples"] > 0
+        assert summary["clean_shutdown"] is True
+
+    def test_slow_consumer_block_never_drops(self):
+        summary = run_loadgen(
+            _config(
+                rate=800.0,
+                mode="closed",
+                overflow="block",
+                queue_capacity=2,
+                consumer_delay_ms=5.0,
+            )
+        )
+        assert summary["dropped_tuples"] == 0
+        assert summary["clean_shutdown"] is True
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_source(self):
+        with pytest.raises(ValueError, match="unknown loadgen source"):
+            _config(source="chlorine")
+
+    def test_rejects_bad_size_and_mode(self):
+        with pytest.raises(ValueError, match="unknown size"):
+            _config(size="huge")
+        with pytest.raises(ValueError, match="unknown mode"):
+            _config(mode="sideways")
+
+    def test_subscriber_specs_follow_size(self):
+        for size, count in (("tiny", 2), ("small", 8)):
+            config = _config(size=size)
+            specs = _subscriber_specs(config, _make_trace(config))
+            assert len(specs) == count

@@ -146,3 +146,24 @@ class TestReport:
     def test_render_series(self):
         text = render_series("s", [(1, 2.0), (2, 3.0)], "x", "y")
         assert "x" in text and "y" in text
+
+
+class TestLatencyPercentiles:
+    def test_window_percentiles(self):
+        from repro.metrics.latency import latency_percentiles
+
+        window = [float(v) for v in range(1, 101)]
+        result = latency_percentiles(window, (50, 99))
+        assert result["p50"] == 50.5
+        assert result["p99"] == pytest.approx(99.01)
+
+    def test_empty_window_is_zero(self):
+        from repro.metrics.latency import latency_percentiles
+
+        assert latency_percentiles([]) == {"p50": 0.0, "p99": 0.0}
+
+    def test_percentile_validated(self):
+        from repro.metrics.latency import latency_percentiles
+
+        with pytest.raises(ValueError):
+            latency_percentiles([1.0], (101,))

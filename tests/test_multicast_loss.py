@@ -71,3 +71,34 @@ class TestLossyLinks:
         b = second.publish("g", NAMES[0], recipients, 64, 0.0)
         assert a.link_transmissions == b.link_transmissions
         assert a.delivery_ms == b.delivery_ms
+
+
+class TestInjectedRng:
+    def test_injected_rng_replaces_seed(self):
+        import random
+
+        overlay = OverlayNetwork(NAMES)
+        shared = random.Random(99)
+        multicast = ScribeMulticast(overlay, loss_rate=0.4, seed=0, rng=shared)
+        assert multicast._rng is shared
+
+    def test_same_injected_seed_same_retransmission_trace(self):
+        import random
+
+        recipients = frozenset(f"app{i}" for i in range(8))
+
+        def run(rng):
+            overlay = OverlayNetwork(NAMES)
+            multicast = ScribeMulticast(overlay, loss_rate=0.4, rng=rng)
+            multicast.create_group("g")
+            for index, name in enumerate(NAMES):
+                multicast.join("g", f"app{index}", name)
+            receipts = [
+                multicast.publish("g", NAMES[0], recipients, 64, float(i))
+                for i in range(20)
+            ]
+            return multicast.retransmissions, [
+                r.link_transmissions for r in receipts
+            ]
+
+        assert run(random.Random(5)) == run(random.Random(5))

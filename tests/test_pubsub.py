@@ -119,3 +119,36 @@ class TestDissemination:
 
         result = DisseminationResult(EngineResult(), BandwidthAccounting())
         assert result.mean_end_to_end_ms() == 0.0
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_then_resubscribe(self):
+        system = _system()
+        system.add_source("src", "node0")
+        system.subscribe("app", "node1", "src", "DC1(temp, 2.0, 1.0)")
+        system.unsubscribe("app", "src")
+        assert system.subscribers("src") == []
+        # Re-subscribing from the same node reuses the grafted branch.
+        system.subscribe("app", "node1", "src", "DC1(temp, 1.0, 0.5)")
+        assert system.subscribers("src") == ["app"]
+
+    def test_unsubscribe_unknown_app(self):
+        system = _system()
+        system.add_source("src", "node0")
+        with pytest.raises(KeyError, match="not subscribed"):
+            system.unsubscribe("ghost", "src")
+
+    def test_double_subscribe_rejected(self):
+        system = _system()
+        system.add_source("src", "node0")
+        system.subscribe("app", "node1", "src", "DC1(temp, 2.0, 1.0)")
+        with pytest.raises(ValueError, match="already subscribed"):
+            system.subscribe("app", "node1", "src", "DC1(temp, 1.0, 0.5)")
+
+    def test_resubscribe_from_other_node_rejected(self):
+        system = _system()
+        system.add_source("src", "node0")
+        system.subscribe("app", "node1", "src", "DC1(temp, 2.0, 1.0)")
+        system.unsubscribe("app", "src")
+        with pytest.raises(ValueError, match="grafted"):
+            system.subscribe("app", "node2", "src", "DC1(temp, 2.0, 1.0)")

@@ -1,0 +1,384 @@
+"""Unit tests for the live dissemination service (broker layer)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.engine import GroupAwareEngine
+from repro.core.tuples import StreamTuple, Trace
+from repro.filters.spec import parse_filter
+from repro.runtime.merge import canonical_result
+from repro.runtime.tasks import EngineConfig
+from repro.service import (
+    Batch,
+    DeliveryQueue,
+    DisseminationService,
+    MicroBatcher,
+    ServiceConfig,
+    SessionDisconnected,
+    decided_map,
+)
+from repro.sources import random_walk_trace
+
+SPECS = [
+    ("app0", "DC1(temp, 2.0, 1.0)"),
+    ("app1", "DC1(temp, 3.0, 1.5)"),
+    ("app2", "DC1(temp, 4.4, 2.0)"),
+]
+
+
+def _trace(n=400, seed=3) -> Trace:
+    return random_walk_trace(n=n, seed=seed, attribute="temp")
+
+
+def _reference(algorithm: str, trace: Trace, specs=SPECS):
+    filters = [parse_filter(spec, name=app) for app, spec in specs]
+    return GroupAwareEngine(filters, algorithm=algorithm).run(trace)
+
+
+async def _spin_up(algorithm="region", *, batch_max_items=1, **session_kwargs):
+    service = DisseminationService(
+        ServiceConfig(
+            engine=EngineConfig(algorithm=algorithm),
+            batch_max_items=batch_max_items,
+        )
+    )
+    service.add_source("src")
+    sessions = {}
+    for app, spec in SPECS:
+        sessions[app] = await service.subscribe(
+            app, "src", spec, queue_capacity=10_000, **session_kwargs
+        )
+    return service, sessions
+
+
+class TestBatchEquivalence:
+    """Fixed trace + static subscriptions == the batch engine, bit for bit."""
+
+    @pytest.mark.parametrize("algorithm", ["region", "per_candidate_set"])
+    def test_decided_outputs_identical(self, algorithm):
+        trace = _trace()
+
+        async def run():
+            service, sessions = await _spin_up(algorithm)
+            await service.feed("src", trace)
+            epochs = (await service.close())["src"]
+            return epochs, sessions
+
+        epochs, sessions = asyncio.run(run())
+        assert len(epochs) == 1
+        reference = _reference(algorithm, trace)
+        assert canonical_result(epochs[0]) == canonical_result(reference)
+
+    @pytest.mark.parametrize("algorithm", ["region", "per_candidate_set"])
+    def test_sessions_receive_batch_outputs(self, algorithm):
+        trace = _trace(seed=5)
+
+        async def run():
+            service, sessions = await _spin_up(algorithm)
+            await service.feed("src", trace)
+            await service.close()
+            return {
+                app: [
+                    item.seq
+                    for batch in session.queue.drain_nowait()
+                    for item in batch.items
+                ]
+                for app, session in sessions.items()
+            }
+
+        delivered = asyncio.run(run())
+        reference = _reference(algorithm, trace)
+        for app, _ in SPECS:
+            assert set(delivered[app]) == {
+                t.seq for t in reference.outputs_for(app)
+            }
+
+    def test_ticks_do_not_change_decisions(self):
+        trace = _trace(seed=8)
+
+        async def run():
+            service, _ = await _spin_up("region")
+            for index, item in enumerate(trace):
+                await service.offer("src", item)
+                if index % 25 == 0:
+                    # Tick ahead of the stream clock: may emit earlier,
+                    # must never decide differently.
+                    await service.tick(item.timestamp + 5.0)
+            return (await service.close())["src"]
+
+        epochs = asyncio.run(run())
+        assert len(epochs) == 1
+        assert decided_map(epochs[0]) == decided_map(_reference("region", trace))
+
+
+class TestBackpressure:
+    def test_block_policy_blocks_producer_until_consumed(self):
+        async def run():
+            queue = DeliveryQueue(capacity=1, policy="block")
+            batch = Batch(items=(StreamTuple(0, 0.0, {"v": 1}),), first_staged_ms=0, flushed_ms=0)
+            await queue.put(batch)
+            producer = asyncio.create_task(queue.put(batch))
+            await asyncio.sleep(0.01)
+            assert not producer.done()  # backpressure: producer parked
+            await queue.get()
+            await asyncio.wait_for(producer, timeout=1.0)
+            assert producer.done()
+
+        asyncio.run(run())
+
+    def test_drop_oldest_bounds_queue_and_counts_drops(self):
+        trace = _trace(n=500, seed=2)
+
+        async def run():
+            service = DisseminationService(
+                ServiceConfig(engine=EngineConfig(algorithm="region"), batch_max_items=1)
+            )
+            service.add_source("src")
+            session = await service.subscribe(
+                "app0", "src", "DC1(temp, 1.0, 0.5)",
+                queue_capacity=4, overflow="drop_oldest",
+            )
+            max_depth = 0
+            for item in trace:  # no consumer at all
+                await service.offer("src", item)
+                max_depth = max(max_depth, session.queue.depth)
+            await service.close()
+            snapshot = service.snapshot()
+            return session, max_depth, snapshot
+
+        session, max_depth, snapshot = asyncio.run(run())
+        assert max_depth <= 4  # broker memory stays bounded
+        assert session.stats.dropped_tuples > 0
+        [session_snap] = snapshot.sessions
+        assert session_snap.dropped_tuples == session.stats.dropped_tuples
+        assert snapshot.dropped_tuples > 0
+
+    def test_disconnect_policy_closes_and_unsubscribes(self):
+        trace = _trace(n=500, seed=4)
+
+        async def run():
+            service, sessions = await _spin_up(
+                "region", overflow="disconnect",
+            )
+            victim = sessions["app0"]
+            # Shrink one session's queue after the fact is not possible;
+            # re-subscribe it with a tiny queue instead.
+            await service.unsubscribe("app0")
+            victim = await service.subscribe(
+                "app0", "src", dict(SPECS)["app0"],
+                queue_capacity=1, overflow="disconnect",
+            )
+            for item in trace:
+                await service.offer("src", item)
+            snapshot = service.snapshot()
+            await service.close()
+            return victim, snapshot
+
+        victim, snapshot = asyncio.run(run())
+        assert victim.disconnected
+        assert victim.queue.closed
+        # The broker reaped the session: only two live sessions remain.
+        assert snapshot.session_count == 2
+        assert all(s.app_name != "app0" for s in snapshot.sessions)
+
+
+class TestDynamicSubscriptions:
+    def test_refilter_mid_stream_changes_outputs(self):
+        trace = _trace(n=600, seed=9)
+
+        async def run():
+            service = DisseminationService(
+                ServiceConfig(engine=EngineConfig(algorithm="region"), batch_max_items=1)
+            )
+            service.add_source("src")
+            session = await service.subscribe(
+                "app0", "src", "DC1(temp, 8.0, 4.0)", queue_capacity=10_000
+            )
+            for item in trace[:300]:
+                await service.offer("src", item)
+            before = session.stats.delivered_tuples + session.queue.depth
+            await session.re_filter("DC1(temp, 0.5, 0.25)")  # much tighter
+            for item in trace[300:]:
+                await service.offer("src", item)
+            epochs = (await service.close())["src"]
+            return session, epochs
+
+        session, epochs = asyncio.run(run())
+        assert len(epochs) == 2  # one per subscription epoch
+        assert session.spec == "DC1(temp, 0.5, 0.25)"
+        # The tighter filter passes far more tuples in the second epoch.
+        first, second = epochs
+        assert len(second.decisions["app0"]) > len(first.decisions["app0"])
+
+    def test_unsubscribed_app_receives_nothing_more(self):
+        trace = _trace(n=400, seed=12)
+
+        async def run():
+            service, sessions = await _spin_up("region")
+            for item in trace[:200]:
+                await service.offer("src", item)
+            await service.unsubscribe("app1")
+            delivered_at_unsub = sessions["app1"].stats.enqueued_batches
+            for item in trace[200:]:
+                await service.offer("src", item)
+            await service.close()
+            return sessions["app1"], delivered_at_unsub, service
+
+        session, delivered_at_unsub, service = asyncio.run(run())
+        assert session.queue.closed
+        assert session.stats.enqueued_batches == delivered_at_unsub
+        assert service.subscriptions("src") == [
+            (app, spec) for app, spec in SPECS if app != "app1"
+        ]
+
+    def test_subscribe_duplicate_app_rejected(self):
+        async def run():
+            service, _ = await _spin_up("region")
+            with pytest.raises(ValueError, match="already subscribed"):
+                await service.subscribe("app0", "src", "DC1(temp, 1.0, 0.5)")
+            await service.close()
+
+        asyncio.run(run())
+
+
+class TestRegroupedSubgroups:
+    def test_capped_groups_still_serve_all_sessions(self):
+        trace = _trace(n=300, seed=6)
+
+        async def run():
+            service = DisseminationService(
+                ServiceConfig(
+                    engine=EngineConfig(algorithm="region"),
+                    batch_max_items=1,
+                    max_group_size=1,  # one engine per filter
+                    shards=2,  # parallel subgroup decides
+                )
+            )
+            service.add_source("src")
+            sessions = {}
+            for app, spec in SPECS:
+                sessions[app] = await service.subscribe(
+                    app, "src", spec, queue_capacity=10_000
+                )
+            await service.feed("src", trace)
+            epochs = (await service.close())["src"]
+            return sessions, epochs
+
+        sessions, epochs = asyncio.run(run())
+        assert len(epochs) == 3  # one engine per capped subgroup
+        for app, spec in SPECS:
+            # Isolated engines behave like singleton groups of the filter.
+            solo = GroupAwareEngine(
+                [parse_filter(spec, name=app)], algorithm="region"
+            ).run(trace)
+            delivered = {
+                item.seq
+                for batch in sessions[app].queue.drain_nowait()
+                for item in batch.items
+            }
+            assert delivered == {t.seq for t in solo.outputs_for(app)}
+
+
+class TestQueueAndBatcher:
+    def test_disconnect_queue_raises_on_overflow(self):
+        async def run():
+            queue = DeliveryQueue(capacity=1, policy="disconnect")
+            batch = Batch(items=(), first_staged_ms=0, flushed_ms=0)
+            await queue.put(batch)
+            with pytest.raises(SessionDisconnected):
+                await queue.put(batch)
+
+        asyncio.run(run())
+
+    def test_batcher_size_bound(self):
+        batcher = MicroBatcher(max_items=3, max_delay_ms=1e9)
+        items = [StreamTuple(i, float(i), {"v": i}) for i in range(7)]
+        flushed = [batcher.stage(item, item.timestamp) for item in items]
+        batches = [b for b in flushed if b is not None]
+        assert [len(b) for b in batches] == [3, 3]
+        assert batcher.pending == 1
+        tail = batcher.flush(99.0)
+        assert tail is not None and len(tail) == 1
+
+    def test_batcher_latency_bound(self):
+        batcher = MicroBatcher(max_items=100, max_delay_ms=50.0)
+        assert batcher.stage(StreamTuple(0, 0.0, {}), 0.0) is None
+        assert not batcher.due(49.0)
+        assert batcher.due(50.0)
+        batch = batcher.flush(50.0)
+        assert batch is not None
+        assert batch.batching_delay_ms == 50.0
+
+    def test_snapshot_serializes(self):
+        async def run():
+            service, _ = await _spin_up("region")
+            await service.feed("src", _trace(n=50))
+            snapshot = service.snapshot()
+            await service.close()
+            return snapshot
+
+        snapshot = asyncio.run(run())
+        payload = snapshot.to_dict()
+        assert payload["session_count"] == 3
+        assert payload["offered"] == 50
+        assert isinstance(payload["sessions"], list)
+        import json
+
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestReviewRegressions:
+    def test_failed_subscribe_leaves_source_serving(self):
+        """A rejected subscribe must not strand the source without engines."""
+        trace = _trace(n=100, seed=13)
+
+        async def run():
+            service, sessions = await _spin_up("region")
+            for item in trace[:50]:
+                await service.offer("src", item)
+            # app0 is grafted at its placed node; re-subscribing a new app
+            # from a node the overlay does not know must fail cleanly.
+            with pytest.raises(KeyError):
+                await service.subscribe(
+                    "newcomer", "src", "DC1(temp, 1.0, 0.5)", node="ghost-node"
+                )
+            for item in trace[50:]:
+                await service.offer("src", item)
+            epochs = (await service.close())["src"]
+            return epochs
+
+        epochs = asyncio.run(run())
+        # The failed subscribe never cut the engine over: one epoch,
+        # identical to the batch run.
+        assert len(epochs) == 1
+        reference = _reference("region", trace)
+        assert canonical_result(epochs[0]) == canonical_result(reference)
+
+    def test_retired_sessions_keep_their_counters(self):
+        """Unsubscribed sessions' delivered/dropped stay in the totals."""
+        trace = _trace(n=400, seed=21)
+
+        async def run():
+            service, sessions = await _spin_up("region")
+            for item in trace[:200]:
+                await service.offer("src", item)
+            before = service.snapshot().delivered_tuples + sum(
+                s.queue.depth for s in sessions.values()
+            )
+            await service.unsubscribe("app0")
+            for item in trace[200:]:
+                await service.offer("src", item)
+            await service.close()
+            return sessions["app0"], service.snapshot()
+
+        session, snapshot = asyncio.run(run())
+        assert session.stats.enqueued_batches > 0
+        retired = [s for s in snapshot.retired if s.app_name == "app0"]
+        assert len(retired) == 1
+        assert retired[0].enqueued_batches == session.stats.enqueued_batches
+        # Broker-wide totals include the retired session's contribution.
+        live_delivered = sum(s.delivered_tuples for s in snapshot.sessions)
+        assert snapshot.delivered_tuples == live_delivered + retired[0].delivered_tuples
