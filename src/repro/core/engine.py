@@ -279,6 +279,11 @@ class GroupAwareEngine:
     def filters(self) -> list[GroupFilterProtocol]:
         return [ctx.filter for ctx in self._contexts]
 
+    @property
+    def cuts_triggered(self) -> int:
+        """Timely cuts fired so far (grows live; final in ``finish()``)."""
+        return self._result.cuts_triggered
+
     def run(self, trace: Iterable[StreamTuple]) -> EngineResult:
         """Process a whole trace and return the measurements."""
         for item in trace:
@@ -307,7 +312,7 @@ class GroupAwareEngine:
         self._result.emissions.extend(emissions)
         return emissions
 
-    def tick(self, now: float) -> list[Emission]:
+    def tick(self, now: float, *, cuts: bool = True) -> list[Emission]:
         """Timer-driven pass with no input tuple (live-service clock tick).
 
         Advances the engine clock to ``now`` (never backwards), applies the
@@ -320,14 +325,22 @@ class GroupAwareEngine:
         still-in-span tuple could have joined — valid live behaviour, but
         no longer batch-identical; callers that need equivalence must
         bound the tick clock (the load generator clamps its extrapolated
-        stream clock to one inter-arrival interval past the last offer).
+        stream clock to one inter-arrival interval past the last tuple
+        the service has actually processed).
+
+        With a time constraint that bounding is *not* sufficient: a tick
+        landing strictly between two arrivals can fire a timely cut whose
+        region excludes the next tuple, while a batch run (which tests
+        cuts only on arrival) would have included it.  ``cuts=False``
+        restricts the timely-cut test to arrivals, restoring determinism
+        against a batch reference at the cost of slightly later cuts.
         """
         if self._finished:
             raise RuntimeError("engine already finished")
         if now > self.now:
             self.now = now
         emissions: list[Emission] = []
-        if self._constraint is not None:
+        if cuts and self._constraint is not None:
             emissions.extend(self._check_cut())
         emissions.extend(self._poll_regions())
         self._result.emissions.extend(emissions)

@@ -97,7 +97,6 @@ def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
 
 def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool):
     from repro.service import LoadGenConfig, default_churn
-    from repro.service.loadgen import _make_trace
 
     config = LoadGenConfig(
         source=args.source,
@@ -119,7 +118,7 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
     if args.churn:
         from dataclasses import replace
 
-        config = replace(config, churn=default_churn(config, _make_trace(config)))
+        config = replace(config, churn=default_churn(config))
     return config
 
 

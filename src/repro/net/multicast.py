@@ -124,8 +124,11 @@ class ScribeMulticast:
         group = self.group(group_name)
         if app_name in group.members:
             raise ValueError(f"app {app_name!r} already joined {group_name!r}")
-        group.members[app_name] = node_name
+        # Routing validates the node; only then register the member, so a
+        # join from an unknown node leaves no half-grafted residue that
+        # would poison the app name for every later (valid) re-join.
         path = self.overlay.route(node_name, group.rendezvous.node_id)
+        group.members[app_name] = node_name
         for child, parent in zip(path, path[1:]):
             if child.name in group.parent:
                 break  # already grafted onto the tree

@@ -17,6 +17,7 @@ from repro.service.loadgen import (
     LoadGenConfig,
     decided_map,
     default_churn,
+    make_trace,
     run_loadgen,
 )
 from repro.service.session import (
@@ -45,6 +46,7 @@ __all__ = [
     "SubscriberSession",
     "decided_map",
     "default_churn",
+    "make_trace",
     "run_loadgen",
     "SIZES",
 ]

@@ -70,7 +70,7 @@ from repro.service.session import (
 )
 from repro.service.snapshot import ServiceSnapshot, SessionSnapshot
 
-__all__ = ["ServiceConfig", "DisseminationService"]
+__all__ = ["ServiceConfig", "DisseminationService", "engine_from_config"]
 
 #: Default overlay ring when the caller does not bring a system.
 _DEFAULT_NODES = tuple(f"node{i}" for i in range(8))
@@ -82,6 +82,29 @@ def _make_strategy(output: str, batch_size: int) -> OutputStrategy:
     if output == "pcs":
         return PerCandidateSetOutput()
     return BatchedOutput(batch_size)
+
+
+def engine_from_config(
+    filters: Sequence[GroupAwareFilter], engine_cfg: EngineConfig
+) -> GroupAwareEngine:
+    """Fresh :class:`GroupAwareEngine` mirroring a portable config.
+
+    Both the broker's epoch engines and any batch reference used to
+    verify the service must come through here: algorithm, output
+    strategy and time constraint all shape decided outputs, so the two
+    sides have to agree on every knob.
+    """
+    constraint = (
+        TimeConstraint(engine_cfg.constraint_ms)
+        if engine_cfg.constraint_ms is not None
+        else None
+    )
+    return GroupAwareEngine(
+        list(filters),
+        algorithm=engine_cfg.algorithm,
+        output_strategy=_make_strategy(engine_cfg.output, engine_cfg.batch_size),
+        time_constraint=constraint,
+    )
 
 
 @dataclass(frozen=True)
@@ -103,6 +126,11 @@ class ServiceConfig:
     #: keeps one engine per source, which is the batch-identical mode.
     max_group_size: Optional[int] = None
     partition_attributes: bool = False
+    #: Whether timer ticks may fire timely cuts between arrivals.  The
+    #: live default is True (honest timeliness); False restricts cuts to
+    #: arrivals so a constrained run stays deterministic against a batch
+    #: reference (see GroupAwareEngine.tick) — the loadgen's verify mode.
+    tick_cuts: bool = True
     #: Thread lanes for parallel subgroup decides (>1 only matters when
     #: regrouping produced several engines for one source).
     shards: int = 1
@@ -238,12 +266,12 @@ class DisseminationService:
             if node is None:
                 node = self._place(app_name)
             parse_filter(spec, name=app_name)  # validate before any churn
-            # All fallible registration (node validation, graft checks)
-            # happens before the cutover: a failed subscribe must leave
-            # the current epoch's engines serving, not a stranded source.
-            self.system.subscribe(app_name, node, source_name, spec)
-            await self._cutover(src)
             cfg = self.config
+            # Everything fallible — spec parsing, per-session knob
+            # validation (queue/batcher construction), registration node
+            # checks — happens before the cutover: a failed subscribe
+            # must leave the current epoch's engines serving, not a
+            # stranded source.
             session = SubscriberSession(
                 app_name=app_name,
                 source_name=source_name,
@@ -265,9 +293,22 @@ class DisseminationService:
                 ),
                 _broker=self,
             )
-            src.sessions[app_name] = session
-            self._app_sources[app_name] = source_name
-            self._rebuild(src)
+            self.system.subscribe(app_name, node, source_name, spec)
+            try:
+                await self._cutover(src)
+                src.sessions[app_name] = session
+                self._app_sources[app_name] = source_name
+                self._rebuild(src)
+            except Exception:
+                # The cutover already emptied the live engines; undo the
+                # system registration and rebuild from the prior
+                # subscription set so the source keeps serving and a
+                # retry is not refused as "already subscribed".
+                self.system.unsubscribe(app_name, source_name)
+                src.sessions.pop(app_name, None)
+                self._app_sources.pop(app_name, None)
+                self._rebuild(src)
+                raise
             return session
 
     async def unsubscribe(self, app_name: str) -> None:
@@ -284,6 +325,7 @@ class DisseminationService:
         async with src.lock:
             session = src.sessions[app_name]
             parse_filter(new_spec, name=app_name)
+            old_spec = session.spec
             # Swap the registration before the cutover so a failure leaves
             # the old epoch intact (and the old spec restored).
             self.system.unsubscribe(app_name, source_name)
@@ -293,12 +335,24 @@ class DisseminationService:
                 )
             except Exception:
                 self.system.subscribe(
-                    app_name, session.node, source_name, session.spec
+                    app_name, session.node, source_name, old_spec
                 )
                 raise
-            await self._cutover(src)
-            session.spec = new_spec
-            self._rebuild(src)
+            try:
+                await self._cutover(src)
+                session.spec = new_spec
+                self._rebuild(src)
+            except Exception:
+                # Same contract as subscribe: a failed churn must leave
+                # the source serving under the old spec, with the system
+                # registration matching what the engines filter on.
+                session.spec = old_spec
+                self.system.unsubscribe(app_name, source_name)
+                self.system.subscribe(
+                    app_name, session.node, source_name, old_spec
+                )
+                self._rebuild(src)
+                raise
 
     def subscriptions(self, source_name: str) -> list[tuple[str, str]]:
         """Current ``(app, spec)`` pairs in broker (engine) order."""
@@ -317,10 +371,20 @@ class DisseminationService:
         session = src.sessions.get(app_name)
         if session is None:
             return
-        await self._cutover(src)
+        try:
+            await self._cutover(src)
+        except Exception:
+            # A failed cutover leaves half-finished engines; rebuild so
+            # the source keeps serving (the session stays attached).
+            self._rebuild(src)
+            raise
         self.system.unsubscribe(app_name, src.name)
         del src.sessions[app_name]
         del self._app_sources[app_name]
+        # Decided-but-staged tuples must not vanish uncounted: flush the
+        # batcher toward the consumer (or into the drop counters) just
+        # like close() does for still-attached sessions.
+        self._final_flush(src, session)
         await session.close()
         # Keep the departed session's counters in broker-wide totals.
         self._retired.append(self._session_snapshot(session))
@@ -353,23 +417,11 @@ class DisseminationService:
                 for chunk in cap_group_size(group, self.config.max_group_size)
             ]
         engine_cfg = self.config.engine
-        constraint = (
-            TimeConstraint(engine_cfg.constraint_ms)
-            if engine_cfg.constraint_ms is not None
-            else None
-        )
         src.fed = 0
         src.slots = [
             _EngineSlot(
                 apps=tuple(f.name for f in group),
-                engine=GroupAwareEngine(
-                    group,
-                    algorithm=engine_cfg.algorithm,
-                    output_strategy=_make_strategy(
-                        engine_cfg.output, engine_cfg.batch_size
-                    ),
-                    time_constraint=constraint,
-                ),
+                engine=engine_from_config(group, engine_cfg),
             )
             for group in groups
         ]
@@ -389,11 +441,17 @@ class DisseminationService:
             # to flush, so skip the empty EngineResult entirely.
             src.slots = []
             return
+        # Finish every slot before mutating any source state: a failure
+        # partway must leave the epoch list untouched (no phantom epochs
+        # whose tails were never routed) so the churn paths' rollback
+        # handlers can rebuild from a consistent record.
         tails: list[Emission] = []
+        results: list[EngineResult] = []
         for slot in src.slots:
             result = slot.engine.finish()
             tails.extend(result.emissions[slot.routed :])
-            src.epochs.append(result)
+            results.append(result)
+        src.epochs.extend(results)
         src.slots = []
         self._note_emissions(tails)
         await self._route(src, tails, now=self._now)
@@ -450,12 +508,15 @@ class DisseminationService:
             else list(self._sources.values())
         )
         emitted = 0
+        self._ticks += 1
         for src in targets:
             async with src.lock:
-                self._ticks += 1
                 self._now = max(self._now, now_ms)
                 emissions = await self._run_slots(
-                    src, lambda engine: engine.tick(now_ms)
+                    src,
+                    lambda engine: engine.tick(
+                        now_ms, cuts=self.config.tick_cuts
+                    ),
                 )
                 await self._dispatch(src, emissions, now=now_ms)
                 emitted += len(emissions)
@@ -535,6 +596,11 @@ class DisseminationService:
         await session.deliver(batch)
         if session.disconnected or session.queue.closed:
             return
+        self._publish_batch(src, session, batch)
+
+    def _publish_batch(
+        self, src: _SourceState, session: SubscriberSession, batch
+    ) -> None:
         # Tuple-level multicast accounting: one publish per flushed batch,
         # labelled for this session only (per-session batching trades the
         # shared-emission publish of the batch path for bounded queues).
@@ -545,6 +611,14 @@ class DisseminationService:
             len(batch) * self.config.tuple_size_bytes,
             batch.flushed_ms,
         )
+
+    def _final_flush(
+        self, src: _SourceState, session: SubscriberSession
+    ) -> None:
+        """Flush a session's batcher without blocking (teardown paths)."""
+        batch = session.batcher.flush(self._now)
+        if batch is not None and session.deliver_nowait(batch):
+            self._publish_batch(src, session, batch)
 
     # ------------------------------------------------------------------
     # Observation and shutdown
@@ -576,10 +650,16 @@ class DisseminationService:
             for src in self._sources.values()
             for session in src.sessions.values()
         )
+        # Finished epochs plus the still-running engines: live cuts must
+        # show up in periodic snapshots, not only after a cutover/close.
         cuts = sum(
             epoch.cuts_triggered
             for src in self._sources.values()
             for epoch in src.epochs
+        ) + sum(
+            slot.engine.cuts_triggered
+            for src in self._sources.values()
+            for slot in src.slots
         )
         return ServiceSnapshot.capture(
             now_ms=self._now,
@@ -610,23 +690,7 @@ class DisseminationService:
             async with src.lock:
                 await self._cutover(src)
                 for session in src.sessions.values():
-                    batch = session.batcher.flush(self._now)
-                    if batch is not None:
-                        rejected = session.queue.put_nowait(batch)
-                        if rejected is not None:
-                            # Either the final batch itself was refused,
-                            # or drop_oldest evicted an older one for it.
-                            session.stats.dropped_batches += 1
-                            session.stats.dropped_tuples += len(rejected)
-                        if rejected is not batch:
-                            session.stats.enqueued_batches += 1
-                            self.system.multicast.publish(
-                                src.group_name,
-                                src.node,
-                                frozenset({session.app_name}),
-                                len(batch) * self.config.tuple_size_bytes,
-                                batch.flushed_ms,
-                            )
+                    self._final_flush(src, session)
                     await session.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -33,12 +33,16 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.engine import EngineResult, GroupAwareEngine
+from repro.core.engine import EngineResult
 from repro.core.tuples import StreamTuple, Trace
 from repro.experiments.configs import dc_specs_from_statistics
 from repro.filters.spec import parse_filter
 from repro.runtime.tasks import EngineConfig
-from repro.service.broker import DisseminationService, ServiceConfig
+from repro.service.broker import (
+    DisseminationService,
+    ServiceConfig,
+    engine_from_config,
+)
 from repro.sources import CATALOG
 
 __all__ = [
@@ -47,6 +51,7 @@ __all__ = [
     "ChurnEvent",
     "LoadGenConfig",
     "default_churn",
+    "make_trace",
     "run_loadgen",
     "decided_map",
 ]
@@ -113,7 +118,8 @@ class LoadGenConfig:
             raise ValueError("duration_s must be positive")
 
 
-def _make_trace(config: LoadGenConfig) -> Trace:
+def make_trace(config: LoadGenConfig) -> Trace:
+    """The deterministic input trace a config replays (seeded, sized)."""
     n = max(16, int(config.rate * config.duration_s))
     return CATALOG.make(config.source, n=n, seed=config.seed)
 
@@ -126,8 +132,12 @@ def _subscriber_specs(config: LoadGenConfig, trace: Trace) -> list[str]:
     return dc_specs_from_statistics(trace, attribute, multipliers)
 
 
-def default_churn(config: LoadGenConfig, trace: Trace) -> tuple[ChurnEvent, ...]:
+def default_churn(
+    config: LoadGenConfig, trace: Optional[Trace] = None
+) -> tuple[ChurnEvent, ...]:
     """A representative schedule: re-filter early, subscribe, unsubscribe."""
+    if trace is None:
+        trace = make_trace(config)
     attribute = trace.attributes[0]
     tightened = dc_specs_from_statistics(trace, attribute, [0.8, 1.7])
     d = config.duration_s
@@ -159,12 +169,17 @@ def _merge_decided(epochs: Sequence[EngineResult]) -> dict[str, list[tuple[int, 
 def _batch_reference(
     subscriptions: Sequence[tuple[str, str]],
     items: Sequence[StreamTuple],
-    config: LoadGenConfig,
+    engine_cfg: EngineConfig,
 ) -> EngineResult:
-    """The batch engine's verdict on the same trace and final group."""
+    """The batch engine's verdict on the same trace and final group.
+
+    Built from the same :class:`EngineConfig` the live service runs:
+    with ``constraint_ms`` set the service takes timely cuts, so an
+    unconstrained reference would legitimately diverge and flag a
+    correct run as non-equivalent.
+    """
     filters = [parse_filter(spec, name=app) for app, spec in subscriptions]
-    engine = GroupAwareEngine(filters, algorithm=config.algorithm)
-    return engine.run(items)
+    return engine_from_config(filters, engine_cfg).run(items)
 
 
 async def _consume(session, delay_ms: float) -> int:
@@ -177,18 +192,24 @@ async def _consume(session, delay_ms: float) -> int:
 
 
 async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
-    trace = _make_trace(config)
+    trace = make_trace(config)
     specs = _subscriber_specs(config, trace)
     source = config.source
+    engine_cfg = EngineConfig(
+        algorithm=config.algorithm, constraint_ms=config.constraint_ms
+    )
+    # Under verification a constrained run must restrict timely cuts to
+    # arrivals: a tick-fired cut between two arrivals can legitimately
+    # decide differently from the batch reference (GroupAwareEngine.tick).
+    tick_cuts = not (config.verify and config.constraint_ms is not None)
     service = DisseminationService(
         ServiceConfig(
-            engine=EngineConfig(
-                algorithm=config.algorithm, constraint_ms=config.constraint_ms
-            ),
+            engine=engine_cfg,
             batch_max_items=config.batch_max_items,
             batch_max_delay_ms=config.batch_max_delay_ms,
             queue_capacity=config.queue_capacity,
             overflow=config.overflow,
+            tick_cuts=tick_cuts,
             seed=config.seed,
         ),
         nodes=["source-node"]
@@ -216,16 +237,25 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     stream_dt_ms = (
         trace[1].timestamp - trace[0].timestamp if len(trace) > 1 else 10.0
     )
+    # Timestamp of the last tuple the service has *processed* (not merely
+    # handed to create_task): in open-loop mode an appended offer may
+    # still be a pending task, and ticking past an unprocessed arrival's
+    # timestamp is exactly what breaks batch equivalence.
+    processed_ts = 0.0
+
+    async def offer_one(item: StreamTuple) -> None:
+        nonlocal processed_ts
+        await service.offer(source, item)
+        processed_ts = max(processed_ts, item.timestamp)
 
     def stream_now() -> float:
         # Extrapolate stream time from the wall clock, but never run more
-        # than one inter-arrival interval ahead of the last offered tuple:
-        # ticking past the next arrival's timestamp could close a region a
-        # lagging tuple would still join, breaking batch equivalence (see
+        # than one inter-arrival interval ahead of the last processed
+        # tuple: ticking past the next arrival's timestamp could close a
+        # region a lagging tuple would still join (see
         # GroupAwareEngine.tick).
         wall = (time.perf_counter() - started) * config.rate * stream_dt_ms
-        last_ts = offered_items[-1].timestamp if offered_items else 0.0
-        return min(wall, last_ts + stream_dt_ms)
+        return min(wall, processed_ts + stream_dt_ms)
 
     stop_metrics = asyncio.Event()
 
@@ -278,13 +308,13 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         await apply_due_churn(time.perf_counter() - started)
         if config.mode == "closed":
             offered_items.append(item)
-            await service.offer(source, item)
+            await offer_one(item)
         else:
             if len(in_flight) >= config.max_in_flight:
                 shed += 1
                 continue
             offered_items.append(item)
-            task = asyncio.create_task(service.offer(source, item))
+            task = asyncio.create_task(offer_one(item))
             in_flight.add(task)
             task.add_done_callback(in_flight.discard)
 
@@ -312,7 +342,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
 
     equivalent: Optional[bool] = None
     if config.verify:
-        reference = _batch_reference(final_subscriptions, offered_items, config)
+        reference = _batch_reference(final_subscriptions, offered_items, engine_cfg)
         live = _merge_decided(epochs)
         want = decided_map(reference)
         if config.churn:

@@ -204,6 +204,22 @@ class SubscriberSession:
     # ------------------------------------------------------------------
     # Broker side
     # ------------------------------------------------------------------
+    def _account(self, rejected: Optional[Batch], batch: Batch) -> bool:
+        """Record one enqueue attempt's outcome.
+
+        ``rejected`` is what the queue refused: the evicted oldest batch
+        under ``drop_oldest``, ``batch`` itself when it did not make it,
+        ``None`` on a clean enqueue.  Returns ``True`` when ``batch``
+        entered the queue.
+        """
+        if rejected is not None:
+            self.stats.dropped_batches += 1
+            self.stats.dropped_tuples += len(rejected)
+        if rejected is not batch:
+            self.stats.enqueued_batches += 1
+            return True
+        return False
+
     async def deliver(self, batch: Batch) -> None:
         """Enqueue one flushed batch, recording drops/disconnects."""
         if self.disconnected:
@@ -218,11 +234,21 @@ class SubscriberSession:
             self.stats.dropped_tuples += len(batch)
             await self.queue.close()
             return
-        if rejected is not None:
+        self._account(rejected, batch)
+
+    def deliver_nowait(self, batch: Batch) -> bool:
+        """Non-blocking deliver for shutdown/detach paths.
+
+        Never waits: a batch that cannot be enqueued (full ``block``/
+        ``disconnect`` queue, closed queue, gone consumer) is counted as
+        dropped instead of deadlocking teardown.  Returns ``True`` when
+        ``batch`` itself made it into the queue.
+        """
+        if self.disconnected:
             self.stats.dropped_batches += 1
-            self.stats.dropped_tuples += len(rejected)
-        if rejected is not batch:
-            self.stats.enqueued_batches += 1
+            self.stats.dropped_tuples += len(batch)
+            return False
+        return self._account(self.queue.put_nowait(batch), batch)
 
     async def close(self) -> None:
         await self.queue.close()

@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.service import ChurnEvent, LoadGenConfig, default_churn, run_loadgen
-from repro.service.loadgen import _make_trace, _subscriber_specs
+from repro.service.loadgen import _subscriber_specs, make_trace
 
 
 def _config(**overrides) -> LoadGenConfig:
@@ -55,11 +55,20 @@ class TestArtifacts:
         summary = run_loadgen(_config(algorithm="per_candidate_set", verify=True))
         assert summary["equivalent_to_batch"] is True
 
+    def test_verify_with_time_constraint_matches_batch(self):
+        """The batch reference must run the same timely-cut constraint as
+        the live service, or correct runs flag as non-equivalent."""
+        summary = run_loadgen(
+            _config(mode="closed", constraint_ms=60.0, verify=True)
+        )
+        assert summary["cuts_triggered"] > 0
+        assert summary["equivalent_to_batch"] is True
+
 
 class TestChurnSchedules:
     def test_default_churn_applies_and_completes(self):
         config = _config(duration_s=0.6, mode="closed")
-        trace = _make_trace(config)
+        trace = make_trace(config)
         from dataclasses import replace
 
         config = replace(config, churn=default_churn(config, trace), verify=True)
@@ -120,5 +129,5 @@ class TestConfigValidation:
     def test_subscriber_specs_follow_size(self):
         for size, count in (("tiny", 2), ("small", 8)):
             config = _config(size=size)
-            specs = _subscriber_specs(config, _make_trace(config))
+            specs = _subscriber_specs(config, make_trace(config))
             assert len(specs) == count

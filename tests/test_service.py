@@ -357,6 +357,188 @@ class TestReviewRegressions:
         reference = _reference("region", trace)
         assert canonical_result(epochs[0]) == canonical_result(reference)
 
+    def test_invalid_session_override_leaves_source_serving(self):
+        """Bad per-session knobs must fail before any churn, and a retry
+        with valid knobs must not be refused as already subscribed."""
+        trace = _trace(n=100, seed=17)
+
+        async def run():
+            service, sessions = await _spin_up("region")
+            for item in trace[:50]:
+                await service.offer("src", item)
+            with pytest.raises(ValueError, match="capacity"):
+                await service.subscribe(
+                    "newcomer", "src", "DC1(temp, 1.0, 0.5)", queue_capacity=0
+                )
+            with pytest.raises(ValueError, match="overflow policy"):
+                await service.subscribe(
+                    "newcomer", "src", "DC1(temp, 1.0, 0.5)", overflow="explode"
+                )
+            for item in trace[50:]:
+                await service.offer("src", item)
+            # The retry must succeed: the failed attempts left no leaked
+            # system subscription behind.
+            await service.subscribe("newcomer", "src", "DC1(temp, 1.0, 0.5)")
+            epochs = (await service.close())["src"]
+            return epochs
+
+        epochs = asyncio.run(run())
+        # The failed subscribes never cut the engine over: the whole trace
+        # lands in one epoch (closed by the successful retry), identical
+        # to the batch run over the original subscription set.
+        assert len(epochs) == 1
+        reference = _reference("region", trace)
+        assert canonical_result(epochs[0]) == canonical_result(reference)
+
+    def test_partial_cutover_failure_records_no_phantom_epoch(self):
+        """If one of several engine slots fails to finish mid-cutover, the
+        epoch list must stay untouched — no epoch whose tail emissions
+        were never routed — and the source must keep serving."""
+        trace = _trace(n=120, seed=23)
+
+        async def run():
+            service = DisseminationService(
+                ServiceConfig(engine=EngineConfig(algorithm="region"), max_group_size=1)
+            )
+            service.add_source("src")
+            for app, spec in SPECS[:2]:
+                await service.subscribe(app, "src", spec, queue_capacity=10_000)
+            for item in trace[:60]:
+                await service.offer("src", item)
+            slots = service._sources["src"].slots
+            assert len(slots) == 2
+            slots[1].engine.finish = lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            )
+            with pytest.raises(RuntimeError, match="boom"):
+                await service.subscribe(
+                    "newcomer", "src", "DC1(temp, 1.0, 0.5)", queue_capacity=10_000
+                )
+            epochs_after_failure = len(service.results("src"))
+            # The rebuilt engines keep serving, and the retry succeeds.
+            for item in trace[60:]:
+                await service.offer("src", item)
+            await service.subscribe(
+                "newcomer", "src", "DC1(temp, 1.0, 0.5)", queue_capacity=10_000
+            )
+            epochs = (await service.close())["src"]
+            return epochs_after_failure, epochs
+
+        epochs_after_failure, epochs = asyncio.run(run())
+        assert epochs_after_failure == 0
+        # One epoch per slot from the successful retry's cutover (the
+        # post-retry epoch is cut at close with nothing fed).
+        assert len(epochs) == 2
+
+    def test_failed_refilter_rolls_back_and_keeps_serving(self):
+        """A cutover failure mid-re_filter must restore the old spec and
+        leave the source with live engines, and a retry must succeed."""
+        trace = _trace(n=80, seed=19)
+        new_spec = "DC1(temp, 9.0, 4.5)"
+
+        async def run():
+            service, sessions = await _spin_up("region")
+            for item in trace[:40]:
+                await service.offer("src", item)
+            # Inject a cutover failure: finishing the live engine raises.
+            engine = service._sources["src"].slots[0].engine
+            engine.finish = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+            with pytest.raises(RuntimeError, match="boom"):
+                await service.re_filter("app0", new_spec)
+            specs_after_failure = dict(service.subscriptions("src"))
+            # The rebuilt engines serve the rest of the trace...
+            for item in trace[40:]:
+                await service.offer("src", item)
+            # ...and a retry (fresh engines, no injected fault) succeeds.
+            await service.re_filter("app0", new_spec)
+            specs_after_retry = dict(service.subscriptions("src"))
+            await service.close()
+            return specs_after_failure, specs_after_retry
+
+        specs_after_failure, specs_after_retry = asyncio.run(run())
+        assert specs_after_failure["app0"] == SPECS[0][1]
+        assert specs_after_retry["app0"] == new_spec
+
+    def test_bad_node_subscribe_leaves_no_multicast_residue(self):
+        """A subscribe from an unknown node must not half-graft the app
+        into the Scribe group; a later valid subscribe must succeed."""
+
+        async def run():
+            service = DisseminationService(ServiceConfig())
+            service.add_source("src")
+            with pytest.raises(KeyError):
+                await service.subscribe(
+                    "app0", "src", "DC1(temp, 2.0, 1.0)", node="ghost-node"
+                )
+            session = await service.subscribe("app0", "src", "DC1(temp, 2.0, 1.0)")
+            await service.close()
+            return session
+
+        session = asyncio.run(run())
+        assert session.app_name == "app0"
+
+    def test_unsubscribe_flushes_staged_batch(self):
+        """Detach must not vanish decided-but-staged tuples uncounted."""
+        trace = _trace(n=300, seed=9)
+
+        async def run():
+            service, sessions = await _spin_up(
+                "region", batch_max_items=10_000, batch_max_delay_ms=1e9
+            )
+            for item in trace[:150]:
+                await service.offer("src", item)
+            session = sessions["app0"]
+            staged_before = session.batcher.pending
+            await service.unsubscribe("app0")
+            queued = sum(len(b) for b in session.queue.drain_nowait())
+            await service.close()
+            return session, staged_before, queued
+
+        session, staged_before, queued = asyncio.run(run())
+        assert staged_before > 0
+        assert session.batcher.pending == 0
+        # Every staged tuple is accounted for: enqueued toward the
+        # consumer or counted as dropped — never silently lost.
+        assert queued + session.stats.dropped_tuples == session.stats.staged_tuples
+
+    def test_snapshot_shows_live_cuts(self):
+        """Timely cuts must appear in snapshots before any cutover/close."""
+        trace = _trace(n=300, seed=11)
+
+        async def run():
+            service = DisseminationService(
+                ServiceConfig(
+                    engine=EngineConfig(algorithm="region", constraint_ms=30.0)
+                )
+            )
+            service.add_source("src")
+            for app, spec in SPECS:
+                await service.subscribe(app, "src", spec, queue_capacity=10_000)
+            for item in trace:
+                await service.offer("src", item)
+            live = service.snapshot().cuts_triggered
+            await service.close()
+            return live, service.snapshot().cuts_triggered
+
+        live, final = asyncio.run(run())
+        assert live > 0
+        assert live == final
+
+    def test_tick_counts_once_across_sources(self):
+        """One tick() call is one tick, however many sources it sweeps."""
+
+        async def run():
+            service = DisseminationService(ServiceConfig())
+            service.add_source("a")
+            service.add_source("b")
+            await service.tick(100.0)
+            snapshot = service.snapshot()
+            await service.close()
+            return snapshot
+
+        snapshot = asyncio.run(run())
+        assert snapshot.ticks == 1
+
     def test_retired_sessions_keep_their_counters(self):
         """Unsubscribed sessions' delivered/dropped stay in the totals."""
         trace = _trace(n=400, seed=21)
