@@ -1,0 +1,163 @@
+"""Live-service benchmark: loadgen sweep across rate x payload x policy.
+
+Runs the open-loop load generator over a grid of offered rates, tuple
+payload sizes and overflow policies, once with the broker in-process and
+once across a real TCP socket (the self-hosted gateway), so the
+trajectory records both the engine's ceiling and the wire's tax.
+
+Usable two ways:
+
+* ``python -m pytest benchmarks/bench_service.py`` — smoke assertions:
+  both transports finish cleanly, deliver tuples and report decide
+  percentiles (tiny grid);
+* ``python benchmarks/bench_service.py`` — prints the sweep table and
+  writes a ``BENCH_service.json`` trajectory artifact — one row per
+  grid cell with in-process vs TCP throughput/latency columns — next to
+  ``BENCH_runtime.json``, so successive CI runs accumulate a service
+  perf history to diff against.
+
+Environment knobs (also used by the CI network-smoke job):
+``BENCH_SERVICE_RATES`` (comma list of tuples/sec, default ``400,800``),
+``BENCH_SERVICE_TUPLE_BYTES`` (comma list, default ``64,512``),
+``BENCH_SERVICE_POLICIES`` (comma list, default ``block,drop_oldest``),
+``BENCH_SERVICE_DURATION`` (seconds per cell, default ``1.0``),
+``BENCH_SERVICE_SIZE`` (subscriber preset, default ``tiny``),
+``BENCH_SERVICE_JSON`` (artifact path, default ``BENCH_service.json``;
+set empty to skip writing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+try:
+    import repro  # noqa: F401  (already importable when installed)
+except ImportError:  # pragma: no cover - script mode from a source checkout
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import LoadGenConfig, run_loadgen
+
+RATES = [
+    float(part)
+    for part in os.environ.get("BENCH_SERVICE_RATES", "400,800").split(",")
+    if part.strip()
+]
+TUPLE_BYTES = [
+    int(part)
+    for part in os.environ.get("BENCH_SERVICE_TUPLE_BYTES", "64,512").split(",")
+    if part.strip()
+]
+POLICIES = [
+    part.strip()
+    for part in os.environ.get(
+        "BENCH_SERVICE_POLICIES", "block,drop_oldest"
+    ).split(",")
+    if part.strip()
+]
+DURATION_S = float(os.environ.get("BENCH_SERVICE_DURATION", "1.0"))
+SIZE = os.environ.get("BENCH_SERVICE_SIZE", "tiny")
+
+
+def _cell_config(
+    transport: str, rate: float, tuple_bytes: int, policy: str
+) -> LoadGenConfig:
+    return LoadGenConfig(
+        rate=rate,
+        duration_s=DURATION_S,
+        size=SIZE,
+        mode="open",
+        overflow=policy,
+        tuple_size_bytes=tuple_bytes,
+        transport=transport,
+    )
+
+
+def _run_cell(
+    transport: str, rate: float, tuple_bytes: int, policy: str
+) -> dict:
+    summary = run_loadgen(_cell_config(transport, rate, tuple_bytes, policy))
+    return {
+        "transport": transport,
+        "rate_tps": rate,
+        "tuple_bytes": tuple_bytes,
+        "overflow": policy,
+        "size": SIZE,
+        "duration_s": DURATION_S,
+        "offered": summary["offered"],
+        "shed": summary["shed"],
+        "offered_rate_tps": round(summary["offered_rate_tps"], 1),
+        "delivered_tuples": summary["delivered_tuples"],
+        "dropped_tuples": summary["dropped_tuples"],
+        "decide_p50_ms": summary["decide_latency_ms"]["p50"],
+        "decide_p99_ms": summary["decide_latency_ms"]["p99"],
+        "wall_s": summary["wall_s"],
+        "clean_shutdown": summary["clean_shutdown"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+def test_inproc_cell_clean():
+    row = _run_cell("inproc", min(RATES), min(TUPLE_BYTES), POLICIES[0])
+    assert row["clean_shutdown"] is True, row
+    assert row["delivered_tuples"] > 0, row
+    assert row["decide_p99_ms"] >= row["decide_p50_ms"] >= 0.0, row
+
+
+def test_tcp_cell_clean():
+    row = _run_cell("tcp", min(RATES), min(TUPLE_BYTES), POLICIES[0])
+    assert row["clean_shutdown"] is True, row
+    assert row["delivered_tuples"] > 0, row
+    assert row["decide_p99_ms"] >= row["decide_p50_ms"] >= 0.0, row
+
+
+# ---------------------------------------------------------------------------
+# script mode
+# ---------------------------------------------------------------------------
+def main() -> int:
+    grid = [
+        (transport, rate, tuple_bytes, policy)
+        for transport in ("inproc", "tcp")
+        for rate in RATES
+        for tuple_bytes in TUPLE_BYTES
+        for policy in POLICIES
+    ]
+    print(
+        f"service sweep: {len(grid)} cells x {DURATION_S}s "
+        f"(size={SIZE}, rates={RATES}, bytes={TUPLE_BYTES}, "
+        f"policies={POLICIES})"
+    )
+    header = (
+        f"{'transport':>9} {'rate':>6} {'bytes':>6} {'policy':>12} "
+        f"{'offered':>8} {'deliv':>7} {'drop':>6} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'ok':>3}"
+    )
+    print(header)
+    rows = []
+    for transport, rate, tuple_bytes, policy in grid:
+        row = _run_cell(transport, rate, tuple_bytes, policy)
+        rows.append(row)
+        print(
+            f"{row['transport']:>9} {row['rate_tps']:>6.0f} "
+            f"{row['tuple_bytes']:>6} {row['overflow']:>12} "
+            f"{row['offered']:>8} {row['delivered_tuples']:>7} "
+            f"{row['dropped_tuples']:>6} {row['decide_p50_ms']:>8.1f} "
+            f"{row['decide_p99_ms']:>8.1f} "
+            f"{'y' if row['clean_shutdown'] else 'N'!s:>3}"
+        )
+        if not row["clean_shutdown"]:
+            return 1
+    artifact = os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as stream:
+            json.dump(rows, stream, indent=2)
+            stream.write("\n")
+        print(f"trajectory written to {artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,14 +6,18 @@ Examples::
     python -m repro.experiments run fig_4_2
     python -m repro.experiments run fig_4_17 --tuples 1500 --repeats 3
     python -m repro.experiments all --tuples 2000
-    python -m repro.experiments serve --rate 200 --duration 10
+    python -m repro.experiments serve --port 7787 --http-port 7788
     python -m repro.experiments loadgen --rate 500 --duration 2 --size tiny
+    python -m repro.experiments loadgen --transport tcp --verify
+    python -m repro.experiments loadgen --transport tcp --connect 127.0.0.1:7787
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
 import time
 
@@ -42,9 +46,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run the live dissemination broker against a replayed source",
+        help="run the networked dissemination gateway (TCP + HTTP snapshot)",
     )
-    _add_service_knobs(serve)
+    _add_serve_knobs(serve)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -62,13 +66,158 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay the offered trace through the batch engine and "
         "record whether decided outputs match",
     )
+    loadgen.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each periodic metrics record as it is captured",
+    )
     return parser
 
 
+def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
+    from repro.service import OVERFLOW_POLICIES
+    from repro.transport import MAX_FRAME_BYTES
+
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7787,
+        help="gateway TCP port (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also serve GET /snapshot and /healthz on this port",
+    )
+    parser.add_argument(
+        "--sources",
+        default="random_walk",
+        help="comma-separated source names to advertise at startup "
+        "(clients can add more with ensure_source)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=("region", "per_candidate_set"), default="region"
+    )
+    parser.add_argument("--constraint-ms", type=float, default=None)
+    parser.add_argument("--queue-capacity", type=int, default=16)
+    parser.add_argument("--overflow", choices=OVERFLOW_POLICIES, default="block")
+    parser.add_argument("--batch-items", type=int, default=8)
+    parser.add_argument("--batch-delay-ms", type=float, default=50.0)
+    parser.add_argument(
+        "--no-tick-cuts",
+        action="store_true",
+        help="restrict timely cuts to arrivals (needed when a remote "
+        "loadgen verifies a constrained run against the batch engine)",
+    )
+    parser.add_argument("--auth-token", default=None)
+    parser.add_argument("--max-frame-bytes", type=int, default=MAX_FRAME_BYTES)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    from repro.runtime.tasks import EngineConfig
+    from repro.service import DisseminationService, ServiceConfig
+    from repro.transport import GatewayServer, SnapshotHTTP
+
+    service = DisseminationService(
+        ServiceConfig(
+            engine=EngineConfig(
+                algorithm=args.algorithm, constraint_ms=args.constraint_ms
+            ),
+            queue_capacity=args.queue_capacity,
+            overflow=args.overflow,
+            batch_max_items=args.batch_items,
+            batch_max_delay_ms=args.batch_delay_ms,
+            tick_cuts=not args.no_tick_cuts,
+            seed=args.seed,
+        )
+    )
+    for name in (part.strip() for part in args.sources.split(",")):
+        if name and not service.has_source(name):
+            service.add_source(name)
+    gateway = GatewayServer(
+        service,
+        host=args.host,
+        port=args.port,
+        auth_token=args.auth_token,
+        max_frame_bytes=args.max_frame_bytes,
+    )
+    await gateway.start()
+    http = None
+    if args.http_port is not None:
+        http = SnapshotHTTP(service, host=args.host, port=args.http_port)
+        await http.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    signals = (signal.SIGINT, signal.SIGTERM)
+    try:
+        for signum in signals:
+            loop.add_signal_handler(signum, stop.set)
+
+        def unhook() -> None:
+            for signum in signals:
+                loop.remove_signal_handler(signum)
+
+    except NotImplementedError:
+        # Windows event loops have no add_signal_handler; fall back to
+        # the plain signal module (the handler only sets an Event).
+        previous = {
+            signum: signal.signal(
+                signum, lambda *_: loop.call_soon_threadsafe(stop.set)
+            )
+            for signum in signals
+        }
+
+        def unhook() -> None:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    ready = f"gateway listening on {args.host}:{gateway.port}"
+    if http is not None:
+        ready += f", http on {args.host}:{http.port}"
+    print(ready, flush=True)
+    await stop.wait()
+    unhook()
+    # Graceful shutdown: final-flush every session batcher (gateway
+    # shutdown closes the service, which cuts engines over and flushes),
+    # then emit the terminal snapshot for whoever is scraping stdout.
+    snapshot = await gateway.shutdown()
+    if http is not None:
+        await http.close()
+    print(json.dumps(snapshot), flush=True)
+    return 0
+
+
 def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
-    from repro.service import LOADGEN_SOURCES, OVERFLOW_POLICIES, SIZES
+    from repro.service import (
+        LOADGEN_SOURCES,
+        OVERFLOW_POLICIES,
+        SIZES,
+        TRANSPORTS,
+    )
 
     parser.add_argument("--source", choices=LOADGEN_SOURCES, default="random_walk")
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="inproc",
+        help="drive the broker in-process or across a real TCP socket",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target an already-running gateway (requires --transport tcp); "
+        "default self-hosts one on an ephemeral localhost port",
+    )
+    parser.add_argument(
+        "--tuple-bytes",
+        type=int,
+        default=64,
+        help="simulated payload bytes per tuple (multicast accounting "
+        "and TCP ingest-frame padding)",
+    )
     parser.add_argument("--size", choices=sorted(SIZES), default="tiny")
     parser.add_argument("--rate", type=float, default=500.0, help="tuples/sec")
     parser.add_argument("--duration", type=float, default=2.0, help="seconds")
@@ -114,6 +263,9 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
         consumer_delay_ms=args.consumer_delay_ms,
         out_dir=out_dir,
         verify=verify,
+        transport=args.transport,
+        connect=args.connect,
+        tuple_size_bytes=args.tuple_bytes,
     )
     if args.churn:
         from dataclasses import replace
@@ -170,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
         print(report)
         return 0
     if args.command == "serve":
+        return asyncio.run(_serve_async(args))
+    if args.command == "loadgen":
         from repro.service import run_loadgen
 
         def show(record: dict) -> None:
@@ -182,16 +336,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"p99={record['decide_p99_ms']:.1f}ms"
             )
 
-        summary = run_loadgen(_service_config(args, None, False), on_record=show)
-        print(json.dumps({k: summary[k] for k in (
-            "offered", "delivered_tuples", "dropped_tuples",
-            "decide_latency_ms", "regroups", "clean_shutdown",
-        )}, indent=2))
-        return 0
-    if args.command == "loadgen":
-        from repro.service import run_loadgen
-
-        summary = run_loadgen(_service_config(args, args.out, args.verify))
+        summary = run_loadgen(
+            _service_config(args, args.out, args.verify),
+            on_record=show if args.progress else None,
+        )
         print(
             f"loadgen: {summary['offered']} offered, "
             f"{summary['delivered_tuples']} delivered, "

@@ -2,11 +2,18 @@
 (Figures 2.2, 3.1 and 4.1; sections 3.1 and 3.5.1)."""
 
 from repro.qos.propagation import PropagatedRequirements, propagate
-from repro.qos.spec import DegradationPolicy, QualitySpec
+from repro.qos.spec import (
+    DegradationPolicy,
+    QualitySpec,
+    SessionLimits,
+    session_limits,
+)
 
 __all__ = [
     "DegradationPolicy",
     "PropagatedRequirements",
     "QualitySpec",
+    "SessionLimits",
     "propagate",
+    "session_limits",
 ]

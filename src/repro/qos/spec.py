@@ -20,7 +20,7 @@ from repro.core.cuts import TimeConstraint
 from repro.filters.base import GroupAwareFilter
 from repro.filters.spec import parse_filter
 
-__all__ = ["QualitySpec", "DegradationPolicy"]
+__all__ = ["QualitySpec", "DegradationPolicy", "SessionLimits", "session_limits"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,69 @@ class QualitySpec:
         if not tolerances:
             return None
         return TimeConstraint(min(tolerances))
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """Fully-resolved delivery bounds for one subscriber session.
+
+    The live broker's per-session knobs (queue capacity, overflow policy
+    and micro-batch bounds) resolved from a :class:`QualitySpec` against
+    broker-wide defaults — the "Session QoS" wiring: an application's
+    declared quality requirement, not a broker operator's global knob,
+    shapes how its session queues and batches.
+    """
+
+    queue_capacity: int
+    overflow: str
+    batch_max_items: int
+    batch_max_delay_ms: float
+
+
+def session_limits(
+    spec: QualitySpec,
+    *,
+    queue_capacity: int = 16,
+    overflow: str = "block",
+    batch_max_items: int = 8,
+    batch_max_delay_ms: float = 50.0,
+) -> SessionLimits:
+    """Map one application's quality spec onto session delivery bounds.
+
+    The keyword arguments are the broker-wide defaults, which remain the
+    fallback for anything the spec does not constrain:
+
+    * ``latency_tolerance_ms`` bounds the *total* delay the dissemination
+      stage may add, so micro-batching may consume at most a quarter of
+      it: ``batch_max_delay_ms = min(default, tolerance / 4)``.  A
+      latency-bounded application also prefers fresh data with holes to
+      a stalled source (the paper's timeliness-over-completeness stance),
+      so its overflow policy becomes ``drop_oldest`` unless the broker
+      default is already stricter (``disconnect`` stays).
+    * ``priority`` scales the queue bound: each level above zero doubles
+      the capacity (a negotiation winner may lag further before losing
+      data), each level below zero halves it, floored at one batch.
+      Priorities are clamped to ±10 doublings — profiles arrive over the
+      wire, and an unclamped shift would let one subscriber demand an
+      effectively unbounded queue and defeat the backpressure design.
+    """
+    priority = max(-10, min(10, spec.priority))
+    if priority >= 0:
+        capacity = queue_capacity << priority
+    else:
+        capacity = max(1, queue_capacity >> -priority)
+    delay = batch_max_delay_ms
+    policy = overflow
+    if spec.latency_tolerance_ms is not None:
+        delay = min(batch_max_delay_ms, spec.latency_tolerance_ms / 4.0)
+        if policy == "block":
+            policy = "drop_oldest"
+    return SessionLimits(
+        queue_capacity=capacity,
+        overflow=policy,
+        batch_max_items=batch_max_items,
+        batch_max_delay_ms=delay,
+    )
 
 
 @dataclass(frozen=True)

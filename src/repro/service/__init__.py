@@ -13,6 +13,7 @@ from repro.service.broker import DisseminationService, ServiceConfig
 from repro.service.loadgen import (
     LOADGEN_SOURCES,
     SIZES,
+    TRANSPORTS,
     ChurnEvent,
     LoadGenConfig,
     decided_map,
@@ -49,4 +50,5 @@ __all__ = [
     "make_trace",
     "run_loadgen",
     "SIZES",
+    "TRANSPORTS",
 ]

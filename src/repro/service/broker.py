@@ -60,6 +60,7 @@ from repro.filters.spec import parse_filter
 from repro.net.multicast import ScribeMulticast
 from repro.net.overlay import OverlayNetwork
 from repro.net.pubsub import StreamingSystem
+from repro.qos.spec import QualitySpec, session_limits
 from repro.runtime.partition import shard_for_key
 from repro.runtime.tasks import EngineConfig
 from repro.service.batching import MicroBatcher
@@ -233,6 +234,17 @@ class DisseminationService:
             group_name=f"src:{source_name}",
         )
 
+    def has_source(self, source_name: str) -> bool:
+        return source_name in self._sources
+
+    def sources(self) -> tuple[str, ...]:
+        """Currently advertised source names."""
+        return tuple(self._sources)
+
+    def session_count(self) -> int:
+        """Live subscriber sessions, without building a full snapshot."""
+        return sum(len(src.sessions) for src in self._sources.values())
+
     def _place(self, key: str) -> str:
         """Stable node placement, reusing the runtime's key hashing."""
         return self._nodes[shard_for_key(key, len(self._nodes))]
@@ -257,8 +269,16 @@ class DisseminationService:
         overflow: Optional[str] = None,
         batch_max_items: Optional[int] = None,
         batch_max_delay_ms: Optional[float] = None,
+        qos: Optional[QualitySpec] = None,
     ) -> SubscriberSession:
-        """Attach a subscriber at runtime; forces an engine regroup."""
+        """Attach a subscriber at runtime; forces an engine regroup.
+
+        ``qos`` resolves the session's queue and batching bounds from the
+        application's declared quality requirement (see
+        :func:`repro.qos.spec.session_limits`); explicit keyword
+        overrides win over the QoS mapping, and broker-wide defaults
+        remain the fallback for everything else.
+        """
         src = self._src(source_name)
         async with src.lock:
             if app_name in self._app_sources:
@@ -267,6 +287,33 @@ class DisseminationService:
                 node = self._place(app_name)
             parse_filter(spec, name=app_name)  # validate before any churn
             cfg = self.config
+            if qos is not None:
+                if qos.app_name != app_name:
+                    raise ValueError(
+                        f"QoS profile names app {qos.app_name!r}, "
+                        f"subscription is for {app_name!r}"
+                    )
+                limits = session_limits(
+                    qos,
+                    queue_capacity=cfg.queue_capacity,
+                    overflow=cfg.overflow,
+                    batch_max_items=cfg.batch_max_items,
+                    batch_max_delay_ms=cfg.batch_max_delay_ms,
+                )
+                queue_capacity = (
+                    limits.queue_capacity if queue_capacity is None else queue_capacity
+                )
+                overflow = limits.overflow if overflow is None else overflow
+                batch_max_items = (
+                    limits.batch_max_items
+                    if batch_max_items is None
+                    else batch_max_items
+                )
+                batch_max_delay_ms = (
+                    limits.batch_max_delay_ms
+                    if batch_max_delay_ms is None
+                    else batch_max_delay_ms
+                )
             # Everything fallible — spec parsing, per-session knob
             # validation (queue/batcher construction), registration node
             # checks — happens before the cutover: a failed subscribe

@@ -19,9 +19,25 @@ Two offered-load models:
   ``block`` overflow policy throttles the generator to the slowest
   consumer (end-to-end backpressure).
 
+Two transports, one run loop:
+
+* ``transport="inproc"`` — offers are plain broker calls (the PR-2
+  mode);
+* ``transport="tcp"`` — every offer, subscription, tick and snapshot
+  crosses a real localhost socket through
+  :class:`~repro.transport.client.GatewayClient`.  By default the run
+  self-hosts a :class:`~repro.transport.server.GatewayServer` on an
+  ephemeral port; ``connect="host:port"`` targets an already-running
+  ``repro serve`` instead (whose engine algorithm must match
+  ``algorithm`` for verification to be meaningful).
+
 ``verify=True`` replays the offered prefix through a fresh batch engine
 built from the final subscription set afterwards and records whether
 the live decided outputs match (exact equality for churn-free runs).
+When the broker is in-process (including the self-hosted TCP server)
+the comparison is decision-by-decision; against an external server the
+per-app *delivered* tuple streams are compared to the flattened batch
+reference, which is exact for churn-free, drop-free runs.
 """
 
 from __future__ import annotations
@@ -48,6 +64,7 @@ from repro.sources import CATALOG
 __all__ = [
     "SIZES",
     "LOADGEN_SOURCES",
+    "TRANSPORTS",
     "ChurnEvent",
     "LoadGenConfig",
     "default_churn",
@@ -61,6 +78,9 @@ SIZES = {"tiny": 2, "small": 8, "medium": 32}
 
 #: Catalog sources whose generators take plain ``(n, seed)`` kwargs.
 LOADGEN_SOURCES = ("random_walk", "sine", "namos", "volcano", "fire", "cow")
+
+#: How offered tuples reach the broker.
+TRANSPORTS = ("inproc", "tcp")
 
 
 @dataclass(frozen=True)
@@ -101,6 +121,15 @@ class LoadGenConfig:
     churn: tuple[ChurnEvent, ...] = field(default_factory=tuple)
     out_dir: Optional[str] = None
     verify: bool = False
+    #: "inproc" offers straight to the broker; "tcp" drives everything
+    #: through a GatewayClient over a real localhost socket.
+    transport: str = "inproc"
+    #: "host:port" of an external gateway (tcp only); None self-hosts.
+    connect: Optional[str] = None
+    #: Simulated payload bytes per tuple: multicast accounting size and,
+    #: over TCP, padding attached to each ingest frame so wire throughput
+    #: reflects the configured tuple size.
+    tuple_size_bytes: int = 64
 
     def __post_init__(self) -> None:
         if self.source not in LOADGEN_SOURCES:
@@ -116,6 +145,20 @@ class LoadGenConfig:
             raise ValueError("rate must be positive")
         if self.duration_s <= 0.0:
             raise ValueError("duration_s must be positive")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; expected {TRANSPORTS}"
+            )
+        if self.connect is not None:
+            if self.transport != "tcp":
+                raise ValueError("connect= requires transport='tcp'")
+            _, _, port_text = self.connect.rpartition(":")
+            if not port_text.isdigit():
+                raise ValueError(
+                    f"connect= must be 'host:port', got {self.connect!r}"
+                )
+        if self.tuple_size_bytes < 0:
+            raise ValueError("tuple_size_bytes must be non-negative")
 
 
 def make_trace(config: LoadGenConfig) -> Trace:
@@ -182,26 +225,44 @@ def _batch_reference(
     return engine_from_config(filters, engine_cfg).run(items)
 
 
-async def _consume(session, delay_ms: float) -> int:
+def _dead_snapshot() -> dict:
+    """Summary-shaped zeros for a run whose broker became unreachable."""
+    return {
+        "dropped_tuples": 0,
+        "decided_emissions": 0,
+        "decide_p50_ms": 0.0,
+        "decide_p99_ms": 0.0,
+        "regroups": 0,
+        "ticks": 0,
+        "cuts_triggered": 0,
+    }
+
+
+async def _consume(
+    handle, delay_ms: float, sink: Optional[list[int]] = None
+) -> int:
+    """Drain one subscription (in-process session or remote).
+
+    ``sink`` collects the delivered tuple seqs — only external-server
+    verification reads them, so every other mode passes ``None`` and a
+    long run does not retain one int per delivered tuple.
+    """
     total = 0
-    async for batch in session.batches():
+    async for batch in handle.batches():
         total += len(batch)
+        if sink is not None:
+            sink.extend(item.seq for item in batch.items)
         if delay_ms > 0.0:
             await asyncio.sleep(delay_ms / 1000.0)
     return total
 
 
-async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
-    trace = make_trace(config)
-    specs = _subscriber_specs(config, trace)
-    source = config.source
-    engine_cfg = EngineConfig(
-        algorithm=config.algorithm, constraint_ms=config.constraint_ms
-    )
-    # Under verification a constrained run must restrict timely cuts to
-    # arrivals: a tick-fired cut between two arrivals can legitimately
-    # decide differently from the batch reference (GroupAwareEngine.tick).
-    tick_cuts = not (config.verify and config.constraint_ms is not None)
+# ---------------------------------------------------------------------------
+# Transport drivers: one run loop, two ways to reach the broker
+# ---------------------------------------------------------------------------
+def _broker_service(
+    config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool, hosts: int
+) -> DisseminationService:
     service = DisseminationService(
         ServiceConfig(
             engine=engine_cfg,
@@ -210,19 +271,208 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             queue_capacity=config.queue_capacity,
             overflow=config.overflow,
             tick_cuts=tick_cuts,
+            tuple_size_bytes=config.tuple_size_bytes,
             seed=config.seed,
         ),
-        nodes=["source-node"]
-        + [f"host{i}" for i in range(len(specs) + len(config.churn) + 1)],
+        nodes=["source-node"] + [f"host{i}" for i in range(hosts)],
     )
-    service.add_source(source, "source-node")
+    service.add_source(config.source, "source-node")
+    return service
 
+
+async def _close_out(service: DisseminationService, source: str):
+    """Shared in-process close-out: ``(epochs, final snapshot dict,
+    final subscriptions)`` — the subscriptions read before the close,
+    straight from the broker (which may have detached disconnect-policy
+    laggards the run loop never saw leave)."""
+    subscriptions = service.subscriptions(source)
+    epochs = (await service.close())[source]
+    return epochs, service.snapshot().to_dict(), subscriptions
+
+
+class _InProcDriver:
+    """Offers and churn as plain broker calls (no sockets)."""
+
+    def __init__(
+        self, config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool,
+        hosts: int,
+    ):
+        self.source = config.source
+        self.service = _broker_service(config, engine_cfg, tick_cuts, hosts)
+
+    async def start(self) -> None:
+        pass
+
+    async def attach(self, app: str, spec: str):
+        return await self.service.subscribe(app, self.source, spec)
+
+    async def unsubscribe(self, app: str) -> None:
+        await self.service.unsubscribe(app)
+
+    async def re_filter(self, app: str, spec: str) -> None:
+        await self.service.re_filter(app, spec)
+
+    async def offer(self, item: StreamTuple) -> None:
+        await self.service.offer(self.source, item)
+
+    async def tick(self, now_ms: float) -> None:
+        await self.service.tick(now_ms)
+
+    async def snapshot(self) -> dict:
+        return self.service.snapshot().to_dict()
+
+    async def finish(self, live_apps: Sequence[str]):
+        """Close out the run; returns ``(epochs or None, final snapshot
+        dict, final subscriptions or None)``."""
+        return await _close_out(self.service, self.source)
+
+    async def cleanup(self) -> None:
+        pass
+
+
+class _TcpDriver:
+    """Everything — offers, churn, ticks, snapshots — over a socket."""
+
+    def __init__(
+        self, config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool,
+        hosts: int,
+    ):
+        self.config = config
+        self.source = config.source
+        self.own_server = config.connect is None
+        self.service: Optional[DisseminationService] = None
+        self.gateway = None
+        self.client = None
+        self._engine_cfg = engine_cfg
+        self._tick_cuts = tick_cuts
+        self._hosts = hosts
+
+    async def start(self) -> None:
+        from repro.transport.client import GatewayClient
+        from repro.transport.server import GatewayServer
+
+        if self.own_server:
+            self.service = _broker_service(
+                self.config, self._engine_cfg, self._tick_cuts, self._hosts
+            )
+            self.gateway = GatewayServer(self.service, host="127.0.0.1", port=0)
+            await self.gateway.start()
+            host, port = "127.0.0.1", self.gateway.port
+        else:
+            host, _, port_text = self.config.connect.rpartition(":")
+            host = host or "127.0.0.1"
+            port = int(port_text)
+        self.client = await GatewayClient.connect(host, port)
+        await self.client.ensure_source(self.source)
+
+    async def attach(self, app: str, spec: str):
+        return await self.client.subscribe(
+            app,
+            self.source,
+            spec,
+            queue_capacity=self.config.queue_capacity,
+            overflow=self.config.overflow,
+            batch_max_items=self.config.batch_max_items,
+            batch_max_delay_ms=self.config.batch_max_delay_ms,
+        )
+
+    async def unsubscribe(self, app: str) -> None:
+        await self.client.unsubscribe(app)
+
+    async def re_filter(self, app: str, spec: str) -> None:
+        await self.client.re_filter(app, spec)
+
+    async def offer(self, item: StreamTuple) -> None:
+        # ack=True gives the in-process completion semantics: the call
+        # resolves when the broker has processed the tuple.
+        await self.client.ingest(
+            self.source, item, pad_bytes=self.config.tuple_size_bytes
+        )
+
+    async def tick(self, now_ms: float) -> None:
+        await self.client.tick(now_ms)
+
+    async def snapshot(self) -> dict:
+        return await self.client.snapshot()
+
+    async def finish(self, live_apps: Sequence[str]):
+        from repro.transport.client import GatewayError
+
+        if self.own_server:
+            # Same-process server: close it directly and verify against
+            # the engines' own epoch record, exactly like inproc.
+            return await _close_out(self.service, self.source)
+        # External server: the engines' epochs are not reachable, but a
+        # pre-teardown snapshot records which of OUR sessions the broker
+        # really holds (the falsifiable half of churn verification);
+        # then unsubscribe (final-flushing each session's batcher toward
+        # us) so the delivered streams are complete, and snapshot once
+        # more for the summary totals.  Foreign subscribers on the same
+        # source are excluded from the record — though note that their
+        # presence changes the filter group, so external --verify is
+        # only meaningful when this loadgen's subscribers are the
+        # source's only ones.
+        ours = set(live_apps)
+        pre = await self.client.snapshot()
+        subscriptions = [
+            (s["app_name"], s["spec"])
+            for s in pre["sessions"]
+            if s["source_name"] == self.source and s["app_name"] in ours
+        ]
+        for app in live_apps:
+            try:
+                await self.client.unsubscribe(app)
+            except GatewayError:
+                # Already gone server-side (e.g. disconnect-policy reap).
+                pass
+        return None, await self.client.snapshot(), subscriptions
+
+    async def cleanup(self) -> None:
+        if self.client is not None:
+            await self.client.close()
+        if self.gateway is not None:
+            await self.gateway.shutdown()
+
+
+async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
+    trace = make_trace(config)
+    specs = _subscriber_specs(config, trace)
+    engine_cfg = EngineConfig(
+        algorithm=config.algorithm, constraint_ms=config.constraint_ms
+    )
+    # Under verification a constrained run must restrict timely cuts to
+    # arrivals: a tick-fired cut between two arrivals can legitimately
+    # decide differently from the batch reference (GroupAwareEngine.tick).
+    tick_cuts = not (config.verify and config.constraint_ms is not None)
+    hosts = len(specs) + len(config.churn) + 1
+    driver_cls = _TcpDriver if config.transport == "tcp" else _InProcDriver
+    driver = driver_cls(config, engine_cfg, tick_cuts, hosts)
+    await driver.start()
+    # Mid-run transport failures (a dying external server, a reaped
+    # session) must degrade into a summary with recorded errors and a
+    # cleaned-up driver, not a crash that leaks tasks and sockets.
+    recoverable: tuple = (ConnectionError, OSError)
+    if config.transport == "tcp":
+        from repro.transport.client import GatewayError
+
+        recoverable = (ConnectionError, OSError, GatewayError)
+
+    #: Insertion-ordered (app -> spec), mirroring the broker's session
+    #: dict so the verification reference groups filters identically.
+    live: dict[str, str] = {}
     consumers: dict[str, asyncio.Task] = {}
+    delivered_seqs: dict[str, list[int]] = {}
+
+    # Only the external-server verify branch compares delivered seqs;
+    # every other mode skips collecting them.
+    collect_seqs = config.verify and config.connect is not None
 
     async def attach(app: str, spec: str) -> None:
-        session = await service.subscribe(app, source, spec)
+        handle = await driver.attach(app, spec)
+        live[app] = spec
+        sink = delivered_seqs.setdefault(app, []) if collect_seqs else None
         consumers[app] = asyncio.create_task(
-            _consume(session, config.consumer_delay_ms)
+            _consume(handle, config.consumer_delay_ms, sink)
         )
 
     for index, spec in enumerate(specs):
@@ -245,7 +495,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
 
     async def offer_one(item: StreamTuple) -> None:
         nonlocal processed_ts
-        await service.offer(source, item)
+        await driver.offer(item)
         processed_ts = max(processed_ts, item.timestamp)
 
     def stream_now() -> float:
@@ -267,13 +517,13 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
                 )
             except asyncio.TimeoutError:
                 pass
-            await service.tick(stream_now())
-            snapshot = service.snapshot()
+            await driver.tick(stream_now())
+            snapshot = await driver.snapshot()
             record = {
                 "t_s": round(time.perf_counter() - started, 4),
                 "in_flight": len(in_flight),
                 "shed": shed,
-                **snapshot.to_dict(),
+                **snapshot,
             }
             records.append(record)
             if on_record is not None:
@@ -290,35 +540,40 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             if event.op == "subscribe":
                 await attach(event.app, event.spec)
             elif event.op == "unsubscribe":
-                await service.unsubscribe(event.app)
+                await driver.unsubscribe(event.app)
+                live.pop(event.app, None)
             else:
-                await service.re_filter(event.app, event.spec)
+                await driver.re_filter(event.app, event.spec)
+                live[event.app] = event.spec
             churn_applied.append(asdict(event))
 
-    deadline = started + config.duration_s
-    for index, item in enumerate(trace):
-        now = time.perf_counter()
-        if now >= deadline:
-            break
-        target = started + index / config.rate
-        if target > now:
-            await asyncio.sleep(target - now)
-            if time.perf_counter() >= deadline:
-                break
-        await apply_due_churn(time.perf_counter() - started)
-        if config.mode == "closed":
-            offered_items.append(item)
-            await offer_one(item)
-        else:
-            if len(in_flight) >= config.max_in_flight:
-                shed += 1
-                continue
-            offered_items.append(item)
-            task = asyncio.create_task(offer_one(item))
-            in_flight.add(task)
-            task.add_done_callback(in_flight.discard)
-
     errors: list[str] = []
+    deadline = started + config.duration_s
+    try:
+        for index, item in enumerate(trace):
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+            target = started + index / config.rate
+            if target > now:
+                await asyncio.sleep(target - now)
+                if time.perf_counter() >= deadline:
+                    break
+            await apply_due_churn(time.perf_counter() - started)
+            if config.mode == "closed":
+                offered_items.append(item)
+                await offer_one(item)
+            else:
+                if len(in_flight) >= config.max_in_flight:
+                    shed += 1
+                    continue
+                offered_items.append(item)
+                task = asyncio.create_task(offer_one(item))
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+    except recoverable as exc:
+        errors.append(repr(exc))
+
     if in_flight:
         offer_results = await asyncio.gather(
             *list(in_flight), return_exceptions=True
@@ -326,31 +581,79 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         errors.extend(repr(r) for r in offer_results if isinstance(r, BaseException))
     # Late-scheduled churn (at_s near or past the feed's end) still runs
     # before shutdown; anything genuinely beyond the horizon is reported.
-    await apply_due_churn(time.perf_counter() - started)
+    if not errors:
+        try:
+            await apply_due_churn(time.perf_counter() - started)
+        except recoverable as exc:
+            errors.append(repr(exc))
     stop_metrics.set()
-    await metrics_task
+    try:
+        await metrics_task
+    except recoverable as exc:
+        errors.append(repr(exc))
 
-    final_subscriptions = service.subscriptions(source)
-    epochs = (await service.close())[source]
+    try:
+        epochs, final_snapshot, broker_subscriptions = await driver.finish(
+            list(live)
+        )
+    except recoverable as exc:
+        errors.append(repr(exc))
+        epochs, final_snapshot, broker_subscriptions = None, _dead_snapshot(), None
+        for handle in consumers.values():
+            handle.cancel()
+    final_subscriptions = (
+        broker_subscriptions
+        if broker_subscriptions is not None
+        else list(live.items())
+    )
     consumer_results = await asyncio.gather(
         *consumers.values(), return_exceptions=True
     )
-    errors.extend(repr(r) for r in consumer_results if isinstance(r, BaseException))
-    delivered = [r for r in consumer_results if not isinstance(r, BaseException)]
-    final_snapshot = service.snapshot()
+    errors.extend(
+        repr(r)
+        for r in consumer_results
+        if isinstance(r, BaseException)
+        and not isinstance(r, asyncio.CancelledError)
+    )
+    try:
+        await driver.cleanup()
+    except recoverable as exc:
+        errors.append(repr(exc))
     wall_s = time.perf_counter() - started
+    delivered_total = sum(
+        r for r in consumer_results if isinstance(r, int)
+    )
 
     equivalent: Optional[bool] = None
     if config.verify:
         reference = _batch_reference(final_subscriptions, offered_items, engine_cfg)
-        live = _merge_decided(epochs)
         want = decided_map(reference)
-        if config.churn:
-            # Churn cuts epochs over mid-stream; only the final
-            # subscription set's presence is checkable, not equality.
-            equivalent = set(live) >= {app for app, _ in final_subscriptions}
+        if epochs is not None:
+            live_map = _merge_decided(epochs)
+            if config.churn:
+                # Churn cuts epochs over mid-stream; only the final
+                # subscription set's presence is checkable, not equality.
+                equivalent = set(live_map) >= {
+                    app for app, _ in final_subscriptions
+                }
+            else:
+                equivalent = live_map == want
         else:
-            equivalent = live == want
+            # External server: the engines are out of reach, but with a
+            # drop-free policy the delivered stream per app must equal
+            # the reference's decided tuples, flattened in order.
+            if config.churn:
+                # The broker's actual session set (pre-teardown
+                # snapshot) must match the churn schedule's outcome.
+                equivalent = dict(final_subscriptions) == live
+            else:
+                flattened = {
+                    app: [seq for row in rows for seq in row]
+                    for app, rows in want.items()
+                }
+                equivalent = {
+                    app: delivered_seqs.get(app, []) for app in flattened
+                } == flattened
 
     summary = {
         "schema": "repro-loadgen/v1",
@@ -358,21 +661,22 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             **asdict(replace(config, churn=())),
             "churn": [asdict(event) for event in config.churn],
         },
+        "transport": config.transport,
         "trace_tuples": len(trace),
         "offered": len(offered_items),
         "shed": shed,
         "offered_rate_tps": len(offered_items) / wall_s if wall_s > 0 else 0.0,
         "wall_s": round(wall_s, 4),
-        "delivered_tuples": sum(delivered),
-        "dropped_tuples": final_snapshot.dropped_tuples,
-        "decided_emissions": final_snapshot.decided_emissions,
+        "delivered_tuples": delivered_total,
+        "dropped_tuples": final_snapshot["dropped_tuples"],
+        "decided_emissions": final_snapshot["decided_emissions"],
         "decide_latency_ms": {
-            "p50": final_snapshot.decide_p50_ms,
-            "p99": final_snapshot.decide_p99_ms,
+            "p50": final_snapshot["decide_p50_ms"],
+            "p99": final_snapshot["decide_p99_ms"],
         },
-        "regroups": final_snapshot.regroups,
-        "ticks": final_snapshot.ticks,
-        "cuts_triggered": final_snapshot.cuts_triggered,
+        "regroups": final_snapshot["regroups"],
+        "ticks": final_snapshot["ticks"],
+        "cuts_triggered": final_snapshot["cuts_triggered"],
         "churn_applied": churn_applied,
         "churn_unapplied": [asdict(event) for event in pending_churn],
         "final_subscriptions": [list(pair) for pair in final_subscriptions],
@@ -380,7 +684,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "errors": errors,
         "clean_shutdown": not errors and not in_flight,
     }
-    records.append({"t_s": round(wall_s, 4), "final": True, **final_snapshot.to_dict()})
+    records.append({"t_s": round(wall_s, 4), "final": True, **final_snapshot})
 
     if config.out_dir is not None:
         out = Path(config.out_dir)
@@ -398,6 +702,6 @@ def run_loadgen(config: LoadGenConfig, on_record=None) -> dict:
     """Run one load-generation session to completion (blocking wrapper).
 
     ``on_record`` is called with each periodic metrics record as it is
-    captured (the ``serve`` CLI prints these live).
+    captured (``loadgen --progress`` prints these live).
     """
     return asyncio.run(_run_async(config, on_record=on_record))

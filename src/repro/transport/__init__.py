@@ -1,0 +1,46 @@
+"""Networked dissemination gateway: the live broker behind real sockets.
+
+:mod:`repro.service` made the batch engine a long-running broker; this
+package makes the broker a *server*.  A length-prefixed JSON wire
+protocol (:mod:`~repro.transport.protocol`) carries ingest, dynamic
+subscriptions and decided-batch delivery over TCP
+(:mod:`~repro.transport.server` / :mod:`~repro.transport.client`), with
+the broker's bounded-queue backpressure policies propagating to the
+sockets, and a minimal HTTP endpoint (:mod:`~repro.transport.http`)
+serves live snapshots for scraping.  Everything is stdlib asyncio — no
+new dependencies.
+"""
+
+from repro.transport.client import GatewayClient, GatewayError, RemoteSubscription
+from repro.transport.http import SnapshotHTTP
+from repro.transport.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    batch_from_wire,
+    batch_to_wire,
+    encode_frame,
+    tuple_from_wire,
+    tuple_to_wire,
+)
+from repro.transport.server import GatewayServer
+
+__all__ = [
+    "FrameDecoder",
+    "FrameTooLarge",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteSubscription",
+    "SnapshotHTTP",
+    "batch_from_wire",
+    "batch_to_wire",
+    "encode_frame",
+    "tuple_from_wire",
+    "tuple_to_wire",
+]

@@ -1,0 +1,423 @@
+"""Asyncio client for the dissemination gateway.
+
+:class:`GatewayClient` speaks the :mod:`repro.transport.protocol` wire
+format over one TCP connection, multiplexing request/response calls
+(``ingest``, ``subscribe``, ``tick``, ``snapshot``, ...) with unsolicited
+``decided`` delivery frames.  Subscriptions come back as
+:class:`RemoteSubscription` objects whose :meth:`~RemoteSubscription.batches`
+iterator mirrors the in-process
+:meth:`~repro.service.session.SubscriberSession.batches` — the load
+generator, the tests and the examples drive either side of the socket
+through the same shape.
+
+Backpressure: each subscription buffers at most ``queue_capacity``
+batches client-side.  When a consumer stops draining, the read loop
+blocks putting the next batch, the client stops reading the socket, the
+kernel windows fill, and the *server's* session queue applies its
+overflow policy — slow consumption propagates across the wire instead of
+ballooning client memory.  (This also means one wedged consumer stalls
+the whole connection, acks included; give independent consumers their
+own connections.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import AsyncIterator, Mapping, Optional, Union
+
+from repro.core.tuples import StreamTuple
+from repro.qos.spec import QualitySpec
+from repro.service.batching import Batch
+from repro.transport.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    batch_from_wire,
+    encode_frame,
+    tuple_to_wire,
+)
+
+__all__ = ["GatewayError", "RemoteSubscription", "GatewayClient"]
+
+_READ_CHUNK = 1 << 16
+
+
+class GatewayError(Exception):
+    """An ``error`` frame from the server, surfaced to the caller."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class RemoteSubscription:
+    """Client-side view of one app's subscription on the gateway."""
+
+    def __init__(self, app: str, source: str, spec: str, capacity: int = 0):
+        self.app = app
+        self.source = source
+        self.spec = spec
+        #: Why the server closed this subscription (None while live).
+        self.closed_reason: Optional[str] = None
+        #: ``capacity=0`` means unbounded — used for the one-round-trip
+        #: window before the server echoes the resolved queue bound.
+        self._queue: asyncio.Queue[Optional[Batch]] = asyncio.Queue(
+            maxsize=max(0, capacity)
+        )
+        self._ended = False
+
+    def _resize(self, capacity: int) -> None:
+        """Adopt the server-resolved bound without dropping anything.
+
+        Batches the read loop buffered before the subscribe reply
+        arrived (they can share one TCP read with the ``ok``) transfer
+        into the new queue; the bound stretches to hold them all.
+        """
+        buffered: list[Optional[Batch]] = []
+        while True:
+            try:
+                buffered.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        self._queue = asyncio.Queue(
+            maxsize=max(1, capacity, len(buffered))
+        )
+        for item in buffered:
+            self._queue.put_nowait(item)
+
+    def __aiter__(self) -> AsyncIterator[Batch]:
+        return self.batches()
+
+    async def batches(self) -> AsyncIterator[Batch]:
+        """Yield delivered batches until the server closes the stream."""
+        while True:
+            batch = await self._queue.get()
+            if batch is None:
+                return
+            yield batch
+
+    async def items(self) -> AsyncIterator[StreamTuple]:
+        async for batch in self.batches():
+            for item in batch.items:
+                yield item
+
+    # -- read-loop side -------------------------------------------------
+    async def _push(self, batch: Batch) -> None:
+        if not self._ended:
+            await self._queue.put(batch)
+
+    def _close(self, reason: str) -> None:
+        """End the stream without ever blocking (teardown paths).
+
+        If the consumer lagged a full window behind, the oldest buffered
+        batch is evicted to guarantee the end-of-stream sentinel lands —
+        a closing subscription prefers terminating its consumer over
+        preserving a tail the consumer stopped reading.
+        """
+        if self._ended:
+            return
+        self._ended = True
+        self.closed_reason = reason
+        while True:
+            try:
+                self._queue.put_nowait(None)
+                return
+            except asyncio.QueueFull:
+                try:
+                    self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+
+
+class GatewayClient:
+    """One authenticated gateway connection (use :meth:`connect`)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._seq = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._subscriptions: dict[str, RemoteSubscription] = {}
+        self._read_task: Optional[asyncio.Task] = None
+        self._closed = False
+        #: Set once the read loop ends; requests after that would wait
+        #: forever on a reply nobody can deliver.
+        self._dead_reason: Optional[str] = None
+        #: Populated from the server's welcome frame.
+        self.server_sources: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        token: Optional[str] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> "GatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        client._read_task = asyncio.ensure_future(client._read_loop())
+        hello: dict = {"t": "hello", "v": PROTOCOL_VERSION}
+        if token is not None:
+            hello["token"] = token
+        try:
+            welcome = await client._request(hello)
+        except BaseException:
+            await client.close(send_bye=False)
+            raise
+        client.server_sources = tuple(welcome.get("sources", ()))
+        return client
+
+    async def close(self, *, send_bye: bool = True) -> None:
+        """Tear the connection down; live subscriptions end locally."""
+        if self._closed:
+            return
+        self._closed = True
+        if send_bye:
+            try:
+                self._write({"t": "bye"})
+                await self._writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        self._writer.close()
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+        self._fail_all("connection_closed")
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _write(self, frame: Mapping) -> None:
+        self._writer.write(
+            encode_frame(frame, max_frame_bytes=self._max_frame_bytes)
+        )
+
+    async def _request(self, frame: dict) -> dict:
+        if self._closed:
+            raise ConnectionError("gateway client is closed")
+        if self._dead_reason is not None:
+            raise ConnectionError(
+                f"gateway connection closed ({self._dead_reason})"
+            )
+        seq = next(self._seq)
+        frame["seq"] = seq
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        try:
+            self._write(frame)
+            await self._writer.drain()
+            reply = await future
+        finally:
+            self._pending.pop(seq, None)
+        if reply.get("t") == "error":
+            raise GatewayError(
+                reply.get("code", "unknown"), reply.get("message", "")
+            )
+        return reply
+
+    async def ensure_source(self, source: str) -> bool:
+        """Register ``source`` on the broker if absent; True if created."""
+        reply = await self._request({"t": "ensure_source", "source": source})
+        return bool(reply.get("created"))
+
+    async def ingest(
+        self,
+        source: str,
+        item: StreamTuple,
+        *,
+        ack: bool = True,
+        pad_bytes: int = 0,
+    ) -> Optional[int]:
+        """Offer one tuple to the broker across the wire.
+
+        With ``ack=True`` (default) the call resolves when the broker has
+        *processed* the tuple and returns the emission count — the same
+        completion semantics as the in-process ``offer``.  ``ack=False``
+        is fire-and-forget (the frame is written and drained, nothing
+        more).  ``pad_bytes`` attaches throwaway payload so the wire
+        frame approximates a configured tuple size.
+        """
+        frame: dict = {
+            "t": "ingest",
+            "source": source,
+            "tuple": tuple_to_wire(item),
+        }
+        if pad_bytes > 0:
+            frame["pad"] = "x" * pad_bytes
+        if ack:
+            reply = await self._request(frame)
+            return reply.get("emissions")
+        self._write(frame)
+        await self._writer.drain()
+        return None
+
+    async def tick(self, now_ms: float) -> int:
+        """Advance the broker's timer (timely cuts, latency flushes)."""
+        reply = await self._request({"t": "tick", "now_ms": now_ms})
+        return int(reply.get("emissions", 0))
+
+    async def snapshot(self) -> dict:
+        """The live service snapshot as a plain dict."""
+        reply = await self._request({"t": "snapshot"})
+        return reply["snapshot"]
+
+    async def subscribe(
+        self,
+        app: str,
+        source: str,
+        spec: str,
+        *,
+        qos: Union[QualitySpec, Mapping, None] = None,
+        queue_capacity: Optional[int] = None,
+        overflow: Optional[str] = None,
+        batch_max_items: Optional[int] = None,
+        batch_max_delay_ms: Optional[float] = None,
+    ) -> RemoteSubscription:
+        """Attach a subscriber; decided batches flow back on this socket.
+
+        ``qos`` carries the application's quality profile to the broker
+        (``latency_tolerance_ms`` / ``priority`` — see
+        :func:`repro.qos.spec.session_limits`); the explicit keyword
+        bounds override whatever the profile resolves to.
+        """
+        if app in self._subscriptions:
+            raise ValueError(f"app {app!r} is already subscribed here")
+        frame: dict = {
+            "t": "subscribe",
+            "app": app,
+            "source": source,
+            "spec": spec,
+        }
+        if qos is not None:
+            if isinstance(qos, QualitySpec):
+                profile: dict = {
+                    "latency_tolerance_ms": qos.latency_tolerance_ms,
+                    "priority": qos.priority,
+                }
+            else:
+                profile = dict(qos)
+            frame["qos"] = profile
+        for key, value in (
+            ("queue_capacity", queue_capacity),
+            ("overflow", overflow),
+            ("batch_max_items", batch_max_items),
+            ("batch_max_delay_ms", batch_max_delay_ms),
+        ):
+            if value is not None:
+                frame[key] = value
+        # Register before the request: the first decided frame can be on
+        # the wire the moment the server replies ok.  Without an explicit
+        # capacity the queue starts unbounded for the one round trip
+        # until the server echoes the resolved bound.
+        subscription = RemoteSubscription(
+            app, source, spec, capacity=queue_capacity or 0
+        )
+        self._subscriptions[app] = subscription
+        try:
+            reply = await self._request(frame)
+        except BaseException:
+            self._subscriptions.pop(app, None)
+            raise
+        # The server echoes the resolved bounds; mirror the capacity so
+        # client-side buffering matches the session's queue bound.
+        resolved = reply.get("queue_capacity")
+        if queue_capacity is None and isinstance(resolved, int) and resolved >= 1:
+            subscription._resize(resolved)
+        return subscription
+
+    async def unsubscribe(self, app: str) -> None:
+        await self._request({"t": "unsubscribe", "app": app})
+
+    async def re_filter(self, app: str, spec: str) -> None:
+        await self._request({"t": "re_filter", "app": app, "spec": spec})
+        if app in self._subscriptions:
+            self._subscriptions[app].spec = spec
+
+    # ------------------------------------------------------------------
+    # Read loop
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder(max_frame_bytes=self._max_frame_bytes)
+        reason = "connection_closed"
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if frame.get("t") == "bye":
+                        reason = frame.get("reason", "bye")
+                        return
+                    await self._on_frame(frame)
+        except ProtocolError:
+            reason = "protocol_error"
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        finally:
+            self._fail_all(reason)
+
+    async def _on_frame(self, frame: dict) -> None:
+        kind = frame.get("t")
+        reply_to = frame.get("reply_to")
+        if reply_to is not None:
+            future = self._pending.get(reply_to)
+            if future is not None and not future.done():
+                future.set_result(frame)
+            return
+        if kind == "decided":
+            subscription = self._subscriptions.get(frame.get("app"))
+            if subscription is not None:
+                # This put blocks when the consumer lags, intentionally
+                # pausing the read loop (see the module docstring).
+                await subscription._push(batch_from_wire(frame))
+        elif kind == "closed":
+            subscription = self._subscriptions.pop(frame.get("app"), None)
+            if subscription is not None:
+                subscription._close(frame.get("reason", "closed"))
+        elif kind == "error":
+            if "reply_to" in frame:
+                # A refused fire-and-forget request (seq-less ingest/tick
+                # gets an error with reply_to=null): the server kept the
+                # connection; there is no future to fail and no reason to
+                # kill our side either.
+                return
+            # Truly unsolicited server error (protocol violation
+            # verdict): surface it by failing everything; the connection
+            # is dead.
+            raise ProtocolError(
+                frame.get("message", "server error"),
+                code=frame.get("code", "protocol"),
+            )
+
+    def _fail_all(self, reason: str) -> None:
+        self._dead_reason = reason
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"gateway connection closed ({reason})")
+                )
+        self._pending.clear()
+        for app in list(self._subscriptions):
+            self._subscriptions.pop(app)._close(reason)

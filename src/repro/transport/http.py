@@ -1,0 +1,139 @@
+"""Minimal HTTP endpoint serving live service snapshots for scraping.
+
+Two routes, both read-only and stdlib-only (asyncio streams; no web
+framework):
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", "sources": [...],
+  "session_count": N}``;
+* ``GET /snapshot`` — the full
+  :meth:`~repro.service.broker.DisseminationService.snapshot` dict,
+  including live p50/p99 decide latency, per-session queue depths and
+  drop counters — everything a scraper needs mid-run.
+
+Responses are ``Connection: close`` HTTP/1.1 with explicit
+``Content-Length``, which every scraper (curl, prometheus blackbox,
+``urllib``) handles without keep-alive bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.service.broker import DisseminationService
+
+__all__ = ["SnapshotHTTP"]
+
+#: Bound on the request head we are willing to buffer.
+_MAX_REQUEST_BYTES = 8192
+_REQUEST_TIMEOUT_S = 5.0
+
+
+class SnapshotHTTP:
+    """Tiny read-only HTTP front end for one dissemination service."""
+
+    def __init__(
+        self,
+        service: DisseminationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("http endpoint already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                self._read_head(reader), timeout=_REQUEST_TIMEOUT_S
+            )
+            if request is None:
+                return
+            method, path = request
+            status, payload = self._route(method, path)
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (
+            ConnectionError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ValueError,  # readline overruns the stream limit
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> Optional[tuple[str, str]]:
+        """Parse the request line, drain headers, ignore any body."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return None
+        drained = len(request_line)
+        while drained < _MAX_REQUEST_BYTES:
+            line = await reader.readline()
+            drained += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return parts[0].upper(), parts[1]
+
+    def _route(self, method: str, path: str) -> tuple[str, dict]:
+        if method != "GET":
+            return "405 Method Not Allowed", {"error": "only GET is served"}
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            # Liveness gets polled constantly: answer from the cheap
+            # accessors, not a full snapshot (per-session stats plus
+            # percentile computation).
+            return "200 OK", {
+                "status": "ok",
+                "sources": list(self.service.sources()),
+                "session_count": self.service.session_count(),
+            }
+        if path == "/snapshot":
+            return "200 OK", self.service.snapshot().to_dict()
+        return "404 Not Found", {
+            "error": f"no route {path!r}; try /snapshot or /healthz"
+        }

@@ -1,0 +1,194 @@
+"""Length-prefixed JSON wire protocol for the dissemination gateway.
+
+One frame on the wire is a 4-byte big-endian length header followed by
+that many bytes of UTF-8 JSON.  Every frame is a JSON object with a
+``"t"`` type tag; request frames carry a client-chosen ``"seq"`` and the
+server's response echoes it as ``"reply_to"``, so one connection can
+multiplex many outstanding requests with unsolicited ``decided`` /
+``closed`` delivery frames in between.
+
+The protocol is versioned at the handshake: the first frame on a
+connection must be ``hello`` with ``"v" == PROTOCOL_VERSION``; the
+server answers ``welcome`` (or ``error`` + close on a version or auth
+mismatch).
+
+Frame vocabulary (client → server unless noted)::
+
+    hello         {v, token?}                    -> welcome | error
+    ensure_source {seq, source}                  -> ok {created}
+    ingest        {source, tuple, seq?, pad?}    -> ok {emissions}   (when seq given)
+    subscribe     {seq, app, source, spec, qos?,
+                   queue_capacity?, overflow?,
+                   batch_max_items?, batch_max_delay_ms?}
+                                                 -> ok
+    unsubscribe   {seq, app}                     -> ok (then closed)
+    re_filter     {seq, app, spec}               -> ok
+    tick          {seq?, now_ms}                 -> ok {emissions}
+    snapshot      {seq}                          -> snapshot {snapshot}
+    bye           {reason?}                      (either direction)
+
+    welcome       {v, server, sources}           (server → client)
+    ok            {reply_to, ...}                (server → client)
+    error         {reply_to?, code, message}     (server → client)
+    decided       {app, items, first_staged_ms,
+                   flushed_ms}                   (server → client)
+    closed        {app, reason}                  (server → client)
+
+``ingest`` may carry ``pad`` — a throwaway string whose only purpose is
+to make the wire frame approximate a real payload size (the load
+generator uses it so TCP throughput numbers reflect the configured
+tuple size, not just the attribute dictionary).
+
+:class:`FrameDecoder` is sans-io: feed it whatever ``read()`` returned
+— half a header, three frames glued together — and it yields exactly
+the complete frames, enforcing ``max_frame_bytes`` *from the header*
+so an oversized frame is rejected before its body is buffered.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator, Mapping, Optional
+
+from repro.core.tuples import StreamTuple
+from repro.service.batching import Batch
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_frame",
+    "FrameDecoder",
+    "tuple_to_wire",
+    "tuple_from_wire",
+    "batch_to_wire",
+    "batch_from_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Default per-frame ceiling.  Generous for batched deliveries, small
+#: enough that one bad client cannot balloon broker memory.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed, unexpected or policy-violating frame."""
+
+    def __init__(self, message: str, code: str = "protocol"):
+        super().__init__(message)
+        self.code = code
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header announced more bytes than ``max_frame_bytes``."""
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"frame of {size} bytes exceeds the {limit}-byte limit",
+            code="frame_too_large",
+        )
+        self.size = size
+        self.limit = limit
+
+
+def encode_frame(
+    frame: Mapping, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one frame to header + JSON body bytes."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise FrameTooLarge(len(body), max_frame_bytes)
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte-chunk feed.
+
+    TCP gives back bytes, not frames: a ``read()`` may return half a
+    header, a header plus part of a body, or several frames coalesced.
+    The decoder buffers across :meth:`feed` calls and yields only
+    complete frames, in order.
+    """
+
+    def __init__(self, *, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        #: Body length announced by the current header, None between frames.
+        self._expected: Optional[int] = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held waiting for a frame to complete."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb one chunk; return every frame it completed (maybe [])."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[dict]:
+        while True:
+            if self._expected is None:
+                if len(self._buffer) < _HEADER.size:
+                    return
+                (size,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
+                if size > self.max_frame_bytes:
+                    # Reject from the header alone: the body is never
+                    # buffered, so a hostile length cannot balloon memory.
+                    raise FrameTooLarge(size, self.max_frame_bytes)
+                del self._buffer[: _HEADER.size]
+                self._expected = size
+            if len(self._buffer) < self._expected:
+                return
+            body = bytes(self._buffer[: self._expected])
+            del self._buffer[: self._expected]
+            self._expected = None
+            try:
+                frame = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"undecodable frame body: {exc}") from exc
+            if not isinstance(frame, dict) or "t" not in frame:
+                raise ProtocolError("a frame must be an object with a 't' tag")
+            yield frame
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+# ---------------------------------------------------------------------------
+def tuple_to_wire(item: StreamTuple) -> dict:
+    return {"seq": item.seq, "ts": item.timestamp, "values": dict(item.values)}
+
+
+def tuple_from_wire(payload: Mapping) -> StreamTuple:
+    try:
+        return StreamTuple(
+            seq=int(payload["seq"]),
+            timestamp=float(payload["ts"]),
+            values={str(k): float(v) for k, v in payload["values"].items()},
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ProtocolError(f"malformed tuple payload: {exc!r}") from exc
+
+
+def batch_to_wire(batch: Batch) -> dict:
+    return {
+        "items": [tuple_to_wire(item) for item in batch.items],
+        "first_staged_ms": batch.first_staged_ms,
+        "flushed_ms": batch.flushed_ms,
+    }
+
+
+def batch_from_wire(payload: Mapping) -> Batch:
+    try:
+        return Batch(
+            items=tuple(tuple_from_wire(item) for item in payload["items"]),
+            first_staged_ms=float(payload["first_staged_ms"]),
+            flushed_ms=float(payload["flushed_ms"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed batch payload: {exc!r}") from exc

@@ -1,0 +1,515 @@
+"""TCP gateway: the dissemination broker behind real sockets.
+
+:class:`GatewayServer` accepts TCP connections speaking the
+length-prefixed JSON protocol of :mod:`repro.transport.protocol` and
+bridges them onto a live :class:`~repro.service.broker.DisseminationService`:
+
+* **ingest producers** send ``ingest`` frames; each is offered to the
+  broker *inline* in the connection's read loop, so a ``block`` overflow
+  policy on any subscriber propagates as backpressure all the way to the
+  producer's socket (the server simply stops reading further frames
+  until the offer completes);
+* **subscribers** send ``subscribe``; the server attaches a
+  :class:`~repro.service.session.SubscriberSession` and starts a *pump*
+  task that forwards every delivered batch as a ``decided`` frame.  The
+  pump awaits ``drain()`` on the socket, so a remote reader that stops
+  consuming fills the kernel buffers, stalls the pump, and lets the
+  session's bounded queue apply its overflow policy — ``drop_oldest``
+  drops server-side, ``disconnect`` reaps the session *and closes the
+  socket*;
+* a connection may do both at once, and many connections multiplex onto
+  one broker.
+
+Connection teardown — a clean ``bye``, an abrupt reset, or EOF — always
+reclaims the connection's subscriptions: sessions are unsubscribed from
+the broker (which final-flushes their batchers and removes the pub/sub
+registration), so a vanished client never leaks filter-group state.
+
+:meth:`GatewayServer.shutdown` is the graceful path used by ``repro
+serve`` on SIGINT/SIGTERM: stop accepting, close the service (cutover +
+final-flush of every session batcher), let the pumps drain the closing
+batches onto the sockets, send ``bye``, and return a terminal snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Optional
+
+from repro.qos.spec import QualitySpec
+from repro.service.broker import DisseminationService
+from repro.service.session import SubscriberSession
+from repro.transport.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    batch_to_wire,
+    encode_frame,
+    tuple_from_wire,
+)
+
+__all__ = ["GatewayServer"]
+
+#: Read-chunk size for the per-connection frame loop.
+_READ_CHUNK = 1 << 16
+
+
+class _BadRequest(Exception):
+    """A well-framed request the service refused; reply, keep serving."""
+
+
+def _field(frame: dict, name: str):
+    try:
+        return frame[name]
+    except KeyError:
+        raise _BadRequest(
+            f"frame {frame.get('t')!r} is missing field {name!r}"
+        ) from None
+
+
+class _Connection:
+    """Per-socket state: write serialization and owned subscriptions."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int,
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.max_frame_bytes = max_frame_bytes
+        self.pumps: dict[str, asyncio.Task] = {}
+        self.sessions: dict[str, SubscriberSession] = {}
+        self._write_lock = asyncio.Lock()
+        self.peer = writer.get_extra_info("peername")
+
+    async def send(self, frame: dict) -> None:
+        """Write one frame; pumps and replies interleave whole frames."""
+        payload = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+        async with self._write_lock:
+            self.writer.write(payload)
+            await self.writer.drain()
+
+    async def send_quiet(self, frame: dict) -> None:
+        """Best-effort send on teardown paths (peer may be gone)."""
+        try:
+            await self.send(frame)
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def abort(self) -> None:
+        transport = self.writer.transport
+        if transport is not None and not transport.is_closing():
+            transport.abort()
+
+
+class GatewayServer:
+    """Asyncio TCP front end for one :class:`DisseminationService`."""
+
+    def __init__(
+        self,
+        service: DisseminationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: Optional[str] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        sndbuf_bytes: Optional[int] = None,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.auth_token = auth_token
+        self.max_frame_bytes = max_frame_bytes
+        #: Shrink each connection's socket send buffer (tests and
+        #: benchmarks use this to make slow-consumer backpressure kick in
+        #: after kilobytes instead of megabytes of kernel buffering).
+        self.sndbuf_bytes = sndbuf_bytes
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[_Connection] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._shutting_down = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral ``port=0`` after start)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+
+    async def shutdown(
+        self, *, reason: str = "shutdown", drain_timeout_s: float = 5.0
+    ) -> dict:
+        """Graceful stop; returns the terminal service snapshot dict.
+
+        Order matters: the service closes *first* (cutover of every live
+        engine plus a final flush of every session batcher into its
+        queue), so the still-running pumps drain those closing batches
+        onto the sockets before the connections are dismissed with
+        ``bye``.  A pump wedged on an unresponsive peer is given
+        ``drain_timeout_s`` and then cancelled — shutdown never hangs on
+        a dead consumer.
+        """
+        self._shutting_down = True
+        if self._server is not None:
+            # Stop accepting, but do NOT await wait_closed() yet: since
+            # Python 3.12.1 it waits for every connection handler to
+            # finish, and ours only finish after the teardown below.
+            self._server.close()
+        # service.close() can wedge: a producer's inline offer may hold a
+        # source lock while blocked on a full `block`-policy queue whose
+        # pump is stalled against an unresponsive reader.  Give the
+        # close a drain window; on timeout, declare every *full* gateway
+        # session dead (close its queue, waking the blocked producer and
+        # releasing the lock) and let the close finish.  Idle sessions
+        # keep their queues open and still get their final flush.
+        close_task = asyncio.ensure_future(self.service.close())
+        done, _ = await asyncio.wait({close_task}, timeout=drain_timeout_s)
+        if close_task not in done:
+            for conn in list(self._connections):
+                for session in list(conn.sessions.values()):
+                    queue = session.queue
+                    if not queue.closed and queue.depth >= queue.capacity:
+                        session.disconnected = True
+                        await queue.close()
+        await close_task
+        for conn in list(self._connections):
+            pumps = [task for task in conn.pumps.values() if not task.done()]
+            wedged = False
+            if pumps:
+                _, pending = await asyncio.wait(
+                    pumps, timeout=drain_timeout_s
+                )
+                for task in pending:
+                    task.cancel()
+                wedged = bool(pending)
+            if wedged:
+                # The peer stopped reading: its socket buffers are full,
+                # so a polite bye (or a graceful close waiting to flush)
+                # would block forever.  Drop the transport.
+                conn.abort()
+                continue
+            try:
+                await asyncio.wait_for(
+                    conn.send_quiet({"t": "bye", "reason": reason}),
+                    timeout=drain_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                conn.abort()
+                continue
+            conn.writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        return self.service.snapshot().to_dict()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer, self.max_frame_bytes)
+        if self.sndbuf_bytes is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf_bytes
+                )
+            writer.transport.set_write_buffer_limits(high=self.sndbuf_bytes)
+        self._connections.add(conn)
+        try:
+            await self._serve_connection(conn)
+        except ProtocolError as exc:
+            await conn.send_quiet(
+                {"t": "error", "code": exc.code, "message": str(exc)}
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            await self._reap(conn)
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, conn: _Connection) -> None:
+        decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        greeted = False
+        while True:
+            data = await conn.reader.read(_READ_CHUNK)
+            if not data:
+                return
+            for frame in decoder.feed(data):
+                if not greeted:
+                    if not await self._greet(conn, frame):
+                        return
+                    greeted = True
+                    continue
+                if frame.get("t") == "bye":
+                    return
+                await self._dispatch(conn, frame)
+
+    async def _greet(self, conn: _Connection, frame: dict) -> bool:
+        seq = frame.get("seq")
+        if frame.get("t") != "hello":
+            raise ProtocolError("the first frame must be 'hello'")
+        if frame.get("v") != PROTOCOL_VERSION:
+            await conn.send_quiet(
+                {
+                    "t": "error",
+                    "reply_to": seq,
+                    "code": "version",
+                    "message": f"server speaks v{PROTOCOL_VERSION}, "
+                    f"client offered {frame.get('v')!r}",
+                }
+            )
+            return False
+        if self.auth_token is not None and frame.get("token") != self.auth_token:
+            await conn.send_quiet(
+                {
+                    "t": "error",
+                    "reply_to": seq,
+                    "code": "auth",
+                    "message": "bad or missing auth token",
+                }
+            )
+            return False
+        await conn.send(
+            {
+                "t": "welcome",
+                "reply_to": seq,
+                "v": PROTOCOL_VERSION,
+                "server": "repro-gateway",
+                "sources": list(self.service.sources()),
+            }
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, conn: _Connection, frame: dict) -> None:
+        kind = frame.get("t")
+        seq = frame.get("seq")
+        try:
+            if kind == "ingest":
+                await self._on_ingest(conn, frame, seq)
+            elif kind == "subscribe":
+                await self._on_subscribe(conn, frame, seq)
+            elif kind == "unsubscribe":
+                await self.service.unsubscribe(_field(frame, "app"))
+                await conn.send({"t": "ok", "reply_to": seq})
+            elif kind == "re_filter":
+                await self.service.re_filter(
+                    _field(frame, "app"), _field(frame, "spec")
+                )
+                await conn.send({"t": "ok", "reply_to": seq})
+            elif kind == "tick":
+                emissions = await self.service.tick(
+                    float(_field(frame, "now_ms"))
+                )
+                if seq is not None:
+                    await conn.send(
+                        {"t": "ok", "reply_to": seq, "emissions": emissions}
+                    )
+            elif kind == "snapshot":
+                await conn.send(
+                    {
+                        "t": "snapshot",
+                        "reply_to": seq,
+                        "snapshot": self.service.snapshot().to_dict(),
+                    }
+                )
+            elif kind == "ensure_source":
+                name = _field(frame, "source")
+                created = not self.service.has_source(name)
+                if created:
+                    self.service.add_source(name)
+                await conn.send(
+                    {"t": "ok", "reply_to": seq, "created": created}
+                )
+            else:
+                raise ProtocolError(
+                    f"unknown frame type {kind!r}", code="unknown_type"
+                )
+        except (
+            _BadRequest,
+            KeyError,
+            ValueError,
+            TypeError,
+            AttributeError,
+            RuntimeError,
+        ) as exc:
+            # Includes mistyped payloads (float() of a list, a string
+            # where the qos object belongs): reply and keep serving
+            # rather than tearing down every subscription on the socket.
+            message = str(exc) or repr(exc)
+            await conn.send(
+                {
+                    "t": "error",
+                    "reply_to": seq,
+                    "code": "bad_request",
+                    "message": message,
+                }
+            )
+
+    async def _on_ingest(
+        self, conn: _Connection, frame: dict, seq
+    ) -> None:
+        item = tuple_from_wire(_field(frame, "tuple"))
+        emissions = await self.service.offer(_field(frame, "source"), item)
+        if seq is not None:
+            await conn.send(
+                {"t": "ok", "reply_to": seq, "emissions": emissions}
+            )
+
+    async def _on_subscribe(
+        self, conn: _Connection, frame: dict, seq
+    ) -> None:
+        app = _field(frame, "app")
+        spec = _field(frame, "spec")
+        qos_profile = frame.get("qos")
+        qos: Optional[QualitySpec] = None
+        if qos_profile is not None:
+            tolerance = qos_profile.get("latency_tolerance_ms")
+            qos = QualitySpec(
+                app_name=app,
+                filter_spec=spec,
+                latency_tolerance_ms=(
+                    float(tolerance) if tolerance is not None else None
+                ),
+                priority=int(qos_profile.get("priority", 0)),
+            )
+        session = await self.service.subscribe(
+            app,
+            _field(frame, "source"),
+            spec,
+            queue_capacity=frame.get("queue_capacity"),
+            overflow=frame.get("overflow"),
+            batch_max_items=frame.get("batch_max_items"),
+            batch_max_delay_ms=frame.get("batch_max_delay_ms"),
+            qos=qos,
+        )
+        conn.sessions[app] = session
+        conn.pumps[app] = asyncio.ensure_future(
+            self._pump(conn, app, session)
+        )
+        await conn.send(
+            {
+                "t": "ok",
+                "reply_to": seq,
+                "queue_capacity": session.queue.capacity,
+                "overflow": session.queue.policy,
+                "batch_max_items": session.batcher.max_items,
+                "batch_max_delay_ms": session.batcher.max_delay_ms,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery pumps
+    # ------------------------------------------------------------------
+    async def _pump(
+        self, conn: _Connection, app: str, session: SubscriberSession
+    ) -> None:
+        """Forward one session's delivered batches onto the socket.
+
+        ``conn.send`` awaits ``drain()``: a remote reader that stops
+        consuming eventually stalls this pump, the session queue fills,
+        and the overflow policy takes over — the socket inherits the
+        broker's backpressure semantics.
+        """
+        oversized = False
+        try:
+            async for batch in session.batches():
+                try:
+                    await conn.send(
+                        {"t": "decided", "app": app, **batch_to_wire(batch)}
+                    )
+                except ProtocolError:
+                    # The batch encodes past max_frame_bytes and cannot
+                    # be delivered whole; end the subscription honestly
+                    # rather than dropping it silently (or dying and
+                    # leaving a full queue to wedge the broker).
+                    oversized = True
+                    break
+        except (ConnectionError, RuntimeError):
+            # Socket died mid-delivery; the handler's teardown reclaims
+            # the subscription (and the broker re-counts the loss).
+            return
+        # The subscription is over (unsubscribe, shutdown, overflow or an
+        # oversized batch below): forget it, so a later teardown of this
+        # connection cannot unsubscribe a re-registered app of the same
+        # name now owned by someone else.  Guard against a re-subscribe
+        # having already replaced the entries.
+        if conn.sessions.get(app) is session:
+            del conn.sessions[app]
+        if conn.pumps.get(app) is asyncio.current_task():
+            del conn.pumps[app]
+        if oversized:
+            # Close the queue before unsubscribing: a producer blocked on
+            # this full queue holds the source lock, and waking it (its
+            # put is discarded and drop-counted) is what lets the
+            # unsubscribe acquire that lock.
+            session.disconnected = True
+            await session.queue.close()
+            try:
+                await self.service.unsubscribe(app)
+            except (KeyError, RuntimeError):
+                pass
+            await conn.send_quiet(
+                {"t": "closed", "app": app, "reason": "frame_too_large"}
+            )
+            return
+        if session.disconnected:
+            reason = "overflow_disconnect"
+        elif self._shutting_down:
+            reason = "shutdown"
+        else:
+            reason = "unsubscribed"
+        await conn.send_quiet({"t": "closed", "app": app, "reason": reason})
+        if session.disconnected:
+            # The disconnect overflow policy means it: drop the socket,
+            # not just the session, so the laggard notices immediately.
+            conn.writer.close()
+
+    async def _reap(self, conn: _Connection) -> None:
+        """Reclaim a dead connection's subscriptions and pump tasks."""
+        conn.abort()
+        for app in list(conn.pumps):
+            if self._shutting_down:
+                continue
+            try:
+                await self.service.unsubscribe(app)
+            except (KeyError, RuntimeError):
+                # Already detached (broker-side disconnect) or the
+                # service closed underneath us.
+                pass
+        if conn.pumps:
+            await asyncio.gather(
+                *conn.pumps.values(), return_exceptions=True
+            )
+            conn.pumps.clear()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import json
 
 import pytest
@@ -115,6 +116,135 @@ class TestBackpressureUnderLoad:
         assert summary["clean_shutdown"] is True
 
 
+@contextlib.contextmanager
+def _external_gateway(on_stop: str = "shutdown"):
+    """A GatewayServer on a background thread (its own event loop).
+
+    Yields ``(port, stop)``; ``stop()`` asks the server to wind down —
+    gracefully (``on_stop="shutdown"``) or by aborting every connection
+    mid-flight (``on_stop="abort"``, the simulated server death).
+    """
+    import asyncio
+    import threading
+
+    from repro.runtime.tasks import EngineConfig
+    from repro.service import DisseminationService, ServiceConfig
+    from repro.transport import GatewayServer
+
+    started = threading.Event()
+    box: dict = {}
+
+    def serve():
+        async def main():
+            service = DisseminationService(
+                ServiceConfig(engine=EngineConfig(algorithm="region"))
+            )
+            gateway = GatewayServer(service)
+            await gateway.start()
+            box["port"] = gateway.port
+            box["stop"] = asyncio.Event()
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await box["stop"].wait()
+            if on_stop == "abort":
+                # Hard death: drop every connection, no goodbyes.
+                for conn in list(gateway._connections):
+                    conn.abort()
+                gateway._server.close()
+            else:
+                await gateway.shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(10)
+
+    def stop():
+        try:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+        except RuntimeError:
+            pass  # server loop already gone
+
+    try:
+        yield box["port"], stop
+    finally:
+        stop()
+        thread.join(timeout=10)
+
+
+class TestTcpTransport:
+    """The same run loop driven across a real localhost socket."""
+
+    @pytest.mark.parametrize("algorithm", ["region", "per_candidate_set"])
+    def test_tcp_verify_matches_batch(self, algorithm):
+        summary = run_loadgen(
+            _config(transport="tcp", algorithm=algorithm, verify=True)
+        )
+        assert summary["equivalent_to_batch"] is True
+        assert summary["clean_shutdown"] is True
+        assert summary["delivered_tuples"] > 0
+
+    def test_tcp_closed_loop_with_churn(self, tmp_path):
+        from dataclasses import replace
+
+        config = _config(transport="tcp", mode="closed", duration_s=0.6)
+        config = replace(config, churn=default_churn(config), verify=True)
+        summary = run_loadgen(config)
+        assert summary["clean_shutdown"] is True
+        assert len(summary["churn_applied"]) == len(config.churn)
+        assert summary["equivalent_to_batch"] is True  # superset check
+
+    def test_tcp_writes_artifacts(self, tmp_path):
+        out = tmp_path / "tcp-run"
+        summary = run_loadgen(_config(transport="tcp", out_dir=str(out)))
+        assert summary["transport"] == "tcp"
+        assert (out / "metrics.jsonl").read_text().strip()
+        manifest = json.loads((out / "summary.json").read_text())
+        assert manifest["config"]["transport"] == "tcp"
+
+    def test_tcp_external_server_verify(self):
+        """--connect mode: verification against delivered streams when
+        the server's engines are out of reach."""
+        with _external_gateway() as (port, _stop):
+            summary = run_loadgen(
+                _config(
+                    transport="tcp",
+                    connect=f"127.0.0.1:{port}",
+                    mode="closed",
+                    verify=True,
+                )
+            )
+        assert summary["equivalent_to_batch"] is True
+        assert summary["clean_shutdown"] is True
+        assert summary["delivered_tuples"] > 0
+
+
+    def test_tcp_server_dying_mid_run_degrades_to_error_summary(self):
+        """A broker that vanishes mid-run yields a summary with recorded
+        errors and clean_shutdown False — never a crash or leaked tasks."""
+        import threading
+
+        with _external_gateway(on_stop="abort") as (port, stop):
+            killer = threading.Timer(0.5, stop)
+            killer.start()
+            try:
+                summary = run_loadgen(
+                    _config(
+                        transport="tcp",
+                        connect=f"127.0.0.1:{port}",
+                        mode="closed",
+                        duration_s=3.0,
+                        rate=200.0,
+                    )
+                )
+            finally:
+                killer.cancel()
+        assert summary["clean_shutdown"] is False
+        assert summary["errors"], summary
+        assert summary["offered"] > 0
+
+
 class TestConfigValidation:
     def test_rejects_unknown_source(self):
         with pytest.raises(ValueError, match="unknown loadgen source"):
@@ -125,6 +255,16 @@ class TestConfigValidation:
             _config(size="huge")
         with pytest.raises(ValueError, match="unknown mode"):
             _config(mode="sideways")
+
+    def test_rejects_bad_transport_combinations(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            _config(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="requires transport"):
+            _config(connect="127.0.0.1:7787")
+        with pytest.raises(ValueError, match="host:port"):
+            _config(transport="tcp", connect="localhost")
+        with pytest.raises(ValueError, match="host:port"):
+            _config(transport="tcp", connect="127.0.0.1:")
 
     def test_subscriber_specs_follow_size(self):
         for size, count in (("tiny", 2), ("small", 8)):

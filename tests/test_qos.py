@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.qos import DegradationPolicy, QualitySpec, propagate
+from repro.qos import DegradationPolicy, QualitySpec, propagate, session_limits
 from repro.workflow import WorkflowGraph
 
 
@@ -143,3 +143,59 @@ class TestPropagation:
         specs["ghost"] = _spec("ghost")
         with pytest.raises(ValueError, match="unknown applications"):
             propagate(graph, specs)
+
+
+class TestSessionLimits:
+    """QoS spec -> live-session queue/batching bounds (Session QoS)."""
+
+    def test_defaults_pass_through_for_unconstrained_spec(self):
+        limits = session_limits(_spec("app"))
+        assert limits.queue_capacity == 16
+        assert limits.overflow == "block"
+        assert limits.batch_max_items == 8
+        assert limits.batch_max_delay_ms == 50.0
+
+    def test_latency_tolerance_bounds_batch_delay(self):
+        limits = session_limits(_spec("app", latency=40.0))
+        assert limits.batch_max_delay_ms == 10.0  # a quarter of tolerance
+        # A generous tolerance never *raises* the broker default.
+        loose = session_limits(_spec("app", latency=10_000.0))
+        assert loose.batch_max_delay_ms == 50.0
+
+    def test_latency_tolerance_prefers_fresh_over_blocking(self):
+        limits = session_limits(_spec("app", latency=100.0))
+        assert limits.overflow == "drop_oldest"
+        # A stricter broker default is respected.
+        strict = session_limits(
+            _spec("app", latency=100.0), overflow="disconnect"
+        )
+        assert strict.overflow == "disconnect"
+
+    def test_priority_scales_queue_capacity(self):
+        assert session_limits(_spec("app", priority=1)).queue_capacity == 32
+        assert session_limits(_spec("app", priority=3)).queue_capacity == 128
+        assert session_limits(_spec("app", priority=-2)).queue_capacity == 4
+        assert (
+            session_limits(_spec("app", priority=-10)).queue_capacity == 1
+        )  # floored
+
+    def test_priority_is_clamped(self):
+        """Profiles arrive over the wire; a huge priority must not buy an
+        unbounded queue (or a giant integer allocation)."""
+        huge = session_limits(_spec("app", priority=1_000_000_000))
+        assert huge.queue_capacity == 16 << 10
+        tiny = session_limits(_spec("app", priority=-1_000_000_000))
+        assert tiny.queue_capacity == 1
+
+    def test_broker_defaults_are_the_fallback(self):
+        limits = session_limits(
+            _spec("app"),
+            queue_capacity=4,
+            overflow="drop_oldest",
+            batch_max_items=2,
+            batch_max_delay_ms=5.0,
+        )
+        assert limits.queue_capacity == 4
+        assert limits.overflow == "drop_oldest"
+        assert limits.batch_max_items == 2
+        assert limits.batch_max_delay_ms == 5.0
