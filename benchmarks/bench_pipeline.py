@@ -1,0 +1,229 @@
+"""Live-pipeline benchmark: codec x fan-out strategy x ingest batch.
+
+Drives the closed-loop load generator through the TCP gateway
+(self-hosted ephemeral server, 8 subscribers by default) over a grid of
+wire codecs (``json`` vs ``binary``), decided-batch fan-out strategies
+(``per_session`` re-serialization — the PR-3 baseline — vs the
+encode-once ``shared`` segment path) and ingest batch sizes, so the
+trajectory records what each layer of the fast path buys.
+
+Measurement shape: the rate cap is set far above capacity, so the
+closed loop's pacing never sleeps — every cell gets the same fixed wall
+budget (``duration_s``) and offers tuples back-to-back, each offer
+resolving when the broker has processed it.  ``offered_rate_tps`` is
+therefore the end-to-end pipeline throughput (encode, wire, decode,
+decide, fan-out, deliver), with none of the open-loop task-storm and
+drain-tail variance.
+
+Usable two ways:
+
+* ``python -m pytest benchmarks/bench_pipeline.py`` — smoke assertions:
+  the fast-path and baseline cells finish cleanly and deliver tuples,
+  and ``--verify`` passes under both codecs (tiny sizes);
+* ``python benchmarks/bench_pipeline.py`` — prints the sweep table,
+  writes the ``BENCH_pipeline.json`` trajectory artifact, and (when
+  ``BENCH_PIPELINE_MIN_SPEEDUP`` > 0) exits non-zero if the full fast
+  path (binary codec + shared fan-out + largest ingest batch) fails to
+  reach that multiple of the PR-3 JSON baseline's throughput.
+
+Environment knobs (also used by the CI pipeline-bench-smoke job):
+``BENCH_PIPELINE_RATE`` (rate cap in tuples/sec — keep it far above
+capacity so the closed loop never sleeps; default ``100000``),
+``BENCH_PIPELINE_DURATION`` (seconds per cell, default ``1.5``),
+``BENCH_PIPELINE_SIZE`` (subscriber preset, default ``small`` = 8),
+``BENCH_PIPELINE_BATCHES`` (comma list of ingest batch sizes, default
+``1,16``), ``BENCH_PIPELINE_TUPLE_BYTES`` (default ``256``),
+``BENCH_PIPELINE_MIN_SPEEDUP`` (default ``0`` = report only),
+``BENCH_PIPELINE_JSON`` (artifact path, default ``BENCH_pipeline.json``;
+set empty to skip writing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+try:
+    import repro  # noqa: F401  (already importable when installed)
+except ImportError:  # pragma: no cover - script mode from a source checkout
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import LoadGenConfig, run_loadgen
+
+RATE = float(os.environ.get("BENCH_PIPELINE_RATE", "100000"))
+DURATION_S = float(os.environ.get("BENCH_PIPELINE_DURATION", "1.5"))
+SIZE = os.environ.get("BENCH_PIPELINE_SIZE", "small")
+BATCHES = [
+    int(part)
+    for part in os.environ.get("BENCH_PIPELINE_BATCHES", "1,16").split(",")
+    if part.strip()
+]
+TUPLE_BYTES = int(os.environ.get("BENCH_PIPELINE_TUPLE_BYTES", "256"))
+MIN_SPEEDUP = float(os.environ.get("BENCH_PIPELINE_MIN_SPEEDUP", "0"))
+
+#: The sweep: (codec, fanout) pairs.  json/per_session is the PR-3
+#: baseline; binary/shared is the full fast path.
+STRATEGIES = [
+    ("json", "per_session"),
+    ("json", "shared"),
+    ("binary", "per_session"),
+    ("binary", "shared"),
+]
+
+
+def _cell_config(
+    codec: str,
+    fanout: str,
+    ingest_batch: int,
+    *,
+    verify: bool = False,
+    rate: float = RATE,
+    duration_s: float = DURATION_S,
+    algorithm: str = "region",
+) -> LoadGenConfig:
+    return LoadGenConfig(
+        rate=rate,
+        duration_s=duration_s,
+        size=SIZE,
+        mode="closed",
+        algorithm=algorithm,
+        tuple_size_bytes=TUPLE_BYTES,
+        transport="tcp",
+        codec=codec,
+        fanout=fanout,
+        ingest_batch=ingest_batch,
+        verify=verify,
+    )
+
+
+def _run_cell(codec: str, fanout: str, ingest_batch: int) -> dict:
+    summary = run_loadgen(_cell_config(codec, fanout, ingest_batch))
+    return {
+        "codec": summary["codec"],
+        "fanout": fanout,
+        "ingest_batch": ingest_batch,
+        "size": SIZE,
+        "rate_tps": RATE,
+        "tuple_bytes": TUPLE_BYTES,
+        "duration_s": DURATION_S,
+        "offered": summary["offered"],
+        "shed": summary["shed"],
+        "offered_rate_tps": round(summary["offered_rate_tps"], 1),
+        "delivered_tuples": summary["delivered_tuples"],
+        "dropped_tuples": summary["dropped_tuples"],
+        "decide_p50_ms": summary["decide_latency_ms"]["p50"],
+        "decide_p99_ms": summary["decide_latency_ms"]["p99"],
+        "wall_s": summary["wall_s"],
+        "clean_shutdown": summary["clean_shutdown"],
+    }
+
+
+def _speedup(rows: list[dict]) -> dict:
+    """Fast path vs PR-3 baseline, both at their best ingest batch."""
+
+    def best(codec: str, fanout: str, batch=None) -> float:
+        rates = [
+            row["offered_rate_tps"]
+            for row in rows
+            if row["codec"] == codec
+            and row["fanout"] == fanout
+            and (batch is None or row["ingest_batch"] == batch)
+        ]
+        return max(rates, default=0.0)
+
+    baseline = best("json", "per_session", batch=min(BATCHES))
+    fastpath = best("binary", "shared")
+    return {
+        "baseline_json_per_session_tps": baseline,
+        "fastpath_binary_shared_tps": fastpath,
+        "speedup": round(fastpath / baseline, 3) if baseline > 0 else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+def test_baseline_cell_clean():
+    row = _run_cell("json", "per_session", min(BATCHES))
+    assert row["clean_shutdown"] is True, row
+    assert row["delivered_tuples"] > 0, row
+
+
+def test_fastpath_cell_clean():
+    row = _run_cell("binary", "shared", max(BATCHES))
+    assert row["clean_shutdown"] is True, row
+    assert row["delivered_tuples"] > 0, row
+    assert row["decide_p99_ms"] >= row["decide_p50_ms"] >= 0.0, row
+
+
+def test_verify_passes_under_both_codecs():
+    # The acceptance gate: a verified closed-loop run must be
+    # batch-equivalent whichever codec carried it.
+    for codec in ("json", "binary"):
+        summary = run_loadgen(
+            _cell_config(
+                codec, "shared", 4, verify=True, rate=500.0, duration_s=1.0
+            )
+        )
+        assert summary["codec"] == codec, summary
+        assert summary["equivalent_to_batch"] is True, (codec, summary)
+        assert summary["clean_shutdown"] is True, (codec, summary)
+
+
+# ---------------------------------------------------------------------------
+# script mode
+# ---------------------------------------------------------------------------
+def main() -> int:
+    grid = [
+        (codec, fanout, batch)
+        for codec, fanout in STRATEGIES
+        for batch in BATCHES
+    ]
+    print(
+        f"pipeline sweep: {len(grid)} cells x {DURATION_S}s "
+        f"(size={SIZE}, rate={RATE:.0f}, bytes={TUPLE_BYTES}, "
+        f"batches={BATCHES})"
+    )
+    header = (
+        f"{'codec':>7} {'fanout':>12} {'batch':>6} {'offered':>8} "
+        f"{'tps':>9} {'deliv':>8} {'p50 ms':>8} {'p99 ms':>8} {'ok':>3}"
+    )
+    print(header)
+    rows = []
+    for codec, fanout, batch in grid:
+        row = _run_cell(codec, fanout, batch)
+        rows.append(row)
+        print(
+            f"{row['codec']:>7} {row['fanout']:>12} {row['ingest_batch']:>6} "
+            f"{row['offered']:>8} {row['offered_rate_tps']:>9.0f} "
+            f"{row['delivered_tuples']:>8} {row['decide_p50_ms']:>8.1f} "
+            f"{row['decide_p99_ms']:>8.1f} "
+            f"{'y' if row['clean_shutdown'] else 'N'!s:>3}"
+        )
+        if not row["clean_shutdown"]:
+            return 1
+    verdict = _speedup(rows)
+    print(
+        f"fast path (binary/shared) {verdict['fastpath_binary_shared_tps']:.0f} tps "
+        f"vs baseline (json/per_session) "
+        f"{verdict['baseline_json_per_session_tps']:.0f} tps "
+        f"= {verdict['speedup']:.2f}x"
+    )
+    artifact = os.environ.get("BENCH_PIPELINE_JSON", "BENCH_pipeline.json")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as stream:
+            json.dump({"rows": rows, "speedup": verdict}, stream, indent=2)
+            stream.write("\n")
+        print(f"trajectory written to {artifact}")
+    if MIN_SPEEDUP > 0 and verdict["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: fast-path speedup {verdict['speedup']:.2f}x is below "
+            f"the required {MIN_SPEEDUP:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,10 @@ class TupleInterner:
             self._seq_at[bit] = seq
         return bit
 
+    def bit_of(self, seq: int) -> Optional[int]:
+        """The bit index already assigned to ``seq``, or ``None``."""
+        return self._id_of_seq.get(seq)
+
     def seq_at(self, bit: int) -> int:
         """Inverse lookup: the sequence number interned at ``bit``."""
         return self._seq_at[bit]
@@ -111,43 +115,86 @@ class CandidateSet:
         "set_id",
         "filter_name",
         "_tuples",
-        "_order",
         "closed",
         "reference",
         "degree",
         "_eligible",
         "cut",
+        "_min_ts",
+        "_max_ts",
+        "_cover",
+        "_cover_dirty",
+        "_mask",
+        "_mask_interner",
+        "_mask_dirty",
     )
 
     def __init__(self, filter_name: str):
         self.set_id: int = next(_set_ids)
         self.filter_name = filter_name
+        #: Membership AND arrival order: dict insertion order is the
+        #: arrival order, so no separate order list is kept (making
+        #: ``remove`` O(1) instead of a ``list.remove`` scan).
         self._tuples: dict[int, StreamTuple] = {}
-        self._order: list[int] = []
         self.closed = False
         self.reference: Optional[StreamTuple] = None
         self.degree = 1
         self._eligible: Optional[frozenset[int]] = None
         self.cut = False
+        # Incrementally maintained time cover (Definition 1).  ``add``
+        # widens the bounds in O(1); ``remove`` of a boundary tuple
+        # marks them dirty for a lazy recompute — the cover is read on
+        # every region poll and cut test, while removals are rare
+        # (filter dismissals only).
+        self._min_ts = 0.0
+        self._max_ts = 0.0
+        self._cover: Optional[TimeCover] = None
+        self._cover_dirty = False
+        # Cached membership bitset over one interner's indices, updated
+        # incrementally on add/remove once built (see member_mask).
+        self._mask = 0
+        self._mask_interner: Optional[TupleInterner] = None
+        self._mask_dirty = False
 
     # ------------------------------------------------------------------
     # Mutation (only while open)
     # ------------------------------------------------------------------
-    def add(self, item: StreamTuple) -> None:
+    def add(self, item: StreamTuple) -> bool:
+        """Admit ``item``; returns whether it was newly added."""
         if self.closed:
             raise RuntimeError(f"candidate set {self.set_id} is closed")
-        if item.seq not in self._tuples:
-            self._tuples[item.seq] = item
-            self._order.append(item.seq)
+        if item.seq in self._tuples:
+            return False
+        if not self._tuples:
+            self._min_ts = self._max_ts = item.timestamp
+            self._cover = None
+        else:
+            if item.timestamp < self._min_ts:
+                self._min_ts = item.timestamp
+                self._cover = None
+            if item.timestamp > self._max_ts:
+                self._max_ts = item.timestamp
+                self._cover = None
+        self._tuples[item.seq] = item
+        if self._mask_interner is not None:
+            self._mask |= 1 << self._mask_interner.intern(item.seq)
+        return True
 
     def remove(self, item: StreamTuple) -> None:
         if self.closed:
             raise RuntimeError(f"candidate set {self.set_id} is closed")
-        self._tuples.pop(item.seq, None)
-        try:
-            self._order.remove(item.seq)
-        except ValueError:
-            pass
+        removed = self._tuples.pop(item.seq, None)
+        if removed is None:
+            return
+        if removed.timestamp in (self._min_ts, self._max_ts):
+            self._cover_dirty = True
+            self._cover = None
+        if self._mask_interner is not None:
+            bit = self._mask_interner.bit_of(item.seq)
+            if bit is None:
+                self._mask_dirty = True
+            else:
+                self._mask &= ~(1 << bit)
 
     def close(self, cut: bool = False) -> None:
         self.closed = True
@@ -176,11 +223,11 @@ class CandidateSet:
     @property
     def tuples(self) -> list[StreamTuple]:
         """Members in arrival order."""
-        return [self._tuples[seq] for seq in self._order]
+        return list(self._tuples.values())
 
     @property
     def seqs(self) -> list[int]:
-        return list(self._order)
+        return list(self._tuples)
 
     def is_eligible(self, item: StreamTuple) -> bool:
         if item.seq not in self._tuples:
@@ -191,17 +238,29 @@ class CandidateSet:
     def eligible_tuples(self) -> list[StreamTuple]:
         if self._eligible is None:
             return self.tuples
-        return [self._tuples[seq] for seq in self._order if seq in self._eligible]
+        return [t for seq, t in self._tuples.items() if seq in self._eligible]
 
     def tuple_for(self, seq: int) -> StreamTuple:
         """The member tuple with sequence number ``seq``."""
         return self._tuples[seq]
 
     def member_mask(self, interner: TupleInterner) -> int:
-        """Membership as an integer bitset over ``interner``'s indices."""
+        """Membership as an integer bitset over ``interner``'s indices.
+
+        The first call over a given interner builds the mask; later
+        calls return the incrementally maintained cache (``add`` ORs the
+        new bit in, ``remove`` clears it), so per-poll consumers like
+        :meth:`RegionTracker.active_tuple_count` pay O(1) per set
+        instead of re-interning every member.
+        """
+        if self._mask_interner is interner and not self._mask_dirty:
+            return self._mask
         mask = 0
-        for seq in self._order:
+        for seq in self._tuples:
             mask |= 1 << interner.intern(seq)
+        self._mask = mask
+        self._mask_interner = interner
+        self._mask_dirty = False
         return mask
 
     def eligible_mask(self, interner: TupleInterner) -> int:
@@ -209,18 +268,28 @@ class CandidateSet:
         if self._eligible is None:
             return self.member_mask(interner)
         mask = 0
-        for seq in self._order:
+        for seq in self._tuples:
             if seq in self._eligible:
                 mask |= 1 << interner.intern(seq)
         return mask
 
     @property
     def time_cover(self) -> Optional[TimeCover]:
-        """The set's time cover, or ``None`` while empty (Definition 1)."""
-        if not self._order:
+        """The set's time cover, or ``None`` while empty (Definition 1).
+
+        Cached: bounds are widened incrementally by ``add`` and only
+        recomputed after a ``remove`` evicted a boundary tuple."""
+        if not self._tuples:
             return None
-        timestamps = [self._tuples[seq].timestamp for seq in self._order]
-        return TimeCover(min(timestamps), max(timestamps))
+        if self._cover_dirty:
+            timestamps = [t.timestamp for t in self._tuples.values()]
+            self._min_ts = min(timestamps)
+            self._max_ts = max(timestamps)
+            self._cover_dirty = False
+            self._cover = None
+        if self._cover is None:
+            self._cover = TimeCover(self._min_ts, self._max_ts)
+        return self._cover
 
     def connected(self, other: "CandidateSet") -> bool:
         """Definition 2: candidate sets with intersecting time covers."""

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
 
+from repro.core.accumulators import BoundedSamples
 from repro.core.candidates import CandidateSet, TupleInterner
 from repro.core.cuts import RuntimePredictor, TimeConstraint
 from repro.core.hitting_set import greedy_hitting_set
@@ -99,6 +100,11 @@ class FilterContext:
         self.filter = flt
         self._current: Optional[CandidateSet] = None
         self.last_decided: tuple[StreamTuple, ...] = ()
+        #: Snapshot of the filter's taxonomy statefulness.  The property
+        #: on filter classes derives it from a freshly built taxonomy
+        #: object; reading it per set closure is measurable, and a
+        #: filter's dependency class cannot change mid-run.
+        self.stateful = bool(flt.stateful)
 
     # ------------------------------------------------------------------
     @property
@@ -111,11 +117,11 @@ class FilterContext:
 
     def admit(self, item: StreamTuple) -> None:
         """First stage: add ``item`` to the filter's current candidate set."""
-        if self._current is None or self._current.closed:
-            self._current = CandidateSet(self.filter.name)
-            self._engine._tracker.watch(self._current)
-        if item not in self._current:
-            self._current.add(item)
+        current = self._current
+        if current is None or current.closed:
+            current = self._current = CandidateSet(self.filter.name)
+            self._engine._tracker.watch(current)
+        if current.add(item):
             self._engine._utility.increment(item)
 
     def dismiss(self, item: StreamTuple) -> None:
@@ -124,6 +130,7 @@ class FilterContext:
             return
         self._current.remove(item)
         self._engine._utility.decrement(item)
+        self._engine._release_orphaned_bit(item.seq)
 
     def mark_reference(self, item: StreamTuple) -> None:
         """Record the reference tuple of the current candidate set."""
@@ -169,7 +176,10 @@ class EngineResult:
     input_count: int = 0
     emissions: list[Emission] = field(default_factory=list)
     decisions: dict[str, list[Decision]] = field(default_factory=dict)
-    cpu_ns_per_tuple: list[int] = field(default_factory=list)
+    #: Per-tuple processing cost.  A bounded accumulator, not a list: on
+    #: an infinite live stream the count/total stay exact (so every mean
+    #: is exact) while the distribution is a fixed-size reservoir.
+    cpu_ns_per_tuple: BoundedSamples = field(default_factory=BoundedSamples)
     greedy_runtimes_ms: list[float] = field(default_factory=list)
     regions_emitted: int = 0
     regions_cut: int = 0
@@ -209,7 +219,7 @@ class EngineResult:
 
     @property
     def total_cpu_ms(self) -> float:
-        return sum(self.cpu_ns_per_tuple) / 1e6
+        return self.cpu_ns_per_tuple.total / 1e6
 
     @property
     def mean_cpu_ms_per_tuple(self) -> float:
@@ -365,7 +375,7 @@ class GroupAwareEngine:
     # Second stage: deciding outputs
     # ------------------------------------------------------------------
     def _on_set_closed(self, ctx: FilterContext, candidate_set: CandidateSet) -> None:
-        decide_early = self.algorithm == "per_candidate_set" or ctx.filter.stateful
+        decide_early = self.algorithm == "per_candidate_set" or ctx.stateful
         if decide_early:
             self._decide_per_candidate_set(ctx, candidate_set)
 
@@ -407,6 +417,18 @@ class GroupAwareEngine:
         ctx.filter.on_output_decided(picks)
         emitted = self._strategy.on_decisions([decision], self.now)
         self._result.emissions.extend(emitted)
+
+    def _release_orphaned_bit(self, seq: int) -> None:
+        """Recycle a dismissed tuple's interner bit once no set holds it.
+
+        The cut test's mask-based tuple counting interns tuples eagerly,
+        so a tuple dismissed from every set before its region closes
+        would otherwise keep its bit forever on an infinite stream
+        (region closure only releases *member* seqs)."""
+        if self._interner.bit_of(seq) is None:
+            return
+        if not self._tracker.contains_tuple(seq):
+            self._interner.release((seq,))
 
     def _poll_regions(self, final: bool = False, cut: bool = False) -> list[Emission]:
         if final:
@@ -464,7 +486,9 @@ class GroupAwareEngine:
             return []
         span = self._tracker.active_span(self.now)
         predicted = (
-            self._predictor.predict(self._tracker.active_tuple_count() + 1)
+            self._predictor.predict(
+                self._tracker.active_tuple_count(self._interner) + 1
+            )
             + self._constraint.overestimate_ms
         )
         if span < self._constraint.max_delay_ms - predicted:

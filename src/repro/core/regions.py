@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.core.candidates import CandidateSet, TimeCover
+from repro.core.candidates import CandidateSet, TimeCover, TupleInterner
 
 __all__ = ["Region", "RegionTracker"]
 
@@ -107,7 +107,20 @@ class RegionTracker:
             return 0.0
         return now - oldest
 
-    def active_tuple_count(self) -> int:
+    def active_tuple_count(self, interner: Optional[TupleInterner] = None) -> int:
+        """Distinct tuples across the active sets.
+
+        With an ``interner`` the count is one OR/popcount over the sets'
+        cached membership bitsets (see ``CandidateSet.member_mask``) —
+        the timely-cut test calls this on *every* arrival, so the
+        set-union fallback's per-call allocation is the difference
+        between O(live tuples) and O(active sets) on the hot path.
+        """
+        if interner is not None:
+            mask = 0
+            for candidate_set in self._active.values():
+                mask |= candidate_set.member_mask(interner)
+            return mask.bit_count()
         seqs: set[int] = set()
         for candidate_set in self._active.values():
             seqs.update(candidate_set.seqs)
@@ -115,6 +128,15 @@ class RegionTracker:
 
     def has_open_sets(self) -> bool:
         return any(not s.closed for s in self._active.values() if len(s) > 0)
+
+    def contains_tuple(self, seq: int) -> bool:
+        """Is ``seq`` still a member of any active set?
+
+        The engine uses this to recycle a dismissed tuple's interner bit
+        the moment no live set references it (region closure handles the
+        common case; this handles tuples dismissed before ever reaching
+        a closed region)."""
+        return any(s.contains_seq(seq) for s in self._active.values())
 
     # ------------------------------------------------------------------
     # Region closure
@@ -127,43 +149,62 @@ class RegionTracker:
         returned regions as produced by a timely cut, for the
         percent-of-regions-cut metric (Figure 4.11).
         """
-        populated = [s for s in self._active.values() if len(s) > 0]
+        # This sweep runs on *every* arrival and tick.  Covers are read
+        # once per set (they are cached on the set, but the property call
+        # itself shows up at this call rate), and when no populated set
+        # is closed there is nothing to emit — skip the sort and the
+        # component build entirely, which is the common case between
+        # set closures.
+        populated: list[tuple[CandidateSet, TimeCover]] = []
+        any_closed = False
+        stale: Optional[list[CandidateSet]] = None
+        for s in self._active.values():
+            if len(s) > 0:
+                populated.append((s, s.time_cover))  # type: ignore[arg-type]
+                any_closed = any_closed or s.closed
+            elif s.closed:
+                # Empty closed sets (all tuples dismissed) carry no
+                # information; purge them on every exit path so they
+                # never linger in the per-arrival scans.
+                if stale is None:
+                    stale = []
+                stale.append(s)
+        if stale:
+            for s in stale:
+                self.discard(s)
         if not populated:
             return []
-        populated.sort(key=lambda s: s.time_cover.min_ts)  # type: ignore[union-attr]
+        if not any_closed:
+            return []
+        populated.sort(key=lambda pair: pair[1].min_ts)
 
-        components: list[list[CandidateSet]] = []
-        current: list[CandidateSet] = [populated[0]]
-        current_max = populated[0].time_cover.max_ts  # type: ignore[union-attr]
-        for candidate_set in populated[1:]:
-            cover = candidate_set.time_cover
-            assert cover is not None
+        components: list[list[tuple[CandidateSet, TimeCover]]] = []
+        current = [populated[0]]
+        current_max = populated[0][1].max_ts
+        for pair in populated[1:]:
+            cover = pair[1]
             if cover.min_ts <= current_max:
-                current.append(candidate_set)
-                current_max = max(current_max, cover.max_ts)
+                current.append(pair)
+                if cover.max_ts > current_max:
+                    current_max = cover.max_ts
             else:
                 components.append(current)
-                current = [candidate_set]
+                current = [pair]
                 current_max = cover.max_ts
         components.append(current)
 
         closed_regions: list[Region] = []
         for component in components:
-            if not all(s.closed for s in component):
+            if not all(s.closed for s, _ in component):
                 continue
-            component_max = max(
-                s.time_cover.max_ts for s in component  # type: ignore[union-attr]
-            )
+            component_max = max(cover.max_ts for _, cover in component)
             if not final and component_max >= now:
                 # A tuple arriving right now could still connect; wait.
                 continue
-            region = Region(sets=list(component), cut=cut or any(s.cut for s in component))
+            sets = [s for s, _ in component]
+            region = Region(sets=sets, cut=cut or any(s.cut for s in sets))
             closed_regions.append(region)
-            for candidate_set in component:
-                self.discard(candidate_set)
-        # Empty closed sets (all tuples dismissed) carry no information.
-        for candidate_set in list(self._active.values()):
-            if candidate_set.closed and len(candidate_set) == 0:
+            for candidate_set in sets:
                 self.discard(candidate_set)
 
         self.regions_emitted += len(closed_regions)

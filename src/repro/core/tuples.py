@@ -40,6 +40,24 @@ class StreamTuple:
         # Freeze the mapping so tuples are safe to share across filters.
         object.__setattr__(self, "values", dict(self.values))
 
+    @classmethod
+    def trusted(
+        cls, seq: int, timestamp: float, values: dict[str, float]
+    ) -> "StreamTuple":
+        """Construct without the defensive ``values`` copy.
+
+        For decode hot paths that just built ``values`` themselves and
+        hand over ownership (the wire codecs construct one tuple per
+        delivered item per subscriber — the dataclass init plus dict
+        copy is measurable at that rate).  Callers must not retain a
+        reference to ``values``.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "timestamp", timestamp)
+        object.__setattr__(self, "values", values)
+        return self
+
     def value(self, attribute: str) -> float:
         """Return the value of ``attribute``, raising ``KeyError`` if absent."""
         return self.values[attribute]

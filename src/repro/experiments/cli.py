@@ -75,9 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
-    from repro.service import OVERFLOW_POLICIES
+    from repro.service import FANOUTS, OVERFLOW_POLICIES
     from repro.transport import MAX_FRAME_BYTES
 
+    parser.add_argument(
+        "--fanout",
+        choices=FANOUTS,
+        default="shared",
+        help="decided-batch delivery: 'shared' encodes each tuple once "
+        "per codec and fans the segments out by reference; "
+        "'per_session' re-serializes per subscriber (PR-3 baseline)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
         "--port",
@@ -143,6 +151,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
         port=args.port,
         auth_token=args.auth_token,
         max_frame_bytes=args.max_frame_bytes,
+        fanout=args.fanout,
     )
     await gateway.start()
     http = None
@@ -191,6 +200,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
 
 def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
     from repro.service import (
+        CODECS,
+        FANOUTS,
         LOADGEN_SOURCES,
         OVERFLOW_POLICIES,
         SIZES,
@@ -217,6 +228,28 @@ def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
         default=64,
         help="simulated payload bytes per tuple (multicast accounting "
         "and TCP ingest-frame padding)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=CODECS,
+        default="binary",
+        help="preferred wire body codec (tcp only; falls back to json "
+        "if the server refuses binary)",
+    )
+    parser.add_argument(
+        "--fanout",
+        choices=FANOUTS,
+        default="shared",
+        help="self-hosted gateway delivery strategy: encode-once "
+        "'shared' segments vs the 'per_session' re-serialize baseline",
+    )
+    parser.add_argument(
+        "--ingest-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tuples per ingest frame / broker offer (amortizes "
+        "per-tuple wire and lock overhead)",
     )
     parser.add_argument("--size", choices=sorted(SIZES), default="tiny")
     parser.add_argument("--rate", type=float, default=500.0, help="tuples/sec")
@@ -266,6 +299,9 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
         transport=args.transport,
         connect=args.connect,
         tuple_size_bytes=args.tuple_bytes,
+        codec=args.codec,
+        fanout=args.fanout,
+        ingest_batch=args.ingest_batch,
     )
     if args.churn:
         from dataclasses import replace

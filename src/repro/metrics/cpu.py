@@ -25,11 +25,15 @@ def cpu_ms_per_tuple(result: EngineResult) -> float:
 
 
 def cpu_ms_per_batch(result: EngineResult, batch_size: int = 100) -> list[float]:
-    """Total CPU cost of each ``batch_size``-tuple input batch, in ms."""
+    """Total CPU cost of each ``batch_size``-tuple input batch, in ms.
+
+    Operates on the result's retained CPU samples — exact for every
+    evaluation trace (they fit the accumulator's reservoir), a uniform
+    subsample on streams longer than the reservoir."""
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     batches: list[float] = []
-    samples = result.cpu_ns_per_tuple
+    samples = result.cpu_ns_per_tuple.samples
     for start in range(0, len(samples), batch_size):
         chunk = samples[start : start + batch_size]
         batches.append(sum(chunk) / 1e6)

@@ -90,6 +90,13 @@ class ScribeMulticast:
         self._rng = rng if rng is not None else random.Random(seed)
         self.retransmissions = 0
         self._groups: dict[str, MulticastGroup] = {}
+        #: Memoized publish routing: (group, publisher, recipients) ->
+        #: (up edges, BFS-ordered down edges, app -> node).  The live
+        #: broker publishes once per flushed batch with the same
+        #: single-app recipient set, so the DHT route and the pruned
+        #: tree walk are recomputed only after membership changes
+        #: (:meth:`join` clears the cache).
+        self._plan_cache: dict[tuple, tuple] = {}
 
     def _hop_attempts(self) -> int:
         """Number of transmissions needed to get one message across a hop."""
@@ -129,6 +136,7 @@ class ScribeMulticast:
         # would poison the app name for every later (valid) re-join.
         path = self.overlay.route(node_name, group.rendezvous.node_id)
         group.members[app_name] = node_name
+        self._plan_cache.clear()  # membership/tree changed; routes may too
         for child, parent in zip(path, path[1:]):
             if child.name in group.parent:
                 break  # already grafted onto the tree
@@ -155,61 +163,38 @@ class ScribeMulticast:
         group = self.group(group_name)
         if not recipients:
             return PublishReceipt({}, 0, 0)
-        target_nodes = group.nodes_hosting(recipients)
-        link = self.overlay.link
-        hop_ms = link.transfer_ms(size_bytes)
+        up_edges, down_edges, member_nodes = self._plan(
+            group, group_name, publisher_node, recipients
+        )
+        record = self.accounting.record
+        hop_ms = self.overlay.link.transfer_ms(size_bytes)
+        lossless = self.loss_rate == 0.0
         transmissions = 0
 
         # Phase 1: publisher to rendezvous.
-        up_path = self.overlay.route(publisher_node, group.rendezvous.node_id)
         at_rendezvous_ms = send_ms + self.software_overhead_ms
-        for sender, receiver in zip(up_path, up_path[1:]):
-            attempts = self._hop_attempts()
+        for sender, receiver in up_edges:
+            attempts = 1 if lossless else self._hop_attempts()
             for _ in range(attempts):
-                self.accounting.record(sender.name, receiver.name, size_bytes)
+                record(sender, receiver, size_bytes)
             transmissions += attempts
             self.retransmissions += attempts - 1
             at_rendezvous_ms += attempts * hop_ms
 
-        # Phase 2: pruned tree dissemination.  Collect the union of tree
-        # paths from the rendezvous down to each interested node.
-        needed_edges: set[tuple[str, str]] = set()
+        # Phase 2: pruned tree dissemination along the plan's edges
+        # (BFS-ordered, so a parent is always timed before its children).
         arrival_ms: dict[str, float] = {group.rendezvous.name: at_rendezvous_ms}
-        for node_name in target_nodes:
-            path_up = [node_name]
-            current = node_name
-            while current != group.rendezvous.name:
-                parent = group.parent.get(current)
-                if parent is None:
-                    raise RuntimeError(
-                        f"node {current!r} is not grafted onto group {group_name!r}"
-                    )
-                path_up.append(parent)
-                current = parent
-            # Walk downward, accumulating arrival times once per edge.
-            for child, parent in zip(path_up, path_up[1:]):
-                needed_edges.add((parent, child))
-        # Breadth-first from rendezvous so parents are timed before children.
-        frontier = [group.rendezvous.name]
-        while frontier:
-            parent = frontier.pop()
-            for child in sorted(group.children.get(parent, ())):
-                if (parent, child) not in needed_edges:
-                    continue
-                if child in arrival_ms:
-                    continue
-                attempts = self._hop_attempts()
-                for _ in range(attempts):
-                    self.accounting.record(parent, child, size_bytes)
-                transmissions += attempts
-                self.retransmissions += attempts - 1
-                arrival_ms[child] = arrival_ms[parent] + attempts * hop_ms
-                frontier.append(child)
+        for parent, child in down_edges:
+            attempts = 1 if lossless else self._hop_attempts()
+            for _ in range(attempts):
+                record(parent, child, size_bytes)
+            transmissions += attempts
+            self.retransmissions += attempts - 1
+            arrival_ms[child] = arrival_ms[parent] + attempts * hop_ms
 
         delivery = {}
         for app in recipients:
-            node_name = group.members[app]
-            node_arrival = arrival_ms.get(node_name)
+            node_arrival = arrival_ms.get(member_nodes[app])
             if node_arrival is None:
                 # The member sits on the rendezvous or the publisher itself.
                 node_arrival = at_rendezvous_ms
@@ -219,3 +204,55 @@ class ScribeMulticast:
             link_transmissions=transmissions,
             bytes_sent=transmissions * size_bytes,
         )
+
+    def _plan(
+        self,
+        group: MulticastGroup,
+        group_name: str,
+        publisher_node: str,
+        recipients: frozenset[str],
+    ) -> tuple:
+        """The (cached) routing work of one publish.
+
+        Everything here is deterministic given the overlay and the
+        group's tree: the DHT up-route, the union of tree paths to the
+        interested nodes in the exact traversal order the un-cached walk
+        used (so the loss model consumes its RNG in the same sequence),
+        and the member -> node map.  Only the per-hop attempt draws and
+        accounting remain per publish."""
+        key = (group_name, publisher_node, recipients)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        target_nodes = group.nodes_hosting(recipients)
+        up_path = self.overlay.route(publisher_node, group.rendezvous.node_id)
+        up_edges = tuple(
+            (sender.name, receiver.name)
+            for sender, receiver in zip(up_path, up_path[1:])
+        )
+        needed_edges: set[tuple[str, str]] = set()
+        for node_name in target_nodes:
+            current = node_name
+            while current != group.rendezvous.name:
+                parent = group.parent.get(current)
+                if parent is None:
+                    raise RuntimeError(
+                        f"node {current!r} is not grafted onto group {group_name!r}"
+                    )
+                needed_edges.add((parent, current))
+                current = parent
+        ordered: list[tuple[str, str]] = []
+        seen = {group.rendezvous.name}
+        frontier = [group.rendezvous.name]
+        while frontier:
+            parent = frontier.pop()
+            for child in sorted(group.children.get(parent, ())):
+                if (parent, child) not in needed_edges or child in seen:
+                    continue
+                ordered.append((parent, child))
+                seen.add(child)
+                frontier.append(child)
+        member_nodes = {app: group.members[app] for app in recipients}
+        plan = (up_edges, tuple(ordered), member_nodes)
+        self._plan_cache[key] = plan
+        return plan

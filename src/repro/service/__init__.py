@@ -11,6 +11,8 @@ open/closed-loop load generator that emits replayable run manifests.
 from repro.service.batching import Batch, MicroBatcher
 from repro.service.broker import DisseminationService, ServiceConfig
 from repro.service.loadgen import (
+    CODECS,
+    FANOUTS,
     LOADGEN_SOURCES,
     SIZES,
     TRANSPORTS,
@@ -32,7 +34,9 @@ from repro.service.snapshot import ServiceSnapshot, SessionSnapshot
 
 __all__ = [
     "Batch",
+    "CODECS",
     "ChurnEvent",
+    "FANOUTS",
     "DeliveryQueue",
     "DisseminationService",
     "LOADGEN_SOURCES",

@@ -517,15 +517,40 @@ class DisseminationService:
             raise RuntimeError("service is closed")
         src = self._src(source_name)
         async with src.lock:
-            src.offered += 1
-            src.fed += 1
-            self._offered += 1
-            self._now = max(self._now, item.timestamp)
-            emissions = await self._run_slots(
-                src, lambda engine: engine.process(item)
-            )
-            await self._dispatch(src, emissions, now=item.timestamp)
-            return len(emissions)
+            return await self._offer_locked(src, item)
+
+    async def offer_many(
+        self, source_name: str, items: Sequence[StreamTuple]
+    ) -> int:
+        """Feed a batch of tuples under one lock acquisition.
+
+        Decides, batches and delivers exactly as ``len(items)``
+        consecutive :meth:`offer` calls would (arrival order preserved,
+        one engine step per tuple), but pays the source-lock handshake
+        and the asyncio scheduling overhead once per batch instead of
+        once per tuple — the broker half of the wire protocol's
+        ``ingest_batch`` fast path.  Returns the summed emission count.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        src = self._src(source_name)
+        total = 0
+        async with src.lock:
+            for item in items:
+                total += await self._offer_locked(src, item)
+        return total
+
+    async def _offer_locked(self, src: _SourceState, item: StreamTuple) -> int:
+        """One arrival's decide + dispatch (caller holds the source lock)."""
+        src.offered += 1
+        src.fed += 1
+        self._offered += 1
+        self._now = max(self._now, item.timestamp)
+        emissions = await self._run_slots(
+            src, lambda engine: engine.process(item)
+        )
+        await self._dispatch(src, emissions, now=item.timestamp)
+        return len(emissions)
 
     async def feed(
         self,
@@ -611,18 +636,26 @@ class DisseminationService:
     async def _dispatch(
         self, src: _SourceState, emissions: Sequence[Emission], now: float
     ) -> None:
-        """Route emissions, run latency-due flushes, reap disconnects."""
+        """Route emissions, run latency-due flushes, reap disconnects.
+
+        Runs once per arrival and per tick, always under the source
+        lock — which is what makes iterating the session dict directly
+        safe (every mutator takes the same lock), so no per-arrival
+        defensive copies."""
         await self._route(src, emissions, now)
-        for session in list(src.sessions.values()):
+        dead: Optional[list[str]] = None
+        for session in src.sessions.values():
             if session.batcher.due(now):
                 batch = session.batcher.flush(now)
                 if batch is not None:
                     await self._ship(src, session, batch)
-        dead = [
-            app for app, session in src.sessions.items() if session.disconnected
-        ]
-        for app in dead:
-            await self._detach(src, app)
+            if session.disconnected:
+                if dead is None:
+                    dead = []
+                dead.append(session.app_name)
+        if dead:
+            for app in dead:
+                await self._detach(src, app)
 
     async def _route(
         self, src: _SourceState, emissions: Sequence[Emission], now: float

@@ -65,6 +65,8 @@ __all__ = [
     "SIZES",
     "LOADGEN_SOURCES",
     "TRANSPORTS",
+    "CODECS",
+    "FANOUTS",
     "ChurnEvent",
     "LoadGenConfig",
     "default_churn",
@@ -81,6 +83,13 @@ LOADGEN_SOURCES = ("random_walk", "sine", "namos", "volcano", "fire", "cow")
 
 #: How offered tuples reach the broker.
 TRANSPORTS = ("inproc", "tcp")
+
+#: Wire body codecs (tcp only; mirrors ``repro.transport.codec``,
+#: duplicated here so the service package keeps its lazy transport import).
+CODECS = ("json", "binary")
+
+#: Decided-batch fan-out strategies (tcp self-hosted only).
+FANOUTS = ("shared", "per_session")
 
 
 @dataclass(frozen=True)
@@ -130,6 +139,18 @@ class LoadGenConfig:
     #: over TCP, padding attached to each ingest frame so wire throughput
     #: reflects the configured tuple size.
     tuple_size_bytes: int = 64
+    #: Preferred wire body codec (tcp only; the hello handshake may fall
+    #: back to "json" against a server that refuses "binary").
+    codec: str = "binary"
+    #: Decided-batch fan-out strategy of the self-hosted gateway:
+    #: "shared" is the encode-once segment path, "per_session" the PR-3
+    #: re-serialize-per-subscriber baseline (kept for A/B benchmarks).
+    fanout: str = "shared"
+    #: Tuples per ingest frame / broker offer.  1 keeps the one-frame-
+    #: per-tuple behaviour; larger values batch arrivals into
+    #: ``ingest_batch`` frames (tcp) and ``offer_many`` calls (both
+    #: transports), amortizing per-tuple wire and lock overhead.
+    ingest_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.source not in LOADGEN_SOURCES:
@@ -159,6 +180,16 @@ class LoadGenConfig:
                 )
         if self.tuple_size_bytes < 0:
             raise ValueError("tuple_size_bytes must be non-negative")
+        if self.codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; expected one of {CODECS}"
+            )
+        if self.fanout not in FANOUTS:
+            raise ValueError(
+                f"unknown fanout {self.fanout!r}; expected one of {FANOUTS}"
+            )
+        if self.ingest_batch < 1:
+            raise ValueError("ingest_batch must be at least 1")
 
 
 def make_trace(config: LoadGenConfig) -> Trace:
@@ -303,6 +334,10 @@ class _InProcDriver:
     async def start(self) -> None:
         pass
 
+    @property
+    def negotiated_codec(self) -> Optional[str]:
+        return None
+
     async def attach(self, app: str, spec: str):
         return await self.service.subscribe(app, self.source, spec)
 
@@ -314,6 +349,9 @@ class _InProcDriver:
 
     async def offer(self, item: StreamTuple) -> None:
         await self.service.offer(self.source, item)
+
+    async def offer_many(self, items: Sequence[StreamTuple]) -> None:
+        await self.service.offer_many(self.source, items)
 
     async def tick(self, now_ms: float) -> None:
         await self.service.tick(now_ms)
@@ -355,15 +393,26 @@ class _TcpDriver:
             self.service = _broker_service(
                 self.config, self._engine_cfg, self._tick_cuts, self._hosts
             )
-            self.gateway = GatewayServer(self.service, host="127.0.0.1", port=0)
+            self.gateway = GatewayServer(
+                self.service,
+                host="127.0.0.1",
+                port=0,
+                fanout=self.config.fanout,
+            )
             await self.gateway.start()
             host, port = "127.0.0.1", self.gateway.port
         else:
             host, _, port_text = self.config.connect.rpartition(":")
             host = host or "127.0.0.1"
             port = int(port_text)
-        self.client = await GatewayClient.connect(host, port)
+        self.client = await GatewayClient.connect(
+            host, port, codec=self.config.codec
+        )
         await self.client.ensure_source(self.source)
+
+    @property
+    def negotiated_codec(self) -> Optional[str]:
+        return self.client.codec if self.client is not None else None
 
     async def attach(self, app: str, spec: str):
         return await self.client.subscribe(
@@ -387,6 +436,15 @@ class _TcpDriver:
         # resolves when the broker has processed the tuple.
         await self.client.ingest(
             self.source, item, pad_bytes=self.config.tuple_size_bytes
+        )
+
+    async def offer_many(self, items: Sequence[StreamTuple]) -> None:
+        # One frame, one ack, padded per tuple so wire bytes still
+        # reflect the configured payload size.
+        await self.client.ingest_many(
+            self.source,
+            items,
+            pad_bytes=self.config.tuple_size_bytes * len(items),
         )
 
     async def tick(self, now_ms: float) -> None:
@@ -492,11 +550,35 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     # still be a pending task, and ticking past an unprocessed arrival's
     # timestamp is exactly what breaks batch equivalence.
     processed_ts = 0.0
+    ingest_batch = config.ingest_batch
+    #: Tuples accepted but not yet offered (batched-ingest staging).
+    pending_offers: list[StreamTuple] = []
 
-    async def offer_one(item: StreamTuple) -> None:
+    async def offer_batch(batch: Sequence[StreamTuple]) -> None:
         nonlocal processed_ts
-        await driver.offer(item)
-        processed_ts = max(processed_ts, item.timestamp)
+        if len(batch) == 1:
+            await driver.offer(batch[0])
+        else:
+            await driver.offer_many(batch)
+        processed_ts = max(processed_ts, batch[-1].timestamp)
+
+    def take_pending() -> list[StreamTuple]:
+        batch = pending_offers[:]
+        pending_offers.clear()
+        return batch
+
+    def dispatch_pending() -> None:
+        """Fire-and-track the staged batch (open-loop mode)."""
+        if not pending_offers:
+            return
+        task = asyncio.create_task(offer_batch(take_pending()))
+        in_flight.add(task)
+        task.add_done_callback(in_flight.discard)
+
+    async def flush_pending() -> None:
+        """Offer the staged batch inline (closed-loop and boundaries)."""
+        if pending_offers:
+            await offer_batch(take_pending())
 
     def stream_now() -> float:
         # Extrapolate stream time from the wall clock, but never run more
@@ -535,6 +617,14 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     churn_applied: list[dict] = []
 
     async def apply_due_churn(elapsed: float) -> None:
+        if not (pending_churn and pending_churn[0].at_s <= elapsed):
+            return
+        # Staged tuples must precede the subscription change, exactly as
+        # they would have with per-tuple offers.
+        if config.mode == "closed":
+            await flush_pending()
+        else:
+            dispatch_pending()
         while pending_churn and pending_churn[0].at_s <= elapsed:
             event = pending_churn.pop(0)
             if event.op == "subscribe":
@@ -562,17 +652,26 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             await apply_due_churn(time.perf_counter() - started)
             if config.mode == "closed":
                 offered_items.append(item)
-                await offer_one(item)
+                pending_offers.append(item)
+                if len(pending_offers) >= ingest_batch:
+                    await flush_pending()
             else:
                 if len(in_flight) >= config.max_in_flight:
                     shed += 1
                     continue
                 offered_items.append(item)
-                task = asyncio.create_task(offer_one(item))
-                in_flight.add(task)
-                task.add_done_callback(in_flight.discard)
+                pending_offers.append(item)
+                if len(pending_offers) >= ingest_batch:
+                    dispatch_pending()
+        # The feed's tail may be staged but unsent; offer it before the
+        # in-flight gather so "offered" means offered.
+        if config.mode == "closed":
+            await flush_pending()
+        else:
+            dispatch_pending()
     except recoverable as exc:
         errors.append(repr(exc))
+        pending_offers.clear()
 
     if in_flight:
         offer_results = await asyncio.gather(
@@ -662,6 +761,11 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             "churn": [asdict(event) for event in config.churn],
         },
         "transport": config.transport,
+        #: Actually negotiated wire codec (None in-process; may be
+        #: "json" despite a "binary" preference against an old server).
+        "codec": driver.negotiated_codec,
+        "fanout": config.fanout if config.transport == "tcp" else None,
+        "ingest_batch": config.ingest_batch,
         "trace_tuples": len(trace),
         "offered": len(offered_items),
         "shed": shed,

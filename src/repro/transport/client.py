@@ -24,19 +24,26 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import AsyncIterator, Mapping, Optional, Union
+from typing import AsyncIterator, Mapping, Optional, Sequence, Union
 
 from repro.core.tuples import StreamTuple
 from repro.qos.spec import QualitySpec
 from repro.service.batching import Batch
+from repro.transport.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    make_encoder,
+)
 from repro.transport.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameDecoder,
+    FrameTooLarge,
     ProtocolError,
     batch_from_wire,
     encode_frame,
-    tuple_to_wire,
+    pack_header,
 )
 
 __all__ = ["GatewayError", "RemoteSubscription", "GatewayClient"]
@@ -155,6 +162,9 @@ class GatewayClient:
         self._dead_reason: Optional[str] = None
         #: Populated from the server's welcome frame.
         self.server_sources: tuple[str, ...] = ()
+        #: Negotiated body codec ("json" until the welcome upgrades it).
+        self.codec: str = CODEC_JSON
+        self._encoder = make_encoder(CODEC_JSON)
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -167,11 +177,24 @@ class GatewayClient:
         *,
         token: Optional[str] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        codec: str = CODEC_BINARY,
     ) -> "GatewayClient":
+        """Open and authenticate one gateway connection.
+
+        ``codec`` is the *preferred* body codec.  The hello offers it
+        (with JSON as the standing fallback) and the server's welcome
+        confirms the choice; an old server that names no codec leaves
+        the connection on plain JSON, transparently.
+        """
+        if codec not in SUPPORTED_CODECS:
+            raise ValueError(
+                f"unknown codec {codec!r}; expected one of {SUPPORTED_CODECS}"
+            )
         reader, writer = await asyncio.open_connection(host, port)
         client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
         client._read_task = asyncio.ensure_future(client._read_loop())
-        hello: dict = {"t": "hello", "v": PROTOCOL_VERSION}
+        offered = [codec] if codec == CODEC_JSON else [codec, CODEC_JSON]
+        hello: dict = {"t": "hello", "v": PROTOCOL_VERSION, "codecs": offered}
         if token is not None:
             hello["token"] = token
         try:
@@ -180,6 +203,11 @@ class GatewayClient:
             await client.close(send_bye=False)
             raise
         client.server_sources = tuple(welcome.get("sources", ()))
+        chosen = welcome.get("codec", CODEC_JSON)
+        if chosen not in SUPPORTED_CODECS:
+            chosen = CODEC_JSON
+        client.codec = chosen
+        client._encoder = make_encoder(chosen)
         return client
 
     async def close(self, *, send_bye: bool = True) -> None:
@@ -214,19 +242,35 @@ class GatewayClient:
             encode_frame(frame, max_frame_bytes=self._max_frame_bytes)
         )
 
-    async def _request(self, frame: dict) -> dict:
+    def _write_body(self, body: bytes) -> None:
+        """Write one pre-encoded frame body (codec hot paths)."""
+        if len(body) > self._max_frame_bytes:
+            raise FrameTooLarge(len(body), self._max_frame_bytes)
+        self._writer.write(pack_header(len(body)) + body)
+
+    def _check_alive(self) -> None:
         if self._closed:
             raise ConnectionError("gateway client is closed")
         if self._dead_reason is not None:
             raise ConnectionError(
                 f"gateway connection closed ({self._dead_reason})"
             )
+
+    async def _request(self, frame: dict) -> dict:
+        def write(seq: int) -> None:
+            frame["seq"] = seq
+            self._write(frame)
+
+        return await self._roundtrip(write)
+
+    async def _roundtrip(self, write) -> dict:
+        """Allocate a request seq, write via ``write(seq)``, await reply."""
+        self._check_alive()
         seq = next(self._seq)
-        frame["seq"] = seq
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[seq] = future
         try:
-            self._write(frame)
+            write(seq)
             await self._writer.drain()
             reply = await future
         finally:
@@ -257,19 +301,71 @@ class GatewayClient:
         completion semantics as the in-process ``offer``.  ``ack=False``
         is fire-and-forget (the frame is written and drained, nothing
         more).  ``pad_bytes`` attaches throwaway payload so the wire
-        frame approximates a configured tuple size.
+        frame approximates a configured tuple size.  The frame body uses
+        the negotiated codec.
         """
-        frame: dict = {
-            "t": "ingest",
-            "source": source,
-            "tuple": tuple_to_wire(item),
-        }
-        if pad_bytes > 0:
-            frame["pad"] = "x" * pad_bytes
+        encoder = self._encoder
+        limit = self._max_frame_bytes
         if ack:
-            reply = await self._request(frame)
+            reply = await self._roundtrip(
+                lambda seq: self._write_body(
+                    encoder.ingest_body(
+                        source,
+                        item,
+                        seq=seq,
+                        pad_bytes=pad_bytes,
+                        max_frame_bytes=limit,
+                    )
+                )
+            )
             return reply.get("emissions")
-        self._write(frame)
+        self._check_alive()
+        self._write_body(
+            encoder.ingest_body(
+                source, item, pad_bytes=pad_bytes, max_frame_bytes=limit
+            )
+        )
+        await self._writer.drain()
+        return None
+
+    async def ingest_many(
+        self,
+        source: str,
+        items: Sequence[StreamTuple],
+        *,
+        ack: bool = True,
+        pad_bytes: int = 0,
+    ) -> Optional[int]:
+        """Offer many tuples in one ``ingest_batch`` frame.
+
+        One frame, one (optional) ack, one broker lock acquisition for
+        the whole batch — the per-tuple wire and scheduling overhead is
+        amortized across ``len(items)``.  Returns the summed emission
+        count when ``ack=True``.
+        """
+        if not items:
+            return 0 if ack else None
+        encoder = self._encoder
+        limit = self._max_frame_bytes
+        if ack:
+            reply = await self._roundtrip(
+                lambda seq: self._write_body(
+                    encoder.ingest_batch_body(
+                        source,
+                        items,
+                        seq=seq,
+                        pad_bytes=pad_bytes,
+                        max_frame_bytes=limit,
+                    )
+                )
+            )
+            return reply.get("emissions")
+        self._check_alive()
+        self._write_body(
+            encoder.ingest_batch_body(
+                source, items, pad_bytes=pad_bytes, max_frame_bytes=limit
+            )
+        )
         await self._writer.drain()
         return None
 

@@ -1,0 +1,656 @@
+"""Sans-io binary wire codec for the dissemination gateway.
+
+The PR-3 wire protocol spends most of its per-tuple CPU on ``json.dumps``
+/ ``json.loads``: every ingest frame re-serializes the attribute names,
+and every decided batch is re-encoded once per subscriber session.  This
+module removes that tax while staying protocol-compatible:
+
+* **Self-describing bodies.**  A frame body whose first byte is ``{``
+  (0x7B) is the v1 UTF-8 JSON format; any other first byte is a binary
+  frame *tag*.  The :class:`~repro.transport.protocol.FrameDecoder`
+  dispatches on that byte, so JSON and binary frames interleave freely
+  on one connection and every control frame (hello, ok, error,
+  subscribe, snapshot, ...) simply stays JSON — the transparent
+  fallback.
+* **Negotiated use.**  A peer may only *send* binary frames after the
+  hello handshake agreed to them: the client offers ``codecs`` in its
+  ``hello``, the server confirms the chosen codec in ``welcome``
+  (:func:`negotiate`).  A v1 client that offers nothing gets pure JSON.
+* **Interned attribute names.**  Binary tuple records carry attribute
+  *ids*, not names.  Each sender owns a :class:`NameTable` assigning
+  dense ids; every frame that uses an id the receiving connection has
+  not seen yet prepends a ``(id, name)`` delta, so the stream is
+  self-contained per connection while tuples cost ~10 bytes of names
+  overhead exactly once per attribute, not once per tuple.
+* **Encode-once segments.**  A tuple serializes to an immutable
+  :class:`Segment` — for the binary codec a struct-packed record over
+  the *shared* name table, for JSON the tuple's JSON text.  The gateway
+  keeps one :class:`SegmentCache` per codec, so a tuple fanned out to N
+  subscriber sessions is encoded once and the N ``decided`` frames are
+  assembled from the same segment bytes by reference
+  (:meth:`FrameEncoder.decided_pieces` returns a piece list for
+  ``writelines``; nothing is concatenated per session).
+
+Binary frame layouts (after the 4-byte big-endian length header)::
+
+    varint   = unsigned LEB128
+    string   = varint length + UTF-8 bytes
+    f64      = little-endian IEEE-754 double
+    names    = varint count, then per entry: varint id + string name
+    tuple    = varint seq + f64 timestamp + varint n_attrs
+               + n_attrs * (varint name_id + f64 value)
+
+    0x01 ingest        varint req(0=none, else seq+1), string source,
+                       varint pad_len + pad bytes, names, tuple
+    0x02 ingest_batch  varint req, string source, varint pad_len + pad,
+                       names, varint count, count * tuple
+    0x03 decided       string app, f64 first_staged_ms, f64 flushed_ms,
+                       names, varint count, count * tuple
+
+Decoding always yields the *same dict shapes* the JSON protocol uses
+(``{"t": "ingest", "source": ..., "tuple": {...}}``), so the server
+dispatch, the client read loop and every test helper are codec-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterable, Optional, Sequence
+
+from repro.core.tuples import StreamTuple
+from repro.service.batching import Batch
+from repro.transport.protocol import FrameTooLarge, ProtocolError, tuple_to_wire
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "SUPPORTED_CODECS",
+    "FANOUT_SHARED",
+    "FANOUT_PER_SESSION",
+    "FANOUTS",
+    "negotiate",
+    "NameTable",
+    "Segment",
+    "SegmentCache",
+    "FrameEncoder",
+    "JsonEncoder",
+    "BinaryEncoder",
+    "make_encoder",
+    "decode_binary_body",
+    "BinaryNames",
+]
+
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+
+#: Codecs this implementation can send and receive.
+SUPPORTED_CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: Fan-out strategies for decided-batch delivery (gateway knob).
+FANOUT_SHARED = "shared"
+FANOUT_PER_SESSION = "per_session"
+FANOUTS = (FANOUT_SHARED, FANOUT_PER_SESSION)
+
+_TAG_INGEST = 0x01
+_TAG_INGEST_BATCH = 0x02
+_TAG_DECIDED = 0x03
+
+_F64 = struct.Struct("<d")
+
+
+def negotiate(
+    offered: Optional[Sequence[str]],
+    supported: Sequence[str] = SUPPORTED_CODECS,
+) -> str:
+    """Server-side codec choice: first offered codec the server supports.
+
+    ``None`` or an empty offer is a v1 client — pure JSON.  An offer
+    containing no supported codec also falls back to JSON (the client
+    must treat an unconfirmed codec as refused).  ``supported`` lets a
+    server restrict itself below :data:`SUPPORTED_CODECS` (tests use a
+    JSON-only server to exercise the fallback path).
+    """
+    if not offered:
+        return CODEC_JSON
+    for name in offered:
+        if name in supported and name in SUPPORTED_CODECS:
+            return name
+    return CODEC_JSON
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+def _put_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ProtocolError(f"cannot varint-encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _put_string(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    _put_varint(out, len(data))
+    out += data
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        data = self.data
+        while True:
+            if self.pos >= len(data):
+                raise ProtocolError("truncated varint in binary frame")
+            byte = data[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("varint overflow in binary frame")
+
+    def f64(self) -> float:
+        end = self.pos + 8
+        if end > len(self.data):
+            raise ProtocolError("truncated float in binary frame")
+        (value,) = _F64.unpack_from(self.data, self.pos)
+        self.pos = end
+        return value
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise ProtocolError("truncated bytes in binary frame")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def string(self) -> str:
+        length = self.varint()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"undecodable string in binary frame: {exc}") from exc
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+# ---------------------------------------------------------------------------
+# Name interning
+# ---------------------------------------------------------------------------
+class NameTable:
+    """Sender-owned attribute-name interning (dense ids, append-only).
+
+    One table may be shared by every connection of a gateway: segments
+    reference the shared ids, while each connection separately tracks
+    which ids it has already announced (see
+    :meth:`BinaryEncoder.decided_pieces`).
+    """
+
+    __slots__ = ("_id_of", "_names")
+
+    def __init__(self) -> None:
+        self._id_of: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def intern(self, name: str) -> int:
+        nid = self._id_of.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._id_of[name] = nid
+            self._names.append(name)
+        return nid
+
+    def name_at(self, nid: int) -> str:
+        return self._names[nid]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class BinaryNames:
+    """Receiver-side id -> name table, learned from frame deltas."""
+
+    __slots__ = ("_names",)
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+
+    def learn(self, nid: int, name: str) -> None:
+        self._names[nid] = name
+
+    def resolve(self, nid: int) -> str:
+        try:
+            return self._names[nid]
+        except KeyError:
+            raise ProtocolError(
+                f"binary frame references unannounced attribute id {nid}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# Segments (encode-once tuples)
+# ---------------------------------------------------------------------------
+class Segment:
+    """One tuple, encoded once, shareable across frames by reference."""
+
+    __slots__ = ("data", "name_ids")
+
+    def __init__(self, data: bytes, name_ids: tuple[int, ...] = ()):
+        self.data = data
+        #: Shared-table attribute ids the segment references (binary only).
+        self.name_ids = name_ids
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class SegmentCache:
+    """Bounded LRU of per-tuple segments, keyed by tuple object identity.
+
+    ``StreamTuple`` equality is seq-only, and two *sources* may reuse the
+    same seq — so the cache keys on ``id(item)`` and pins the tuple
+    itself in the entry (preventing id reuse while the entry lives).
+    The broker routes one emission object to every recipient session, so
+    fan-out to N subscribers is N-1 cache hits.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        #: id(item) -> (item, segment); dict order is the LRU order.
+        self._entries: dict[int, tuple[StreamTuple, Segment]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, item: StreamTuple) -> Optional[Segment]:
+        key = id(item)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not item:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Refresh LRU position.
+        del self._entries[key]
+        self._entries[key] = entry
+        return entry[1]
+
+    def put(self, item: StreamTuple, segment: Segment) -> None:
+        entries = self._entries
+        key = id(item)
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = (item, segment)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Encoders
+# ---------------------------------------------------------------------------
+class FrameEncoder:
+    """Per-connection sending side of one negotiated codec.
+
+    Subclasses provide the three hot-path encodings (single ingest,
+    batched ingest, decided fan-out); everything else goes through
+    :func:`repro.transport.protocol.encode_frame` as plain JSON.
+    ``decided_pieces`` returns ``(pieces, total_bytes)`` where ``pieces``
+    is ready for ``StreamWriter.writelines`` — callers prepend the
+    4-byte length header and never join the pieces.
+    """
+
+    codec = CODEC_JSON
+
+    def ingest_body(
+        self,
+        source: str,
+        item: StreamTuple,
+        *,
+        seq: Optional[int] = None,
+        pad_bytes: int = 0,
+        max_frame_bytes: Optional[int] = None,
+    ) -> bytes:
+        raise NotImplementedError
+
+    def ingest_batch_body(
+        self,
+        source: str,
+        items: Sequence[StreamTuple],
+        *,
+        seq: Optional[int] = None,
+        pad_bytes: int = 0,
+        max_frame_bytes: Optional[int] = None,
+    ) -> bytes:
+        raise NotImplementedError
+
+    def decided_pieces(
+        self,
+        app: str,
+        batch: Batch,
+        *,
+        max_frame_bytes: int,
+        shared: bool = True,
+    ) -> tuple[list[bytes], int]:
+        raise NotImplementedError
+
+
+class JsonEncoder(FrameEncoder):
+    """The v1 JSON format, with encode-once segment assembly for fan-out."""
+
+    codec = CODEC_JSON
+
+    def __init__(self, cache: Optional[SegmentCache] = None):
+        self._cache = cache if cache is not None else SegmentCache()
+
+    # -- segments -------------------------------------------------------
+    def tuple_segment(self, item: StreamTuple) -> Segment:
+        segment = self._cache.get(item)
+        if segment is None:
+            segment = Segment(
+                json.dumps(
+                    tuple_to_wire(item), separators=(",", ":")
+                ).encode("utf-8")
+            )
+            self._cache.put(item, segment)
+        return segment
+
+    # -- hot paths ------------------------------------------------------
+    def ingest_body(
+        self, source, item, *, seq=None, pad_bytes=0, max_frame_bytes=None
+    ):
+        frame: dict = {
+            "t": "ingest",
+            "source": source,
+            "tuple": tuple_to_wire(item),
+        }
+        if seq is not None:
+            frame["seq"] = seq
+        if pad_bytes > 0:
+            frame["pad"] = "x" * pad_bytes
+        body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        if max_frame_bytes is not None and len(body) > max_frame_bytes:
+            raise FrameTooLarge(len(body), max_frame_bytes)
+        return body
+
+    def ingest_batch_body(
+        self, source, items, *, seq=None, pad_bytes=0, max_frame_bytes=None
+    ):
+        frame: dict = {
+            "t": "ingest_batch",
+            "source": source,
+            "tuples": [tuple_to_wire(item) for item in items],
+        }
+        if seq is not None:
+            frame["seq"] = seq
+        if pad_bytes > 0:
+            frame["pad"] = "x" * pad_bytes
+        body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        if max_frame_bytes is not None and len(body) > max_frame_bytes:
+            raise FrameTooLarge(len(body), max_frame_bytes)
+        return body
+
+    def decided_pieces(self, app, batch, *, max_frame_bytes, shared=True):
+        prefix = (
+            b'{"t":"decided","app":'
+            + json.dumps(app).encode("utf-8")
+            + b',"first_staged_ms":'
+            + repr(float(batch.first_staged_ms)).encode("ascii")
+            + b',"flushed_ms":'
+            + repr(float(batch.flushed_ms)).encode("ascii")
+            + b',"items":['
+        )
+        pieces: list[bytes] = [prefix]
+        total = len(prefix)
+        if shared:
+            segments = [self.tuple_segment(item) for item in batch.items]
+        else:
+            # The PR-3 per-session baseline: re-serialize every tuple for
+            # every subscriber (kept for A/B benchmarking).
+            segments = [
+                Segment(
+                    json.dumps(
+                        tuple_to_wire(item), separators=(",", ":")
+                    ).encode("utf-8")
+                )
+                for item in batch.items
+            ]
+        for index, segment in enumerate(segments):
+            if index:
+                pieces.append(b",")
+                total += 1
+            pieces.append(segment.data)
+            total += len(segment.data)
+        pieces.append(b"]}")
+        total += 2
+        if total > max_frame_bytes:
+            raise FrameTooLarge(total, max_frame_bytes)
+        return pieces, total
+
+
+class BinaryEncoder(FrameEncoder):
+    """Struct-packed hot frames over a (possibly shared) name table."""
+
+    codec = CODEC_BINARY
+
+    def __init__(
+        self,
+        table: Optional[NameTable] = None,
+        cache: Optional[SegmentCache] = None,
+    ):
+        self._table = table if table is not None else NameTable()
+        self._cache = cache if cache is not None else SegmentCache()
+        #: Shared-table ids this connection's peer has been told about.
+        self._announced: set[int] = set()
+
+    # -- segments -------------------------------------------------------
+    def tuple_segment(self, item: StreamTuple) -> Segment:
+        segment = self._cache.get(item)
+        if segment is None:
+            out = bytearray()
+            ids = self._encode_tuple(out, item)
+            segment = Segment(bytes(out), ids)
+            self._cache.put(item, segment)
+        return segment
+
+    def _encode_tuple(self, out: bytearray, item: StreamTuple) -> tuple[int, ...]:
+        _put_varint(out, item.seq)
+        out += _F64.pack(item.timestamp)
+        values = item.values
+        _put_varint(out, len(values))
+        ids = []
+        intern = self._table.intern
+        pack = _F64.pack
+        for name, value in values.items():
+            nid = intern(name)
+            ids.append(nid)
+            _put_varint(out, nid)
+            out += pack(value)
+        return tuple(ids)
+
+    def _names_delta(self, out: bytearray, used_ids: Iterable[int]) -> set[int]:
+        """Append the delta section for any not-yet-announced ids.
+
+        Returns the new ids *without* committing them to ``_announced`` —
+        the caller commits only once the frame passed the size check, so
+        a refused oversized frame cannot leave the peer's table behind.
+        """
+        fresh = {nid for nid in used_ids if nid not in self._announced}
+        _put_varint(out, len(fresh))
+        for nid in sorted(fresh):
+            _put_varint(out, nid)
+            _put_string(out, self._table.name_at(nid))
+        return fresh
+
+    # -- hot paths ------------------------------------------------------
+    def ingest_body(
+        self, source, item, *, seq=None, pad_bytes=0, max_frame_bytes=None
+    ):
+        head = bytearray([_TAG_INGEST])
+        _put_varint(head, 0 if seq is None else seq + 1)
+        _put_string(head, source)
+        _put_varint(head, max(0, pad_bytes))
+        head += b"\x00" * max(0, pad_bytes)
+        body = bytearray()
+        ids = self._encode_tuple(body, item)
+        fresh = self._names_delta(head, ids)
+        total = len(head) + len(body)
+        if max_frame_bytes is not None and total > max_frame_bytes:
+            # Refused before the delta is committed: the peer never saw
+            # this frame, so the names must go out with the next one.
+            raise FrameTooLarge(total, max_frame_bytes)
+        self._announced |= fresh
+        return bytes(head + body)
+
+    def ingest_batch_body(
+        self, source, items, *, seq=None, pad_bytes=0, max_frame_bytes=None
+    ):
+        head = bytearray([_TAG_INGEST_BATCH])
+        _put_varint(head, 0 if seq is None else seq + 1)
+        _put_string(head, source)
+        _put_varint(head, max(0, pad_bytes))
+        head += b"\x00" * max(0, pad_bytes)
+        body = bytearray()
+        used: list[int] = []
+        _put_varint(body, len(items))
+        for item in items:
+            used.extend(self._encode_tuple(body, item))
+        fresh = self._names_delta(head, used)
+        total = len(head) + len(body)
+        if max_frame_bytes is not None and total > max_frame_bytes:
+            raise FrameTooLarge(total, max_frame_bytes)
+        self._announced |= fresh
+        return bytes(head + body)
+
+    def decided_pieces(self, app, batch, *, max_frame_bytes, shared=True):
+        if shared:
+            segments = [self.tuple_segment(item) for item in batch.items]
+        else:
+            segments = []
+            for item in batch.items:
+                out = bytearray()
+                ids = self._encode_tuple(out, item)
+                segments.append(Segment(bytes(out), ids))
+        head = bytearray([_TAG_DECIDED])
+        _put_string(head, app)
+        head += _F64.pack(batch.first_staged_ms)
+        head += _F64.pack(batch.flushed_ms)
+        fresh = self._names_delta(
+            head, (nid for segment in segments for nid in segment.name_ids)
+        )
+        _put_varint(head, len(segments))
+        pieces: list[bytes] = [bytes(head)]
+        total = len(head) + sum(len(segment) for segment in segments)
+        if total > max_frame_bytes:
+            raise FrameTooLarge(total, max_frame_bytes)
+        # Size check passed: the delta will reach the peer, commit it.
+        self._announced |= fresh
+        pieces.extend(segment.data for segment in segments)
+        return pieces, total
+
+
+def make_encoder(
+    codec: str,
+    *,
+    table: Optional[NameTable] = None,
+    cache: Optional[SegmentCache] = None,
+) -> FrameEncoder:
+    """Encoder for one negotiated connection."""
+    if codec == CODEC_BINARY:
+        return BinaryEncoder(table=table, cache=cache)
+    if codec == CODEC_JSON:
+        return JsonEncoder(cache=cache)
+    raise ValueError(f"unknown codec {codec!r}; expected {SUPPORTED_CODECS}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+def _read_names(reader: _Reader, names: BinaryNames) -> None:
+    count = reader.varint()
+    for _ in range(count):
+        nid = reader.varint()
+        names.learn(nid, reader.string())
+
+
+def _read_tuple(reader: _Reader, names: BinaryNames) -> StreamTuple:
+    seq = reader.varint()
+    ts = reader.f64()
+    n_attrs = reader.varint()
+    values: dict[str, float] = {}
+    for _ in range(n_attrs):
+        nid = reader.varint()
+        values[names.resolve(nid)] = reader.f64()
+    # Decoded straight to a StreamTuple (the payload codecs pass
+    # instances through), skipping the dict round trip JSON pays.
+    return StreamTuple.trusted(seq, ts, values)
+
+
+def decode_binary_body(body: bytes, names: BinaryNames) -> dict:
+    """Decode one binary frame body into the canonical JSON dict shape.
+
+    ``names`` is the connection's receiver-side table; deltas carried by
+    the frame are learned before any tuple record is resolved.
+    """
+    reader = _Reader(body, pos=1)
+    tag = body[0]
+    if tag == _TAG_INGEST or tag == _TAG_INGEST_BATCH:
+        req = reader.varint()
+        source = reader.string()
+        pad_len = reader.varint()
+        reader.take(pad_len)  # padding is load-shaping only; discard
+        _read_names(reader, names)
+        if tag == _TAG_INGEST:
+            frame: dict = {
+                "t": "ingest",
+                "source": source,
+                "tuple": _read_tuple(reader, names),
+            }
+        else:
+            count = reader.varint()
+            frame = {
+                "t": "ingest_batch",
+                "source": source,
+                "tuples": [_read_tuple(reader, names) for _ in range(count)],
+            }
+        if req:
+            frame["seq"] = req - 1
+        return frame
+    if tag == _TAG_DECIDED:
+        app = reader.string()
+        first_staged_ms = reader.f64()
+        flushed_ms = reader.f64()
+        _read_names(reader, names)
+        count = reader.varint()
+        return {
+            "t": "decided",
+            "app": app,
+            "first_staged_ms": first_staged_ms,
+            "flushed_ms": flushed_ms,
+            "items": [_read_tuple(reader, names) for _ in range(count)],
+        }
+    raise ProtocolError(f"unknown binary frame tag 0x{tag:02x}")

@@ -14,9 +14,10 @@ mismatch).
 
 Frame vocabulary (client → server unless noted)::
 
-    hello         {v, token?}                    -> welcome | error
+    hello         {v, token?, codecs?}           -> welcome | error
     ensure_source {seq, source}                  -> ok {created}
     ingest        {source, tuple, seq?, pad?}    -> ok {emissions}   (when seq given)
+    ingest_batch  {source, tuples, seq?, pad?}   -> ok {emissions}   (when seq given)
     subscribe     {seq, app, source, spec, qos?,
                    queue_capacity?, overflow?,
                    batch_max_items?, batch_max_delay_ms?}
@@ -27,7 +28,7 @@ Frame vocabulary (client → server unless noted)::
     snapshot      {seq}                          -> snapshot {snapshot}
     bye           {reason?}                      (either direction)
 
-    welcome       {v, server, sources}           (server → client)
+    welcome       {v, server, sources, codec}    (server → client)
     ok            {reply_to, ...}                (server → client)
     error         {reply_to?, code, message}     (server → client)
     decided       {app, items, first_staged_ms,
@@ -37,12 +38,25 @@ Frame vocabulary (client → server unless noted)::
 ``ingest`` may carry ``pad`` — a throwaway string whose only purpose is
 to make the wire frame approximate a real payload size (the load
 generator uses it so TCP throughput numbers reflect the configured
-tuple size, not just the attribute dictionary).
+tuple size, not just the attribute dictionary).  ``ingest_batch``
+amortizes the per-frame round trip and the broker's per-offer task and
+lock overhead across many tuples; its ``ok`` reports the summed
+emission count.
+
+Two *body codecs* share this frame vocabulary.  A body whose first byte
+is ``{`` is UTF-8 JSON (the v1 format); any other first byte is a
+struct-packed binary frame (:mod:`repro.transport.codec`).  The client
+offers ``codecs`` (preference-ordered) in its hello and the server
+confirms the chosen one in ``welcome``; either side may only *send*
+binary after that agreement, so a v1 peer never sees a binary frame.
+Control frames stay JSON under either codec — only the hot paths
+(``ingest``, ``ingest_batch``, ``decided``) have binary encodings.
 
 :class:`FrameDecoder` is sans-io: feed it whatever ``read()`` returned
 — half a header, three frames glued together — and it yields exactly
-the complete frames, enforcing ``max_frame_bytes`` *from the header*
-so an oversized frame is rejected before its body is buffered.
+the complete frames (as dicts, whichever codec encoded them), enforcing
+``max_frame_bytes`` *from the header* so an oversized frame is rejected
+before its body is buffered.
 """
 
 from __future__ import annotations
@@ -60,6 +74,7 @@ __all__ = [
     "ProtocolError",
     "FrameTooLarge",
     "encode_frame",
+    "pack_header",
     "FrameDecoder",
     "tuple_to_wire",
     "tuple_from_wire",
@@ -106,6 +121,15 @@ def encode_frame(
     return _HEADER.pack(len(body)) + body
 
 
+def pack_header(size: int) -> bytes:
+    """The 4-byte length header for a ``size``-byte body.
+
+    Used by the encode-once fan-out path, which writes the header and a
+    list of shared body pieces (``writelines``) instead of one
+    concatenated frame."""
+    return _HEADER.pack(size)
+
+
 class FrameDecoder:
     """Incremental frame reassembly over an arbitrary byte-chunk feed.
 
@@ -120,6 +144,9 @@ class FrameDecoder:
         self._buffer = bytearray()
         #: Body length announced by the current header, None between frames.
         self._expected: Optional[int] = None
+        #: Receiver-side attribute-name table for binary frames, created
+        #: on first use (lazily imported to avoid a module cycle).
+        self._binary_names = None
 
     @property
     def buffered(self) -> int:
@@ -148,13 +175,26 @@ class FrameDecoder:
             body = bytes(self._buffer[: self._expected])
             del self._buffer[: self._expected]
             self._expected = None
-            try:
-                frame = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ProtocolError(f"undecodable frame body: {exc}") from exc
-            if not isinstance(frame, dict) or "t" not in frame:
-                raise ProtocolError("a frame must be an object with a 't' tag")
+            if not body:
+                raise ProtocolError("empty frame body")
+            if body[0] == 0x7B:  # "{" — the v1 JSON body format
+                try:
+                    frame = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ProtocolError(f"undecodable frame body: {exc}") from exc
+                if not isinstance(frame, dict) or "t" not in frame:
+                    raise ProtocolError("a frame must be an object with a 't' tag")
+            else:
+                frame = self._decode_binary(body)
             yield frame
+
+    def _decode_binary(self, body: bytes) -> dict:
+        # Local import: codec.py imports the error types from this module.
+        from repro.transport import codec as _codec
+
+        if self._binary_names is None:
+            self._binary_names = _codec.BinaryNames()
+        return _codec.decode_binary_body(body, self._binary_names)
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +204,11 @@ def tuple_to_wire(item: StreamTuple) -> dict:
     return {"seq": item.seq, "ts": item.timestamp, "values": dict(item.values)}
 
 
-def tuple_from_wire(payload: Mapping) -> StreamTuple:
+def tuple_from_wire(payload) -> StreamTuple:
+    # The binary codec decodes tuple records straight to StreamTuples;
+    # pass them through so decided/ingest handling is codec-agnostic.
+    if isinstance(payload, StreamTuple):
+        return payload
     try:
         return StreamTuple(
             seq=int(payload["seq"]),
@@ -185,8 +229,14 @@ def batch_to_wire(batch: Batch) -> dict:
 
 def batch_from_wire(payload: Mapping) -> Batch:
     try:
+        items = payload["items"]
+        if items and all(type(item) is StreamTuple for item in items):
+            # Binary decode already produced StreamTuples; adopt them.
+            decoded = tuple(items)
+        else:
+            decoded = tuple(tuple_from_wire(item) for item in items)
         return Batch(
-            items=tuple(tuple_from_wire(item) for item in payload["items"]),
+            items=decoded,
             first_staged_ms=float(payload["first_staged_ms"]),
             flushed_ms=float(payload["flushed_ms"]),
         )

@@ -40,13 +40,25 @@ from typing import Optional
 from repro.qos.spec import QualitySpec
 from repro.service.broker import DisseminationService
 from repro.service.session import SubscriberSession
+from repro.transport.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    FANOUT_SHARED,
+    FANOUTS,
+    SUPPORTED_CODECS,
+    FrameEncoder,
+    NameTable,
+    SegmentCache,
+    make_encoder,
+    negotiate,
+)
 from repro.transport.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameDecoder,
     ProtocolError,
-    batch_to_wire,
     encode_frame,
+    pack_header,
     tuple_from_wire,
 )
 
@@ -77,10 +89,13 @@ class _Connection:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame_bytes: int,
+        encoder: FrameEncoder,
     ):
         self.reader = reader
         self.writer = writer
         self.max_frame_bytes = max_frame_bytes
+        #: Negotiated sending-side codec (JSON until the hello upgrades it).
+        self.encoder = encoder
         self.pumps: dict[str, asyncio.Task] = {}
         self.sessions: dict[str, SubscriberSession] = {}
         self._write_lock = asyncio.Lock()
@@ -91,6 +106,28 @@ class _Connection:
         payload = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
         async with self._write_lock:
             self.writer.write(payload)
+            await self.writer.drain()
+
+    async def send_decided(self, app: str, batch, *, shared: bool) -> None:
+        """Fan one decided batch out as header + shared body pieces.
+
+        Encoding happens *inside* the write lock: the binary encoder's
+        attribute-name deltas must hit the wire in the order they were
+        computed, or a concurrent pump could use an id before the frame
+        that defines it is written.  The pieces are the per-tuple
+        segments shared by every session this batch's tuples fanned out
+        to — ``writelines`` ships them by reference, nothing is
+        re-serialized or joined per session.
+        """
+        async with self._write_lock:
+            pieces, total = self.encoder.decided_pieces(
+                app,
+                batch,
+                max_frame_bytes=self.max_frame_bytes,
+                shared=shared,
+            )
+            self.writer.write(pack_header(total))
+            self.writer.writelines(memoryview(piece) for piece in pieces)
             await self.writer.drain()
 
     async def send_quiet(self, frame: dict) -> None:
@@ -118,6 +155,9 @@ class GatewayServer:
         auth_token: Optional[str] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         sndbuf_bytes: Optional[int] = None,
+        codecs: tuple[str, ...] = SUPPORTED_CODECS,
+        fanout: str = FANOUT_SHARED,
+        segment_cache_size: int = 4096,
     ):
         self.service = service
         self.host = host
@@ -128,10 +168,37 @@ class GatewayServer:
         #: benchmarks use this to make slow-consumer backpressure kick in
         #: after kilobytes instead of megabytes of kernel buffering).
         self.sndbuf_bytes = sndbuf_bytes
+        #: Codecs this server will agree to in the hello negotiation
+        #: (restrict to ("json",) to force the fallback path).
+        self.codecs = tuple(codecs)
+        if fanout not in FANOUTS:
+            raise ValueError(
+                f"unknown fanout {fanout!r}; expected one of {FANOUTS}"
+            )
+        #: "shared" assembles decided frames from per-tuple segments
+        #: encoded once per codec; "per_session" re-serializes every
+        #: batch for every subscriber (the PR-3 baseline, kept for A/B
+        #: benchmarking).
+        self.fanout = fanout
+        # Encode-once state shared by every connection: one sender-side
+        # attribute-name table (binary ids are global to the server) and
+        # one segment cache per codec.
+        self._name_table = NameTable()
+        self._segment_caches = {
+            CODEC_JSON: SegmentCache(segment_cache_size),
+            CODEC_BINARY: SegmentCache(segment_cache_size),
+        }
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[_Connection] = set()
         self._handlers: set[asyncio.Task] = set()
         self._shutting_down = False
+
+    def _make_encoder(self, codec: str) -> FrameEncoder:
+        return make_encoder(
+            codec,
+            table=self._name_table,
+            cache=self._segment_caches[codec],
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -230,7 +297,9 @@ class GatewayServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Connection(reader, writer, self.max_frame_bytes)
+        conn = _Connection(
+            reader, writer, self.max_frame_bytes, self._make_encoder(CODEC_JSON)
+        )
         if self.sndbuf_bytes is not None:
             sock = writer.get_extra_info("socket")
             if sock is not None:
@@ -298,6 +367,13 @@ class GatewayServer:
                 }
             )
             return False
+        offered = frame.get("codecs")
+        if offered is not None and (
+            not isinstance(offered, list)
+            or not all(isinstance(name, str) for name in offered)
+        ):
+            raise ProtocolError("hello 'codecs' must be a list of strings")
+        codec = negotiate(offered, self.codecs)
         await conn.send(
             {
                 "t": "welcome",
@@ -305,8 +381,13 @@ class GatewayServer:
                 "v": PROTOCOL_VERSION,
                 "server": "repro-gateway",
                 "sources": list(self.service.sources()),
+                "codec": codec,
             }
         )
+        # Upgrade only after the welcome is on the wire: everything the
+        # client saw so far was JSON, everything after may be binary.
+        if codec != conn.encoder.codec:
+            conn.encoder = self._make_encoder(codec)
         return True
 
     # ------------------------------------------------------------------
@@ -318,6 +399,8 @@ class GatewayServer:
         try:
             if kind == "ingest":
                 await self._on_ingest(conn, frame, seq)
+            elif kind == "ingest_batch":
+                await self._on_ingest_batch(conn, frame, seq)
             elif kind == "subscribe":
                 await self._on_subscribe(conn, frame, seq)
             elif kind == "unsubscribe":
@@ -387,6 +470,21 @@ class GatewayServer:
                 {"t": "ok", "reply_to": seq, "emissions": emissions}
             )
 
+    async def _on_ingest_batch(
+        self, conn: _Connection, frame: dict, seq
+    ) -> None:
+        # Inline like single ingest: a block-policy stall anywhere in the
+        # batch pauses this connection's read loop, so batched producers
+        # inherit the same backpressure semantics.
+        items = [tuple_from_wire(t) for t in _field(frame, "tuples")]
+        emissions = await self.service.offer_many(
+            _field(frame, "source"), items
+        )
+        if seq is not None:
+            await conn.send(
+                {"t": "ok", "reply_to": seq, "emissions": emissions}
+            )
+
     async def _on_subscribe(
         self, conn: _Connection, frame: dict, seq
     ) -> None:
@@ -443,12 +541,11 @@ class GatewayServer:
         broker's backpressure semantics.
         """
         oversized = False
+        shared = self.fanout == FANOUT_SHARED
         try:
             async for batch in session.batches():
                 try:
-                    await conn.send(
-                        {"t": "decided", "app": app, **batch_to_wire(batch)}
-                    )
+                    await conn.send_decided(app, batch, shared=shared)
                 except ProtocolError:
                     # The batch encodes past max_frame_bytes and cannot
                     # be delivered whole; end the subscription honestly

@@ -1,0 +1,92 @@
+"""Tests for the bounded CPU-sample accumulator (infinite-stream safety)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.accumulators import BoundedSamples
+from repro.core.engine import GroupAwareEngine
+from repro.filters.delta import DeltaCompressionFilter
+from repro.metrics.cpu import cpu_ms_per_batch
+from repro.sources import random_walk_trace
+
+
+class TestBoundedSamples:
+    def test_exact_while_under_capacity(self):
+        acc = BoundedSamples(capacity=10)
+        for value in (3.0, 1.0, 2.0):
+            acc.append(value)
+        assert len(acc) == 3
+        assert acc.total == 6.0
+        assert acc.mean == 2.0
+        assert list(acc) == [3.0, 1.0, 2.0]
+        assert acc.samples == [3.0, 1.0, 2.0]
+        assert acc == [3.0, 1.0, 2.0]
+
+    def test_bounded_beyond_capacity(self):
+        acc = BoundedSamples(capacity=64)
+        n = 10_000
+        for value in range(n):
+            acc.append(float(value))
+        assert len(acc) == n  # exact count
+        assert acc.total == float(n * (n - 1) // 2)  # exact sum
+        assert len(acc.samples) == 64  # bounded retention
+        assert acc.mean == pytest.approx((n - 1) / 2)
+
+    def test_reservoir_is_representative(self):
+        acc = BoundedSamples(capacity=512)
+        for value in range(100_000):
+            acc.append(float(value))
+        # A uniform reservoir over 0..99999 has a median near 50k.
+        assert 30_000 < acc.percentile(50) < 70_000
+
+    def test_percentiles_exact_under_capacity(self):
+        acc = BoundedSamples([1.0, 2.0, 3.0, 4.0, 5.0], capacity=100)
+        assert acc.percentile(0) == 1.0
+        assert acc.percentile(50) == 3.0
+        assert acc.percentile(100) == 5.0
+        with pytest.raises(ValueError):
+            acc.percentile(101)
+
+    def test_deterministic_across_instances(self):
+        a = BoundedSamples(capacity=16)
+        b = BoundedSamples(capacity=16)
+        for value in range(1000):
+            a.append(float(value))
+            b.append(float(value))
+        assert a == b
+
+    def test_picklable(self):
+        # The sharded runtime ships EngineResults across processes.
+        acc = BoundedSamples(capacity=8)
+        for value in range(100):
+            acc.append(float(value))
+        clone = pickle.loads(pickle.dumps(acc))
+        assert clone == acc
+        clone.append(1.0)  # the RNG state survived too
+        assert len(clone) == 101
+
+    def test_empty(self):
+        acc = BoundedSamples()
+        assert not acc
+        assert len(acc) == 0
+        assert acc.mean == 0.0
+        assert acc.percentile(99) == 0.0
+
+
+class TestEngineResultUsesAccumulator:
+    def test_engine_cpu_log_is_bounded_but_exact_means(self):
+        trace = random_walk_trace(n=300, seed=1, attribute="temp")
+        engine = GroupAwareEngine(
+            [DeltaCompressionFilter("f", attribute="temp", delta=2.0, slack=0.9)]
+        )
+        result = engine.run(trace)
+        samples = result.cpu_ns_per_tuple
+        assert isinstance(samples, BoundedSamples)
+        assert len(samples) == len(trace)
+        assert all(ns >= 0 for ns in samples)
+        assert result.total_cpu_ms == pytest.approx(samples.total / 1e6)
+        batches = cpu_ms_per_batch(result, batch_size=100)
+        assert sum(batches) == pytest.approx(result.total_cpu_ms)

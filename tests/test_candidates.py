@@ -162,3 +162,79 @@ class TestCandidateSet:
         cs.add(items[0])
         cs.reference = items[0]
         assert cs.reference == items[0]
+
+
+class TestIncrementalCaches:
+    """The cover and mask caches must stay exact through churny mutation."""
+
+    def test_cover_object_is_cached_until_bounds_change(self):
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        first = cs.time_cover
+        assert cs.time_cover is first  # no recompute, no realloc
+        cs.add(items[1])  # widens max
+        widened = cs.time_cover
+        assert widened == TimeCover(0.0, 10.0)
+        assert widened is not first
+
+    def test_cover_recomputes_after_interior_then_boundary_removes(self):
+        items = make_tuples([1.0, 2.0, 3.0, 4.0], interval_ms=10)
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cs.remove(items[1])  # interior: bounds unchanged
+        assert cs.time_cover == TimeCover(0.0, 30.0)
+        cs.remove(items[0])  # min boundary: lazy recompute
+        assert cs.time_cover == TimeCover(20.0, 30.0)
+        cs.remove(items[3])  # max boundary
+        assert cs.time_cover == TimeCover(20.0, 20.0)
+
+    def test_remove_then_readd_boundary(self):
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        cs.remove(items[1])
+        cs.add(items[1])
+        assert cs.time_cover == TimeCover(0.0, 10.0)
+
+    def test_member_mask_tracks_add_and_remove(self):
+        from repro.core.candidates import TupleInterner
+
+        items = make_tuples([1.0, 2.0, 3.0], interval_ms=10)
+        interner = TupleInterner()
+        cs = CandidateSet("f")
+        cs.add(items[0])
+        mask = cs.member_mask(interner)
+        assert mask.bit_count() == 1
+        cs.add(items[1])  # incremental OR
+        assert cs.member_mask(interner).bit_count() == 2
+        cs.remove(items[0])  # incremental clear
+        mask = cs.member_mask(interner)
+        assert mask.bit_count() == 1
+        assert interner.seq_at(mask.bit_length() - 1) == items[1].seq
+
+    def test_member_mask_rebuilds_for_new_interner(self):
+        from repro.core.candidates import TupleInterner
+
+        items = make_tuples([1.0, 2.0])
+        cs = CandidateSet("f")
+        for item in items:
+            cs.add(item)
+        first = TupleInterner()
+        second = TupleInterner()
+        assert cs.member_mask(first).bit_count() == 2
+        assert cs.member_mask(second).bit_count() == 2
+        # And switching back still answers correctly.
+        assert cs.member_mask(first).bit_count() == 2
+
+    def test_interner_bit_of(self):
+        from repro.core.candidates import TupleInterner
+
+        interner = TupleInterner()
+        assert interner.bit_of(7) is None
+        bit = interner.intern(7)
+        assert interner.bit_of(7) == bit
+        interner.release([7])
+        assert interner.bit_of(7) is None

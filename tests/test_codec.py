@@ -1,0 +1,455 @@
+"""Tests for the binary wire codec: golden bytes, negotiation, fan-out.
+
+Three layers of assurance:
+
+* **golden bytes** — both codecs' hot frames serialize to exact,
+  hand-derived byte strings (the wire format is a contract, not an
+  implementation detail) and round-trip through the sans-io decoder;
+* **negotiation** — the hello/welcome handshake agrees on a codec, old
+  peers fall back to JSON transparently, and either codec carries the
+  full live pipeline;
+* **cross-codec equivalence** — a verified loadgen run is
+  batch-equivalent under ``json`` and ``binary`` for both decide
+  algorithms, and the delivered streams are identical tuple for tuple.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.service import (
+    Batch,
+    DisseminationService,
+    LoadGenConfig,
+    ServiceConfig,
+    run_loadgen,
+)
+from repro.transport import (
+    BinaryEncoder,
+    FrameDecoder,
+    FrameTooLarge,
+    GatewayClient,
+    GatewayServer,
+    JsonEncoder,
+    NameTable,
+    ProtocolError,
+    SegmentCache,
+    batch_from_wire,
+    encode_frame,
+    negotiate,
+    pack_header,
+)
+from repro.transport.protocol import PROTOCOL_VERSION
+
+
+def _item(seq=7, ts=120.0, **values) -> StreamTuple:
+    return StreamTuple(seq=seq, timestamp=ts, values=values or {"temp": 21.5})
+
+
+def _decode_body(body: bytes, decoder: FrameDecoder | None = None) -> dict:
+    decoder = decoder or FrameDecoder()
+    frames = decoder.feed(pack_header(len(body)) + body)
+    assert len(frames) == 1
+    return frames[0]
+
+
+# ---------------------------------------------------------------------------
+# Golden bytes
+# ---------------------------------------------------------------------------
+class TestGoldenBytes:
+    def test_json_frame_exact_bytes(self):
+        frame = {"t": "tick", "now_ms": 5.0, "seq": 1}
+        expected = b'{"t":"tick","now_ms":5.0,"seq":1}'
+        assert encode_frame(frame) == struct.pack(">I", len(expected)) + expected
+
+    def test_json_ingest_body_exact_bytes(self):
+        body = JsonEncoder().ingest_body(
+            "src", _item(seq=3, ts=30.0, temp=1.5), seq=9
+        )
+        assert body == (
+            b'{"t":"ingest","source":"src",'
+            b'"tuple":{"seq":3,"ts":30.0,"values":{"temp":1.5}},"seq":9}'
+        )
+
+    def test_binary_ingest_body_exact_bytes(self):
+        encoder = BinaryEncoder()
+        body = encoder.ingest_body("src", _item(seq=3, ts=30.0, temp=1.5), seq=9)
+        expected = (
+            b"\x01"  # tag: ingest
+            b"\x0a"  # request seq 9 encoded as varint(9+1)
+            b"\x03src"  # source
+            b"\x00"  # pad length 0
+            b"\x01\x00\x04temp"  # names delta: 1 entry, id 0 -> "temp"
+            b"\x03"  # tuple seq 3
+            + struct.pack("<d", 30.0)
+            + b"\x01"  # one attribute
+            b"\x00"  # name id 0
+            + struct.pack("<d", 1.5)
+        )
+        assert body == expected
+
+    def test_binary_second_frame_omits_announced_names(self):
+        encoder = BinaryEncoder()
+        first = encoder.ingest_body("src", _item(seq=1, ts=10.0, temp=1.0))
+        second = encoder.ingest_body("src", _item(seq=2, ts=20.0, temp=2.0))
+        assert b"temp" in first
+        assert b"temp" not in second  # the id alone is on the wire now
+        decoder = FrameDecoder()
+        one = _decode_body(first, decoder)
+        two = _decode_body(second, decoder)
+        assert one["tuple"].values == {"temp": 1.0}
+        assert two["tuple"].values == {"temp": 2.0}
+
+    def test_binary_roundtrip_multi_attribute(self):
+        encoder = BinaryEncoder()
+        item = _item(seq=12345, ts=99.5, temp=21.5, humidity=0.33)
+        frame = _decode_body(encoder.ingest_body("src", item, pad_bytes=11))
+        assert frame["t"] == "ingest"
+        assert frame["source"] == "src"
+        decoded = frame["tuple"]
+        assert isinstance(decoded, StreamTuple)
+        assert decoded.seq == 12345
+        assert decoded.timestamp == 99.5
+        assert decoded.values == {"temp": 21.5, "humidity": 0.33}
+        assert "seq" not in frame  # no request seq was attached
+
+    def test_binary_ingest_batch_roundtrip(self):
+        encoder = BinaryEncoder()
+        items = [_item(seq=i, ts=10.0 * (i + 1), temp=float(i)) for i in range(5)]
+        frame = _decode_body(
+            encoder.ingest_batch_body("s1", items, seq=4, pad_bytes=3)
+        )
+        assert frame["t"] == "ingest_batch"
+        assert frame["seq"] == 4
+        assert [t.seq for t in frame["tuples"]] == [0, 1, 2, 3, 4]
+        assert [t.values["temp"] for t in frame["tuples"]] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_decided_pieces_roundtrip_both_codecs(self):
+        batch = Batch(
+            items=tuple(
+                _item(seq=i, ts=10.0 * (i + 1), temp=1.0 + i) for i in range(3)
+            ),
+            first_staged_ms=10.0,
+            flushed_ms=30.0,
+        )
+        for encoder in (JsonEncoder(), BinaryEncoder()):
+            pieces, total = encoder.decided_pieces(
+                "app0", batch, max_frame_bytes=1 << 20
+            )
+            body = b"".join(pieces)
+            assert len(body) == total
+            frame = _decode_body(body)
+            assert frame["t"] == "decided"
+            assert frame["app"] == "app0"
+            assert frame["first_staged_ms"] == 10.0
+            assert frame["flushed_ms"] == 30.0
+            decoded = batch_from_wire(frame)
+            assert [t.seq for t in decoded.items] == [0, 1, 2]
+            assert [t.values["temp"] for t in decoded.items] == [1.0, 2.0, 3.0]
+
+    def test_unknown_binary_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            _decode_body(b"\x7f\x00\x00")
+
+    def test_truncated_binary_body_rejected(self):
+        encoder = BinaryEncoder()
+        body = encoder.ingest_body("src", _item())
+        with pytest.raises(ProtocolError):
+            _decode_body(body[:-3])
+
+    def test_unannounced_name_id_rejected(self):
+        # A fresh decoder never saw the names delta of a previous
+        # connection; referencing the id must fail loudly.
+        encoder = BinaryEncoder()
+        encoder.ingest_body("src", _item())  # announces "temp"
+        second = encoder.ingest_body("src", _item(seq=8))
+        with pytest.raises(ProtocolError):
+            _decode_body(second, FrameDecoder())
+
+    def test_json_and_binary_interleave_on_one_decoder(self):
+        encoder = BinaryEncoder()
+        binary = encoder.ingest_body("src", _item())
+        json_frame = encode_frame({"t": "tick", "now_ms": 1.0})
+        decoder = FrameDecoder()
+        frames = decoder.feed(
+            pack_header(len(binary)) + binary + json_frame
+        )
+        assert [f["t"] for f in frames] == ["ingest", "tick"]
+
+
+# ---------------------------------------------------------------------------
+# Encode-once machinery
+# ---------------------------------------------------------------------------
+class TestEncodeOnce:
+    def test_segment_cache_keys_on_identity(self):
+        # Two sources may reuse the same seq; equality is seq-only, so
+        # the cache must not serve one source's bytes for the other's.
+        cache = SegmentCache(capacity=8)
+        encoder = BinaryEncoder(cache=cache)
+        a = StreamTuple(seq=1, timestamp=1.0, values={"x": 1.0})
+        b = StreamTuple(seq=1, timestamp=1.0, values={"x": 2.0})
+        seg_a = encoder.tuple_segment(a)
+        seg_b = encoder.tuple_segment(b)
+        assert seg_a.data != seg_b.data
+        assert encoder.tuple_segment(a) is seg_a  # hit
+        assert cache.hits == 1
+
+    def test_segment_cache_lru_eviction(self):
+        cache = SegmentCache(capacity=2)
+        encoder = JsonEncoder(cache=cache)
+        items = [_item(seq=i) for i in range(3)]
+        segments = [encoder.tuple_segment(item) for item in items]
+        assert len(cache) == 2
+        # items[0] was evicted; re-encoding produces a fresh segment.
+        assert encoder.tuple_segment(items[0]) is not segments[0]
+
+    def test_shared_fanout_reuses_segments_across_batches(self):
+        table, cache = NameTable(), SegmentCache()
+        first_conn = BinaryEncoder(table=table, cache=cache)
+        second_conn = BinaryEncoder(table=table, cache=cache)
+        item = _item(seq=5, ts=50.0)
+        batch = Batch(items=(item,), first_staged_ms=50.0, flushed_ms=50.0)
+        pieces_a, _ = first_conn.decided_pieces(
+            "a", batch, max_frame_bytes=1 << 20
+        )
+        pieces_b, _ = second_conn.decided_pieces(
+            "b", batch, max_frame_bytes=1 << 20
+        )
+        # The tuple segment bytes are the same object on both
+        # connections — encoded once, fanned out by reference.
+        assert pieces_a[-1] is pieces_b[-1]
+        assert cache.hits >= 1
+
+    def test_oversized_ingest_does_not_commit_names(self):
+        # A client-side FrameTooLarge must not desync the connection's
+        # announced-id state: the refused frame never reached the
+        # server, so the next frame has to carry the names delta again.
+        encoder = BinaryEncoder()
+        with pytest.raises(FrameTooLarge):
+            encoder.ingest_body("src", _item(), pad_bytes=256, max_frame_bytes=64)
+        with pytest.raises(FrameTooLarge):
+            encoder.ingest_batch_body(
+                "src", [_item(seq=i) for i in range(9)], max_frame_bytes=32
+            )
+        frame = _decode_body(
+            encoder.ingest_body("src", _item(), max_frame_bytes=1 << 20)
+        )
+        assert frame["tuple"].values == {"temp": 21.5}
+
+    def test_oversized_ingest_many_leaves_connection_usable(self):
+        async def run():
+            service = DisseminationService()
+            service.add_source("src")
+            server = GatewayServer(service)
+            await server.start()
+            client = await GatewayClient.connect("127.0.0.1", server.port)
+            items = [_item(seq=i, ts=10.0 * (i + 1)) for i in range(4)]
+            with pytest.raises(FrameTooLarge):
+                await client.ingest_many(
+                    "src", items, pad_bytes=2 * 1024 * 1024
+                )
+            # The refused frame must not have poisoned the name table:
+            # a normal ingest on the same connection still decodes.
+            emissions = await client.ingest("src", items[0])
+            await client.close()
+            await server.shutdown()
+            return emissions
+
+        assert asyncio.run(run()) is not None
+
+    def test_oversized_decided_does_not_commit_names(self):
+        encoder = BinaryEncoder()
+        item = _item(seq=1, ts=1.0)
+        batch = Batch(items=(item,), first_staged_ms=1.0, flushed_ms=1.0)
+        with pytest.raises(FrameTooLarge):
+            encoder.decided_pieces("app", batch, max_frame_bytes=8)
+        # The refused frame never reached the peer: the next (fitting)
+        # frame must still carry the names delta.
+        pieces, _ = encoder.decided_pieces(
+            "app", batch, max_frame_bytes=1 << 20
+        )
+        assert b"temp" in b"".join(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Negotiation
+# ---------------------------------------------------------------------------
+class TestNegotiation:
+    def test_negotiate_prefers_first_supported(self):
+        assert negotiate(["binary", "json"]) == "binary"
+        assert negotiate(["json", "binary"]) == "json"
+        assert negotiate(None) == "json"
+        assert negotiate([]) == "json"
+        assert negotiate(["zstd", "binary"]) == "binary"
+        assert negotiate(["zstd"]) == "json"
+        assert negotiate(["binary"], supported=("json",)) == "json"
+
+    def _pipeline(self, *, server_codecs=None, client_codec="binary"):
+        async def run():
+            service = DisseminationService(ServiceConfig(batch_max_items=4))
+            service.add_source("src")
+            kwargs = {} if server_codecs is None else {"codecs": server_codecs}
+            server = GatewayServer(service, **kwargs)
+            await server.start()
+            client = await GatewayClient.connect(
+                "127.0.0.1", server.port, codec=client_codec
+            )
+            sub = await client.subscribe(
+                "app", "src", "DC1(temp, 0.001, 0.0005)"
+            )
+            delivered: list[int] = []
+
+            async def consume():
+                async for batch in sub.batches():
+                    delivered.extend(t.seq for t in batch.items)
+
+            task = asyncio.create_task(consume())
+            for i in range(12):
+                await client.ingest(
+                    "src",
+                    StreamTuple(
+                        seq=i, timestamp=10.0 * (i + 1), values={"temp": float(i)}
+                    ),
+                )
+            await client.tick(1000.0)
+            await asyncio.sleep(0.05)
+            await client.unsubscribe("app")
+            await task
+            negotiated = client.codec
+            await client.close()
+            await server.shutdown()
+            return negotiated, delivered
+
+        return asyncio.run(run())
+
+    def test_binary_negotiated_end_to_end(self):
+        negotiated, delivered = self._pipeline()
+        assert negotiated == "binary"
+        assert delivered  # decided tuples crossed the wire in binary
+
+    def test_json_only_server_falls_back(self):
+        negotiated, delivered = self._pipeline(server_codecs=("json",))
+        assert negotiated == "json"
+        assert delivered
+
+    def test_client_may_insist_on_json(self):
+        negotiated, delivered = self._pipeline(client_codec="json")
+        assert negotiated == "json"
+        assert delivered
+
+    def test_v1_hello_without_codecs_gets_json(self):
+        async def run():
+            service = DisseminationService()
+            service.add_source("src")
+            server = GatewayServer(service)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                encode_frame({"t": "hello", "v": PROTOCOL_VERSION, "seq": 1})
+            )
+            await writer.drain()
+            decoder = FrameDecoder()
+            frames: list[dict] = []
+            while not frames:
+                frames = decoder.feed(await reader.read(1 << 16))
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+            return frames[0]
+
+        welcome = asyncio.run(run())
+        assert welcome["t"] == "welcome"
+        assert welcome["codec"] == "json"
+
+
+# ---------------------------------------------------------------------------
+# Cross-codec equivalence
+# ---------------------------------------------------------------------------
+class TestCrossCodecEquivalence:
+    @pytest.mark.parametrize("algorithm", ["region", "per_candidate_set"])
+    def test_verify_passes_and_streams_match(self, algorithm):
+        def summary(codec: str) -> dict:
+            return run_loadgen(
+                LoadGenConfig(
+                    rate=400.0,
+                    duration_s=1.0,
+                    size="tiny",
+                    mode="closed",
+                    algorithm=algorithm,
+                    transport="tcp",
+                    codec=codec,
+                    ingest_batch=4,
+                    verify=True,
+                )
+            )
+
+        by_codec = {codec: summary(codec) for codec in ("json", "binary")}
+        for codec, result in by_codec.items():
+            assert result["codec"] == codec, result
+            assert result["clean_shutdown"] is True, (codec, result)
+            assert result["equivalent_to_batch"] is True, (codec, result)
+        # Byte-identical decided outputs: both codecs, same trace, same
+        # schedule — the delivered totals must agree exactly.
+        assert (
+            by_codec["json"]["delivered_tuples"]
+            == by_codec["binary"]["delivered_tuples"]
+        )
+        assert (
+            by_codec["json"]["decided_emissions"]
+            == by_codec["binary"]["decided_emissions"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batched ingest
+# ---------------------------------------------------------------------------
+class TestBatchedIngest:
+    def test_offer_many_matches_sequential_offers(self):
+        from repro.service import decided_map
+
+        items = [
+            StreamTuple(seq=i, timestamp=10.0 * (i + 1), values={"temp": float(i % 5)})
+            for i in range(40)
+        ]
+
+        async def run(batched: bool):
+            service = DisseminationService(ServiceConfig(batch_max_items=4))
+            service.add_source("src")
+            session = await service.subscribe("app", "src", "DC1(temp, 2.0, 1.0)")
+
+            async def drain():
+                async for _ in session.batches():
+                    pass
+
+            task = asyncio.create_task(drain())
+            if batched:
+                for start in range(0, len(items), 7):
+                    await service.offer_many("src", items[start : start + 7])
+            else:
+                for item in items:
+                    await service.offer("src", item)
+            epochs = (await service.close())["src"]
+            await task
+            return [decided_map(epoch) for epoch in epochs]
+
+        assert asyncio.run(run(True)) == asyncio.run(run(False))
+
+    def test_loadgen_ingest_batch_verifies_inproc(self):
+        summary = run_loadgen(
+            LoadGenConfig(
+                rate=400.0,
+                duration_s=1.0,
+                size="tiny",
+                mode="closed",
+                ingest_batch=8,
+                verify=True,
+            )
+        )
+        assert summary["equivalent_to_batch"] is True, summary
+        assert summary["clean_shutdown"] is True, summary

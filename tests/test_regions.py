@@ -170,3 +170,21 @@ class TestRegionTracker:
         cs.close()
         tracker.poll(now=10.0)
         assert tracker.active_sets() == []
+
+    def test_empty_closed_sets_purged_even_without_closable_regions(self):
+        # Regression: the poll fast path (no populated set closed) must
+        # still purge fully-dismissed closed sets, or they accumulate in
+        # the per-arrival scans on a live stream.
+        items = make_tuples([1.0, 2.0], interval_ms=10)
+        tracker = RegionTracker()
+        emptied = CandidateSet("a")
+        emptied.add(items[0])
+        tracker.watch(emptied)
+        emptied.remove(items[0])  # all tuples dismissed
+        emptied.close()
+        still_open = CandidateSet("b")
+        still_open.add(items[1])
+        tracker.watch(still_open)
+        assert tracker.poll(now=100.0) == []  # open set: nothing closes
+        assert emptied.set_id not in tracker._active
+        assert still_open.set_id in tracker._active
