@@ -1,4 +1,4 @@
-"""Live-pipeline benchmark: codec x fan-out strategy x ingest batch.
+"""Live-pipeline benchmark: codec x fan-out x ingest batch x workers.
 
 Drives the closed-loop load generator through the TCP gateway
 (self-hosted ephemeral server, 8 subscribers by default) over a grid of
@@ -6,6 +6,15 @@ wire codecs (``json`` vs ``binary``), decided-batch fan-out strategies
 (``per_session`` re-serialization — the PR-3 baseline — vs the
 encode-once ``shared`` segment path) and ingest batch sizes, so the
 trajectory records what each layer of the fast path buys.
+
+A second sweep scales the *process* axis: the same multi-source
+workload against 1 (direct single-process broker), 2 and 4 worker
+processes behind the :mod:`repro.service.cluster` router, on the
+binary/shared/batched configuration.  Its verdict is the delivered
+throughput ratio vs the single process — the whole point of source
+sharding.  Because hash placement is uneven at small source counts, the
+workers sweep spreads the load over ``BENCH_PIPELINE_CLUSTER_SOURCES``
+independent streams (default 16).
 
 Measurement shape: the rate cap is set far above capacity, so the
 closed loop's pacing never sleeps — every cell gets the same fixed wall
@@ -26,16 +35,31 @@ Usable two ways:
   path (binary codec + shared fan-out + largest ingest batch) fails to
   reach that multiple of the PR-3 JSON baseline's throughput.
 
-Environment knobs (also used by the CI pipeline-bench-smoke job):
-``BENCH_PIPELINE_RATE`` (rate cap in tuples/sec — keep it far above
-capacity so the closed loop never sleeps; default ``100000``),
-``BENCH_PIPELINE_DURATION`` (seconds per cell, default ``1.5``),
-``BENCH_PIPELINE_SIZE`` (subscriber preset, default ``small`` = 8),
-``BENCH_PIPELINE_BATCHES`` (comma list of ingest batch sizes, default
-``1,16``), ``BENCH_PIPELINE_TUPLE_BYTES`` (default ``256``),
-``BENCH_PIPELINE_MIN_SPEEDUP`` (default ``0`` = report only),
+Environment knobs (also used by the CI pipeline-bench-smoke and
+cluster-bench-smoke jobs): ``BENCH_PIPELINE_RATE`` (rate cap in
+tuples/sec — keep it far above capacity so the closed loop never
+sleeps; default ``100000``), ``BENCH_PIPELINE_DURATION`` (seconds per
+cell, default ``1.5``), ``BENCH_PIPELINE_SIZE`` (subscriber preset,
+default ``small`` = 8), ``BENCH_PIPELINE_BATCHES`` (comma list of
+ingest batch sizes, default ``1,16``), ``BENCH_PIPELINE_TUPLE_BYTES``
+(default ``256``), ``BENCH_PIPELINE_MIN_SPEEDUP`` (default ``0`` =
+report only), ``BENCH_PIPELINE_STRATEGIES`` (comma list of
+``codec/fanout`` pairs for the codec grid; empty skips it),
+``BENCH_PIPELINE_WORKERS`` (comma list of worker counts for the
+process-scaling sweep, default ``1,2,4``; empty skips it),
+``BENCH_PIPELINE_CLUSTER_SOURCES`` / ``BENCH_PIPELINE_CLUSTER_SIZE``
+(source streams and per-source subscriber preset of that sweep,
+defaults ``16`` / ``tiny``), ``BENCH_PIPELINE_MIN_WORKER_SPEEDUP``
+(default ``0`` = report only: required delivered-throughput multiple of
+the largest multi-worker cell over the 1-worker cell — CI gates 2
+workers at 1.3x; a multi-core host should show >=1.8x at 4), and
 ``BENCH_PIPELINE_JSON`` (artifact path, default ``BENCH_pipeline.json``;
 set empty to skip writing).
+
+Note the worker sweep only shows speedups on a multi-core host: the
+workers are real OS processes, so on a single hardware thread they just
+time-slice one core and the router hop makes them *slower* than the
+direct single process.
 """
 
 from __future__ import annotations
@@ -61,14 +85,26 @@ BATCHES = [
 ]
 TUPLE_BYTES = int(os.environ.get("BENCH_PIPELINE_TUPLE_BYTES", "256"))
 MIN_SPEEDUP = float(os.environ.get("BENCH_PIPELINE_MIN_SPEEDUP", "0"))
+WORKERS = [
+    int(part)
+    for part in os.environ.get("BENCH_PIPELINE_WORKERS", "1,2,4").split(",")
+    if part.strip()
+]
+CLUSTER_SOURCES = int(os.environ.get("BENCH_PIPELINE_CLUSTER_SOURCES", "16"))
+CLUSTER_SIZE = os.environ.get("BENCH_PIPELINE_CLUSTER_SIZE", "tiny")
+MIN_WORKER_SPEEDUP = float(
+    os.environ.get("BENCH_PIPELINE_MIN_WORKER_SPEEDUP", "0")
+)
 
-#: The sweep: (codec, fanout) pairs.  json/per_session is the PR-3
+#: The codec grid: (codec, fanout) pairs.  json/per_session is the PR-3
 #: baseline; binary/shared is the full fast path.
 STRATEGIES = [
-    ("json", "per_session"),
-    ("json", "shared"),
-    ("binary", "per_session"),
-    ("binary", "shared"),
+    tuple(pair.split("/"))
+    for pair in os.environ.get(
+        "BENCH_PIPELINE_STRATEGIES",
+        "json/per_session,json/shared,binary/per_session,binary/shared",
+    ).split(",")
+    if pair.strip()
 ]
 
 
@@ -81,11 +117,20 @@ def _cell_config(
     rate: float = RATE,
     duration_s: float = DURATION_S,
     algorithm: str = "region",
+    size: str = SIZE,
+    sources: int = 1,
+    workers: int = 1,
+    drain_trace: bool = False,
 ) -> LoadGenConfig:
+    # adaptive_batch off: the ingest-batch axis measures *fixed* batch
+    # sizes (comparable to prior trajectories and across worker counts);
+    # the AIMD controller's behavior is covered by tests/manifests, not
+    # by these cells.
     return LoadGenConfig(
+        adaptive_batch=False,
         rate=rate,
         duration_s=duration_s,
-        size=SIZE,
+        size=size,
         mode="closed",
         algorithm=algorithm,
         tuple_size_bytes=TUPLE_BYTES,
@@ -94,16 +139,20 @@ def _cell_config(
         fanout=fanout,
         ingest_batch=ingest_batch,
         verify=verify,
+        sources=sources,
+        workers=workers,
+        drain_trace=drain_trace,
     )
 
 
-def _run_cell(codec: str, fanout: str, ingest_batch: int) -> dict:
-    summary = run_loadgen(_cell_config(codec, fanout, ingest_batch))
+def _row(summary: dict, fanout: str, ingest_batch: int, size: str) -> dict:
     return {
         "codec": summary["codec"],
         "fanout": fanout,
         "ingest_batch": ingest_batch,
-        "size": SIZE,
+        "workers": summary["workers"],
+        "sources": len(summary["source_streams"]),
+        "size": size,
         "rate_tps": RATE,
         "tuple_bytes": TUPLE_BYTES,
         "duration_s": DURATION_S,
@@ -117,6 +166,27 @@ def _run_cell(codec: str, fanout: str, ingest_batch: int) -> dict:
         "wall_s": summary["wall_s"],
         "clean_shutdown": summary["clean_shutdown"],
     }
+
+
+def _run_cell(codec: str, fanout: str, ingest_batch: int) -> dict:
+    summary = run_loadgen(_cell_config(codec, fanout, ingest_batch))
+    return _row(summary, fanout, ingest_batch, SIZE)
+
+
+def _run_worker_cell(workers: int) -> dict:
+    """One process-scaling cell: binary/shared/batched, many sources."""
+    batch = max(BATCHES, default=16)
+    summary = run_loadgen(
+        _cell_config(
+            "binary",
+            "shared",
+            batch,
+            size=CLUSTER_SIZE,
+            sources=CLUSTER_SOURCES,
+            workers=workers,
+        )
+    )
+    return _row(summary, "shared", batch, CLUSTER_SIZE)
 
 
 def _speedup(rows: list[dict]) -> dict:
@@ -138,6 +208,31 @@ def _speedup(rows: list[dict]) -> dict:
         "baseline_json_per_session_tps": baseline,
         "fastpath_binary_shared_tps": fastpath,
         "speedup": round(fastpath / baseline, 3) if baseline > 0 else 0.0,
+    }
+
+
+def _worker_speedup(rows: list[dict]) -> dict:
+    """Delivered-tuple throughput of each worker count vs one process."""
+    by_workers = {row["workers"]: row for row in rows}
+    base = by_workers.get(1)
+    base_tps = (
+        base["delivered_tuples"] / base["wall_s"]
+        if base is not None and base["wall_s"] > 0
+        else 0.0
+    )
+    speedups = {}
+    for workers, row in sorted(by_workers.items()):
+        tps = row["delivered_tuples"] / row["wall_s"] if row["wall_s"] > 0 else 0.0
+        speedups[str(workers)] = {
+            "delivered_tps": round(tps, 1),
+            "speedup_vs_1": round(tps / base_tps, 3) if base_tps > 0 else 0.0,
+        }
+    top = max((w for w in by_workers if w > 1), default=None)
+    return {
+        "per_workers": speedups,
+        "best_multi_worker_speedup": (
+            speedups[str(top)]["speedup_vs_1"] if top is not None else 0.0
+        ),
     }
 
 
@@ -171,9 +266,55 @@ def test_verify_passes_under_both_codecs():
         assert summary["clean_shutdown"] is True, (codec, summary)
 
 
+def test_cluster_verify_and_streams_identical_across_worker_counts():
+    """Sharding is semantics-free: under both decide algorithms, a
+    verified run delivers byte-identical per-subscriber streams whether
+    one process or a 2-worker fleet serves it."""
+    for algorithm in ("region", "per_candidate_set"):
+        digests = {}
+        for workers in (1, 2):
+            # drain_trace: digests are only comparable across runs when
+            # both replayed the identical offered set, so the trace is
+            # offered in full regardless of the wall budget.
+            summary = run_loadgen(
+                _cell_config(
+                    "binary",
+                    "shared",
+                    8,
+                    verify=True,
+                    rate=400.0,
+                    duration_s=1.0,
+                    algorithm=algorithm,
+                    size="tiny",
+                    sources=2,
+                    workers=workers,
+                    drain_trace=True,
+                )
+            )
+            assert summary["equivalent_to_batch"] is True, (
+                algorithm,
+                workers,
+                summary,
+            )
+            assert summary["clean_shutdown"] is True, (algorithm, workers, summary)
+            digests[workers] = summary["delivered_digest"]
+        assert digests[1] == digests[2], (algorithm, digests)
+
+
 # ---------------------------------------------------------------------------
 # script mode
 # ---------------------------------------------------------------------------
+def _print_row(row: dict) -> None:
+    print(
+        f"{row['codec']:>7} {row['fanout']:>12} {row['ingest_batch']:>6} "
+        f"{row['workers']:>3} {row['offered']:>8} "
+        f"{row['offered_rate_tps']:>9.0f} "
+        f"{row['delivered_tuples']:>8} {row['decide_p50_ms']:>8.2f} "
+        f"{row['decide_p99_ms']:>8.2f} "
+        f"{'y' if row['clean_shutdown'] else 'N'!s:>3}"
+    )
+
+
 def main() -> int:
     grid = [
         (codec, fanout, batch)
@@ -181,12 +322,13 @@ def main() -> int:
         for batch in BATCHES
     ]
     print(
-        f"pipeline sweep: {len(grid)} cells x {DURATION_S}s "
-        f"(size={SIZE}, rate={RATE:.0f}, bytes={TUPLE_BYTES}, "
-        f"batches={BATCHES})"
+        f"pipeline sweep: {len(grid)} codec cells + {len(WORKERS)} worker "
+        f"cells x {DURATION_S}s (size={SIZE}, rate={RATE:.0f}, "
+        f"bytes={TUPLE_BYTES}, batches={BATCHES}, workers={WORKERS}, "
+        f"cluster_sources={CLUSTER_SOURCES})"
     )
     header = (
-        f"{'codec':>7} {'fanout':>12} {'batch':>6} {'offered':>8} "
+        f"{'codec':>7} {'fanout':>12} {'batch':>6} {'wrk':>3} {'offered':>8} "
         f"{'tps':>9} {'deliv':>8} {'p50 ms':>8} {'p99 ms':>8} {'ok':>3}"
     )
     print(header)
@@ -194,32 +336,67 @@ def main() -> int:
     for codec, fanout, batch in grid:
         row = _run_cell(codec, fanout, batch)
         rows.append(row)
-        print(
-            f"{row['codec']:>7} {row['fanout']:>12} {row['ingest_batch']:>6} "
-            f"{row['offered']:>8} {row['offered_rate_tps']:>9.0f} "
-            f"{row['delivered_tuples']:>8} {row['decide_p50_ms']:>8.1f} "
-            f"{row['decide_p99_ms']:>8.1f} "
-            f"{'y' if row['clean_shutdown'] else 'N'!s:>3}"
-        )
+        _print_row(row)
         if not row["clean_shutdown"]:
             return 1
-    verdict = _speedup(rows)
-    print(
-        f"fast path (binary/shared) {verdict['fastpath_binary_shared_tps']:.0f} tps "
-        f"vs baseline (json/per_session) "
-        f"{verdict['baseline_json_per_session_tps']:.0f} tps "
-        f"= {verdict['speedup']:.2f}x"
-    )
+    worker_rows = []
+    for workers in WORKERS:
+        row = _run_worker_cell(workers)
+        worker_rows.append(row)
+        _print_row(row)
+        if not row["clean_shutdown"]:
+            return 1
+    verdict = _speedup(rows) if rows else None
+    if verdict is not None:
+        print(
+            f"fast path (binary/shared) "
+            f"{verdict['fastpath_binary_shared_tps']:.0f} tps "
+            f"vs baseline (json/per_session) "
+            f"{verdict['baseline_json_per_session_tps']:.0f} tps "
+            f"= {verdict['speedup']:.2f}x"
+        )
+    worker_verdict = _worker_speedup(worker_rows) if worker_rows else None
+    if worker_verdict is not None:
+        scaling = ", ".join(
+            f"{workers}w={stats['speedup_vs_1']:.2f}x"
+            f" ({stats['delivered_tps']:.0f} tps)"
+            for workers, stats in worker_verdict["per_workers"].items()
+        )
+        print(f"process scaling (delivered tps vs 1 worker): {scaling}")
     artifact = os.environ.get("BENCH_PIPELINE_JSON", "BENCH_pipeline.json")
     if artifact:
         with open(artifact, "w", encoding="utf-8") as stream:
-            json.dump({"rows": rows, "speedup": verdict}, stream, indent=2)
+            json.dump(
+                {
+                    "rows": rows,
+                    "speedup": verdict,
+                    "worker_rows": worker_rows,
+                    "worker_speedup": worker_verdict,
+                },
+                stream,
+                indent=2,
+            )
             stream.write("\n")
         print(f"trajectory written to {artifact}")
-    if MIN_SPEEDUP > 0 and verdict["speedup"] < MIN_SPEEDUP:
+    if (
+        MIN_SPEEDUP > 0
+        and verdict is not None
+        and verdict["speedup"] < MIN_SPEEDUP
+    ):
         print(
             f"FAIL: fast-path speedup {verdict['speedup']:.2f}x is below "
             f"the required {MIN_SPEEDUP:.2f}x"
+        )
+        return 1
+    if (
+        MIN_WORKER_SPEEDUP > 0
+        and worker_verdict is not None
+        and worker_verdict["best_multi_worker_speedup"] < MIN_WORKER_SPEEDUP
+    ):
+        print(
+            f"FAIL: worker scaling "
+            f"{worker_verdict['best_multi_worker_speedup']:.2f}x is below "
+            f"the required {MIN_WORKER_SPEEDUP:.2f}x"
         )
         return 1
     return 0

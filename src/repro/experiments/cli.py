@@ -94,6 +94,14 @@ def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
         help="gateway TCP port (0 picks an ephemeral port)",
     )
     parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="shard sources across N broker worker processes behind "
+        "this gateway (default 1: single in-process broker)",
+    )
+    parser.add_argument(
         "--http-port",
         type=int,
         default=None,
@@ -129,22 +137,46 @@ async def _serve_async(args: argparse.Namespace) -> int:
     from repro.service import DisseminationService, ServiceConfig
     from repro.transport import GatewayServer, SnapshotHTTP
 
-    service = DisseminationService(
-        ServiceConfig(
-            engine=EngineConfig(
-                algorithm=args.algorithm, constraint_ms=args.constraint_ms
-            ),
-            queue_capacity=args.queue_capacity,
-            overflow=args.overflow,
-            batch_max_items=args.batch_items,
-            batch_max_delay_ms=args.batch_delay_ms,
-            tick_cuts=not args.no_tick_cuts,
-            seed=args.seed,
-        )
-    )
+    source_names: list[str] = []
     for name in (part.strip() for part in args.sources.split(",")):
-        if name and not service.has_source(name):
-            service.add_source(name)
+        if name and name not in source_names:
+            source_names.append(name)
+    if args.workers > 1:
+        from repro.service.cluster import ClusterConfig, ClusterService
+
+        service = ClusterService(
+            ClusterConfig(
+                workers=args.workers,
+                sources=tuple(source_names),
+                algorithm=args.algorithm,
+                constraint_ms=args.constraint_ms,
+                queue_capacity=args.queue_capacity,
+                overflow=args.overflow,
+                batch_max_items=args.batch_items,
+                batch_max_delay_ms=args.batch_delay_ms,
+                tick_cuts=not args.no_tick_cuts,
+                seed=args.seed,
+                max_frame_bytes=args.max_frame_bytes,
+            )
+        )
+        await service.start()
+    else:
+        service = DisseminationService(
+            ServiceConfig(
+                engine=EngineConfig(
+                    algorithm=args.algorithm, constraint_ms=args.constraint_ms
+                ),
+                queue_capacity=args.queue_capacity,
+                overflow=args.overflow,
+                batch_max_items=args.batch_items,
+                batch_max_delay_ms=args.batch_delay_ms,
+                tick_cuts=not args.no_tick_cuts,
+                seed=args.seed,
+            )
+        )
+        for name in source_names:
+            if not service.has_source(name):
+                service.add_source(name)
     gateway = GatewayServer(
         service,
         host=args.host,
@@ -153,11 +185,17 @@ async def _serve_async(args: argparse.Namespace) -> int:
         max_frame_bytes=args.max_frame_bytes,
         fanout=args.fanout,
     )
-    await gateway.start()
     http = None
-    if args.http_port is not None:
-        http = SnapshotHTTP(service, host=args.host, port=args.http_port)
-        await http.start()
+    try:
+        await gateway.start()
+        if args.http_port is not None:
+            http = SnapshotHTTP(service, host=args.host, port=args.http_port)
+            await http.start()
+    except BaseException:
+        # A bind failure after the cluster came up must not strand the
+        # worker subprocesses (children outlive a crashed parent).
+        await service.close()
+        raise
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     signals = (signal.SIGINT, signal.SIGTERM)
@@ -248,8 +286,31 @@ def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="tuples per ingest frame / broker offer (amortizes "
-        "per-tuple wire and lock overhead)",
+        help="max tuples per ingest frame / broker offer; with N > 1 an "
+        "AIMD controller sizes each flush from observed ack latency "
+        "(see --fixed-batch)",
+    )
+    parser.add_argument(
+        "--fixed-batch",
+        action="store_true",
+        help="disable adaptive ingest batching and always send "
+        "--ingest-batch tuples per flush",
+    )
+    parser.add_argument(
+        "--sources",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="independent source streams (each with its own subscriber "
+        "set, feeder task and TCP connection)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="self-host a cluster of N broker worker processes behind "
+        "the gateway (requires --transport tcp, no --connect)",
     )
     parser.add_argument("--size", choices=sorted(SIZES), default="tiny")
     parser.add_argument("--rate", type=float, default=500.0, help="tuples/sec")
@@ -302,6 +363,9 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
         codec=args.codec,
         fanout=args.fanout,
         ingest_batch=args.ingest_batch,
+        adaptive_batch=not args.fixed_batch,
+        sources=args.sources,
+        workers=args.workers,
     )
     if args.churn:
         from dataclasses import replace

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -75,6 +76,11 @@ __all__ = ["ServiceConfig", "DisseminationService", "engine_from_config"]
 
 #: Default overlay ring when the caller does not bring a system.
 _DEFAULT_NODES = tuple(f"node{i}" for i in range(8))
+
+#: Bound on per-source arrival-time tracking for decide latency: tuples
+#: the engines dismiss are never emitted, so their entries linger until
+#: the next rebuild; past this many the oldest are evicted.
+_ARRIVAL_TRACK_MAX = 1 << 16
 
 
 def _make_strategy(output: str, batch_size: int) -> OutputStrategy:
@@ -138,7 +144,8 @@ class ServiceConfig:
     tuple_size_bytes: int = 64
     #: Seed for the multicast loss model's injected RNG.
     seed: int = 0
-    #: Sliding-window length for snapshot decide-latency percentiles.
+    #: Sliding-window length for snapshot decide-latency percentiles
+    #: (wall-clock arrival-to-emission milliseconds per decided tuple).
     decide_window: int = 4096
 
     def __post_init__(self) -> None:
@@ -180,6 +187,9 @@ class _SourceState:
     offered: int = 0
     #: Tuples fed to the current epoch's engines (resets on rebuild).
     fed: int = 0
+    #: Wall-clock arrival time per offered-but-undecided tuple seq, for
+    #: sub-tick decide-latency measurement (cleared on rebuild).
+    arrivals_ns: dict[int, int] = field(default_factory=dict)
 
 
 class DisseminationService:
@@ -451,6 +461,7 @@ class DisseminationService:
         filters = self._parse_group(src)
         if not filters:
             src.slots = []
+            src.arrivals_ns.clear()
             return
         groups: list[list[GroupAwareFilter]] = (
             partition_by_attribute(filters)
@@ -465,6 +476,9 @@ class DisseminationService:
             ]
         engine_cfg = self.config.engine
         src.fed = 0
+        # A rebuild always follows a cutover: the old epoch's tuples were
+        # emitted or dismissed with it, so their arrival times are dead.
+        src.arrivals_ns.clear()
         src.slots = [
             _EngineSlot(
                 apps=tuple(f.name for f in group),
@@ -500,7 +514,7 @@ class DisseminationService:
             results.append(result)
         src.epochs.extend(results)
         src.slots = []
-        self._note_emissions(tails)
+        self._note_emissions(src, tails)
         await self._route(src, tails, now=self._now)
 
     # ------------------------------------------------------------------
@@ -546,6 +560,10 @@ class DisseminationService:
         src.fed += 1
         self._offered += 1
         self._now = max(self._now, item.timestamp)
+        arrivals = src.arrivals_ns
+        if len(arrivals) >= _ARRIVAL_TRACK_MAX:
+            del arrivals[next(iter(arrivals))]
+        arrivals[item.seq] = time.perf_counter_ns()
         emissions = await self._run_slots(
             src, lambda engine: engine.process(item)
         )
@@ -617,7 +635,7 @@ class DisseminationService:
         for slot, slot_emissions in zip(src.slots, per_slot):
             slot.routed += len(slot_emissions)
             emissions.extend(slot_emissions)
-        self._note_emissions(emissions)
+        self._note_emissions(src, emissions)
         return emissions
 
     def _decide_pool(self) -> ThreadPoolExecutor:
@@ -628,10 +646,32 @@ class DisseminationService:
             )
         return self._pool
 
-    def _note_emissions(self, emissions: Sequence[Emission]) -> None:
+    def _note_emissions(
+        self, src: _SourceState, emissions: Sequence[Emission]
+    ) -> None:
+        """Count emissions and record their wall-clock decide latency.
+
+        Latency is measured end-to-end with ``time.perf_counter_ns`` —
+        from the tuple's arrival at the broker to its decided emission —
+        not from stream-time timestamps, whose tick granularity (10 ms
+        traces) used to pin the snapshot's ``decide_p50_ms`` at exactly
+        one tick even when decides completed in microseconds.
+        """
         self._decided_emissions += len(emissions)
+        if not emissions:
+            return
+        now_ns = time.perf_counter_ns()
+        arrivals = src.arrivals_ns
+        window = self._decide_window
         for emission in emissions:
-            self._decide_window.append(emission.delay_ms)
+            # get, not pop: with regrouped subgroups one tuple can be
+            # emitted by several slots (and again on later ticks); every
+            # emission must record its real latency, not a 0 for the
+            # repeats.  Entries are reclaimed by the rebuild clear and
+            # the insertion-order eviction cap, so the map stays bounded.
+            start_ns = arrivals.get(emission.item.seq)
+            if start_ns is not None:
+                window.append((now_ns - start_ns) / 1e6)
 
     async def _dispatch(
         self, src: _SourceState, emissions: Sequence[Emission], now: float
@@ -722,6 +762,15 @@ class DisseminationService:
             dropped_tuples=session.stats.dropped_tuples,
             disconnected=session.disconnected,
         )
+
+    def decide_window(self) -> list[float]:
+        """The sliding window of wall-clock decide latencies (ms).
+
+        Exposed so a front-tier router can merge several workers'
+        windows into one percentile computation instead of averaging
+        already-computed percentiles (which is not meaningful).
+        """
+        return list(self._decide_window)
 
     def snapshot(self) -> ServiceSnapshot:
         """Live stats: sessions, queue depths, drops, decide percentiles."""

@@ -1,0 +1,995 @@
+"""Multi-process source sharding behind a front-tier router.
+
+One :class:`~repro.service.broker.DisseminationService` process tops out
+around the engine's per-tuple decide cost — the GIL means more
+subscribers or more sources only queue behind one interpreter.  The
+paper's model partitions work by source (sources are independent: no
+filter, candidate set or region ever spans two sources), which maps
+directly onto process-per-shard scaling:
+
+* **workers** — N subprocesses, each running the real networked broker
+  (``python -m repro.experiments serve``: a ``DisseminationService``
+  behind a :class:`~repro.transport.server.GatewayServer` plus the
+  ``/healthz`` HTTP endpoint), each owning the sources that
+  :func:`~repro.runtime.partition.shard_for_key` places on its shard;
+* **router** — :class:`ClusterService` lives in the front-tier process
+  and exposes the same async data-path surface as the broker
+  (``offer`` / ``offer_many`` / ``subscribe`` / ``tick`` / ``snapshot``
+  / ``close``), so the *existing* :class:`GatewayServer` fronts it
+  unchanged: client connections, subscriptions and the encode-once
+  decided fan-out all stay in the router while every decide runs in a
+  worker process.  Router↔worker traffic speaks the binary wire codec
+  of :mod:`repro.transport.codec` — the inter-process format is the
+  wire format, there is no second serialization scheme;
+* **supervisor** — workers are health-checked (``/healthz`` pings plus
+  process liveness); a dead worker is drained and respawned, its
+  sources re-registered and its subscriptions re-subscribed with their
+  previously resolved bounds, and the router-side sessions resume
+  transparently (subscribers see a delivery gap, never a teardown).
+
+Backpressure is preserved end to end: a ``block``-policy stall in a
+worker withholds the ingest ack, which suspends the router's inline
+forward for that producer connection — a slow worker throttles only the
+producers of *its* sources, while other workers' producers keep their
+own pace.
+
+Snapshots merge: totals are summed across workers, per-session rows are
+concatenated, and decide percentiles are computed over the *merged* raw
+latency windows via :func:`repro.metrics.latency.latency_percentiles`
+(averaging per-worker percentiles would be statistically meaningless).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metrics.latency import latency_percentiles
+from repro.qos.spec import QualitySpec
+from repro.runtime.partition import shard_for_key
+from repro.transport.client import GatewayClient, GatewayError
+from repro.transport.protocol import MAX_FRAME_BYTES
+
+__all__ = ["ClusterConfig", "ClusterService", "ClusterSession"]
+
+#: Subscription-close reasons that are final: the worker (or the router)
+#: ended the subscription on purpose, so the session must not re-attach.
+_FINAL_REASONS = frozenset(
+    {
+        "unsubscribed",
+        "overflow_disconnect",
+        "shutdown",
+        "frame_too_large",
+        "router_closed",
+        "worker_lost",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One worker fleet: placement plus per-worker broker knobs."""
+
+    workers: int = 2
+    #: Sources advertised at startup; clients can add more at runtime
+    #: through ``ensure_source`` (placed by the same stable hash).
+    sources: tuple[str, ...] = ()
+    algorithm: str = "region"
+    constraint_ms: Optional[float] = None
+    queue_capacity: int = 16
+    overflow: str = "block"
+    batch_max_items: int = 8
+    batch_max_delay_ms: float = 50.0
+    tick_cuts: bool = True
+    seed: int = 7
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Router→worker wire body codec (binary is the whole point; json is
+    #: kept for A/B and debugging).
+    codec: str = "binary"
+    #: Supervisor cadence and tolerances.
+    health_interval_s: float = 1.0
+    health_misses: int = 3
+    #: Lifetime respawn budget per worker slot; past it the slot is
+    #: declared lost and its sessions are closed.
+    respawn_limit: int = 3
+    ready_timeout_s: float = 30.0
+    #: How long data-path calls (and orphaned sessions) wait for a
+    #: respawning worker before giving up.
+    reattach_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.codec not in ("binary", "json"):
+            raise ValueError(f"unknown codec {self.codec!r}")
+
+
+class _SessionQueue:
+    """Queue facade over a cluster session for ``GatewayServer`` paths.
+
+    The router's front tier inspects ``session.queue`` (capacity /
+    policy / depth / closed, and ``close()`` in the shutdown
+    wedge-breaker).  For a routed session the real bounded queue lives
+    in the worker; this facade reports the worker-resolved bounds and
+    the router-side buffer depth.
+    """
+
+    def __init__(self, session: "ClusterSession", capacity: int, policy: str):
+        self._session = session
+        self.capacity = capacity
+        self.policy = policy
+
+    @property
+    def depth(self) -> int:
+        return self._session.remote.buffered
+
+    @property
+    def closed(self) -> bool:
+        return self._session.closed
+
+    async def close(self) -> None:
+        self._session.end_local("router_closed")
+
+
+class _SessionBatcher:
+    """Bounds-only stand-in for ``session.batcher`` (batching runs in
+    the worker; the router only echoes the resolved bounds)."""
+
+    __slots__ = ("max_items", "max_delay_ms", "pending")
+
+    def __init__(self, max_items: int, max_delay_ms: float):
+        self.max_items = max_items
+        self.max_delay_ms = max_delay_ms
+        self.pending = 0
+
+
+class ClusterSession:
+    """Router-side view of one app's subscription on some worker.
+
+    Duck-compatible with the slice of
+    :class:`~repro.service.session.SubscriberSession` the front tier
+    touches: ``batches()``, ``disconnected``, ``queue`` and ``batcher``.
+    When the owning worker dies mid-stream, :meth:`batches` parks until
+    the supervisor re-subscribes on the respawned worker and then keeps
+    yielding — the subscriber's socket never learns the worker changed.
+    """
+
+    def __init__(
+        self,
+        app_name: str,
+        source_name: str,
+        spec: str,
+        remote,
+        *,
+        reattach_timeout_s: float,
+        defaults: "ClusterConfig",
+    ):
+        self.app_name = app_name
+        self.source_name = source_name
+        self.spec = spec
+        self.remote = remote
+        resolved = remote.resolved
+
+        def bound(key: str, fallback):
+            # None-check, not truthiness: 0.0 is a legitimate resolved
+            # batching delay (immediate flush) and must survive the
+            # echo to the client and any respawn re-subscribe.
+            value = resolved.get(key)
+            return fallback if value is None else value
+
+        self.queue = _SessionQueue(
+            self,
+            int(bound("queue_capacity", defaults.queue_capacity)),
+            str(bound("overflow", defaults.overflow)),
+        )
+        self.batcher = _SessionBatcher(
+            int(bound("batch_max_items", defaults.batch_max_items)),
+            float(bound("batch_max_delay_ms", defaults.batch_max_delay_ms)),
+        )
+        self.disconnected = False
+        self.closed = False
+        self._explicit = False
+        self._reattach_timeout_s = reattach_timeout_s
+        self._replacement: Optional[asyncio.Future] = None
+
+    # -- supervisor side -------------------------------------------------
+    def adopt(self, remote) -> None:
+        """Swap in a respawned worker's subscription (supervisor path)."""
+        self.remote = remote
+        waiter = self._replacement
+        if waiter is not None and not waiter.done():
+            waiter.set_result(remote)
+
+    def abandon(self, reason: str) -> None:
+        """Give up on this session (worker lost for good, shutdown)."""
+        self.closed = True
+        waiter = self._replacement
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+        self.remote.close_local(reason)
+
+    # -- router side -----------------------------------------------------
+    def mark_explicit(self) -> None:
+        """The next stream end is intentional; do not re-attach."""
+        self._explicit = True
+
+    def end_local(self, reason: str) -> None:
+        self._explicit = True
+        self.closed = True
+        # A batches() loop parked waiting for a respawn re-attach must
+        # end now, not after the reattach timeout.
+        waiter = self._replacement
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+        self.remote.close_local(reason)
+
+    async def batches(self):
+        """Yield delivered batches across worker generations."""
+        while True:
+            remote = self.remote
+            async for batch in remote.batches():
+                yield batch
+            reason = remote.closed_reason or "connection_closed"
+            if reason == "overflow_disconnect":
+                self.disconnected = True
+            if self._explicit or self.closed or reason in _FINAL_REASONS:
+                self.closed = True
+                return
+            # The worker connection died underneath a live subscription:
+            # wait for the supervisor's respawn to re-attach us.
+            replacement = await self._await_replacement(remote)
+            if replacement is None:
+                self.closed = True
+                return
+
+    async def _await_replacement(self, old):
+        if self.remote is not old and self.remote.closed_reason is None:
+            return self.remote  # adoption already happened
+        loop = asyncio.get_running_loop()
+        self._replacement = loop.create_future()
+        # Re-check after installing the future: adopt() may have raced in
+        # between the stream ending and the future existing.
+        if self.remote is not old and self.remote.closed_reason is None:
+            self._replacement = None
+            return self.remote
+        try:
+            return await asyncio.wait_for(
+                self._replacement, timeout=self._reattach_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return None
+        finally:
+            self._replacement = None
+
+
+class _Worker:
+    """One worker slot: subprocess, gateway client, owned subscriptions."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process: Optional[asyncio.subprocess.Process] = None
+        self.port: Optional[int] = None
+        self.http_port: Optional[int] = None
+        self.client: Optional[GatewayClient] = None
+        self.ready = asyncio.Event()
+        self.failed = False
+        self.respawns = 0
+        self.health_misses = 0
+        #: app -> ClusterSession, in subscription order (the broker
+        #: groups filters by session insertion order, so respawn
+        #: re-subscribes in the same order).
+        self.apps: dict[str, ClusterSession] = {}
+        self.stdout_tail: deque[str] = deque(maxlen=8)
+        self.drain_task: Optional[asyncio.Task] = None
+        self.respawn_task: Optional[asyncio.Task] = None
+        self.terminal_snapshot: Optional[dict] = None
+
+
+class ClusterService:
+    """Front-tier router over N worker broker processes.
+
+    Presents the broker's async data-path surface (so a
+    :class:`~repro.transport.server.GatewayServer` can front it), routes
+    every source to its worker by stable BLAKE2 key hashing, supervises
+    the fleet, and merges observability.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self._workers = [_Worker(i) for i in range(config.workers)]
+        #: Source registry (insertion-ordered); values are shard indexes.
+        self._sources: dict[str, int] = {}
+        self._apps: dict[str, ClusterSession] = {}
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._closed = False
+        self._final_snapshot: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_of(self, source_name: str) -> int:
+        """Deterministic worker index for a source (stable across runs)."""
+        return shard_for_key(source_name, self.config.workers)
+
+    def _shard_sources(self, index: int) -> list[str]:
+        return [s for s, shard in self._sources.items() if shard == index]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        for name in self.config.sources:
+            self._sources.setdefault(name, self.shard_of(name))
+        results = await asyncio.gather(
+            *(self._launch(worker) for worker in self._workers),
+            return_exceptions=True,
+        )
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            await self._terminate_workers()
+            raise failures[0]
+        for worker in self._workers:
+            worker.ready.set()
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    def _worker_command(self, worker: _Worker) -> list[str]:
+        cfg = self.config
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--http-port",
+            "0",
+            "--sources",
+            ",".join(self._shard_sources(worker.index)),
+            "--algorithm",
+            cfg.algorithm,
+            "--queue-capacity",
+            str(cfg.queue_capacity),
+            "--overflow",
+            cfg.overflow,
+            "--batch-items",
+            str(cfg.batch_max_items),
+            "--batch-delay-ms",
+            str(cfg.batch_max_delay_ms),
+            "--max-frame-bytes",
+            str(cfg.max_frame_bytes),
+            "--seed",
+            str(cfg.seed),
+        ]
+        if cfg.constraint_ms is not None:
+            command += ["--constraint-ms", str(cfg.constraint_ms)]
+        if not cfg.tick_cuts:
+            command.append("--no-tick-cuts")
+        return command
+
+    @staticmethod
+    def _signal(process: asyncio.subprocess.Process, *, kill: bool) -> None:
+        """Best-effort terminate/kill (the process may already be gone)."""
+        try:
+            if kill:
+                process.kill()
+            else:
+                process.terminate()
+        except ProcessLookupError:
+            pass
+
+    @staticmethod
+    def _worker_env() -> dict:
+        """Child env that can import repro even from a source checkout."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        return env
+
+    async def _launch(self, worker: _Worker) -> None:
+        """Spawn one worker process and connect its gateway client."""
+        process = await asyncio.create_subprocess_exec(
+            *self._worker_command(worker),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            env=self._worker_env(),
+            # The terminal snapshot is one JSON line that grows with
+            # retired sessions; the default 64 KiB readline limit would
+            # kill the drain task on a churn-heavy worker.
+            limit=1 << 23,
+        )
+        worker.process = process
+        worker.terminal_snapshot = None
+        worker.health_misses = 0
+        try:
+            ready_line = await asyncio.wait_for(
+                self._read_ready_line(process),
+                timeout=self.config.ready_timeout_s,
+            )
+            # "gateway listening on HOST:PORT, http on HOST:PORT"
+            parts = ready_line.strip().split(", http on ")
+            worker.port = int(parts[0].rsplit(":", 1)[1])
+            worker.http_port = (
+                int(parts[1].rsplit(":", 1)[1]) if len(parts) > 1 else None
+            )
+            worker.drain_task = asyncio.ensure_future(
+                self._drain_stdout(worker)
+            )
+            worker.client = await GatewayClient.connect(
+                "127.0.0.1",
+                worker.port,
+                codec=self.config.codec,
+                max_frame_bytes=self.config.max_frame_bytes,
+            )
+        except BaseException:
+            if process.returncode is None:
+                self._signal(process, kill=True)
+                await process.wait()
+            raise
+
+    @staticmethod
+    async def _read_ready_line(process: asyncio.subprocess.Process) -> str:
+        while True:
+            line = await process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"worker exited before its ready line "
+                    f"(returncode={process.returncode})"
+                )
+            text = line.decode("utf-8", "replace")
+            if "listening on" in text:
+                return text
+
+    async def _drain_stdout(self, worker: _Worker) -> None:
+        """Keep the worker's stdout pipe empty; remember the tail.
+
+        The last line a gracefully stopped worker prints is its terminal
+        snapshot JSON — :meth:`close` merges those for the final stats.
+        """
+        process = worker.process
+        while True:
+            try:
+                line = await process.stdout.readline()
+            except ValueError:
+                # A line overran even the raised stream limit; consume
+                # the buffered bytes so the loop makes progress instead
+                # of dying (teardown awaits this task).
+                if not await process.stdout.read(1 << 16):
+                    return
+                continue
+            if not line:
+                return
+            worker.stdout_tail.append(line.decode("utf-8", "replace").strip())
+
+    async def close(self) -> dict:
+        """Stop the fleet gracefully; returns the merged final snapshot.
+
+        Mirrors the broker's ``close()`` contract as the front tier sees
+        it: after this returns, every session's remaining batches are
+        either in flight to the router's pumps or accounted as dropped.
+        Workers get SIGTERM (their own graceful path final-flushes every
+        batcher onto our sockets and prints a terminal snapshot), and
+        the merged terminal totals become the router's final snapshot.
+        """
+        if self._closed:
+            return dict(self._final_snapshot or {})
+        self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except (asyncio.CancelledError, Exception):
+                # A monitor that already died (e.g. a kill() racing a
+                # process exit) must not abort shutdown: the workers
+                # below still need terminating.
+                pass
+        for worker in self._workers:
+            if worker.respawn_task is not None and not worker.respawn_task.done():
+                worker.respawn_task.cancel()
+                try:
+                    await worker.respawn_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        # Latency windows must be read before the workers die; terminal
+        # totals come from the terminal snapshots afterwards.
+        live = await asyncio.gather(
+            *(self._worker_snapshot(worker) for worker in self._workers)
+        )
+        window: list[float] = []
+        for snapshot in live:
+            if snapshot is not None:
+                window.extend(snapshot.get("decide_window_ms", ()))
+        await self._terminate_workers()
+        terminals = []
+        for worker in self._workers:
+            terminal = self._parse_terminal(worker)
+            if terminal is None:
+                # Crashed or unreachable worker: fall back to its last
+                # live snapshot so totals degrade, not vanish.
+                terminal = live[worker.index] if worker.index < len(live) else None
+            if terminal is not None:
+                terminals.append(terminal)
+        for session in list(self._apps.values()):
+            if not session.closed:
+                session.abandon("shutdown")
+        self._final_snapshot = self._merge(terminals, window_override=window)
+        return dict(self._final_snapshot)
+
+    async def _terminate_workers(self) -> None:
+        for worker in self._workers:
+            process = worker.process
+            if process is not None and process.returncode is None:
+                self._signal(process, kill=False)
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            try:
+                await asyncio.wait_for(process.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                self._signal(process, kill=True)
+                await process.wait()
+            if worker.drain_task is not None:
+                await worker.drain_task
+                worker.drain_task = None
+            if worker.client is not None:
+                await worker.client.close(send_bye=False)
+                worker.client = None
+            worker.ready.clear()
+
+    @staticmethod
+    def _parse_terminal(worker: _Worker) -> Optional[dict]:
+        for line in reversed(worker.stdout_tail):
+            if line.startswith("{"):
+                try:
+                    return json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+        return None
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _schedule_respawn(self, worker: _Worker) -> None:
+        """Start a per-worker respawn task (at most one per slot).
+
+        Respawns run concurrently: one slot's slow (or repeatedly
+        failing) replacement must not stall health checks — or the
+        respawn — of the rest of the fleet.
+        """
+        if worker.respawn_task is not None and not worker.respawn_task.done():
+            return
+        worker.respawn_task = asyncio.ensure_future(self._respawn(worker))
+
+    async def _monitor(self) -> None:
+        cfg = self.config
+        while True:
+            await asyncio.sleep(cfg.health_interval_s)
+            for worker in self._workers:
+                if worker.failed:
+                    continue
+                if (
+                    worker.respawn_task is not None
+                    and not worker.respawn_task.done()
+                ):
+                    continue
+                process = worker.process
+                if process is None or process.returncode is not None:
+                    self._schedule_respawn(worker)
+                    continue
+                if not worker.ready.is_set():
+                    continue
+                if await self._healthz(worker):
+                    worker.health_misses = 0
+                    continue
+                worker.health_misses += 1
+                if worker.health_misses >= cfg.health_misses:
+                    # Alive but unresponsive: treat as dead.
+                    self._signal(process, kill=True)
+                    await process.wait()
+                    self._schedule_respawn(worker)
+
+    async def _healthz(self, worker: _Worker) -> bool:
+        if worker.http_port is None:
+            return True
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection("127.0.0.1", worker.http_port),
+                timeout=2.0,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: 127.0.0.1\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            response = await asyncio.wait_for(reader.read(), timeout=2.0)
+            return b" 200 " in response.split(b"\r\n", 1)[0]
+        except (OSError, asyncio.TimeoutError):
+            return False
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _respawn(self, worker: _Worker) -> None:
+        """Drain a dead worker slot and bring up a replacement.
+
+        The fresh process gets the slot's current source set, then every
+        session the slot owned is re-subscribed with its previously
+        resolved bounds and re-attached, so router-side pumps resume.
+        The decided state of the dead process is gone — subscribers see
+        a delivery gap, which is the paper's timeliness-over-
+        completeness stance applied to process failure.
+        """
+        worker.ready.clear()
+        if worker.client is not None:
+            await worker.client.close(send_bye=False)
+            worker.client = None
+        process = worker.process
+        if process is not None:
+            if process.returncode is None:
+                self._signal(process, kill=True)
+            await process.wait()
+        if worker.drain_task is not None:
+            await worker.drain_task
+            worker.drain_task = None
+        while worker.respawns < self.config.respawn_limit:
+            worker.respawns += 1
+            try:
+                await self._launch(worker)
+                for app, session in list(worker.apps.items()):
+                    if session.closed:
+                        worker.apps.pop(app, None)
+                        # Identity check: the name may have been re-used
+                        # by a live session on another worker.
+                        if self._apps.get(app) is session:
+                            del self._apps[app]
+                        continue
+                    remote = await worker.client.subscribe(
+                        app,
+                        session.source_name,
+                        session.spec,
+                        queue_capacity=session.queue.capacity,
+                        overflow=session.queue.policy,
+                        batch_max_items=session.batcher.max_items,
+                        batch_max_delay_ms=session.batcher.max_delay_ms,
+                    )
+                    session.adopt(remote)
+                worker.ready.set()
+                return
+            except Exception:
+                process = worker.process
+                if process is not None and process.returncode is None:
+                    self._signal(process, kill=True)
+                    await process.wait()
+                if worker.client is not None:
+                    await worker.client.close(send_bye=False)
+                    worker.client = None
+                await asyncio.sleep(0.2 * worker.respawns)
+        worker.failed = True
+        for app, session in list(worker.apps.items()):
+            session.abandon("worker_lost")
+            worker.apps.pop(app, None)
+            if self._apps.get(app) is session:
+                del self._apps[app]
+
+    async def _worker_for(self, source_name: str) -> _Worker:
+        worker = self._workers[self.shard_of(source_name)]
+        if worker.failed:
+            raise RuntimeError(
+                f"worker {worker.index} (sources like {source_name!r}) is lost"
+            )
+        if not worker.ready.is_set():
+            try:
+                await asyncio.wait_for(
+                    worker.ready.wait(), timeout=self.config.reattach_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise RuntimeError(
+                    f"worker {worker.index} did not come back in time"
+                ) from None
+            if worker.failed:
+                raise RuntimeError(f"worker {worker.index} is lost")
+        return worker
+
+    # ------------------------------------------------------------------
+    # Topology (the GatewayServer-facing surface)
+    # ------------------------------------------------------------------
+    def sources(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    def has_source(self, source_name: str) -> bool:
+        return source_name in self._sources
+
+    async def add_source(self, source_name: str) -> None:
+        """Advertise a source, registering it on its worker."""
+        if source_name in self._sources:
+            return
+        shard = self.shard_of(source_name)
+        self._sources[source_name] = shard
+        try:
+            worker = await self._worker_for(source_name)
+            await worker.client.ensure_source(source_name)
+        except (ConnectionError, GatewayError) as exc:
+            del self._sources[source_name]
+            raise RuntimeError(f"cannot place source {source_name!r}: {exc}") from exc
+        except BaseException:
+            del self._sources[source_name]
+            raise
+
+    def session_count(self) -> int:
+        return sum(0 if s.closed else 1 for s in self._apps.values())
+
+    def subscriptions(self, source_name: str) -> list[tuple[str, str]]:
+        if source_name not in self._sources:
+            raise KeyError(f"unknown source {source_name!r}")
+        return [
+            (s.app_name, s.spec)
+            for s in self._apps.values()
+            if s.source_name == source_name and not s.closed
+        ]
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _require_source(self, source_name: str) -> None:
+        if source_name not in self._sources:
+            raise KeyError(f"unknown source {source_name!r}")
+
+    async def offer(self, source_name: str, item) -> int:
+        """Route one tuple to its source's worker; ack-for-ack.
+
+        The worker's ack *is* the broker's completion: a block-policy
+        stall inside the worker withholds it, which suspends exactly the
+        router read loop that forwarded this frame — per-connection
+        backpressure survives the extra hop.
+        """
+        self._require_source(source_name)
+        worker = await self._worker_for(source_name)
+        try:
+            emissions = await worker.client.ingest(source_name, item)
+        except (ConnectionError, GatewayError) as exc:
+            raise RuntimeError(
+                f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
+            ) from exc
+        return int(emissions or 0)
+
+    async def offer_many(self, source_name: str, items: Sequence) -> int:
+        self._require_source(source_name)
+        if not items:
+            return 0
+        worker = await self._worker_for(source_name)
+        try:
+            emissions = await worker.client.ingest_many(source_name, items)
+        except (ConnectionError, GatewayError) as exc:
+            raise RuntimeError(
+                f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
+            ) from exc
+        return int(emissions or 0)
+
+    async def tick(self, now_ms: float, source_name: Optional[str] = None) -> int:
+        """Broadcast a timer tick (or route a per-source one)."""
+        if source_name is not None:
+            self._require_source(source_name)
+            worker = await self._worker_for(source_name)
+            targets = [worker]
+        else:
+            targets = [
+                worker
+                for worker in self._workers
+                if not worker.failed and worker.ready.is_set()
+            ]
+
+        async def one(worker: _Worker) -> int:
+            try:
+                return await worker.client.tick(now_ms)
+            except (ConnectionError, GatewayError):
+                return 0
+
+        return sum(await asyncio.gather(*(one(w) for w in targets)))
+
+    async def subscribe(
+        self,
+        app_name: str,
+        source_name: str,
+        spec: str,
+        node: Optional[str] = None,
+        *,
+        queue_capacity: Optional[int] = None,
+        overflow: Optional[str] = None,
+        batch_max_items: Optional[int] = None,
+        batch_max_delay_ms: Optional[float] = None,
+        qos: Optional[QualitySpec] = None,
+    ) -> ClusterSession:
+        """Attach a subscriber on its source's worker.
+
+        Same signature the broker exposes (the front tier calls either
+        interchangeably); QoS resolution happens in the worker, and the
+        resolved bounds come back with the subscribe reply.
+        """
+        self._require_source(source_name)
+        if app_name in self._apps and not self._apps[app_name].closed:
+            raise ValueError(f"app {app_name!r} is already subscribed")
+        worker = await self._worker_for(source_name)
+        try:
+            remote = await worker.client.subscribe(
+                app_name,
+                source_name,
+                spec,
+                qos=qos,
+                queue_capacity=queue_capacity,
+                overflow=overflow,
+                batch_max_items=batch_max_items,
+                batch_max_delay_ms=batch_max_delay_ms,
+            )
+        except GatewayError as exc:
+            raise ValueError(str(exc)) from exc
+        except ConnectionError as exc:
+            raise RuntimeError(
+                f"worker {worker.index} failed subscribe: {exc}"
+            ) from exc
+        session = ClusterSession(
+            app_name,
+            source_name,
+            spec,
+            remote,
+            reattach_timeout_s=self.config.reattach_timeout_s,
+            defaults=self.config,
+        )
+        self._apps[app_name] = session
+        worker.apps[app_name] = session
+        return session
+
+    async def unsubscribe(self, app_name: str) -> None:
+        # A locally-closed session (oversized decided frame, shutdown
+        # wedge-break) must still be unsubscribable: the *worker* still
+        # holds the registration, and leaving it would poison the app
+        # name on that worker until a respawn.
+        session = self._apps.get(app_name)
+        if session is None:
+            raise KeyError(f"app {app_name!r} is not subscribed")
+        session.mark_explicit()
+        worker = self._workers[self.shard_of(session.source_name)]
+        self._apps.pop(app_name, None)
+        worker.apps.pop(app_name, None)
+        forwarded = False
+        # Forward whenever a client exists, ready flag or not: during a
+        # respawn the fresh worker may already hold this app's
+        # re-subscription before `ready` is set, and skipping the
+        # forward would leak the registration there.  (While the client
+        # is still None mid-launch, popping the app above plus the
+        # closed flag set below keeps the respawn's re-subscribe loop
+        # from recreating it.)
+        if worker.client is not None:
+            try:
+                await worker.client.unsubscribe(app_name)
+                forwarded = True
+            except (ConnectionError, GatewayError):
+                pass
+        if forwarded and not session.closed:
+            # Do NOT end the remote locally here: the worker's
+            # final-flushed decided frames may still be in flight behind
+            # the unsubscribe ack (its pump writes and its dispatch
+            # reply are ordered independently), and a local close would
+            # drop them.  The worker's `closed` frame ends the stream
+            # after every delivery.
+            return
+        session.end_local("unsubscribed")
+
+    async def re_filter(self, app_name: str, new_spec: str) -> None:
+        session = self._apps.get(app_name)
+        if session is None or session.closed:
+            raise KeyError(f"app {app_name!r} is not subscribed")
+        worker = await self._worker_for(session.source_name)
+        try:
+            await worker.client.re_filter(app_name, new_spec)
+        except GatewayError as exc:
+            raise ValueError(str(exc)) from exc
+        except ConnectionError as exc:
+            raise RuntimeError(
+                f"worker {worker.index} failed re_filter: {exc}"
+            ) from exc
+        session.spec = new_spec
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    async def _worker_snapshot(self, worker: _Worker) -> Optional[dict]:
+        if worker.failed or worker.client is None or not worker.ready.is_set():
+            return None
+        try:
+            # Bounded: a worker wedged behind a stalled consumer must
+            # not hang fleet-wide snapshots (or graceful shutdown).
+            return await asyncio.wait_for(
+                worker.client.snapshot(window=True), timeout=5.0
+            )
+        except (ConnectionError, GatewayError, asyncio.TimeoutError):
+            return None
+
+    async def snapshot(self) -> dict:
+        """Merged fleet snapshot as a plain dict.
+
+        Totals are summed, session rows concatenated, and the decide
+        percentiles recomputed over the concatenation of every worker's
+        raw latency window.
+        """
+        if self._final_snapshot is not None:
+            return dict(self._final_snapshot)
+        per_worker = await asyncio.gather(
+            *(self._worker_snapshot(worker) for worker in self._workers)
+        )
+        return self._merge([s for s in per_worker if s is not None])
+
+    def _merge(
+        self,
+        snapshots: list[dict],
+        *,
+        window_override: Optional[list[float]] = None,
+    ) -> dict:
+        window: list[float] = (
+            list(window_override) if window_override is not None else []
+        )
+        if window_override is None:
+            for snapshot in snapshots:
+                window.extend(snapshot.get("decide_window_ms", ()))
+        percentiles = latency_percentiles(window, (50, 99))
+
+        def total(key: str) -> int:
+            return sum(int(s.get(key, 0)) for s in snapshots)
+
+        sessions = [row for s in snapshots for row in s.get("sessions", ())]
+        retired = [row for s in snapshots for row in s.get("retired", ())]
+        return {
+            "now_ms": max((float(s.get("now_ms", 0.0)) for s in snapshots), default=0.0),
+            "sources": list(self._sources),
+            "session_count": total("session_count"),
+            "offered": total("offered"),
+            "decided_emissions": total("decided_emissions"),
+            "delivered_tuples": total("delivered_tuples"),
+            "dropped_tuples": total("dropped_tuples"),
+            "regroups": total("regroups"),
+            # A broadcast tick reaches every worker and each counts it
+            # once; max (not sum) keeps the merged counter comparable to
+            # a single-process run of the same driving.
+            "ticks": max((int(s.get("ticks", 0)) for s in snapshots), default=0),
+            "cuts_triggered": total("cuts_triggered"),
+            "decide_p50_ms": percentiles["p50"],
+            "decide_p99_ms": percentiles["p99"],
+            "sessions": sessions,
+            "retired": retired,
+            "workers": [
+                {
+                    "index": worker.index,
+                    "port": worker.port,
+                    "alive": worker.process is not None
+                    and worker.process.returncode is None,
+                    "ready": worker.ready.is_set(),
+                    "failed": worker.failed,
+                    "respawns": worker.respawns,
+                    "sources": self._shard_sources(worker.index),
+                    "apps": [
+                        a for a, s in worker.apps.items() if not s.closed
+                    ],
+                }
+                for worker in self._workers
+            ],
+        }

@@ -46,6 +46,7 @@ import asyncio
 import json
 import time
 from dataclasses import asdict, dataclass, field, replace
+from hashlib import blake2s
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -151,6 +152,28 @@ class LoadGenConfig:
     #: ``ingest_batch`` frames (tcp) and ``offer_many`` calls (both
     #: transports), amortizing per-tuple wire and lock overhead.
     ingest_batch: int = 1
+    #: Adaptive (AIMD) ingest batching — the default when
+    #: ``ingest_batch > 1``: the knob becomes the *maximum* batch size
+    #: and an :class:`~repro.transport.client.AdaptiveIngest` controller
+    #: sizes each flush from observed ack latency; the summary records
+    #: the size trajectory.  ``False`` restores the fixed-size knob.
+    adaptive_batch: bool = True
+    #: Independent source streams.  1 replays ``source`` exactly as
+    #: before; N > 1 replays N seeded variants (``source-0`` ...
+    #: ``source-N-1``), each with its own subscriber set, feeder task
+    #: and (over TCP) its own gateway connection — the shape a sharded
+    #: broker tier needs to show any parallelism.
+    sources: int = 1
+    #: Self-hosted broker worker processes (tcp only, ``connect=None``):
+    #: > 1 builds a :mod:`repro.service.cluster` fleet behind the
+    #: self-hosted gateway instead of one in-process broker.
+    workers: int = 1
+    #: Offer the *entire* trace even when ``duration_s`` elapses first.
+    #: Duration-bounded runs offer however much fit in the wall budget —
+    #: fine for throughput cells, but a determinism comparison across
+    #: runs (e.g. delivered-stream digests across worker counts) needs
+    #: identical offered sets, which only a full-trace replay gives.
+    drain_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.source not in LOADGEN_SOURCES:
@@ -190,12 +213,54 @@ class LoadGenConfig:
             )
         if self.ingest_batch < 1:
             raise ValueError("ingest_batch must be at least 1")
+        if self.sources < 1:
+            raise ValueError("sources must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.workers > 1:
+            if self.transport != "tcp":
+                raise ValueError("workers > 1 requires transport='tcp'")
+            if self.connect is not None:
+                raise ValueError(
+                    "workers > 1 self-hosts a cluster; it cannot target "
+                    "an external server (drop connect=)"
+                )
+        if self.churn and self.sources != 1:
+            raise ValueError(
+                "churn schedules name single-stream apps; use sources=1"
+            )
+        if self.drain_trace and self.mode != "closed":
+            raise ValueError(
+                "drain_trace promises an identical offered set across "
+                "runs; open-loop shedding breaks that — use mode='closed'"
+            )
 
 
-def make_trace(config: LoadGenConfig) -> Trace:
-    """The deterministic input trace a config replays (seeded, sized)."""
+def make_trace(config: LoadGenConfig, stream: int = 0) -> Trace:
+    """The deterministic input trace a config replays (seeded, sized).
+
+    ``stream`` selects one of the config's independent source streams
+    (each stream reseeds the generator with ``seed + stream``, so the
+    streams are distinct but every run of the config replays the same
+    set).
+    """
     n = max(16, int(config.rate * config.duration_s))
-    return CATALOG.make(config.source, n=n, seed=config.seed)
+    return CATALOG.make(config.source, n=n, seed=config.seed + stream)
+
+
+def _source_names(config: LoadGenConfig) -> list[str]:
+    """Broker source names, one per stream (stable across worker counts:
+    the cluster's hash placement keys on exactly these strings)."""
+    if config.sources == 1:
+        return [config.source]
+    return [f"{config.source}-{i}" for i in range(config.sources)]
+
+
+def _app_name(config: LoadGenConfig, stream: int, subscriber: int) -> str:
+    """Subscriber app names; single-stream keeps the historic ``appN``."""
+    if config.sources == 1:
+        return f"app{subscriber}"
+    return f"s{stream}.app{subscriber}"
 
 
 def _subscriber_specs(config: LoadGenConfig, trace: Trace) -> list[str]:
@@ -222,6 +287,20 @@ def default_churn(
     if SIZES[config.size] >= 2:
         events.append(ChurnEvent(at_s=0.7 * d, op="unsubscribe", app="app1"))
     return tuple(sorted(events, key=lambda e: e.at_s))
+
+
+def _stream_digest(seqs: Sequence[int]) -> str:
+    """Order-sensitive digest of one delivered seq stream.
+
+    Two runs delivered byte-identical streams to an app iff their
+    digests (and counts) match — the cross-worker-count determinism
+    check compares these across independent processes, where comparing
+    the raw lists would mean shipping them around.
+    """
+    digest = blake2s(digest_size=16)
+    for seq in seqs:
+        digest.update(seq.to_bytes(8, "big", signed=True))
+    return digest.hexdigest()
 
 
 def decided_map(result: EngineResult) -> dict[str, list[tuple[int, ...]]]:
@@ -292,7 +371,11 @@ async def _consume(
 # Transport drivers: one run loop, two ways to reach the broker
 # ---------------------------------------------------------------------------
 def _broker_service(
-    config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool, hosts: int
+    config: LoadGenConfig,
+    engine_cfg: EngineConfig,
+    tick_cuts: bool,
+    hosts: int,
+    sources: Sequence[str],
 ) -> DisseminationService:
     service = DisseminationService(
         ServiceConfig(
@@ -307,17 +390,19 @@ def _broker_service(
         ),
         nodes=["source-node"] + [f"host{i}" for i in range(hosts)],
     )
-    service.add_source(config.source, "source-node")
+    for name in sources:
+        service.add_source(name, "source-node")
     return service
 
 
-async def _close_out(service: DisseminationService, source: str):
-    """Shared in-process close-out: ``(epochs, final snapshot dict,
-    final subscriptions)`` — the subscriptions read before the close,
-    straight from the broker (which may have detached disconnect-policy
-    laggards the run loop never saw leave)."""
-    subscriptions = service.subscriptions(source)
-    epochs = (await service.close())[source]
+async def _close_out(service: DisseminationService, sources: Sequence[str]):
+    """Shared in-process close-out: ``(epochs by source, final snapshot
+    dict, final subscriptions by source)`` — the subscriptions read
+    before the close, straight from the broker (which may have detached
+    disconnect-policy laggards the run loop never saw leave)."""
+    subscriptions = {name: service.subscriptions(name) for name in sources}
+    epochs_all = await service.close()
+    epochs = {name: epochs_all[name] for name in sources}
     return epochs, service.snapshot().to_dict(), subscriptions
 
 
@@ -325,11 +410,17 @@ class _InProcDriver:
     """Offers and churn as plain broker calls (no sockets)."""
 
     def __init__(
-        self, config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool,
+        self,
+        config: LoadGenConfig,
+        engine_cfg: EngineConfig,
+        tick_cuts: bool,
         hosts: int,
+        sources: Sequence[str],
     ):
-        self.source = config.source
-        self.service = _broker_service(config, engine_cfg, tick_cuts, hosts)
+        self.sources = list(sources)
+        self.service = _broker_service(
+            config, engine_cfg, tick_cuts, hosts, self.sources
+        )
 
     async def start(self) -> None:
         pass
@@ -338,8 +429,8 @@ class _InProcDriver:
     def negotiated_codec(self) -> Optional[str]:
         return None
 
-    async def attach(self, app: str, spec: str):
-        return await self.service.subscribe(app, self.source, spec)
+    async def attach(self, source: str, app: str, spec: str):
+        return await self.service.subscribe(app, source, spec)
 
     async def unsubscribe(self, app: str) -> None:
         await self.service.unsubscribe(app)
@@ -347,11 +438,23 @@ class _InProcDriver:
     async def re_filter(self, app: str, spec: str) -> None:
         await self.service.re_filter(app, spec)
 
-    async def offer(self, item: StreamTuple) -> None:
-        await self.service.offer(self.source, item)
+    async def offer(self, source: str, item: StreamTuple, adapt=None) -> None:
+        if adapt is None:
+            await self.service.offer(source, item)
+            return
+        started = time.perf_counter()
+        await self.service.offer(source, item)
+        adapt.observe(1, time.perf_counter() - started)
 
-    async def offer_many(self, items: Sequence[StreamTuple]) -> None:
-        await self.service.offer_many(self.source, items)
+    async def offer_many(
+        self, source: str, items: Sequence[StreamTuple], adapt=None
+    ) -> None:
+        if adapt is None:
+            await self.service.offer_many(source, items)
+            return
+        started = time.perf_counter()
+        await self.service.offer_many(source, items)
+        adapt.observe(len(items), time.perf_counter() - started)
 
     async def tick(self, now_ms: float) -> None:
         await self.service.tick(now_ms)
@@ -360,27 +463,42 @@ class _InProcDriver:
         return self.service.snapshot().to_dict()
 
     async def finish(self, live_apps: Sequence[str]):
-        """Close out the run; returns ``(epochs or None, final snapshot
-        dict, final subscriptions or None)``."""
-        return await _close_out(self.service, self.source)
+        """Close out the run; returns ``(epochs by source or None, final
+        snapshot dict, final subscriptions by source or None)``."""
+        return await _close_out(self.service, self.sources)
 
     async def cleanup(self) -> None:
         pass
 
 
 class _TcpDriver:
-    """Everything — offers, churn, ticks, snapshots — over a socket."""
+    """Everything — offers, churn, ticks, snapshots — over sockets.
+
+    One gateway connection *per source stream*: the gateway dispatches a
+    connection's frames inline (that is what carries backpressure), so
+    parallel streams need parallel connections to let a sharded backend
+    actually overlap their decides.  With ``workers > 1`` the
+    self-hosted backend is a :class:`repro.service.cluster.ClusterService`
+    fleet instead of one in-process broker.
+    """
 
     def __init__(
-        self, config: LoadGenConfig, engine_cfg: EngineConfig, tick_cuts: bool,
+        self,
+        config: LoadGenConfig,
+        engine_cfg: EngineConfig,
+        tick_cuts: bool,
         hosts: int,
+        sources: Sequence[str],
     ):
         self.config = config
-        self.source = config.source
+        self.sources = list(sources)
         self.own_server = config.connect is None
         self.service: Optional[DisseminationService] = None
+        self.cluster = None
         self.gateway = None
-        self.client = None
+        self.clients: dict[str, object] = {}
+        self.control = None
+        self._app_client: dict[str, object] = {}
         self._engine_cfg = engine_cfg
         self._tick_cuts = tick_cuts
         self._hosts = hosts
@@ -389,112 +507,198 @@ class _TcpDriver:
         from repro.transport.client import GatewayClient
         from repro.transport.server import GatewayServer
 
+        config = self.config
         if self.own_server:
-            self.service = _broker_service(
-                self.config, self._engine_cfg, self._tick_cuts, self._hosts
-            )
+            if config.workers > 1:
+                from repro.service.cluster import ClusterConfig, ClusterService
+
+                self.cluster = ClusterService(
+                    ClusterConfig(
+                        workers=config.workers,
+                        sources=tuple(self.sources),
+                        algorithm=config.algorithm,
+                        constraint_ms=config.constraint_ms,
+                        queue_capacity=config.queue_capacity,
+                        overflow=config.overflow,
+                        batch_max_items=config.batch_max_items,
+                        batch_max_delay_ms=config.batch_max_delay_ms,
+                        tick_cuts=self._tick_cuts,
+                        seed=config.seed,
+                        codec=config.codec,
+                    )
+                )
+                await self.cluster.start()
+                backend = self.cluster
+            else:
+                self.service = _broker_service(
+                    config,
+                    self._engine_cfg,
+                    self._tick_cuts,
+                    self._hosts,
+                    self.sources,
+                )
+                backend = self.service
             self.gateway = GatewayServer(
-                self.service,
+                backend,
                 host="127.0.0.1",
                 port=0,
-                fanout=self.config.fanout,
+                fanout=config.fanout,
             )
-            await self.gateway.start()
-            host, port = "127.0.0.1", self.gateway.port
-        else:
-            host, _, port_text = self.config.connect.rpartition(":")
-            host = host or "127.0.0.1"
-            port = int(port_text)
-        self.client = await GatewayClient.connect(
-            host, port, codec=self.config.codec
-        )
-        await self.client.ensure_source(self.source)
+        try:
+            if self.own_server:
+                await self.gateway.start()
+                host, port = "127.0.0.1", self.gateway.port
+            else:
+                host, _, port_text = config.connect.rpartition(":")
+                host = host or "127.0.0.1"
+                port = int(port_text)
+            for source in self.sources:
+                client = await GatewayClient.connect(
+                    host, port, codec=config.codec
+                )
+                await client.ensure_source(source)
+                self.clients[source] = client
+            self.control = self.clients[self.sources[0]]
+        except BaseException:
+            # A failure after the worker fleet came up must not strand
+            # its subprocesses; tear down whatever exists (shutting the
+            # gateway down closes the backend, cluster included).
+            await self.cleanup()
+            raise
 
     @property
     def negotiated_codec(self) -> Optional[str]:
-        return self.client.codec if self.client is not None else None
+        return self.control.codec if self.control is not None else None
 
-    async def attach(self, app: str, spec: str):
-        return await self.client.subscribe(
+    async def attach(self, source: str, app: str, spec: str):
+        client = self.clients[source]
+        subscription = await client.subscribe(
             app,
-            self.source,
+            source,
             spec,
             queue_capacity=self.config.queue_capacity,
             overflow=self.config.overflow,
             batch_max_items=self.config.batch_max_items,
             batch_max_delay_ms=self.config.batch_max_delay_ms,
         )
+        self._app_client[app] = client
+        return subscription
 
     async def unsubscribe(self, app: str) -> None:
-        await self.client.unsubscribe(app)
+        await self._app_client.pop(app, self.control).unsubscribe(app)
 
     async def re_filter(self, app: str, spec: str) -> None:
-        await self.client.re_filter(app, spec)
+        await self._app_client.get(app, self.control).re_filter(app, spec)
 
-    async def offer(self, item: StreamTuple) -> None:
+    async def offer(self, source: str, item: StreamTuple, adapt=None) -> None:
         # ack=True gives the in-process completion semantics: the call
         # resolves when the broker has processed the tuple.
-        await self.client.ingest(
-            self.source, item, pad_bytes=self.config.tuple_size_bytes
+        await self.clients[source].ingest(
+            source,
+            item,
+            pad_bytes=self.config.tuple_size_bytes,
+            adapt=adapt,
         )
 
-    async def offer_many(self, items: Sequence[StreamTuple]) -> None:
+    async def offer_many(
+        self, source: str, items: Sequence[StreamTuple], adapt=None
+    ) -> None:
         # One frame, one ack, padded per tuple so wire bytes still
         # reflect the configured payload size.
-        await self.client.ingest_many(
-            self.source,
+        await self.clients[source].ingest_many(
+            source,
             items,
             pad_bytes=self.config.tuple_size_bytes * len(items),
+            adapt=adapt,
         )
 
     async def tick(self, now_ms: float) -> None:
-        await self.client.tick(now_ms)
+        await self.control.tick(now_ms)
 
     async def snapshot(self) -> dict:
-        return await self.client.snapshot()
+        return await self.control.snapshot()
 
     async def finish(self, live_apps: Sequence[str]):
         from repro.transport.client import GatewayError
 
-        if self.own_server:
+        if self.own_server and self.cluster is None:
             # Same-process server: close it directly and verify against
             # the engines' own epoch record, exactly like inproc.
-            return await _close_out(self.service, self.source)
-        # External server: the engines' epochs are not reachable, but a
-        # pre-teardown snapshot records which of OUR sessions the broker
-        # really holds (the falsifiable half of churn verification);
-        # then unsubscribe (final-flushing each session's batcher toward
-        # us) so the delivered streams are complete, and snapshot once
-        # more for the summary totals.  Foreign subscribers on the same
-        # source are excluded from the record — though note that their
-        # presence changes the filter group, so external --verify is
-        # only meaningful when this loadgen's subscribers are the
-        # source's only ones.
+            return await _close_out(self.service, self.sources)
+        # External server or worker fleet: the engines' epochs are not
+        # reachable, but a pre-teardown snapshot records which of OUR
+        # sessions the broker really holds (the falsifiable half of
+        # churn verification); then unsubscribe (final-flushing each
+        # session's batcher toward us) so the delivered streams are
+        # complete, and snapshot once more for the summary totals.
+        # Foreign subscribers on the same source are excluded from the
+        # record — though note that their presence changes the filter
+        # group, so external --verify is only meaningful when this
+        # loadgen's subscribers are the source's only ones.
         ours = set(live_apps)
-        pre = await self.client.snapshot()
-        subscriptions = [
-            (s["app_name"], s["spec"])
-            for s in pre["sessions"]
-            if s["source_name"] == self.source and s["app_name"] in ours
-        ]
+        pre = await self.control.snapshot()
+        subscriptions: dict[str, list[tuple[str, str]]] = {
+            source: [] for source in self.sources
+        }
+        for row in pre["sessions"]:
+            if row["source_name"] in subscriptions and row["app_name"] in ours:
+                subscriptions[row["source_name"]].append(
+                    (row["app_name"], row["spec"])
+                )
         for app in live_apps:
             try:
-                await self.client.unsubscribe(app)
+                await self._app_client.get(app, self.control).unsubscribe(app)
             except GatewayError:
                 # Already gone server-side (e.g. disconnect-policy reap).
                 pass
-        return None, await self.client.snapshot(), subscriptions
+        return None, await self.control.snapshot(), subscriptions
 
     async def cleanup(self) -> None:
-        if self.client is not None:
-            await self.client.close()
+        for client in self.clients.values():
+            await client.close()
         if self.gateway is not None:
             await self.gateway.shutdown()
 
 
+@dataclass
+class _Feed:
+    """One source stream's replay state."""
+
+    index: int
+    source: str
+    trace: Trace
+    specs: list[str]
+    dt_ms: float
+    controller: Optional[object] = None
+    offered: list[StreamTuple] = field(default_factory=list)
+    pending: list[StreamTuple] = field(default_factory=list)
+    #: Timestamp of the last tuple the service has *processed* for this
+    #: stream (see the tick-clock clamp below).
+    processed_ts: float = 0.0
+    #: Set when this stream's feeder died on a transport error: it will
+    #: never offer again, so it must stop clamping the tick clock for
+    #: the surviving streams.
+    failed: bool = False
+
+
 async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
-    trace = make_trace(config)
-    specs = _subscriber_specs(config, trace)
+    names = _source_names(config)
+    feeds: list[_Feed] = []
+    for index, source in enumerate(names):
+        trace = make_trace(config, stream=index)
+        feeds.append(
+            _Feed(
+                index=index,
+                source=source,
+                trace=trace,
+                specs=_subscriber_specs(config, trace),
+                dt_ms=(
+                    trace[1].timestamp - trace[0].timestamp
+                    if len(trace) > 1
+                    else 10.0
+                ),
+            )
+        )
     engine_cfg = EngineConfig(
         algorithm=config.algorithm, constraint_ms=config.constraint_ms
     )
@@ -502,10 +706,17 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     # arrivals: a tick-fired cut between two arrivals can legitimately
     # decide differently from the batch reference (GroupAwareEngine.tick).
     tick_cuts = not (config.verify and config.constraint_ms is not None)
-    hosts = len(specs) + len(config.churn) + 1
+    hosts = sum(len(feed.specs) for feed in feeds) + len(config.churn) + 1
     driver_cls = _TcpDriver if config.transport == "tcp" else _InProcDriver
-    driver = driver_cls(config, engine_cfg, tick_cuts, hosts)
+    driver = driver_cls(config, engine_cfg, tick_cuts, hosts, names)
     await driver.start()
+    if config.adaptive_batch and config.ingest_batch > 1:
+        # Lazy import: the service package must not import transport at
+        # module load (circular import).
+        from repro.transport.client import AdaptiveIngest
+
+        for feed in feeds:
+            feed.controller = AdaptiveIngest(config.ingest_batch)
     # Mid-run transport failures (a dying external server, a reaped
     # session) must degrade into a summary with recorded errors and a
     # cleaned-up driver, not a crash that leaks tasks and sockets.
@@ -515,79 +726,76 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
 
         recoverable = (ConnectionError, OSError, GatewayError)
 
-    #: Insertion-ordered (app -> spec), mirroring the broker's session
-    #: dict so the verification reference groups filters identically.
-    live: dict[str, str] = {}
+    #: Insertion-ordered (app -> (source, spec)), mirroring the broker's
+    #: session dicts so the verification references group filters
+    #: identically.
+    live: dict[str, tuple[str, str]] = {}
     consumers: dict[str, asyncio.Task] = {}
     delivered_seqs: dict[str, list[int]] = {}
 
-    # Only the external-server verify branch compares delivered seqs;
-    # every other mode skips collecting them.
-    collect_seqs = config.verify and config.connect is not None
+    # Delivered-seq collection feeds the external/cluster verify branch
+    # and the cross-run stream digests; in-process runs verify against
+    # engine epochs and skip the retention.
+    collect_seqs = config.verify and config.transport == "tcp"
 
-    async def attach(app: str, spec: str) -> None:
-        handle = await driver.attach(app, spec)
-        live[app] = spec
+    async def attach(source: str, app: str, spec: str) -> None:
+        handle = await driver.attach(source, app, spec)
+        live[app] = (source, spec)
         sink = delivered_seqs.setdefault(app, []) if collect_seqs else None
         consumers[app] = asyncio.create_task(
             _consume(handle, config.consumer_delay_ms, sink)
         )
 
-    for index, spec in enumerate(specs):
-        await attach(f"app{index}", spec)
+    for feed in feeds:
+        for subscriber, spec in enumerate(feed.specs):
+            await attach(
+                feed.source, _app_name(config, feed.index, subscriber), spec
+            )
 
     records: list[dict] = []
-    offered_items: list[StreamTuple] = []
     in_flight: set[asyncio.Task] = set()
     shed = 0
     started = time.perf_counter()
-    # Stream-time milliseconds advanced per wall second at the target rate.
-    stream_dt_ms = (
-        trace[1].timestamp - trace[0].timestamp if len(trace) > 1 else 10.0
-    )
-    # Timestamp of the last tuple the service has *processed* (not merely
-    # handed to create_task): in open-loop mode an appended offer may
-    # still be a pending task, and ticking past an unprocessed arrival's
-    # timestamp is exactly what breaks batch equivalence.
-    processed_ts = 0.0
     ingest_batch = config.ingest_batch
-    #: Tuples accepted but not yet offered (batched-ingest staging).
-    pending_offers: list[StreamTuple] = []
 
-    async def offer_batch(batch: Sequence[StreamTuple]) -> None:
-        nonlocal processed_ts
+    async def offer_batch(feed: _Feed, batch: Sequence[StreamTuple]) -> None:
         if len(batch) == 1:
-            await driver.offer(batch[0])
+            await driver.offer(feed.source, batch[0], adapt=feed.controller)
         else:
-            await driver.offer_many(batch)
-        processed_ts = max(processed_ts, batch[-1].timestamp)
+            await driver.offer_many(feed.source, batch, adapt=feed.controller)
+        feed.processed_ts = max(feed.processed_ts, batch[-1].timestamp)
 
-    def take_pending() -> list[StreamTuple]:
-        batch = pending_offers[:]
-        pending_offers.clear()
+    def take_pending(feed: _Feed) -> list[StreamTuple]:
+        batch = feed.pending[:]
+        feed.pending.clear()
         return batch
 
-    def dispatch_pending() -> None:
+    def dispatch_pending(feed: _Feed) -> None:
         """Fire-and-track the staged batch (open-loop mode)."""
-        if not pending_offers:
+        if not feed.pending:
             return
-        task = asyncio.create_task(offer_batch(take_pending()))
+        task = asyncio.create_task(offer_batch(feed, take_pending(feed)))
         in_flight.add(task)
         task.add_done_callback(in_flight.discard)
 
-    async def flush_pending() -> None:
+    async def flush_pending(feed: _Feed) -> None:
         """Offer the staged batch inline (closed-loop and boundaries)."""
-        if pending_offers:
-            await offer_batch(take_pending())
+        if feed.pending:
+            await offer_batch(feed, take_pending(feed))
 
     def stream_now() -> float:
-        # Extrapolate stream time from the wall clock, but never run more
-        # than one inter-arrival interval ahead of the last processed
-        # tuple: ticking past the next arrival's timestamp could close a
-        # region a lagging tuple would still join (see
-        # GroupAwareEngine.tick).
-        wall = (time.perf_counter() - started) * config.rate * stream_dt_ms
-        return min(wall, processed_ts + stream_dt_ms)
+        # Extrapolate stream time from the wall clock, but never run
+        # more than one inter-arrival interval ahead of any stream's
+        # last *processed* tuple (not merely task-scheduled): ticking
+        # past an unprocessed arrival's timestamp could close a region a
+        # lagging tuple would still join (see GroupAwareEngine.tick).
+        wall = (time.perf_counter() - started) * config.rate * feeds[0].dt_ms
+        # Failed feeds never offer again; including them would freeze
+        # the clock (and every healthy stream's timely cuts) forever.
+        caps = [
+            feed.processed_ts + feed.dt_ms for feed in feeds if not feed.failed
+        ]
+        return min(wall, *caps) if caps else wall
 
     stop_metrics = asyncio.Event()
 
@@ -617,61 +825,83 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     churn_applied: list[dict] = []
 
     async def apply_due_churn(elapsed: float) -> None:
+        # Churn schedules are single-stream (validated in the config):
+        # events always target feed 0's source.
         if not (pending_churn and pending_churn[0].at_s <= elapsed):
             return
         # Staged tuples must precede the subscription change, exactly as
         # they would have with per-tuple offers.
         if config.mode == "closed":
-            await flush_pending()
+            await flush_pending(feeds[0])
         else:
-            dispatch_pending()
+            dispatch_pending(feeds[0])
         while pending_churn and pending_churn[0].at_s <= elapsed:
             event = pending_churn.pop(0)
             if event.op == "subscribe":
-                await attach(event.app, event.spec)
+                await attach(feeds[0].source, event.app, event.spec)
             elif event.op == "unsubscribe":
                 await driver.unsubscribe(event.app)
                 live.pop(event.app, None)
             else:
                 await driver.re_filter(event.app, event.spec)
-                live[event.app] = event.spec
+                live[event.app] = (feeds[0].source, event.spec)
             churn_applied.append(asdict(event))
 
     errors: list[str] = []
     deadline = started + config.duration_s
-    try:
-        for index, item in enumerate(trace):
-            now = time.perf_counter()
-            if now >= deadline:
-                break
-            target = started + index / config.rate
-            if target > now:
-                await asyncio.sleep(target - now)
-                if time.perf_counter() >= deadline:
+
+    async def run_feed(feed: _Feed) -> None:
+        """Replay one source stream at the target rate.
+
+        Every stream runs its own instance of this loop concurrently
+        (its own pacing, staging and — over TCP — connection), so a
+        sharded backend can overlap their decides; a recoverable
+        transport failure stops this stream and is recorded without
+        tearing the others down.
+        """
+        nonlocal shed
+        try:
+            for index, item in enumerate(feed.trace):
+                now = time.perf_counter()
+                if now >= deadline and not config.drain_trace:
                     break
-            await apply_due_churn(time.perf_counter() - started)
+                target = started + index / config.rate
+                if target > now:
+                    await asyncio.sleep(target - now)
+                    if time.perf_counter() >= deadline and not config.drain_trace:
+                        break
+                if feed.index == 0:
+                    await apply_due_churn(time.perf_counter() - started)
+                limit = (
+                    feed.controller.size
+                    if feed.controller is not None
+                    else ingest_batch
+                )
+                if config.mode == "closed":
+                    feed.offered.append(item)
+                    feed.pending.append(item)
+                    if len(feed.pending) >= limit:
+                        await flush_pending(feed)
+                else:
+                    if len(in_flight) >= config.max_in_flight:
+                        shed += 1
+                        continue
+                    feed.offered.append(item)
+                    feed.pending.append(item)
+                    if len(feed.pending) >= limit:
+                        dispatch_pending(feed)
+            # The feed's tail may be staged but unsent; offer it before
+            # the in-flight gather so "offered" means offered.
             if config.mode == "closed":
-                offered_items.append(item)
-                pending_offers.append(item)
-                if len(pending_offers) >= ingest_batch:
-                    await flush_pending()
+                await flush_pending(feed)
             else:
-                if len(in_flight) >= config.max_in_flight:
-                    shed += 1
-                    continue
-                offered_items.append(item)
-                pending_offers.append(item)
-                if len(pending_offers) >= ingest_batch:
-                    dispatch_pending()
-        # The feed's tail may be staged but unsent; offer it before the
-        # in-flight gather so "offered" means offered.
-        if config.mode == "closed":
-            await flush_pending()
-        else:
-            dispatch_pending()
-    except recoverable as exc:
-        errors.append(repr(exc))
-        pending_offers.clear()
+                dispatch_pending(feed)
+        except recoverable as exc:
+            errors.append(repr(exc))
+            feed.pending.clear()
+            feed.failed = True
+
+    await asyncio.gather(*(run_feed(feed) for feed in feeds))
 
     if in_flight:
         offer_results = await asyncio.gather(
@@ -700,11 +930,15 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         epochs, final_snapshot, broker_subscriptions = None, _dead_snapshot(), None
         for handle in consumers.values():
             handle.cancel()
-    final_subscriptions = (
-        broker_subscriptions
-        if broker_subscriptions is not None
-        else list(live.items())
-    )
+    if broker_subscriptions is not None:
+        subs_by_source = broker_subscriptions
+    else:
+        subs_by_source = {feed.source: [] for feed in feeds}
+        for app, (source, spec) in live.items():
+            subs_by_source.setdefault(source, []).append((app, spec))
+    final_subscriptions = [
+        pair for feed in feeds for pair in subs_by_source.get(feed.source, [])
+    ]
     consumer_results = await asyncio.gather(
         *consumers.values(), return_exceptions=True
     )
@@ -725,34 +959,63 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
 
     equivalent: Optional[bool] = None
     if config.verify:
-        reference = _batch_reference(final_subscriptions, offered_items, engine_cfg)
-        want = decided_map(reference)
-        if epochs is not None:
-            live_map = _merge_decided(epochs)
-            if config.churn:
-                # Churn cuts epochs over mid-stream; only the final
-                # subscription set's presence is checkable, not equality.
-                equivalent = set(live_map) >= {
-                    app for app, _ in final_subscriptions
-                }
+        stream_ok: list[bool] = []
+        for feed in feeds:
+            subscriptions = subs_by_source.get(feed.source, [])
+            reference = _batch_reference(
+                subscriptions, feed.offered, engine_cfg
+            )
+            want = decided_map(reference)
+            if epochs is not None:
+                live_map = _merge_decided(epochs.get(feed.source, []))
+                if config.churn:
+                    # Churn cuts epochs over mid-stream; only the final
+                    # subscription set's presence is checkable, not
+                    # equality.
+                    stream_ok.append(
+                        set(live_map) >= {app for app, _ in subscriptions}
+                    )
+                else:
+                    stream_ok.append(live_map == want)
+            elif config.churn:
+                # External server: the broker's actual session set
+                # (pre-teardown snapshot) must match the churn
+                # schedule's outcome.
+                stream_ok.append(
+                    dict(subscriptions)
+                    == {
+                        app: spec
+                        for app, (source, spec) in live.items()
+                        if source == feed.source
+                    }
+                )
             else:
-                equivalent = live_map == want
-        else:
-            # External server: the engines are out of reach, but with a
-            # drop-free policy the delivered stream per app must equal
-            # the reference's decided tuples, flattened in order.
-            if config.churn:
-                # The broker's actual session set (pre-teardown
-                # snapshot) must match the churn schedule's outcome.
-                equivalent = dict(final_subscriptions) == live
-            else:
+                # External server or worker fleet: the engines are out
+                # of reach, but with a drop-free policy the delivered
+                # stream per app must equal the reference's decided
+                # tuples, flattened in order — this is also what makes
+                # worker counts comparable (sources are independent, so
+                # any source→worker partitioning must deliver identical
+                # per-subscriber streams).
                 flattened = {
                     app: [seq for row in rows for seq in row]
                     for app, rows in want.items()
                 }
-                equivalent = {
-                    app: delivered_seqs.get(app, []) for app in flattened
-                } == flattened
+                stream_ok.append(
+                    {app: delivered_seqs.get(app, []) for app in flattened}
+                    == flattened
+                )
+        equivalent = all(stream_ok)
+
+    delivered_digest: Optional[dict] = None
+    if collect_seqs:
+        delivered_digest = {
+            app: {
+                "count": len(seqs),
+                "blake2s": _stream_digest(seqs),
+            }
+            for app, seqs in sorted(delivered_seqs.items())
+        }
 
     summary = {
         "schema": "repro-loadgen/v1",
@@ -766,10 +1029,27 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "codec": driver.negotiated_codec,
         "fanout": config.fanout if config.transport == "tcp" else None,
         "ingest_batch": config.ingest_batch,
-        "trace_tuples": len(trace),
-        "offered": len(offered_items),
+        "adaptive_batch": feeds[0].controller is not None,
+        "ingest_batch_trajectory": (
+            {feed.source: feed.controller.trajectory for feed in feeds}
+            if feeds[0].controller is not None
+            else None
+        ),
+        "ingest_batch_final": (
+            {feed.source: feed.controller.size for feed in feeds}
+            if feeds[0].controller is not None
+            else None
+        ),
+        "workers": config.workers,
+        "source_streams": names,
+        "trace_tuples": sum(len(feed.trace) for feed in feeds),
+        "offered": sum(len(feed.offered) for feed in feeds),
         "shed": shed,
-        "offered_rate_tps": len(offered_items) / wall_s if wall_s > 0 else 0.0,
+        "offered_rate_tps": (
+            sum(len(feed.offered) for feed in feeds) / wall_s
+            if wall_s > 0
+            else 0.0
+        ),
         "wall_s": round(wall_s, 4),
         "delivered_tuples": delivered_total,
         "dropped_tuples": final_snapshot["dropped_tuples"],
@@ -785,6 +1065,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "churn_unapplied": [asdict(event) for event in pending_churn],
         "final_subscriptions": [list(pair) for pair in final_subscriptions],
         "equivalent_to_batch": equivalent,
+        "delivered_digest": delivered_digest,
         "errors": errors,
         "clean_shutdown": not errors and not in_flight,
     }

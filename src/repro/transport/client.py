@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import AsyncIterator, Mapping, Optional, Sequence, Union
 
 from repro.core.tuples import StreamTuple
@@ -46,9 +47,93 @@ from repro.transport.protocol import (
     pack_header,
 )
 
-__all__ = ["GatewayError", "RemoteSubscription", "GatewayClient"]
+__all__ = [
+    "AdaptiveIngest",
+    "GatewayError",
+    "RemoteSubscription",
+    "GatewayClient",
+]
 
 _READ_CHUNK = 1 << 16
+
+
+class AdaptiveIngest:
+    """AIMD sizing of ingest batches from observed ack latency.
+
+    A fixed ``--ingest-batch`` knob forces one batch size onto every
+    broker state: too small and the per-frame overhead dominates, too
+    large and a loaded broker holds the ack (and the producer's staged
+    tuples) for whole scheduling quanta.  This controller replaces the
+    fixed knob with the classic congestion-control shape:
+
+    * **additive increase** — while an ack's per-tuple latency stays
+      within ``backoff_ratio`` of the best per-tuple latency seen, grow
+      the next batch by one tuple (up to ``max_size``);
+    * **multiplicative decrease** — an ack slower than that bound halves
+      the batch size (down to ``min_size``), so a broker entering
+      backpressure (a ``block``-policy stall, a saturated worker) sheds
+      staging latency within a few acks.
+
+    The latency baseline inflates by ``baseline_decay`` per observation,
+    so one unrepresentatively fast ack early in a run cannot poison the
+    backoff threshold forever.  ``trajectory`` records every size change
+    as ``(observation_index, new_size)`` — run manifests persist it so a
+    sweep can show how the controller settled.
+    """
+
+    def __init__(
+        self,
+        max_size: int,
+        *,
+        min_size: int = 1,
+        backoff_ratio: float = 2.0,
+        baseline_decay: float = 1.02,
+        trajectory_limit: int = 512,
+    ):
+        if min_size < 1:
+            raise ValueError("min_size must be at least 1")
+        if max_size < min_size:
+            raise ValueError("max_size must be at least min_size")
+        if backoff_ratio <= 1.0:
+            raise ValueError("backoff_ratio must exceed 1.0")
+        if baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be at least 1.0")
+        self.min_size = min_size
+        self.max_size = max_size
+        self.backoff_ratio = backoff_ratio
+        self.baseline_decay = baseline_decay
+        self.size = min_size
+        self.observations = 0
+        self.backoffs = 0
+        self._best_per_tuple_s: Optional[float] = None
+        self._trajectory: list[tuple[int, int]] = [(0, min_size)]
+        self._trajectory_limit = trajectory_limit
+
+    def observe(self, batch_len: int, ack_latency_s: float) -> None:
+        """Feed one acked flush; adjusts :attr:`size` for the next one."""
+        if batch_len < 1 or ack_latency_s < 0.0:
+            return
+        self.observations += 1
+        per_tuple = ack_latency_s / batch_len
+        best = self._best_per_tuple_s
+        if best is None:
+            best = per_tuple
+        else:
+            best = min(best * self.baseline_decay, per_tuple)
+        self._best_per_tuple_s = best
+        previous = self.size
+        if per_tuple > self.backoff_ratio * best:
+            self.size = max(self.min_size, self.size // 2)
+            self.backoffs += 1
+        else:
+            self.size = min(self.max_size, self.size + 1)
+        if self.size != previous and len(self._trajectory) < self._trajectory_limit:
+            self._trajectory.append((self.observations, self.size))
+
+    @property
+    def trajectory(self) -> list[tuple[int, int]]:
+        """Size changes as ``(observation_index, new_size)`` pairs."""
+        return list(self._trajectory)
 
 
 class GatewayError(Exception):
@@ -69,11 +154,27 @@ class RemoteSubscription:
         self.spec = spec
         #: Why the server closed this subscription (None while live).
         self.closed_reason: Optional[str] = None
+        #: Server-resolved session bounds echoed by the subscribe reply
+        #: (queue_capacity / overflow / batch_max_items /
+        #: batch_max_delay_ms); the cluster router re-subscribes crashed
+        #: workers' sessions with exactly these.
+        self.resolved: dict = {}
         #: ``capacity=0`` means unbounded — used for the one-round-trip
         #: window before the server echoes the resolved queue bound.
         self._queue: asyncio.Queue[Optional[Batch]] = asyncio.Queue(
             maxsize=max(0, capacity)
         )
+        #: Space signal for the (single-producer) read loop: set whenever
+        #: the consumer pops or the stream ends, so a push blocked on a
+        #: full buffer can always be released by :meth:`close_local` —
+        #: ``asyncio.Queue`` alone has no close, and a putter parked on
+        #: a queue whose consumer is gone would wait forever.
+        self._space = asyncio.Event()
+        #: Set when the client has removed this subscription from its
+        #: registry (server ``closed`` frame or connection death) — a
+        #: re-subscribe of the same app waits on it so a late ``closed``
+        #: frame lands on this object, never on the replacement.
+        self._removed = asyncio.Event()
         self._ended = False
 
     def _resize(self, capacity: int) -> None:
@@ -94,6 +195,23 @@ class RemoteSubscription:
         )
         for item in buffered:
             self._queue.put_nowait(item)
+        # A push blocked against the old bound re-reads self._queue on
+        # its next attempt.
+        self._space.set()
+
+    @property
+    def buffered(self) -> int:
+        """Client-side batches waiting for the consumer."""
+        return self._queue.qsize()
+
+    def close_local(self, reason: str) -> None:
+        """End the stream from this side (no wire traffic).
+
+        The cluster router uses this to dismiss a worker subscription it
+        no longer wants (shutdown wedge-breaking, lost workers) without
+        waiting for a ``closed`` frame that may never come.
+        """
+        self._close(reason)
 
     def __aiter__(self) -> AsyncIterator[Batch]:
         return self.batches()
@@ -102,6 +220,7 @@ class RemoteSubscription:
         """Yield delivered batches until the server closes the stream."""
         while True:
             batch = await self._queue.get()
+            self._space.set()
             if batch is None:
                 return
             yield batch
@@ -113,8 +232,21 @@ class RemoteSubscription:
 
     # -- read-loop side -------------------------------------------------
     async def _push(self, batch: Batch) -> None:
-        if not self._ended:
-            await self._queue.put(batch)
+        """Buffer one delivered batch, blocking while the consumer lags.
+
+        The blocking wait is interruptible by :meth:`close_local` via
+        the space event, so a subscription dismissed while its buffer is
+        full (router shutdown, lost worker) releases the read loop
+        instead of wedging the whole connection behind a consumer that
+        will never pop again.
+        """
+        while not self._ended:
+            try:
+                self._queue.put_nowait(batch)
+                return
+            except asyncio.QueueFull:
+                self._space.clear()
+                await self._space.wait()
 
     def _close(self, reason: str) -> None:
         """End the stream without ever blocking (teardown paths).
@@ -128,6 +260,9 @@ class RemoteSubscription:
             return
         self._ended = True
         self.closed_reason = reason
+        # Release a read loop blocked on a full buffer (it re-checks
+        # _ended and drops the batch).
+        self._space.set()
         while True:
             try:
                 self._queue.put_nowait(None)
@@ -293,6 +428,7 @@ class GatewayClient:
         *,
         ack: bool = True,
         pad_bytes: int = 0,
+        adapt: Optional[AdaptiveIngest] = None,
     ) -> Optional[int]:
         """Offer one tuple to the broker across the wire.
 
@@ -302,11 +438,13 @@ class GatewayClient:
         is fire-and-forget (the frame is written and drained, nothing
         more).  ``pad_bytes`` attaches throwaway payload so the wire
         frame approximates a configured tuple size.  The frame body uses
-        the negotiated codec.
+        the negotiated codec.  ``adapt`` feeds the measured ack latency
+        to an :class:`AdaptiveIngest` controller (acked sends only).
         """
         encoder = self._encoder
         limit = self._max_frame_bytes
         if ack:
+            started = time.perf_counter() if adapt is not None else 0.0
             reply = await self._roundtrip(
                 lambda seq: self._write_body(
                     encoder.ingest_body(
@@ -318,6 +456,8 @@ class GatewayClient:
                     )
                 )
             )
+            if adapt is not None:
+                adapt.observe(1, time.perf_counter() - started)
             return reply.get("emissions")
         self._check_alive()
         self._write_body(
@@ -335,19 +475,23 @@ class GatewayClient:
         *,
         ack: bool = True,
         pad_bytes: int = 0,
+        adapt: Optional[AdaptiveIngest] = None,
     ) -> Optional[int]:
         """Offer many tuples in one ``ingest_batch`` frame.
 
         One frame, one (optional) ack, one broker lock acquisition for
         the whole batch — the per-tuple wire and scheduling overhead is
         amortized across ``len(items)``.  Returns the summed emission
-        count when ``ack=True``.
+        count when ``ack=True``.  ``adapt`` feeds the measured ack
+        latency to an :class:`AdaptiveIngest` controller so the *next*
+        batch is sized from how this one fared.
         """
         if not items:
             return 0 if ack else None
         encoder = self._encoder
         limit = self._max_frame_bytes
         if ack:
+            started = time.perf_counter() if adapt is not None else 0.0
             reply = await self._roundtrip(
                 lambda seq: self._write_body(
                     encoder.ingest_batch_body(
@@ -359,6 +503,8 @@ class GatewayClient:
                     )
                 )
             )
+            if adapt is not None:
+                adapt.observe(len(items), time.perf_counter() - started)
             return reply.get("emissions")
         self._check_alive()
         self._write_body(
@@ -374,9 +520,17 @@ class GatewayClient:
         reply = await self._request({"t": "tick", "now_ms": now_ms})
         return int(reply.get("emissions", 0))
 
-    async def snapshot(self) -> dict:
-        """The live service snapshot as a plain dict."""
-        reply = await self._request({"t": "snapshot"})
+    async def snapshot(self, *, window: bool = False) -> dict:
+        """The live service snapshot as a plain dict.
+
+        ``window=True`` asks the server to attach its raw decide-latency
+        sliding window (``decide_window_ms``) so a front-tier router can
+        merge several workers' windows into one honest percentile.
+        """
+        frame: dict = {"t": "snapshot"}
+        if window:
+            frame["window"] = True
+        reply = await self._request(frame)
         return reply["snapshot"]
 
     async def subscribe(
@@ -398,8 +552,25 @@ class GatewayClient:
         :func:`repro.qos.spec.session_limits`); the explicit keyword
         bounds override whatever the profile resolves to.
         """
-        if app in self._subscriptions:
-            raise ValueError(f"app {app!r} is already subscribed here")
+        existing = self._subscriptions.get(app)
+        if existing is not None:
+            if not existing._ended:
+                raise ValueError(f"app {app!r} is already subscribed here")
+            # The old subscription ended, but the server's `closed`
+            # frame may still be in flight (its pump writes and its
+            # request replies are ordered independently — an
+            # unsubscribe ack can overtake the closed frame).  Wait for
+            # the slot to clear so the late frame cannot close the
+            # replacement; a locally-closed stream whose frame never
+            # comes costs this wait exactly once, then the slot is
+            # reclaimed for good.
+            try:
+                await asyncio.wait_for(existing._removed.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+            if self._subscriptions.get(app) is existing:
+                del self._subscriptions[app]
+                existing._removed.set()
         frame: dict = {
             "t": "subscribe",
             "app": app,
@@ -437,7 +608,17 @@ class GatewayClient:
             self._subscriptions.pop(app, None)
             raise
         # The server echoes the resolved bounds; mirror the capacity so
-        # client-side buffering matches the session's queue bound.
+        # client-side buffering matches the session's queue bound, and
+        # keep the full set for callers that re-subscribe elsewhere.
+        subscription.resolved = {
+            key: reply.get(key)
+            for key in (
+                "queue_capacity",
+                "overflow",
+                "batch_max_items",
+                "batch_max_delay_ms",
+            )
+        }
         resolved = reply.get("queue_capacity")
         if queue_capacity is None and isinstance(resolved, int) and resolved >= 1:
             subscription._resize(resolved)
@@ -492,6 +673,7 @@ class GatewayClient:
             subscription = self._subscriptions.pop(frame.get("app"), None)
             if subscription is not None:
                 subscription._close(frame.get("reason", "closed"))
+                subscription._removed.set()
         elif kind == "error":
             if "reply_to" in frame:
                 # A refused fire-and-forget request (seq-less ingest/tick
@@ -516,4 +698,6 @@ class GatewayClient:
                 )
         self._pending.clear()
         for app in list(self._subscriptions):
-            self._subscriptions.pop(app)._close(reason)
+            subscription = self._subscriptions.pop(app)
+            subscription._close(reason)
+            subscription._removed.set()

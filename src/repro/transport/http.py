@@ -75,7 +75,7 @@ class SnapshotHTTP:
             if request is None:
                 return
             method, path = request
-            status, payload = self._route(method, path)
+            status, payload = await self._route(method, path)
             body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
             writer.write(
                 (
@@ -119,7 +119,7 @@ class SnapshotHTTP:
                 break
         return parts[0].upper(), parts[1]
 
-    def _route(self, method: str, path: str) -> tuple[str, dict]:
+    async def _route(self, method: str, path: str) -> tuple[str, dict]:
         if method != "GET":
             return "405 Method Not Allowed", {"error": "only GET is served"}
         path = path.split("?", 1)[0]
@@ -133,7 +133,11 @@ class SnapshotHTTP:
                 "session_count": self.service.session_count(),
             }
         if path == "/snapshot":
-            return "200 OK", self.service.snapshot().to_dict()
+            # The cluster router's snapshot is a coroutine (it gathers
+            # per-worker snapshots) returning a plain merged dict.
+            from repro.transport.server import service_snapshot_dict
+
+            return "200 OK", await service_snapshot_dict(self.service)
         return "404 Not Found", {
             "error": f"no route {path!r}; try /snapshot or /healthz"
         }

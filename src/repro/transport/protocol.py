@@ -25,7 +25,7 @@ Frame vocabulary (client → server unless noted)::
     unsubscribe   {seq, app}                     -> ok (then closed)
     re_filter     {seq, app, spec}               -> ok
     tick          {seq?, now_ms}                 -> ok {emissions}
-    snapshot      {seq}                          -> snapshot {snapshot}
+    snapshot      {seq, window?}                 -> snapshot {snapshot}
     bye           {reason?}                      (either direction)
 
     welcome       {v, server, sources, codec}    (server → client)
@@ -41,7 +41,10 @@ generator uses it so TCP throughput numbers reflect the configured
 tuple size, not just the attribute dictionary).  ``ingest_batch``
 amortizes the per-frame round trip and the broker's per-offer task and
 lock overhead across many tuples; its ``ok`` reports the summed
-emission count.
+emission count.  ``snapshot`` with ``window=true`` asks the server to
+attach its raw decide-latency sliding window (``decide_window_ms``) so
+a front-tier router can merge several workers' windows into one honest
+percentile computation.
 
 Two *body codecs* share this frame vocabulary.  A body whose first byte
 is ``{`` is UTF-8 JSON (the v1 format); any other first byte is a

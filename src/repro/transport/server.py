@@ -62,10 +62,23 @@ from repro.transport.protocol import (
     tuple_from_wire,
 )
 
-__all__ = ["GatewayServer"]
+__all__ = ["GatewayServer", "service_snapshot_dict"]
 
 #: Read-chunk size for the per-connection frame loop.
 _READ_CHUNK = 1 << 16
+
+
+async def service_snapshot_dict(service) -> dict:
+    """A service's snapshot as a plain dict, whatever its surface.
+
+    ``DisseminationService.snapshot`` is sync and returns a dataclass;
+    the cluster router's is a coroutine returning an already-merged
+    dict.  Every front end (gateway, HTTP) funnels through here.
+    """
+    snapshot = service.snapshot()
+    if asyncio.iscoroutine(snapshot):
+        snapshot = await snapshot
+    return snapshot if isinstance(snapshot, dict) else snapshot.to_dict()
 
 
 class _BadRequest(Exception):
@@ -144,7 +157,17 @@ class _Connection:
 
 
 class GatewayServer:
-    """Asyncio TCP front end for one :class:`DisseminationService`."""
+    """Asyncio TCP front end for one dissemination service.
+
+    ``service`` is usually a :class:`DisseminationService`; any object
+    with the same async data-path surface works — the multi-process
+    router (:class:`repro.service.cluster.ClusterService`) plugs in
+    here, which is what makes the front tier reusable: client
+    connections, subscriptions and decided fan-out are identical whether
+    one broker or N worker processes sit behind them.  ``snapshot()``,
+    ``close()`` and ``add_source()`` may be coroutines on such services;
+    the dispatch paths await them when they are.
+    """
 
     def __init__(
         self,
@@ -199,6 +222,9 @@ class GatewayServer:
             table=self._name_table,
             cache=self._segment_caches[codec],
         )
+
+    async def _snapshot_dict(self) -> dict:
+        return await service_snapshot_dict(self.service)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -282,7 +308,7 @@ class GatewayServer:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         if self._server is not None:
             await self._server.wait_closed()
-        return self.service.snapshot().to_dict()
+        return await self._snapshot_dict()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -420,18 +446,28 @@ class GatewayServer:
                         {"t": "ok", "reply_to": seq, "emissions": emissions}
                     )
             elif kind == "snapshot":
+                snapshot = await self._snapshot_dict()
+                if frame.get("window") and hasattr(self.service, "decide_window"):
+                    # Raw latency window for cross-process percentile
+                    # merging (a router cannot merge percentiles).
+                    snapshot = {
+                        **snapshot,
+                        "decide_window_ms": list(self.service.decide_window()),
+                    }
                 await conn.send(
                     {
                         "t": "snapshot",
                         "reply_to": seq,
-                        "snapshot": self.service.snapshot().to_dict(),
+                        "snapshot": snapshot,
                     }
                 )
             elif kind == "ensure_source":
                 name = _field(frame, "source")
                 created = not self.service.has_source(name)
                 if created:
-                    self.service.add_source(name)
+                    result = self.service.add_source(name)
+                    if asyncio.iscoroutine(result):
+                        await result
                 await conn.send(
                     {"t": "ok", "reply_to": seq, "created": created}
                 )

@@ -1,0 +1,278 @@
+"""Cross-process source sharding: determinism, supervision, backpressure.
+
+Three contracts:
+
+* **partition invariance** (hypothesis, in-process): sources are
+  independent, so *any* assignment of sources to broker instances —
+  driven through the same interleaved offer/churn script — delivers
+  byte-identical per-subscriber streams to the single-broker run;
+* **drain + respawn**: killing a worker process mid-stream respawns it,
+  re-registers its sources, re-subscribes its sessions, and the
+  router-side stream keeps delivering (a gap, never a teardown);
+* **router backpressure isolation**: a stalled subscriber on one worker
+  blocks only that worker's sources' producers; the other worker's
+  producers keep their pace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import StreamTuple
+from repro.runtime.partition import shard_for_key
+from repro.runtime.tasks import EngineConfig
+from repro.service import DisseminationService, ServiceConfig
+from repro.service.cluster import ClusterConfig, ClusterService
+from repro.sources import random_walk_trace
+
+SOURCES = ("part-a", "part-b", "part-c")
+SPECS = (
+    "DC1(temp, 1.5, 0.75)",
+    "DC1(temp, 3.0, 1.5)",
+    "DC2(temp, 0.8, 0.4)",
+)
+
+
+def _two_sources_on_distinct_shards(workers: int = 2) -> tuple[str, str]:
+    """Source names that hash onto different workers (deterministic)."""
+    by_shard: dict[int, str] = {}
+    index = 0
+    while len(by_shard) < 2:
+        name = f"shardsrc{index}"
+        by_shard.setdefault(shard_for_key(name, workers), name)
+        index += 1
+    return by_shard[0], by_shard[1]
+
+
+# ---------------------------------------------------------------------------
+# Partition invariance (in-process property)
+# ---------------------------------------------------------------------------
+def _broker(algorithm: str, sources: list[str]) -> DisseminationService:
+    service = DisseminationService(
+        ServiceConfig(
+            engine=EngineConfig(algorithm=algorithm),
+            batch_max_items=1,
+            batch_max_delay_ms=1e9,
+            queue_capacity=10_000,
+        )
+    )
+    for name in sources:
+        service.add_source(name)
+    return service
+
+
+async def _run_partitioned(
+    algorithm: str, assignment: tuple[int, ...], trace
+) -> dict[str, list[int]]:
+    """Replay the fixed offer/churn script over a source partitioning.
+
+    ``assignment[i]`` names the broker instance serving ``SOURCES[i]``;
+    the single-broker baseline is ``assignment == (0, 0, 0)``.
+    """
+    groups: dict[int, list[str]] = {}
+    for source, group in zip(SOURCES, assignment):
+        groups.setdefault(group, []).append(source)
+    services = {
+        group: _broker(algorithm, sources) for group, sources in groups.items()
+    }
+    owner = {
+        source: services[group]
+        for group, sources in groups.items()
+        for source in sources
+    }
+    delivered: dict[str, list[int]] = {}
+    consumers: list[asyncio.Task] = []
+
+    async def drain(app: str, session) -> None:
+        async for batch in session.batches():
+            delivered[app].extend(item.seq for item in batch.items)
+
+    async def attach(app: str, source: str, spec: str) -> None:
+        session = await owner[source].subscribe(app, source, spec)
+        delivered[app] = []
+        consumers.append(asyncio.create_task(drain(app, session)))
+
+    for source in SOURCES:
+        await attach(f"{source}.x", source, SPECS[0])
+        await attach(f"{source}.y", source, SPECS[1])
+    for index, item in enumerate(trace):
+        # Fixed churn script, interleaved at the same offer positions in
+        # every partitioning (each event targets one source's broker).
+        if index == 25:
+            await owner[SOURCES[0]].re_filter(f"{SOURCES[0]}.x", SPECS[2])
+        if index == 40:
+            await owner[SOURCES[1]].unsubscribe(f"{SOURCES[1]}.y")
+        if index == 55:
+            await attach(f"{SOURCES[2]}.late", SOURCES[2], SPECS[2])
+        source = SOURCES[index % len(SOURCES)]
+        await owner[source].offer(source, item)
+    for service in services.values():
+        await service.close()
+    await asyncio.gather(*consumers)
+    return delivered
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    assignment=st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    ),
+    algorithm=st.sampled_from(["region", "per_candidate_set"]),
+)
+def test_any_source_partitioning_delivers_identical_streams(
+    assignment, algorithm
+):
+    trace = random_walk_trace(n=90, seed=11, attribute="temp")
+
+    async def run():
+        baseline = await _run_partitioned(algorithm, (0, 0, 0), trace)
+        partitioned = await _run_partitioned(algorithm, assignment, trace)
+        return baseline, partitioned
+
+    baseline, partitioned = asyncio.run(run())
+    assert partitioned == baseline
+
+
+# ---------------------------------------------------------------------------
+# Real worker fleet (subprocesses)
+# ---------------------------------------------------------------------------
+def _tuples(start: int, count: int, value: float = 0.0) -> list[StreamTuple]:
+    return [
+        StreamTuple(
+            seq=seq,
+            timestamp=float(seq) * 10.0,
+            values={"value": float(seq) + value},
+        )
+        for seq in range(start, start + count)
+    ]
+
+
+#: A chatty spec: decides (nearly) every offered tuple immediately.
+_CHATTY = "DC1(value, 0.0001, 0.00005)"
+
+
+def test_worker_crash_drains_respawns_and_stream_continues():
+    source_a, source_b = _two_sources_on_distinct_shards()
+
+    async def run():
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=2,
+                sources=(source_a, source_b),
+                batch_max_items=1,
+                health_interval_s=0.25,
+            )
+        )
+        await cluster.start()
+        try:
+            session = await cluster.subscribe(f"{source_a}.app", source_a, _CHATTY)
+            received: list[int] = []
+
+            async def consume():
+                async for batch in session.batches():
+                    received.extend(item.seq for item in batch.items)
+
+            consumer = asyncio.create_task(consume())
+            for item in _tuples(0, 10):
+                await cluster.offer(source_a, item)
+            for _ in range(200):
+                if len(received) >= 5:
+                    break
+                await asyncio.sleep(0.05)
+            assert received, "no pre-crash deliveries"
+            pre_crash = len(received)
+
+            victim = cluster._workers[cluster.shard_of(source_a)]
+            victim.process.kill()
+            # The supervisor must notice, respawn and re-subscribe.
+            for _ in range(600):
+                if victim.respawns >= 1 and victim.ready.is_set():
+                    break
+                await asyncio.sleep(0.05)
+            assert victim.respawns >= 1 and victim.ready.is_set(), (
+                victim.respawns,
+                victim.ready.is_set(),
+            )
+            # The other worker never blinked.
+            assert await cluster.offer(source_b, _tuples(0, 1)[0]) >= 0
+            # Post-respawn offers flow to the SAME session object.
+            for item in _tuples(100, 10):
+                await cluster.offer(source_a, item)
+            for _ in range(600):
+                if any(seq >= 100 for seq in received):
+                    break
+                await asyncio.sleep(0.05)
+            assert any(seq >= 100 for seq in received), received
+            assert not session.closed
+            final = await cluster.snapshot()
+            assert final["workers"][victim.index]["respawns"] >= 1
+            await cluster.close()
+            await asyncio.wait_for(consumer, timeout=30)
+            return pre_crash, received
+
+        except BaseException:
+            await cluster.close()
+            raise
+
+    pre_crash, received = asyncio.run(run())
+    assert len(received) >= pre_crash
+
+
+def test_slow_worker_throttles_only_its_sources_producers():
+    source_a, source_b = _two_sources_on_distinct_shards()
+
+    async def run():
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=2,
+                sources=(source_a, source_b),
+                queue_capacity=2,
+                batch_max_items=1,
+                overflow="block",
+            )
+        )
+        await cluster.start()
+        try:
+            # Subscribe on A's worker and never consume: its bounded
+            # queue fills, the worker's block policy withholds ingest
+            # acks, and A's producer must stall.
+            session = await cluster.subscribe(f"{source_a}.lag", source_a, _CHATTY)
+            progress = {"a": 0}
+
+            async def produce_a():
+                for item in _tuples(0, 30):
+                    await cluster.offer(source_a, item)
+                    progress["a"] += 1
+
+            stalled = asyncio.create_task(produce_a())
+            # B's producer shares the router but not the worker: all 30
+            # offers must complete while A is wedged.
+            for item in _tuples(0, 30, value=0.5):
+                await asyncio.wait_for(
+                    cluster.offer(source_b, item), timeout=30
+                )
+            await asyncio.sleep(0.3)
+            assert not stalled.done(), "producer A never hit backpressure"
+            assert progress["a"] < 30
+            # Unstick: dismiss the laggard's subscription; the worker's
+            # queue drains and the blocked offer completes.
+            session.end_local("router_closed")
+            await asyncio.wait_for(stalled, timeout=60)
+            assert progress["a"] == 30
+            # A locally-closed session must still unsubscribe on the
+            # worker — otherwise the app name stays poisoned there and
+            # re-subscribing it is refused until a respawn.
+            await cluster.unsubscribe(f"{source_a}.lag")
+            fresh = await cluster.subscribe(
+                f"{source_a}.lag", source_a, _CHATTY
+            )
+            assert not fresh.closed
+        finally:
+            await cluster.close()
+
+    asyncio.run(run())

@@ -271,3 +271,72 @@ class TestConfigValidation:
             config = _config(size=size)
             specs = _subscriber_specs(config, make_trace(config))
             assert len(specs) == count
+
+
+class TestMultiStream:
+    def test_multi_source_inproc_verify(self):
+        summary = run_loadgen(
+            _config(mode="closed", sources=3, verify=True)
+        )
+        assert summary["equivalent_to_batch"] is True
+        assert summary["clean_shutdown"] is True
+        assert summary["source_streams"] == [
+            "random_walk-0",
+            "random_walk-1",
+            "random_walk-2",
+        ]
+        # Each stream has its own subscriber set.
+        apps = [app for app, _ in summary["final_subscriptions"]]
+        assert len(apps) == len(set(apps)) == 3 * 2  # tiny = 2 per stream
+
+    def test_multi_source_tcp_records_digests(self):
+        summary = run_loadgen(
+            _config(mode="closed", sources=2, transport="tcp", verify=True)
+        )
+        assert summary["equivalent_to_batch"] is True
+        digest = summary["delivered_digest"]
+        assert digest is not None and len(digest) == 4
+        for entry in digest.values():
+            assert entry["count"] >= 0 and len(entry["blake2s"]) == 32
+
+    def test_adaptive_batching_records_trajectory(self):
+        summary = run_loadgen(
+            _config(mode="closed", transport="tcp", ingest_batch=8, verify=True)
+        )
+        assert summary["equivalent_to_batch"] is True
+        assert summary["adaptive_batch"] is True
+        trajectory = summary["ingest_batch_trajectory"]["random_walk"]
+        assert trajectory[0] == [0, 1] or trajectory[0] == (0, 1)
+        assert 1 <= summary["ingest_batch_final"]["random_walk"] <= 8
+        # Back-to-back local acks are fast: the controller must have
+        # grown past the floor at some point.
+        assert any(size > 1 for _, size in trajectory)
+
+    def test_fixed_batching_opt_out(self):
+        summary = run_loadgen(
+            _config(
+                mode="closed",
+                transport="tcp",
+                ingest_batch=4,
+                adaptive_batch=False,
+                verify=True,
+            )
+        )
+        assert summary["adaptive_batch"] is False
+        assert summary["ingest_batch_trajectory"] is None
+        assert summary["equivalent_to_batch"] is True
+
+    def test_validation_rejects_bad_combinations(self):
+        with pytest.raises(ValueError):
+            _config(workers=2)  # cluster needs tcp
+        with pytest.raises(ValueError):
+            _config(workers=2, transport="tcp", connect="127.0.0.1:1")
+        with pytest.raises(ValueError):
+            _config(sources=0)
+        with pytest.raises(ValueError):
+            _config(
+                sources=2,
+                churn=(
+                    ChurnEvent(at_s=0.1, op="unsubscribe", app="app0"),
+                ),
+            )

@@ -564,3 +564,40 @@ class TestReviewRegressions:
         # Broker-wide totals include the retired session's contribution.
         live_delivered = sum(s.delivered_tuples for s in snapshot.sessions)
         assert snapshot.delivered_tuples == live_delivered + retired[0].delivered_tuples
+
+
+class TestWallClockDecideLatency:
+    def test_decide_latency_is_sub_tick_wall_clock(self):
+        """Decide percentiles come from perf_counter_ns end to end, not
+        from stream timestamps: a 10 ms-interval trace whose decides run
+        in microseconds must NOT report p50 pinned at the tick size."""
+
+        async def run():
+            service = DisseminationService(ServiceConfig())
+            service.add_source("src")
+            await service.subscribe(
+                "app0",
+                "src",
+                "DC1(value, 0.0001, 0.00005)",
+                queue_capacity=10_000,
+            )
+            for seq in range(200):
+                await service.offer(
+                    "src",
+                    StreamTuple(
+                        seq=seq,
+                        timestamp=float(seq) * 10.0,
+                        values={"value": float(seq)},
+                    ),
+                )
+            snapshot = service.snapshot()
+            window = service.decide_window()
+            await service.close()
+            return snapshot, window
+
+        snapshot, window = asyncio.run(run())
+        assert window, "decides must populate the latency window"
+        assert snapshot.decide_p99_ms >= snapshot.decide_p50_ms > 0.0
+        # Same-process decides complete far inside one 10 ms tick; the
+        # old stream-time measurement could not express that.
+        assert snapshot.decide_p50_ms < 10.0

@@ -607,3 +607,68 @@ class TestSnapshotHTTP:
         assert "decide_p99_ms" in snap[1] and "decide_p50_ms" in snap[1]
         assert missing[0] == "HTTP/1.1 404 Not Found"
         assert post_raw.startswith(b"HTTP/1.1 405")
+
+
+class TestAdaptiveIngest:
+    def test_grows_additively_under_steady_acks(self):
+        from repro.transport.client import AdaptiveIngest
+
+        control = AdaptiveIngest(16)
+        assert control.size == 1
+        for _ in range(40):
+            control.observe(control.size, 0.001 * control.size)
+        assert control.size == 16  # reached max, one step per ack
+        assert control.backoffs == 0
+        # Trajectory records every change, starting from the floor.
+        sizes = [size for _, size in control.trajectory]
+        assert sizes[0] == 1 and sizes[-1] == 16
+        assert sizes == sorted(sizes)
+
+    def test_halves_on_latency_spike_and_recovers(self):
+        from repro.transport.client import AdaptiveIngest
+
+        control = AdaptiveIngest(16)
+        for _ in range(20):
+            control.observe(control.size, 0.001 * control.size)
+        assert control.size == 16
+        # A block-policy stall: per-tuple ack latency explodes.
+        control.observe(16, 2.0)
+        assert control.size == 8
+        assert control.backoffs == 1
+        control.observe(8, 2.0)
+        assert control.size == 4
+        # Healthy acks grow it back one step at a time.
+        for _ in range(30):
+            control.observe(control.size, 0.001 * control.size)
+        assert control.size == 16
+
+    def test_bounds_and_validation(self):
+        from repro.transport.client import AdaptiveIngest
+
+        control = AdaptiveIngest(4, min_size=2)
+        for _ in range(10):
+            control.observe(control.size, 0.0005 * control.size)
+        assert control.size == 4
+        for _ in range(10):
+            control.observe(control.size, 5.0)
+        assert control.size == 2  # never below min_size
+        control.observe(0, 1.0)  # nonsense observations are ignored
+        control.observe(4, -1.0)
+        assert control.size == 2
+        with pytest.raises(ValueError):
+            AdaptiveIngest(0)
+        with pytest.raises(ValueError):
+            AdaptiveIngest(4, min_size=8)
+        with pytest.raises(ValueError):
+            AdaptiveIngest(4, backoff_ratio=1.0)
+
+    def test_early_fast_fluke_fades_via_baseline_decay(self):
+        from repro.transport.client import AdaptiveIngest
+
+        control = AdaptiveIngest(16, backoff_ratio=2.0, baseline_decay=1.05)
+        control.observe(1, 0.0001)  # one unrepresentatively fast ack
+        # Steady-state acks are 10x slower; without decay every one of
+        # them would read as congestion and pin the size at the floor.
+        for _ in range(80):
+            control.observe(control.size, 0.001 * control.size)
+        assert control.size > 8
