@@ -73,6 +73,7 @@ try:
 except ImportError:  # pragma: no cover - script mode from a source checkout
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.obs import platform_info
 from repro.service import LoadGenConfig, run_loadgen
 
 RATE = float(os.environ.get("BENCH_PIPELINE_RATE", "100000"))
@@ -165,6 +166,7 @@ def _row(summary: dict, fanout: str, ingest_batch: int, size: str) -> dict:
         "decide_p99_ms": summary["decide_latency_ms"]["p99"],
         "wall_s": summary["wall_s"],
         "clean_shutdown": summary["clean_shutdown"],
+        "platform": platform_info(),
     }
 
 

@@ -44,6 +44,7 @@ except ImportError:  # pragma: no cover - script mode from a source checkout
 import pytest
 
 from repro.experiments.configs import TABLE_4_1_GROUPS
+from repro.obs import platform_info
 from repro.runtime import EngineConfig, GroupTask, run_sequential, run_tasks
 from repro.sources.namos import namos_trace
 
@@ -150,6 +151,7 @@ def main() -> int:
                 "shards": shards,
                 "wall_s": round(wall_ms / 1e3, 4),
                 "speedup": round(speedup, 3),
+                "platform": platform_info(),
             }
         )
         if not matches:

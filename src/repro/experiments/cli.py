@@ -130,6 +130,26 @@ def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--auth-token", default=None)
     parser.add_argument("--max-frame-bytes", type=int, default=MAX_FRAME_BYTES)
     parser.add_argument("--seed", type=int, default=7)
+    _add_telemetry_knobs(parser)
+
+
+def _add_telemetry_knobs(parser: argparse.ArgumentParser) -> None:
+    from repro.obs import DEFAULT_SAMPLE_PERIOD
+
+    parser.add_argument(
+        "--trace-sample",
+        type=_positive_int,
+        default=DEFAULT_SAMPLE_PERIOD,
+        metavar="N",
+        help="stage-trace roughly one in N tuples (deterministic on the "
+        f"tuple key, default {DEFAULT_SAMPLE_PERIOD})",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable metrics, tracing and the event log entirely "
+        "(/metrics and /events answer 404)",
+    )
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
@@ -141,6 +161,11 @@ async def _serve_async(args: argparse.Namespace) -> int:
     for name in (part.strip() for part in args.sources.split(",")):
         if name and name not in source_names:
             source_names.append(name)
+    telemetry = None
+    if not args.no_telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(sample_period=args.trace_sample)
     if args.workers > 1:
         from repro.service.cluster import ClusterConfig, ClusterService
 
@@ -157,7 +182,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
                 tick_cuts=not args.no_tick_cuts,
                 seed=args.seed,
                 max_frame_bytes=args.max_frame_bytes,
-            )
+            ),
+            telemetry=telemetry,
         )
         await service.start()
     else:
@@ -172,7 +198,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
                 batch_max_delay_ms=args.batch_delay_ms,
                 tick_cuts=not args.no_tick_cuts,
                 seed=args.seed,
-            )
+            ),
+            telemetry=telemetry,
         )
         for name in source_names:
             if not service.has_source(name):
@@ -184,12 +211,16 @@ async def _serve_async(args: argparse.Namespace) -> int:
         auth_token=args.auth_token,
         max_frame_bytes=args.max_frame_bytes,
         fanout=args.fanout,
+        telemetry=telemetry,
     )
     http = None
     try:
         await gateway.start()
         if args.http_port is not None:
-            http = SnapshotHTTP(service, host=args.host, port=args.http_port)
+            http = SnapshotHTTP(
+                service, host=args.host, port=args.http_port,
+                telemetry=telemetry,
+            )
             await http.start()
     except BaseException:
         # A bind failure after the cluster came up must not strand the
@@ -336,6 +367,7 @@ def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="apply the default subscriber churn schedule",
     )
+    _add_telemetry_knobs(parser)
 
 
 def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool):
@@ -366,6 +398,7 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
         adaptive_batch=not args.fixed_batch,
         sources=args.sources,
         workers=args.workers,
+        trace_sample=0 if args.no_telemetry else args.trace_sample,
     )
     if args.churn:
         from dataclasses import replace

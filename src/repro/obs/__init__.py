@@ -1,0 +1,57 @@
+"""Low-overhead observability for the live dissemination pipeline.
+
+Three surfaces, one bundle:
+
+* :mod:`repro.obs.metrics` — a dependency-free counter/gauge/histogram
+  registry rendered in Prometheus text format on ``/metrics``, with
+  text-level relabel/merge helpers so the cluster router can re-export
+  worker scrapes under ``worker="N"`` labels.
+* :mod:`repro.obs.trace` — deterministic ~1/256 per-tuple sampling and
+  stage-tagged latency accumulation that decomposes the end-to-end
+  ``decide_p50_ms`` into ingest/decide/batch/queue/write stages.
+* :mod:`repro.obs.events` — a bounded structured event log (worker
+  lifecycle, drains, overflow disconnects, subscription churn) with
+  ``since=`` cursor semantics for ``/events``.
+
+:class:`~repro.obs.telemetry.Telemetry` ties them together; passing
+``telemetry=None`` to any instrumented layer disables the whole thing.
+"""
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_expositions,
+    relabel_exposition,
+)
+from repro.obs.sysinfo import platform_info
+from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
+from repro.obs.trace import (
+    STAGES,
+    StageTracer,
+    TraceBag,
+    stage_id,
+    stage_name,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SAMPLE_PERIOD",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGES",
+    "StageTracer",
+    "Telemetry",
+    "TraceBag",
+    "merge_expositions",
+    "platform_info",
+    "relabel_exposition",
+    "stage_id",
+    "stage_name",
+]

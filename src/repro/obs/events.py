@@ -1,0 +1,84 @@
+"""Bounded structured event log with cursor-based consumption.
+
+Counters say *how often*; events say *what happened and when*.  The
+router and every worker keep an :class:`EventLog` — a fixed-capacity
+ring of small JSON-ready dicts (worker spawn/death/respawn, drain
+start/end, overflow disconnects, subscription churn, adaptive-ingest
+batch resizes) — surfaced over HTTP as ``/events?since=<id>`` and
+persisted into loadgen run manifests as ``events.jsonl``.
+
+Event ids are strictly increasing and never reused, so ``since=``
+cursors stay valid across ring eviction: a reader that falls behind
+simply misses the evicted span (detectable because the next id jumps).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from collections.abc import Iterable
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Fixed-capacity, monotonically-cursored event ring."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def last_id(self) -> int:
+        """Id of the newest event (0 when nothing has been emitted)."""
+        return self._next_id - 1
+
+    def emit(self, kind: str, **fields: object) -> dict:
+        """Append one event; returns the stored record."""
+        event = {"id": self._next_id, "ts": time.time(), "kind": kind}
+        for key, value in fields.items():
+            if value is not None:
+                event[key] = value
+        self._next_id += 1
+        self._events.append(event)
+        return event
+
+    def ingest(self, records: Iterable[dict], **extra: object) -> int:
+        """Re-emit foreign records (e.g. a worker's events) locally.
+
+        The router uses this to fold worker-side events into its
+        cluster-wide log: each record gets a fresh local id while its
+        original id is preserved as ``origin_id``.  Returns the count.
+        """
+        n = 0
+        for record in records:
+            fields = {
+                k: v for k, v in record.items() if k not in ("id", "kind")
+            }
+            origin = record.get("id")
+            if origin is not None:
+                fields.setdefault("origin_id", origin)
+            fields.update(extra)
+            self.emit(str(record.get("kind", "event")), **fields)
+            n += 1
+        return n
+
+    def since(self, cursor: int = 0, limit: int | None = None) -> list[dict]:
+        """Events with ``id > cursor``, oldest first."""
+        out = [dict(e) for e in self._events if e["id"] > cursor]
+        if limit is not None and len(out) > limit:
+            out = out[:limit]
+        return out
+
+    def to_jsonl(self) -> str:
+        """Every retained event, one JSON object per line."""
+        return "".join(
+            json.dumps(e, sort_keys=True) + "\n" for e in self._events
+        )

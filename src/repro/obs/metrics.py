@@ -1,0 +1,450 @@
+"""Dependency-free metrics registry with Prometheus text exposition.
+
+The live pipeline needs more than the point-in-time ``/snapshot``: the
+broker, sessions, transport and cluster layers each record counters,
+gauges and fixed-bucket histograms into a :class:`MetricsRegistry`, and
+:class:`~repro.transport.http.SnapshotHTTP` renders the registry in the
+Prometheus text exposition format on ``/metrics``.
+
+Everything here is stdlib-only and relies on asyncio's single-writer
+discipline instead of locks: each metric child is owned by one event
+loop, increments are plain ``+=`` on Python ints/floats (atomic enough
+under the GIL), and rendering takes a point-in-time copy.
+
+The cluster router does not *forward* scrapes — it re-exports.  Workers
+serve their own ``/metrics``; the router fetches each worker's text,
+rewrites every sample with a ``worker="<index>"`` label via
+:func:`relabel_exposition`, and merges the parts (plus its own
+router-labelled registry) with :func:`merge_expositions`, deduplicating
+``# HELP``/``# TYPE`` headers per metric family.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_help",
+    "escape_label_value",
+    "merge_expositions",
+    "relabel_exposition",
+]
+
+#: Fixed histogram buckets for millisecond latencies.  Spans the sub-ms
+#: codec/write path up to multi-second stall pathologies.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the Prometheus text format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _render_labels(
+    names: Sequence[str], values: Sequence[str], extra: Sequence[tuple[str, str]] = ()
+) -> str:
+    parts = [
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in (*zip(names, values), *extra)
+    ]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Common family bookkeeping: name, help, label names, children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+        #: Cached label-less child: unlabeled families sit on hot paths
+        #: (one ``inc()`` per offered tuple), so the common case must be
+        #: one attribute hop, not a labels() round trip.
+        self._default: object | None = None
+
+    def labels(self, *values: object, **kv: object) -> object:
+        """Return (creating on first use) the child for one label set."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name")
+            values = tuple(kv[name] for name in self.label_names)
+        # Hot paths pass a single ready string (codec, policy, app);
+        # skip the stringify pass for that shape.
+        if len(values) == 1 and type(values[0]) is str:
+            key = values
+        else:
+            key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {key!r}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> object:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _default_child(self) -> object:
+        """The label-less child, for families declared without labels."""
+        child = self._default
+        if child is None:
+            if self.label_names:
+                raise ValueError(
+                    f"{self.name} requires labels {self.label_names}"
+                )
+            child = self._default = self.labels()
+        return child
+
+    # ------------------------------------------------------------------
+    def render(self, lines: list[str]) -> None:
+        lines.append(f"# HELP {self.name} {escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._children):
+            self._render_child(lines, key, self._children[key])
+
+    def _render_child(
+        self, lines: list[str], key: tuple[str, ...], child: object
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, tuples, bytes)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(c.value for c in self._children.values())
+
+    def _render_child(
+        self, lines: list[str], key: tuple[str, ...], child: _CounterChild
+    ) -> None:
+        labels = _render_labels(self.label_names, key)
+        lines.append(f"{self.name}{labels} {_format_value(child.value)}")
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def max(self, value: float) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        if value > self.value:
+            self.value = value
+
+
+class Gauge(_Metric):
+    """Point-in-time value (queue depth, liveness, high-water marks)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def max(self, value: float) -> None:
+        self._default_child().max(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def _render_child(
+        self, lines: list[str], key: tuple[str, ...], child: _GaugeChild
+    ) -> None:
+        labels = _render_labels(self.label_names, key)
+        lines.append(f"{self.name}{labels} {_format_value(child.value)}")
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative buckets only at render time)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ):
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def _render_child(
+        self, lines: list[str], key: tuple[str, ...], child: _HistogramChild
+    ) -> None:
+        cumulative = 0
+        for bound, bucket_count in zip(child.buckets, child.counts):
+            cumulative += bucket_count
+            labels = _render_labels(
+                self.label_names, key, extra=(("le", _format_value(bound)),)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = _render_labels(self.label_names, key, extra=(("le", "+Inf"),))
+        lines.append(f"{self.name}_bucket{labels} {child.count}")
+        plain = _render_labels(self.label_names, key)
+        lines.append(f"{self.name}_sum{plain} {_format_value(child.sum)}")
+        lines.append(f"{self.name}_count{plain} {child.count}")
+
+
+class MetricsRegistry:
+    """Named collection of metric families with text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list = []
+
+    def register_collector(self, fn) -> None:
+        """Register a zero-arg callable run before every render.
+
+        For values owned elsewhere (segment-cache hit counts, pool
+        sizes): the collector copies them into gauges/counters at scrape
+        time instead of instrumenting the owner's hot path.
+        """
+        self._collectors.append(fn)
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._register(Counter(name, help, label_names))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._register(Gauge(name, help, label_names))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        metric = self._register(Histogram(name, help, label_names, buckets))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def render(self) -> str:
+        """Prometheus text exposition of every registered family."""
+        for fn in self._collectors:
+            fn()
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            self._metrics[name].render(lines)
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Cluster-side merge helpers: text-level relabel + dedup.
+
+
+def _inject_labels(sample: str, extra: Mapping[str, str]) -> str:
+    """Add ``extra`` labels to one exposition sample line."""
+    name_end = len(sample)
+    for i, ch in enumerate(sample):
+        if ch == "{" or ch == " ":
+            name_end = i
+            break
+    injected = ",".join(
+        f'{k}="{escape_label_value(str(v))}"' for k, v in extra.items()
+    )
+    if sample[name_end : name_end + 1] == "{":
+        close = sample.rindex("}")
+        existing = sample[name_end + 1 : close]
+        body = f"{injected},{existing}" if existing else injected
+        return f"{sample[:name_end]}{{{body}}}{sample[close + 1:]}"
+    return f"{sample[:name_end]}{{{injected}}}{sample[name_end:]}"
+
+
+def relabel_exposition(text: str, extra: Mapping[str, str]) -> str:
+    """Rewrite every sample in ``text`` with ``extra`` labels prepended.
+
+    ``# HELP``/``# TYPE`` comment lines pass through untouched.  This is
+    how the cluster router turns a worker's local scrape into
+    ``worker="N"``-labelled series.
+    """
+    if not extra:
+        return text
+    out = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+        else:
+            out.append(_inject_labels(line, extra))
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
+def merge_expositions(parts: Iterable[str]) -> str:
+    """Concatenate exposition texts, deduplicating HELP/TYPE headers.
+
+    Prometheus rejects a family declared twice in one scrape; when the
+    router stitches its own registry together with N worker scrapes the
+    shared families must keep exactly one header block, with all sample
+    lines grouped under it.
+    """
+    headers: dict[str, list[str]] = {}
+    samples: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    def family_of(sample_line: str) -> str:
+        name = sample_line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if base in headers:
+                    return base
+        return name
+
+    for text in parts:
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                bucket = headers.setdefault(name, [])
+                if name not in order:
+                    order.append(name)
+                if line not in bucket:
+                    bucket.append(line)
+            elif line.startswith("#"):
+                continue
+            else:
+                family = family_of(line)
+                if family not in order:
+                    order.append(family)
+                samples.setdefault(family, []).append(line)
+
+    lines: list[str] = []
+    for name in order:
+        lines.extend(headers.get(name, ()))
+        lines.extend(samples.get(name, ()))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,25 @@
+"""Host fingerprint stamped into benchmark trajectory artifacts.
+
+Successive CI runs accumulate ``BENCH_*.json`` histories; a throughput
+regression is only interpretable if each row says what hardware and
+interpreter produced it.  One dict, JSON-ready, cheap to compute.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["platform_info"]
+
+
+def platform_info() -> dict:
+    """CPU count, OS and interpreter identity of this host."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+    }

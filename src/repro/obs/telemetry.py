@@ -1,0 +1,61 @@
+"""The per-process telemetry bundle threaded through the pipeline.
+
+One :class:`Telemetry` instance per broker process ties together the
+three observability surfaces — :class:`~repro.obs.metrics.MetricsRegistry`
+(``/metrics``), :class:`~repro.obs.trace.StageTracer` +
+:class:`~repro.obs.trace.TraceBag` (sampled stage latencies) and
+:class:`~repro.obs.events.EventLog` (``/events``) — so a component can
+be handed a single optional object.  ``telemetry=None`` everywhere means
+*fully disabled*: the instrumented layers guard on it and fall back to
+their pre-telemetry hot paths at zero cost.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import StageTracer, TraceBag, stage_name
+
+__all__ = ["DEFAULT_SAMPLE_PERIOD", "Telemetry"]
+
+#: One traced tuple per this many, by default (~0.4%).
+DEFAULT_SAMPLE_PERIOD = 256
+
+
+class Telemetry:
+    """Registry + tracer + trace bag + event log for one process."""
+
+    def __init__(
+        self,
+        *,
+        sample_period: int = DEFAULT_SAMPLE_PERIOD,
+        event_capacity: int = 1024,
+        trace_capacity: int = 4096,
+    ):
+        self.registry = MetricsRegistry()
+        self.tracer = StageTracer(sample_period)
+        self.bag = TraceBag(trace_capacity)
+        self.events = EventLog(event_capacity)
+        self._stage_hist = self.registry.histogram(
+            "repro_stage_latency_ms",
+            "Per-stage pipeline latency from sampled per-tuple traces.",
+            ("stage",),
+        )
+        self._stage_children: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def observe_stage(self, stage: str, dur_ns: int) -> None:
+        """Record one stage duration (nanoseconds in, ms histogram)."""
+        child = self._stage_children.get(stage)
+        if child is None:
+            child = self._stage_hist.labels(stage)
+            self._stage_children[stage] = child
+        child.observe(dur_ns / 1e6)
+
+    def record_stage_pairs(self, pairs: list[tuple[int, int]]) -> None:
+        """Record wire-form ``(stage_id, dur_ns)`` pairs; unknown ids
+        (from a newer peer) are skipped rather than misfiled."""
+        for sid, dur_ns in pairs:
+            name = stage_name(sid)
+            if name is not None:
+                self.observe_stage(name, dur_ns)

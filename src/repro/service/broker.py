@@ -61,6 +61,14 @@ from repro.filters.spec import parse_filter
 from repro.net.multicast import ScribeMulticast
 from repro.net.overlay import OverlayNetwork
 from repro.net.pubsub import StreamingSystem
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    STAGE_BATCH_FLUSH,
+    STAGE_DECIDE,
+    STAGE_DECIDE_EXEC,
+    STAGE_INGEST_RECV,
+    stage_id,
+)
 from repro.qos.spec import QualitySpec, session_limits
 from repro.runtime.partition import shard_for_key
 from repro.runtime.tasks import EngineConfig
@@ -81,6 +89,11 @@ _DEFAULT_NODES = tuple(f"node{i}" for i in range(8))
 #: the engines dismiss are never emitted, so their entries linger until
 #: the next rebuild; past this many the oldest are evicted.
 _ARRIVAL_TRACK_MAX = 1 << 16
+
+_SID_INGEST_RECV = stage_id(STAGE_INGEST_RECV)
+_SID_DECIDE_EXEC = stage_id(STAGE_DECIDE_EXEC)
+_SID_DECIDE = stage_id(STAGE_DECIDE)
+_SID_BATCH_FLUSH = stage_id(STAGE_BATCH_FLUSH)
 
 
 def _make_strategy(output: str, batch_size: int) -> OutputStrategy:
@@ -201,6 +214,7 @@ class DisseminationService:
         *,
         system: Optional[StreamingSystem] = None,
         nodes: Optional[Sequence[str]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config if config is not None else ServiceConfig()
         if system is not None:
@@ -229,6 +243,45 @@ class DisseminationService:
         self._regroups = 0
         self._ticks = 0
         self._closed = False
+        self.telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_offers = registry.counter(
+                "repro_broker_offered_tuples_total",
+                "Tuples offered to the broker.",
+            )
+            self._m_decided = registry.counter(
+                "repro_broker_decided_emissions_total",
+                "Decided emissions produced by the engines.",
+            )
+            self._m_ticks = registry.counter(
+                "repro_broker_ticks_total", "Broker timer ticks."
+            )
+            self._m_cutovers = registry.counter(
+                "repro_broker_cutovers_total",
+                "Engine cutovers forced by subscription churn.",
+            )
+            self._m_cutover_ms = registry.histogram(
+                "repro_broker_cutover_ms",
+                "Wall-clock duration of one engine cutover.",
+            )
+            self._m_sessions = registry.gauge(
+                "repro_broker_sessions", "Live subscriber sessions."
+            )
+            self._m_flushes = registry.counter(
+                "repro_session_batch_flushes_total",
+                "Micro-batch flushes shipped toward session queues.",
+            )
+            self._m_queue_hw = registry.gauge(
+                "repro_session_queue_depth_high_water",
+                "Highest observed session queue depth.",
+                ("app",),
+            )
+            self._m_drops = registry.counter(
+                "repro_session_overflow_dropped_tuples_total",
+                "Tuples dropped by session overflow policy.",
+                ("policy",),
+            )
 
     # ------------------------------------------------------------------
     # Topology
@@ -366,6 +419,11 @@ class DisseminationService:
                 self._app_sources.pop(app_name, None)
                 self._rebuild(src)
                 raise
+            if self.telemetry is not None:
+                self._m_sessions.set(self.session_count())
+                self.telemetry.events.emit(
+                    "subscribe", app=app_name, source=source_name, spec=spec
+                )
             return session
 
     async def unsubscribe(self, app_name: str) -> None:
@@ -399,6 +457,10 @@ class DisseminationService:
                 await self._cutover(src)
                 session.spec = new_spec
                 self._rebuild(src)
+                if self.telemetry is not None:
+                    self.telemetry.events.emit(
+                        "re_filter", app=app_name, spec=new_spec
+                    )
             except Exception:
                 # Same contract as subscribe: a failed churn must leave
                 # the source serving under the old spec, with the system
@@ -446,6 +508,20 @@ class DisseminationService:
         # Keep the departed session's counters in broker-wide totals.
         self._retired.append(self._session_snapshot(session))
         self._rebuild(src)
+        if self.telemetry is not None:
+            self._m_sessions.set(self.session_count())
+            if session.disconnected:
+                self.telemetry.events.emit(
+                    "overflow_disconnect",
+                    app=app_name,
+                    source=src.name,
+                    policy=session.queue.policy,
+                    dropped_tuples=session.stats.dropped_tuples,
+                )
+            else:
+                self.telemetry.events.emit(
+                    "unsubscribe", app=app_name, source=src.name
+                )
 
     # ------------------------------------------------------------------
     # Engine lifecycle (epochs)
@@ -502,6 +578,7 @@ class DisseminationService:
             # to flush, so skip the empty EngineResult entirely.
             src.slots = []
             return
+        started_ns = time.perf_counter_ns()
         # Finish every slot before mutating any source state: a failure
         # partway must leave the epoch list untouched (no phantom epochs
         # whose tails were never routed) so the churn paths' rollback
@@ -516,6 +593,11 @@ class DisseminationService:
         src.slots = []
         self._note_emissions(src, tails)
         await self._route(src, tails, now=self._now)
+        if self.telemetry is not None:
+            self._m_cutovers.inc()
+            self._m_cutover_ms.observe(
+                (time.perf_counter_ns() - started_ns) / 1e6
+            )
 
     # ------------------------------------------------------------------
     # Data path
@@ -563,10 +645,32 @@ class DisseminationService:
         arrivals = src.arrivals_ns
         if len(arrivals) >= _ARRIVAL_TRACK_MAX:
             del arrivals[next(iter(arrivals))]
-        arrivals[item.seq] = time.perf_counter_ns()
+        arrival_ns = time.perf_counter_ns()
+        arrivals[item.seq] = arrival_ns
+        t = self.telemetry
+        traced = False
+        if t is not None:
+            self._m_offers.inc()
+            if t.tracer.sampled(src.name, item.seq):
+                traced = True
+                key = (src.name, item.seq)
+                if key in t.bag:
+                    # The transport already opened this trace at frame
+                    # receive; close the ingest stage at admission.
+                    dur = t.bag.stamp(key, _SID_INGEST_RECV, arrival_ns)
+                    if dur is not None:
+                        t.observe_stage(STAGE_INGEST_RECV, dur)
+                else:
+                    t.bag.begin(key, arrival_ns)
         emissions = await self._run_slots(
             src, lambda engine: engine.process(item)
         )
+        if traced:
+            # Engine step time for this arrival, recorded without moving
+            # the trace mark (the decide stage runs arrival -> emission).
+            t.observe_stage(
+                STAGE_DECIDE_EXEC, time.perf_counter_ns() - arrival_ns
+            )
         await self._dispatch(src, emissions, now=item.timestamp)
         return len(emissions)
 
@@ -599,6 +703,8 @@ class DisseminationService:
         )
         emitted = 0
         self._ticks += 1
+        if self.telemetry is not None:
+            self._m_ticks.inc()
         for src in targets:
             async with src.lock:
                 self._now = max(self._now, now_ms)
@@ -663,6 +769,9 @@ class DisseminationService:
         now_ns = time.perf_counter_ns()
         arrivals = src.arrivals_ns
         window = self._decide_window
+        t = self.telemetry
+        if t is not None:
+            self._m_decided.inc(len(emissions))
         for emission in emissions:
             # get, not pop: with regrouped subgroups one tuple can be
             # emitted by several slots (and again on later ticks); every
@@ -672,6 +781,11 @@ class DisseminationService:
             start_ns = arrivals.get(emission.item.seq)
             if start_ns is not None:
                 window.append((now_ns - start_ns) / 1e6)
+                if t is not None:
+                    key = (src.name, emission.item.seq)
+                    dur = t.bag.stamp(key, _SID_DECIDE, now_ns)
+                    if dur is not None:
+                        t.observe_stage(STAGE_DECIDE, dur)
 
     async def _dispatch(
         self, src: _SourceState, emissions: Sequence[Emission], now: float
@@ -713,10 +827,54 @@ class DisseminationService:
     async def _ship(
         self, src: _SourceState, session: SubscriberSession, batch
     ) -> None:
+        t = self.telemetry
+        dropped_before = 0
+        if t is not None:
+            self._m_flushes.inc()
+            dropped_before = session.stats.dropped_tuples
+            if t.tracer.enabled:
+                self._note_batch_traces(src, session, batch)
         await session.deliver(batch)
+        if t is not None:
+            dropped = session.stats.dropped_tuples - dropped_before
+            if dropped:
+                self._m_drops.labels(session.queue.policy).inc(dropped)
+            self._m_queue_hw.labels(session.app_name).max(
+                session.queue.depth
+            )
         if session.disconnected or session.queue.closed:
             return
         self._publish_batch(src, session, batch)
+
+    def _note_batch_traces(
+        self, src: _SourceState, session: SubscriberSession, batch
+    ) -> None:
+        """Attach sampled items' accumulated stages to the outbound batch.
+
+        The per-connection delivery pump picks these notes up (keyed by
+        batch identity) to extend the trace with the session-queue and
+        socket-write stages and put it on the wire.  The batch-flush
+        interval is measured against the shared trace mark without
+        moving it, so every fan-out recipient sees the same decide
+        boundary.
+        """
+        t = self.telemetry
+        now_ns = time.perf_counter_ns()
+        notes: Optional[dict[int, list[tuple[int, int]]]] = None
+        for item in batch.items:
+            key = (src.name, item.seq)
+            pairs = t.bag.peek(key)
+            if pairs is None:
+                continue
+            dur = t.bag.since_mark(key, now_ns)
+            if dur is not None:
+                pairs.append((_SID_BATCH_FLUSH, dur))
+                t.observe_stage(STAGE_BATCH_FLUSH, dur)
+            if notes is None:
+                notes = {}
+            notes[item.seq] = pairs
+        if notes:
+            session.note_traces(batch, now_ns, notes)
 
     def _publish_batch(
         self, src: _SourceState, session: SubscriberSession, batch

@@ -45,11 +45,19 @@ import asyncio
 import json
 import os
 import sys
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.metrics.latency import latency_percentiles
+from repro.obs.metrics import merge_expositions, relabel_exposition
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    STAGE_ROUTER_FORWARD,
+    STAGE_ROUTER_REASSEMBLY,
+    stage_id,
+)
 from repro.qos.spec import QualitySpec
 from repro.runtime.partition import shard_for_key
 from repro.transport.client import GatewayClient, GatewayError
@@ -69,6 +77,9 @@ _FINAL_REASONS = frozenset(
         "worker_lost",
     }
 )
+
+_SID_ROUTER_FORWARD = stage_id(STAGE_ROUTER_FORWARD)
+_SID_ROUTER_REASSEMBLY = stage_id(STAGE_ROUTER_REASSEMBLY)
 
 
 @dataclass(frozen=True)
@@ -168,11 +179,17 @@ class ClusterSession:
         *,
         reattach_timeout_s: float,
         defaults: "ClusterConfig",
+        telemetry: Optional[Telemetry] = None,
     ):
         self.app_name = app_name
         self.source_name = source_name
         self.spec = spec
         self.remote = remote
+        self._telemetry = telemetry
+        #: Same side channel as ``SubscriberSession``: the router's
+        #: delivery pump pops ``(noted_ns, {seq: pairs})`` per batch to
+        #: extend traces with its own queue/write stages.
+        self._trace_notes: dict = {}
         resolved = remote.resolved
 
         def bound(key: str, fallback):
@@ -228,11 +245,51 @@ class ClusterSession:
             waiter.set_result(None)
         self.remote.close_local(reason)
 
+    _TRACE_NOTES_MAX = 64
+
+    def _note_batch_traces(self, batch, remote) -> None:
+        """Claim the remote's traces for this batch, stamping reassembly.
+
+        The worker's decided frame carried each sampled tuple's stage
+        pairs; the router extends them with its ``router_reassembly``
+        stage (frame decode -> this batch surfacing to the front-tier
+        pump) and parks them for :meth:`pop_traces`.
+        """
+        tele = self._telemetry
+        if tele is None or not tele.tracer.enabled:
+            return
+        tmap: Optional[dict] = None
+        now_ns = 0
+        for item in batch.items:
+            claimed = remote.claim_trace(item.seq)
+            if claimed is None:
+                continue
+            pairs, noted_ns = claimed
+            if not now_ns:
+                now_ns = time.perf_counter_ns()
+            if noted_ns:
+                dur = now_ns - noted_ns
+                tele.observe_stage(STAGE_ROUTER_REASSEMBLY, dur)
+                pairs = pairs + [(_SID_ROUTER_REASSEMBLY, dur)]
+            if tmap is None:
+                tmap = {}
+            tmap[item.seq] = pairs
+        if tmap:
+            notes = self._trace_notes
+            while len(notes) >= self._TRACE_NOTES_MAX:
+                del notes[next(iter(notes))]
+            notes[id(batch)] = (now_ns, tmap)
+
+    def pop_traces(self, batch):
+        """Claim the traces noted for ``batch`` (``None`` if untraced)."""
+        return self._trace_notes.pop(id(batch), None)
+
     async def batches(self):
         """Yield delivered batches across worker generations."""
         while True:
             remote = self.remote
             async for batch in remote.batches():
+                self._note_batch_traces(batch, remote)
                 yield batch
             reason = remote.closed_reason or "connection_closed"
             if reason == "overflow_disconnect":
@@ -288,6 +345,10 @@ class _Worker:
         self.drain_task: Optional[asyncio.Task] = None
         self.respawn_task: Optional[asyncio.Task] = None
         self.terminal_snapshot: Optional[dict] = None
+        #: High-water mark of worker-local event ids already folded into
+        #: the router's event log (reset on respawn: fresh process,
+        #: fresh id space).
+        self.events_cursor = 0
 
 
 class ClusterService:
@@ -299,7 +360,12 @@ class ClusterService:
     the fleet, and merges observability.
     """
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.config = config
         self._workers = [_Worker(i) for i in range(config.workers)]
         #: Source registry (insertion-ordered); values are shard indexes.
@@ -309,6 +375,53 @@ class ClusterService:
         self._started = False
         self._closed = False
         self._final_snapshot: Optional[dict] = None
+        self.telemetry = telemetry
+        #: Telemetry handed to the router->worker gateway clients: it
+        #: makes them *offer* the trace feature (so workers send decided
+        #: traces back) but never auto-sample — the router attaches the
+        #: carried trace pairs explicitly on the forward path.
+        self._client_telemetry: Optional[Telemetry] = None
+        if telemetry is not None:
+            self._client_telemetry = Telemetry(
+                sample_period=0, event_capacity=1, trace_capacity=1
+            )
+            registry = telemetry.registry
+            m_alive = registry.gauge(
+                "repro_cluster_worker_alive",
+                "1 when the worker process is running and ready.",
+                ("worker",),
+            )
+            m_respawns = registry.counter(
+                "repro_cluster_worker_respawns_total",
+                "Supervisor respawns per worker slot.",
+                ("worker",),
+            )
+            m_sessions = registry.gauge(
+                "repro_cluster_sessions", "Live routed subscriber sessions."
+            )
+            self._m_placements = registry.counter(
+                "repro_cluster_placement_moves_total",
+                "Source placements onto workers.",
+                ("worker",),
+            )
+
+            def _collect_fleet() -> None:
+                for worker in self._workers:
+                    label = str(worker.index)
+                    alive = (
+                        worker.process is not None
+                        and worker.process.returncode is None
+                        and worker.ready.is_set()
+                    )
+                    m_alive.labels(label).set(1.0 if alive else 0.0)
+                    m_respawns.labels(label).value = float(worker.respawns)
+                m_sessions.set(float(self.session_count()))
+
+            registry.register_collector(_collect_fleet)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.events.emit(kind, **fields)
 
     # ------------------------------------------------------------------
     # Placement
@@ -375,6 +488,13 @@ class ClusterService:
             command += ["--constraint-ms", str(cfg.constraint_ms)]
         if not cfg.tick_cuts:
             command.append("--no-tick-cuts")
+        if self.telemetry is not None:
+            command += [
+                "--trace-sample",
+                str(self.telemetry.tracer.sample_period),
+            ]
+        else:
+            command.append("--no-telemetry")
         return command
 
     @staticmethod
@@ -434,6 +554,15 @@ class ClusterService:
                 worker.port,
                 codec=self.config.codec,
                 max_frame_bytes=self.config.max_frame_bytes,
+                telemetry=self._client_telemetry,
+            )
+            worker.events_cursor = 0
+            self._emit(
+                "worker_spawn",
+                worker=worker.index,
+                pid=process.pid,
+                port=worker.port,
+                http_port=worker.http_port,
             )
         except BaseException:
             if process.returncode is None:
@@ -589,6 +718,13 @@ class ClusterService:
                     continue
                 process = worker.process
                 if process is None or process.returncode is not None:
+                    self._emit(
+                        "worker_death",
+                        worker=worker.index,
+                        returncode=(
+                            process.returncode if process is not None else None
+                        ),
+                    )
                     self._schedule_respawn(worker)
                     continue
                 if not worker.ready.is_set():
@@ -599,36 +735,58 @@ class ClusterService:
                 worker.health_misses += 1
                 if worker.health_misses >= cfg.health_misses:
                     # Alive but unresponsive: treat as dead.
+                    self._emit(
+                        "worker_death",
+                        worker=worker.index,
+                        reason="unresponsive",
+                        misses=worker.health_misses,
+                    )
                     self._signal(process, kill=True)
                     await process.wait()
                     self._schedule_respawn(worker)
 
-    async def _healthz(self, worker: _Worker) -> bool:
+    async def _http_get(
+        self, worker: _Worker, path: str, *, timeout_s: float = 2.0
+    ) -> Optional[bytes]:
+        """One-shot HTTP GET against a worker's snapshot endpoint.
+
+        Returns the response body on a 200, ``None`` on any failure —
+        a worker dying mid-scrape degrades the merged view, never the
+        scrape itself.
+        """
         if worker.http_port is None:
-            return True
+            return None
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection("127.0.0.1", worker.http_port),
-                timeout=2.0,
+                timeout=timeout_s,
             )
         except (OSError, asyncio.TimeoutError):
-            return False
+            return None
         try:
             writer.write(
-                b"GET /healthz HTTP/1.1\r\n"
-                b"Host: 127.0.0.1\r\nConnection: close\r\n\r\n"
+                f"GET {path} HTTP/1.1\r\n"
+                "Host: 127.0.0.1\r\nConnection: close\r\n\r\n".encode("ascii")
             )
             await writer.drain()
-            response = await asyncio.wait_for(reader.read(), timeout=2.0)
-            return b" 200 " in response.split(b"\r\n", 1)[0]
+            response = await asyncio.wait_for(reader.read(), timeout=timeout_s)
+            head, _, body = response.partition(b"\r\n\r\n")
+            if b" 200 " not in head.split(b"\r\n", 1)[0]:
+                return None
+            return body
         except (OSError, asyncio.TimeoutError):
-            return False
+            return None
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, asyncio.CancelledError):
                 pass
+
+    async def _healthz(self, worker: _Worker) -> bool:
+        if worker.http_port is None:
+            return True
+        return await self._http_get(worker, "/healthz") is not None
 
     async def _respawn(self, worker: _Worker) -> None:
         """Drain a dead worker slot and bring up a replacement.
@@ -641,6 +799,7 @@ class ClusterService:
         completeness stance applied to process failure.
         """
         worker.ready.clear()
+        self._emit("drain_start", worker=worker.index)
         if worker.client is not None:
             await worker.client.close(send_bye=False)
             worker.client = None
@@ -652,6 +811,7 @@ class ClusterService:
         if worker.drain_task is not None:
             await worker.drain_task
             worker.drain_task = None
+        self._emit("drain_end", worker=worker.index)
         while worker.respawns < self.config.respawn_limit:
             worker.respawns += 1
             try:
@@ -675,6 +835,11 @@ class ClusterService:
                     )
                     session.adopt(remote)
                 worker.ready.set()
+                self._emit(
+                    "worker_respawn",
+                    worker=worker.index,
+                    respawns=worker.respawns,
+                )
                 return
             except Exception:
                 process = worker.process
@@ -686,6 +851,9 @@ class ClusterService:
                     worker.client = None
                 await asyncio.sleep(0.2 * worker.respawns)
         worker.failed = True
+        self._emit(
+            "worker_lost", worker=worker.index, respawns=worker.respawns
+        )
         for app, session in list(worker.apps.items()):
             session.abandon("worker_lost")
             worker.apps.pop(app, None)
@@ -729,6 +897,11 @@ class ClusterService:
         try:
             worker = await self._worker_for(source_name)
             await worker.client.ensure_source(source_name)
+            if self.telemetry is not None:
+                self._m_placements.labels(str(shard)).inc()
+                self._emit(
+                    "source_placed", source=source_name, worker=shard
+                )
         except (ConnectionError, GatewayError) as exc:
             del self._sources[source_name]
             raise RuntimeError(f"cannot place source {source_name!r}: {exc}") from exc
@@ -765,21 +938,60 @@ class ClusterService:
         """
         self._require_source(source_name)
         worker = await self._worker_for(source_name)
+        trace = self._forward_trace(source_name, item.seq)
         try:
-            emissions = await worker.client.ingest(source_name, item)
+            emissions = await worker.client.ingest(
+                source_name, item, trace=trace
+            )
         except (ConnectionError, GatewayError) as exc:
             raise RuntimeError(
                 f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
             ) from exc
         return int(emissions or 0)
 
+    def _forward_trace(self, source_name: str, seq: int) -> Optional[list]:
+        """Close the ``router_forward`` stage and hand the pairs over.
+
+        The front-tier gateway opened the trace in the router's bag at
+        frame decode; the forward write to the worker closes it here —
+        the worker's broker takes the relay from the wire copy.
+        """
+        tele = self.telemetry
+        if tele is None or not tele.tracer.enabled:
+            return None
+        key = (source_name, seq)
+        if key not in tele.bag:
+            return None
+        now_ns = time.perf_counter_ns()
+        dur = tele.bag.stamp(key, _SID_ROUTER_FORWARD, now_ns)
+        if dur is not None:
+            tele.observe_stage(STAGE_ROUTER_FORWARD, dur)
+        return tele.bag.pop(key)
+
+    def _forward_traces(
+        self, source_name: str, items: Sequence
+    ) -> Optional[dict]:
+        tele = self.telemetry
+        if tele is None or not tele.tracer.enabled:
+            return None
+        traces = {
+            item.seq: pairs
+            for item in items
+            for pairs in (self._forward_trace(source_name, item.seq),)
+            if pairs
+        }
+        return traces or None
+
     async def offer_many(self, source_name: str, items: Sequence) -> int:
         self._require_source(source_name)
         if not items:
             return 0
         worker = await self._worker_for(source_name)
+        traces = self._forward_traces(source_name, items)
         try:
-            emissions = await worker.client.ingest_many(source_name, items)
+            emissions = await worker.client.ingest_many(
+                source_name, items, traces=traces
+            )
         except (ConnectionError, GatewayError) as exc:
             raise RuntimeError(
                 f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
@@ -854,9 +1066,13 @@ class ClusterService:
             remote,
             reattach_timeout_s=self.config.reattach_timeout_s,
             defaults=self.config,
+            telemetry=self.telemetry,
         )
         self._apps[app_name] = session
         worker.apps[app_name] = session
+        self._emit(
+            "subscribe", app=app_name, source=source_name, worker=worker.index
+        )
         return session
 
     async def unsubscribe(self, app_name: str) -> None:
@@ -913,6 +1129,72 @@ class ClusterService:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    async def metrics_text(self) -> str:
+        """Cluster-merged Prometheus exposition.
+
+        The router's own registry is relabeled ``worker="router"``; each
+        live worker's ``/metrics`` is scraped over its snapshot HTTP
+        port and relabeled with its slot index.  A worker that cannot be
+        scraped (dead, mid-respawn) is skipped — the merged text
+        degrades, the scrape never fails.
+        """
+        parts: list[str] = []
+        if self.telemetry is not None:
+            parts.append(
+                relabel_exposition(
+                    self.telemetry.registry.render(), {"worker": "router"}
+                )
+            )
+        bodies = await asyncio.gather(
+            *(self._http_get(w, "/metrics") for w in self._workers)
+        )
+        for worker, body in zip(self._workers, bodies):
+            if body:
+                parts.append(
+                    relabel_exposition(
+                        body.decode("utf-8", "replace"),
+                        {"worker": str(worker.index)},
+                    )
+                )
+        return merge_expositions(parts)
+
+    async def pull_events(self) -> None:
+        """Fold every live worker's structured events into the router log.
+
+        Per-worker cursors mean each worker event is ingested at most
+        once; a respawned worker restarts its id space, and its cursor
+        was reset at launch.  Unreachable workers are skipped.
+        """
+        tele = self.telemetry
+        if tele is None:
+            return
+        bodies = await asyncio.gather(
+            *(
+                self._http_get(w, f"/events?since={w.events_cursor}")
+                for w in self._workers
+            )
+        )
+        for worker, body in zip(self._workers, bodies):
+            if not body:
+                continue
+            records: list[dict] = []
+            top = worker.events_cursor
+            for line in body.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                records.append(record)
+                top = max(top, int(record.get("id", 0)))
+            if records:
+                tele.events.ingest(records, worker=worker.index)
+                worker.events_cursor = top
+
     async def _worker_snapshot(self, worker: _Worker) -> Optional[dict]:
         if worker.failed or worker.client is None or not worker.ready.is_set():
             return None

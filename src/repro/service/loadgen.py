@@ -54,6 +54,8 @@ from repro.core.engine import EngineResult
 from repro.core.tuples import StreamTuple, Trace
 from repro.experiments.configs import dc_specs_from_statistics
 from repro.filters.spec import parse_filter
+from repro.obs import DEFAULT_SAMPLE_PERIOD, Telemetry, stage_id, stage_name
+from repro.obs.trace import STAGE_SESSION_QUEUE
 from repro.runtime.tasks import EngineConfig
 from repro.service.broker import (
     DisseminationService,
@@ -168,6 +170,12 @@ class LoadGenConfig:
     #: > 1 builds a :mod:`repro.service.cluster` fleet behind the
     #: self-hosted gateway instead of one in-process broker.
     workers: int = 1
+    #: Stage-trace roughly one in N tuples (deterministic on the tuple
+    #: key, so client, gateway and broker all sample the same tuples).
+    #: The sampled traces feed the summary's ``stage_latency`` block;
+    #: 0 disables telemetry entirely (no registry, no traces, no
+    #: event log — the overhead-gate baseline).
+    trace_sample: int = DEFAULT_SAMPLE_PERIOD
     #: Offer the *entire* trace even when ``duration_s`` elapses first.
     #: Duration-bounded runs offer however much fit in the wall budget —
     #: fine for throughput cells, but a determinism comparison across
@@ -225,6 +233,8 @@ class LoadGenConfig:
                     "workers > 1 self-hosts a cluster; it cannot target "
                     "an external server (drop connect=)"
                 )
+        if self.trace_sample < 0:
+            raise ValueError("trace_sample must be non-negative (0 disables)")
         if self.churn and self.sources != 1:
             raise ValueError(
                 "churn schedules name single-stream apps; use sources=1"
@@ -349,22 +359,85 @@ def _dead_snapshot() -> dict:
 
 
 async def _consume(
-    handle, delay_ms: float, sink: Optional[list[int]] = None
+    handle,
+    delay_ms: float,
+    sink: Optional[list[int]] = None,
+    stages: Optional[dict] = None,
 ) -> int:
     """Drain one subscription (in-process session or remote).
 
     ``sink`` collects the delivered tuple seqs — only external-server
     verification reads them, so every other mode passes ``None`` and a
-    long run does not retain one int per delivered tuple.
+    long run does not retain one int per delivered tuple.  ``stages``
+    (``{stage_id: [dur_ns, ...]}``) accumulates the sampled stage
+    traces that reach this subscriber, feeding the summary's
+    ``stage_latency`` block.
     """
     total = 0
     async for batch in handle.batches():
         total += len(batch)
         if sink is not None:
             sink.extend(item.seq for item in batch.items)
+        if stages is not None:
+            _collect_stages(handle, batch, stages)
         if delay_ms > 0.0:
             await asyncio.sleep(delay_ms / 1000.0)
     return total
+
+
+_SID_SESSION_QUEUE = stage_id(STAGE_SESSION_QUEUE)
+
+
+def _collect_stages(handle, batch, stages: dict) -> None:
+    """Fold one delivered batch's sampled traces into ``stages``.
+
+    Remote subscriptions store traces per tuple seq (already carrying
+    every wire-measured stage); in-process sessions park them per batch
+    with the enqueue timestamp, so the consumer-side queue dwell is
+    measured here — the same interval the gateway's delivery pump
+    observes on the TCP path.
+    """
+    claim = getattr(handle, "claim_trace", None)
+    if claim is not None:
+        for item in batch.items:
+            claimed = claim(item.seq)
+            if claimed is None:
+                continue
+            for sid, dur in claimed[0]:
+                stages.setdefault(sid, []).append(dur)
+        return
+    pop = getattr(handle, "pop_traces", None)
+    if pop is None:
+        return
+    noted = pop(batch)
+    if noted is None:
+        return
+    enqueue_ns, traces = noted
+    dwell = time.perf_counter_ns() - enqueue_ns
+    for pairs in traces.values():
+        for sid, dur in pairs:
+            stages.setdefault(sid, []).append(dur)
+        stages.setdefault(_SID_SESSION_QUEUE, []).append(dwell)
+
+
+def _pctl_ns(ordered: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def _stage_latency_summary(stages: dict) -> dict:
+    """Per-stage p50/p99 (ms) from the run's sampled stage traces."""
+    block: dict[str, dict] = {}
+    for sid in sorted(stages):
+        durs = sorted(stages[sid])
+        block[stage_name(sid)] = {
+            "count": len(durs),
+            "p50_ms": round(_pctl_ns(durs, 0.50) / 1e6, 6),
+            "p99_ms": round(_pctl_ns(durs, 0.99) / 1e6, 6),
+        }
+    return block
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +449,7 @@ def _broker_service(
     tick_cuts: bool,
     hosts: int,
     sources: Sequence[str],
+    telemetry: Optional[Telemetry] = None,
 ) -> DisseminationService:
     service = DisseminationService(
         ServiceConfig(
@@ -389,6 +463,7 @@ def _broker_service(
             seed=config.seed,
         ),
         nodes=["source-node"] + [f"host{i}" for i in range(hosts)],
+        telemetry=telemetry,
     )
     for name in sources:
         service.add_source(name, "source-node")
@@ -416,10 +491,11 @@ class _InProcDriver:
         tick_cuts: bool,
         hosts: int,
         sources: Sequence[str],
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sources = list(sources)
         self.service = _broker_service(
-            config, engine_cfg, tick_cuts, hosts, self.sources
+            config, engine_cfg, tick_cuts, hosts, self.sources, telemetry
         )
 
     async def start(self) -> None:
@@ -489,6 +565,7 @@ class _TcpDriver:
         tick_cuts: bool,
         hosts: int,
         sources: Sequence[str],
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config
         self.sources = list(sources)
@@ -502,6 +579,10 @@ class _TcpDriver:
         self._engine_cfg = engine_cfg
         self._tick_cuts = tick_cuts
         self._hosts = hosts
+        #: Shared with the self-hosted backend *and* every client: one
+        #: process, one registry — the client-side ``ingest_send`` stage
+        #: and the broker's stages land in the same histograms.
+        self.telemetry = telemetry
 
     async def start(self) -> None:
         from repro.transport.client import GatewayClient
@@ -525,7 +606,8 @@ class _TcpDriver:
                         tick_cuts=self._tick_cuts,
                         seed=config.seed,
                         codec=config.codec,
-                    )
+                    ),
+                    telemetry=self.telemetry,
                 )
                 await self.cluster.start()
                 backend = self.cluster
@@ -536,6 +618,7 @@ class _TcpDriver:
                     self._tick_cuts,
                     self._hosts,
                     self.sources,
+                    self.telemetry,
                 )
                 backend = self.service
             self.gateway = GatewayServer(
@@ -543,6 +626,7 @@ class _TcpDriver:
                 host="127.0.0.1",
                 port=0,
                 fanout=config.fanout,
+                telemetry=self.telemetry,
             )
         try:
             if self.own_server:
@@ -554,7 +638,7 @@ class _TcpDriver:
                 port = int(port_text)
             for source in self.sources:
                 client = await GatewayClient.connect(
-                    host, port, codec=config.codec
+                    host, port, codec=config.codec, telemetry=self.telemetry
                 )
                 await client.ensure_source(source)
                 self.clients[source] = client
@@ -707,8 +791,13 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     # decide differently from the batch reference (GroupAwareEngine.tick).
     tick_cuts = not (config.verify and config.constraint_ms is not None)
     hosts = sum(len(feed.specs) for feed in feeds) + len(config.churn) + 1
+    tele = (
+        Telemetry(sample_period=config.trace_sample)
+        if config.trace_sample > 0
+        else None
+    )
     driver_cls = _TcpDriver if config.transport == "tcp" else _InProcDriver
-    driver = driver_cls(config, engine_cfg, tick_cuts, hosts, names)
+    driver = driver_cls(config, engine_cfg, tick_cuts, hosts, names, tele)
     await driver.start()
     if config.adaptive_batch and config.ingest_batch > 1:
         # Lazy import: the service package must not import transport at
@@ -716,7 +805,10 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         from repro.transport.client import AdaptiveIngest
 
         for feed in feeds:
-            feed.controller = AdaptiveIngest(config.ingest_batch)
+            feed.controller = AdaptiveIngest(
+                config.ingest_batch,
+                events=tele.events if tele is not None else None,
+            )
     # Mid-run transport failures (a dying external server, a reaped
     # session) must degrade into a summary with recorded errors and a
     # cleaned-up driver, not a crash that leaks tasks and sockets.
@@ -732,6 +824,9 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     live: dict[str, tuple[str, str]] = {}
     consumers: dict[str, asyncio.Task] = {}
     delivered_seqs: dict[str, list[int]] = {}
+    #: Sampled stage durations pooled across every subscriber:
+    #: ``{stage_id: [dur_ns, ...]}``.
+    stage_samples: dict[int, list[int]] = {}
 
     # Delivered-seq collection feeds the external/cluster verify branch
     # and the cross-run stream digests; in-process runs verify against
@@ -743,7 +838,12 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         live[app] = (source, spec)
         sink = delivered_seqs.setdefault(app, []) if collect_seqs else None
         consumers[app] = asyncio.create_task(
-            _consume(handle, config.consumer_delay_ms, sink)
+            _consume(
+                handle,
+                config.consumer_delay_ms,
+                sink,
+                stage_samples if tele is not None else None,
+            )
         )
 
     for feed in feeds:
@@ -948,6 +1048,15 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         if isinstance(r, BaseException)
         and not isinstance(r, asyncio.CancelledError)
     )
+    if tele is not None:
+        # Self-hosted cluster: fold the workers' structured events into
+        # the run's log while they are still alive to answer.
+        pull = getattr(getattr(driver, "cluster", None), "pull_events", None)
+        if pull is not None:
+            try:
+                await pull()
+            except recoverable as exc:
+                errors.append(repr(exc))
     try:
         await driver.cleanup()
     except recoverable as exc:
@@ -1061,6 +1170,13 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "regroups": final_snapshot["regroups"],
         "ticks": final_snapshot["ticks"],
         "cuts_triggered": final_snapshot["cuts_triggered"],
+        #: Per-stage p50/p99 from the sampled traces (None when
+        #: telemetry is off; stages appear as their samples do — an
+        #: inproc run has no wire stages to report).
+        "stage_latency": (
+            _stage_latency_summary(stage_samples) if tele is not None else None
+        ),
+        "events_captured": len(tele.events) if tele is not None else 0,
         "churn_applied": churn_applied,
         "churn_unapplied": [asdict(event) for event in pending_churn],
         "final_subscriptions": [list(pair) for pair in final_subscriptions],
@@ -1080,6 +1196,10 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         (out / "summary.json").write_text(
             json.dumps(summary, indent=2) + "\n", encoding="utf-8"
         )
+        if tele is not None:
+            (out / "events.jsonl").write_text(
+                tele.events.to_jsonl(), encoding="utf-8"
+            )
     return summary
 
 

@@ -171,6 +171,16 @@ class SubscriberSession:
     stats: SessionStats = field(default_factory=SessionStats)
     disconnected: bool = False
     _broker: Optional["DisseminationService"] = None
+    #: Trace side channel, keyed by batch identity: ``id(batch) ->
+    #: (enqueue_ns, {seq: [(stage_id, dur_ns), ...]})`` for sampled
+    #: tuples in that batch.  Written by the broker at ship time, popped
+    #: by the delivery pump to extend the trace with queue/write stages.
+    #: Bounded: traces are advisory, so entries whose batches were
+    #: dropped by overflow (never popped) are evicted oldest-first.
+    _trace_notes: dict = field(default_factory=dict)
+
+    #: Eviction bound for :attr:`_trace_notes`.
+    _TRACE_NOTES_MAX = 64
 
     # ------------------------------------------------------------------
     # Consumer side
@@ -249,6 +259,19 @@ class SubscriberSession:
             self.stats.dropped_tuples += len(batch)
             return False
         return self._account(self.queue.put_nowait(batch), batch)
+
+    def note_traces(
+        self, batch: Batch, enqueue_ns: int, traces: dict
+    ) -> None:
+        """Attach sampled-tuple traces to one outbound batch."""
+        notes = self._trace_notes
+        while len(notes) >= self._TRACE_NOTES_MAX:
+            del notes[next(iter(notes))]
+        notes[id(batch)] = (enqueue_ns, traces)
+
+    def pop_traces(self, batch: Batch):
+        """Claim the traces noted for ``batch`` (``None`` if untraced)."""
+        return self._trace_notes.pop(id(batch), None)
 
     async def close(self) -> None:
         await self.queue.close()

@@ -28,6 +28,8 @@ import time
 from typing import AsyncIterator, Mapping, Optional, Sequence, Union
 
 from repro.core.tuples import StreamTuple
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import STAGE_INGEST_SEND, stage_id
 from repro.qos.spec import QualitySpec
 from repro.service.batching import Batch
 from repro.transport.codec import (
@@ -37,6 +39,7 @@ from repro.transport.codec import (
     make_encoder,
 )
 from repro.transport.protocol import (
+    FEATURE_TRACE,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameDecoder,
@@ -45,6 +48,7 @@ from repro.transport.protocol import (
     batch_from_wire,
     encode_frame,
     pack_header,
+    traces_from_wire,
 )
 
 __all__ = [
@@ -55,6 +59,8 @@ __all__ = [
 ]
 
 _READ_CHUNK = 1 << 16
+
+_SID_INGEST_SEND = stage_id(STAGE_INGEST_SEND)
 
 
 class AdaptiveIngest:
@@ -89,6 +95,7 @@ class AdaptiveIngest:
         backoff_ratio: float = 2.0,
         baseline_decay: float = 1.02,
         trajectory_limit: int = 512,
+        events=None,
     ):
         if min_size < 1:
             raise ValueError("min_size must be at least 1")
@@ -108,6 +115,9 @@ class AdaptiveIngest:
         self._best_per_tuple_s: Optional[float] = None
         self._trajectory: list[tuple[int, int]] = [(0, min_size)]
         self._trajectory_limit = trajectory_limit
+        #: Optional :class:`repro.obs.events.EventLog`: every size change
+        #: is emitted as an ``adaptive_resize`` event.
+        self._events = events
 
     def observe(self, batch_len: int, ack_latency_s: float) -> None:
         """Feed one acked flush; adjusts :attr:`size` for the next one."""
@@ -127,8 +137,16 @@ class AdaptiveIngest:
             self.backoffs += 1
         else:
             self.size = min(self.max_size, self.size + 1)
-        if self.size != previous and len(self._trajectory) < self._trajectory_limit:
-            self._trajectory.append((self.observations, self.size))
+        if self.size != previous:
+            if len(self._trajectory) < self._trajectory_limit:
+                self._trajectory.append((self.observations, self.size))
+            if self._events is not None:
+                self._events.emit(
+                    "adaptive_resize",
+                    observation=self.observations,
+                    size=self.size,
+                    previous=previous,
+                )
 
     @property
     def trajectory(self) -> list[tuple[int, int]]:
@@ -176,6 +194,38 @@ class RemoteSubscription:
         #: frame lands on this object, never on the replacement.
         self._removed = asyncio.Event()
         self._ended = False
+        #: Sampled per-tuple stage traces off decided frames, keyed by
+        #: tuple seq: ``{seq: [(stage_id, dur_ns), ...]}``.  Bounded
+        #: (oldest evicted); the load generator reads this after a run to
+        #: build its per-stage latency summary.
+        self.stage_traces: dict[int, list] = {}
+        self._trace_noted_ns: dict[int, int] = {}
+        self._stage_traces_max = 4096
+
+    def _note_traces(self, traces: dict) -> None:
+        """Fold one decided frame's trace map into the bounded store."""
+        store = self.stage_traces
+        noted = self._trace_noted_ns
+        now_ns = time.perf_counter_ns()
+        for seq, pairs in traces.items():
+            while len(store) >= self._stage_traces_max and seq not in store:
+                evicted = next(iter(store))
+                del store[evicted]
+                noted.pop(evicted, None)
+            store[seq] = pairs
+            noted[seq] = now_ns
+
+    def claim_trace(self, seq: int):
+        """Remove and return ``(pairs, noted_ns)`` for one tuple.
+
+        ``noted_ns`` is the local ``perf_counter_ns`` at which the
+        decided frame carrying the trace was decoded — the cluster
+        router uses it to measure its reassembly stage.
+        """
+        pairs = self.stage_traces.pop(seq, None)
+        if pairs is None:
+            return None
+        return pairs, self._trace_noted_ns.pop(seq, 0)
 
     def _resize(self, capacity: int) -> None:
         """Adopt the server-resolved bound without dropping anything.
@@ -283,10 +333,17 @@ class GatewayClient:
         writer: asyncio.StreamWriter,
         *,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._reader = reader
         self._writer = writer
         self._max_frame_bytes = max_frame_bytes
+        #: Optional telemetry bundle: enables the trace feature offer,
+        #: client-side ``ingest_send`` stage measurement, and local stage
+        #: histograms.
+        self.telemetry = telemetry
+        #: Features confirmed by the server's welcome (empty for v1).
+        self.features: list[str] = []
         self._seq = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._subscriptions: dict[str, RemoteSubscription] = {}
@@ -313,6 +370,7 @@ class GatewayClient:
         token: Optional[str] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         codec: str = CODEC_BINARY,
+        telemetry: Optional[Telemetry] = None,
     ) -> "GatewayClient":
         """Open and authenticate one gateway connection.
 
@@ -326,10 +384,14 @@ class GatewayClient:
                 f"unknown codec {codec!r}; expected one of {SUPPORTED_CODECS}"
             )
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        client = cls(
+            reader, writer, max_frame_bytes=max_frame_bytes, telemetry=telemetry
+        )
         client._read_task = asyncio.ensure_future(client._read_loop())
         offered = [codec] if codec == CODEC_JSON else [codec, CODEC_JSON]
         hello: dict = {"t": "hello", "v": PROTOCOL_VERSION, "codecs": offered}
+        if telemetry is not None:
+            hello["features"] = [FEATURE_TRACE]
         if token is not None:
             hello["token"] = token
         try:
@@ -343,6 +405,9 @@ class GatewayClient:
             chosen = CODEC_JSON
         client.codec = chosen
         client._encoder = make_encoder(chosen)
+        confirmed = welcome.get("features")
+        if isinstance(confirmed, list):
+            client.features = [f for f in confirmed if isinstance(f, str)]
         return client
 
     async def close(self, *, send_bye: bool = True) -> None:
@@ -382,6 +447,35 @@ class GatewayClient:
         if len(body) > self._max_frame_bytes:
             raise FrameTooLarge(len(body), self._max_frame_bytes)
         self._writer.write(pack_header(len(body)) + body)
+
+    def _trace_start(self, source: str, seq: int) -> int:
+        """``perf_counter_ns`` at ingest entry when ``seq`` is sampled
+        and the trace feature was negotiated; 0 otherwise."""
+        tele = self.telemetry
+        if (
+            tele is None
+            or not tele.tracer.enabled
+            or FEATURE_TRACE not in self.features
+            or not tele.tracer.sampled(source, seq)
+        ):
+            return 0
+        return time.perf_counter_ns()
+
+    def _send_trace(self, start_ns: int):
+        """Close the client-side ``ingest_send`` stage for one tuple."""
+        if not start_ns:
+            return None
+        dur = time.perf_counter_ns() - start_ns
+        self.telemetry.observe_stage(STAGE_INGEST_SEND, dur)
+        return [(_SID_INGEST_SEND, dur)]
+
+    def _send_traces(self, start_ns: int, seqs: list):
+        """Same, shared across every sampled tuple of one batch frame."""
+        if not start_ns or not seqs:
+            return None
+        dur = time.perf_counter_ns() - start_ns
+        self.telemetry.observe_stage(STAGE_INGEST_SEND, dur)
+        return {seq: [(_SID_INGEST_SEND, dur)] for seq in seqs}
 
     def _check_alive(self) -> None:
         if self._closed:
@@ -429,6 +523,7 @@ class GatewayClient:
         ack: bool = True,
         pad_bytes: int = 0,
         adapt: Optional[AdaptiveIngest] = None,
+        trace: Optional[list] = None,
     ) -> Optional[int]:
         """Offer one tuple to the broker across the wire.
 
@@ -440,9 +535,15 @@ class GatewayClient:
         frame approximates a configured tuple size.  The frame body uses
         the negotiated codec.  ``adapt`` feeds the measured ack latency
         to an :class:`AdaptiveIngest` controller (acked sends only).
+        ``trace`` attaches explicit ``(stage_id, dur_ns)`` pairs instead
+        of the client-measured ``ingest_send`` stage — the cluster
+        router uses it to forward a trace carried from the producer.
         """
         encoder = self._encoder
         limit = self._max_frame_bytes
+        trace_start_ns = 0 if trace is not None else self._trace_start(
+            source, item.seq
+        )
         if ack:
             started = time.perf_counter() if adapt is not None else 0.0
             reply = await self._roundtrip(
@@ -453,6 +554,8 @@ class GatewayClient:
                         seq=seq,
                         pad_bytes=pad_bytes,
                         max_frame_bytes=limit,
+                        trace=(trace if trace is not None
+                               else self._send_trace(trace_start_ns)),
                     )
                 )
             )
@@ -462,7 +565,12 @@ class GatewayClient:
         self._check_alive()
         self._write_body(
             encoder.ingest_body(
-                source, item, pad_bytes=pad_bytes, max_frame_bytes=limit
+                source,
+                item,
+                pad_bytes=pad_bytes,
+                max_frame_bytes=limit,
+                trace=(trace if trace is not None
+                       else self._send_trace(trace_start_ns)),
             )
         )
         await self._writer.drain()
@@ -476,6 +584,7 @@ class GatewayClient:
         ack: bool = True,
         pad_bytes: int = 0,
         adapt: Optional[AdaptiveIngest] = None,
+        traces: Optional[dict] = None,
     ) -> Optional[int]:
         """Offer many tuples in one ``ingest_batch`` frame.
 
@@ -484,12 +593,30 @@ class GatewayClient:
         amortized across ``len(items)``.  Returns the summed emission
         count when ``ack=True``.  ``adapt`` feeds the measured ack
         latency to an :class:`AdaptiveIngest` controller so the *next*
-        batch is sized from how this one fared.
+        batch is sized from how this one fared.  ``traces`` attaches an
+        explicit ``{seq: pairs}`` trace map (cluster forward path)
+        instead of the client-measured ``ingest_send`` stage.
         """
         if not items:
             return 0 if ack else None
         encoder = self._encoder
         limit = self._max_frame_bytes
+        sampled_seqs: list[int] = []
+        trace_start_ns = 0
+        tele = self.telemetry
+        if (
+            traces is None
+            and tele is not None
+            and tele.tracer.enabled
+            and FEATURE_TRACE in self.features
+        ):
+            sampled_seqs = [
+                item.seq
+                for item in items
+                if tele.tracer.sampled(source, item.seq)
+            ]
+            if sampled_seqs:
+                trace_start_ns = time.perf_counter_ns()
         if ack:
             started = time.perf_counter() if adapt is not None else 0.0
             reply = await self._roundtrip(
@@ -500,6 +627,9 @@ class GatewayClient:
                         seq=seq,
                         pad_bytes=pad_bytes,
                         max_frame_bytes=limit,
+                        traces=(traces if traces is not None
+                                else self._send_traces(
+                                    trace_start_ns, sampled_seqs)),
                     )
                 )
             )
@@ -509,7 +639,12 @@ class GatewayClient:
         self._check_alive()
         self._write_body(
             encoder.ingest_batch_body(
-                source, items, pad_bytes=pad_bytes, max_frame_bytes=limit
+                source,
+                items,
+                pad_bytes=pad_bytes,
+                max_frame_bytes=limit,
+                traces=(traces if traces is not None
+                        else self._send_traces(trace_start_ns, sampled_seqs)),
             )
         )
         await self._writer.drain()
@@ -666,6 +801,8 @@ class GatewayClient:
         if kind == "decided":
             subscription = self._subscriptions.get(frame.get("app"))
             if subscription is not None:
+                if "traces" in frame:
+                    subscription._note_traces(traces_from_wire(frame))
                 # This put blocks when the consumer lags, intentionally
                 # pausing the read loop (see the module docstring).
                 await subscription._push(batch_from_wire(frame))

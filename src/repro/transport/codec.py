@@ -47,6 +47,19 @@ Binary frame layouts (after the 4-byte big-endian length header)::
     0x03 decided       string app, f64 first_staged_ms, f64 flushed_ms,
                        names, varint count, count * tuple
 
+When the ``trace`` feature was negotiated in the hello
+(:data:`repro.transport.protocol.FEATURE_TRACE`), frames carrying
+sampled stage-latency annotations use the *traced* tags — the base
+layout with a trace section appended, so tuple segments stay shareable
+between traced and untraced frames::
+
+    pairs    = varint n, then n * (varint stage_id + varint dur_ns)
+    tracemap = varint n, then n * (varint seq + pairs)
+
+    0x11 ingest        0x01 layout, then pairs       (for its tuple)
+    0x12 ingest_batch  0x02 layout, then tracemap
+    0x13 decided       0x03 layout, then tracemap
+
 Decoding always yields the *same dict shapes* the JSON protocol uses
 (``{"t": "ingest", "source": ..., "tuple": {...}}``), so the server
 dispatch, the client read loop and every test helper are codec-agnostic.
@@ -95,8 +108,16 @@ FANOUTS = (FANOUT_SHARED, FANOUT_PER_SESSION)
 _TAG_INGEST = 0x01
 _TAG_INGEST_BATCH = 0x02
 _TAG_DECIDED = 0x03
+#: Traced variants: base layout + appended trace section (see docstring).
+_TAG_INGEST_TRACED = 0x11
+_TAG_INGEST_BATCH_TRACED = 0x12
+_TAG_DECIDED_TRACED = 0x13
 
 _F64 = struct.Struct("<d")
+
+#: ``{seq: [(stage_id, duration_ns), ...]}`` — the normalized trace
+#: annotation shape (see :func:`repro.transport.protocol.traces_from_wire`).
+TraceMap = dict
 
 
 def negotiate(
@@ -139,6 +160,31 @@ def _put_string(out: bytearray, text: str) -> None:
     data = text.encode("utf-8")
     _put_varint(out, len(data))
     out += data
+
+
+def _put_trace_pairs(out: bytearray, pairs) -> None:
+    _put_varint(out, len(pairs))
+    for sid, dur_ns in pairs:
+        _put_varint(out, int(sid))
+        _put_varint(out, max(0, int(dur_ns)))
+
+
+def _put_trace_map(out: bytearray, traces) -> None:
+    _put_varint(out, len(traces))
+    for seq, pairs in traces.items():
+        _put_varint(out, int(seq))
+        _put_trace_pairs(out, pairs)
+
+
+def _traces_json(traces) -> bytes:
+    """The JSON codec's ``traces`` object (string seq keys)."""
+    return json.dumps(
+        {
+            str(seq): [[int(sid), int(ns)] for sid, ns in pairs]
+            for seq, pairs in traces.items()
+        },
+        separators=(",", ":"),
+    ).encode("ascii")
 
 
 class _Reader:
@@ -334,6 +380,7 @@ class FrameEncoder:
         seq: Optional[int] = None,
         pad_bytes: int = 0,
         max_frame_bytes: Optional[int] = None,
+        trace: Optional[list] = None,
     ) -> bytes:
         raise NotImplementedError
 
@@ -345,6 +392,7 @@ class FrameEncoder:
         seq: Optional[int] = None,
         pad_bytes: int = 0,
         max_frame_bytes: Optional[int] = None,
+        traces: Optional[TraceMap] = None,
     ) -> bytes:
         raise NotImplementedError
 
@@ -355,6 +403,7 @@ class FrameEncoder:
         *,
         max_frame_bytes: int,
         shared: bool = True,
+        traces: Optional[TraceMap] = None,
     ) -> tuple[list[bytes], int]:
         raise NotImplementedError
 
@@ -381,7 +430,14 @@ class JsonEncoder(FrameEncoder):
 
     # -- hot paths ------------------------------------------------------
     def ingest_body(
-        self, source, item, *, seq=None, pad_bytes=0, max_frame_bytes=None
+        self,
+        source,
+        item,
+        *,
+        seq=None,
+        pad_bytes=0,
+        max_frame_bytes=None,
+        trace=None,
     ):
         frame: dict = {
             "t": "ingest",
@@ -392,13 +448,22 @@ class JsonEncoder(FrameEncoder):
             frame["seq"] = seq
         if pad_bytes > 0:
             frame["pad"] = "x" * pad_bytes
+        if trace:
+            frame["trace"] = [[int(sid), int(ns)] for sid, ns in trace]
         body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
         if max_frame_bytes is not None and len(body) > max_frame_bytes:
             raise FrameTooLarge(len(body), max_frame_bytes)
         return body
 
     def ingest_batch_body(
-        self, source, items, *, seq=None, pad_bytes=0, max_frame_bytes=None
+        self,
+        source,
+        items,
+        *,
+        seq=None,
+        pad_bytes=0,
+        max_frame_bytes=None,
+        traces=None,
     ):
         frame: dict = {
             "t": "ingest_batch",
@@ -409,12 +474,19 @@ class JsonEncoder(FrameEncoder):
             frame["seq"] = seq
         if pad_bytes > 0:
             frame["pad"] = "x" * pad_bytes
+        if traces:
+            frame["traces"] = {
+                str(seq_): [[int(sid), int(ns)] for sid, ns in pairs]
+                for seq_, pairs in traces.items()
+            }
         body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
         if max_frame_bytes is not None and len(body) > max_frame_bytes:
             raise FrameTooLarge(len(body), max_frame_bytes)
         return body
 
-    def decided_pieces(self, app, batch, *, max_frame_bytes, shared=True):
+    def decided_pieces(
+        self, app, batch, *, max_frame_bytes, shared=True, traces=None
+    ):
         prefix = (
             b'{"t":"decided","app":'
             + json.dumps(app).encode("utf-8")
@@ -445,8 +517,12 @@ class JsonEncoder(FrameEncoder):
                 total += 1
             pieces.append(segment.data)
             total += len(segment.data)
-        pieces.append(b"]}")
-        total += 2
+        if traces:
+            tail = b'],"traces":' + _traces_json(traces) + b"}"
+        else:
+            tail = b"]}"
+        pieces.append(tail)
+        total += len(tail)
         if total > max_frame_bytes:
             raise FrameTooLarge(total, max_frame_bytes)
         return pieces, total
@@ -508,15 +584,24 @@ class BinaryEncoder(FrameEncoder):
 
     # -- hot paths ------------------------------------------------------
     def ingest_body(
-        self, source, item, *, seq=None, pad_bytes=0, max_frame_bytes=None
+        self,
+        source,
+        item,
+        *,
+        seq=None,
+        pad_bytes=0,
+        max_frame_bytes=None,
+        trace=None,
     ):
-        head = bytearray([_TAG_INGEST])
+        head = bytearray([_TAG_INGEST_TRACED if trace else _TAG_INGEST])
         _put_varint(head, 0 if seq is None else seq + 1)
         _put_string(head, source)
         _put_varint(head, max(0, pad_bytes))
         head += b"\x00" * max(0, pad_bytes)
         body = bytearray()
         ids = self._encode_tuple(body, item)
+        if trace:
+            _put_trace_pairs(body, trace)
         fresh = self._names_delta(head, ids)
         total = len(head) + len(body)
         if max_frame_bytes is not None and total > max_frame_bytes:
@@ -527,9 +612,18 @@ class BinaryEncoder(FrameEncoder):
         return bytes(head + body)
 
     def ingest_batch_body(
-        self, source, items, *, seq=None, pad_bytes=0, max_frame_bytes=None
+        self,
+        source,
+        items,
+        *,
+        seq=None,
+        pad_bytes=0,
+        max_frame_bytes=None,
+        traces=None,
     ):
-        head = bytearray([_TAG_INGEST_BATCH])
+        head = bytearray(
+            [_TAG_INGEST_BATCH_TRACED if traces else _TAG_INGEST_BATCH]
+        )
         _put_varint(head, 0 if seq is None else seq + 1)
         _put_string(head, source)
         _put_varint(head, max(0, pad_bytes))
@@ -539,6 +633,8 @@ class BinaryEncoder(FrameEncoder):
         _put_varint(body, len(items))
         for item in items:
             used.extend(self._encode_tuple(body, item))
+        if traces:
+            _put_trace_map(body, traces)
         fresh = self._names_delta(head, used)
         total = len(head) + len(body)
         if max_frame_bytes is not None and total > max_frame_bytes:
@@ -546,7 +642,9 @@ class BinaryEncoder(FrameEncoder):
         self._announced |= fresh
         return bytes(head + body)
 
-    def decided_pieces(self, app, batch, *, max_frame_bytes, shared=True):
+    def decided_pieces(
+        self, app, batch, *, max_frame_bytes, shared=True, traces=None
+    ):
         if shared:
             segments = [self.tuple_segment(item) for item in batch.items]
         else:
@@ -555,7 +653,7 @@ class BinaryEncoder(FrameEncoder):
                 out = bytearray()
                 ids = self._encode_tuple(out, item)
                 segments.append(Segment(bytes(out), ids))
-        head = bytearray([_TAG_DECIDED])
+        head = bytearray([_TAG_DECIDED_TRACED if traces else _TAG_DECIDED])
         _put_string(head, app)
         head += _F64.pack(batch.first_staged_ms)
         head += _F64.pack(batch.flushed_ms)
@@ -563,13 +661,24 @@ class BinaryEncoder(FrameEncoder):
             head, (nid for segment in segments for nid in segment.name_ids)
         )
         _put_varint(head, len(segments))
+        tail = b""
+        if traces:
+            tail_out = bytearray()
+            _put_trace_map(tail_out, traces)
+            tail = bytes(tail_out)
         pieces: list[bytes] = [bytes(head)]
-        total = len(head) + sum(len(segment) for segment in segments)
+        total = (
+            len(head)
+            + sum(len(segment) for segment in segments)
+            + len(tail)
+        )
         if total > max_frame_bytes:
             raise FrameTooLarge(total, max_frame_bytes)
         # Size check passed: the delta will reach the peer, commit it.
         self._announced |= fresh
         pieces.extend(segment.data for segment in segments)
+        if tail:
+            pieces.append(tail)
         return pieces, total
 
 
@@ -597,6 +706,20 @@ def _read_names(reader: _Reader, names: BinaryNames) -> None:
         names.learn(nid, reader.string())
 
 
+def _read_trace_pairs(reader: _Reader) -> list[tuple[int, int]]:
+    count = reader.varint()
+    return [(reader.varint(), reader.varint()) for _ in range(count)]
+
+
+def _read_trace_map(reader: _Reader) -> dict[int, list[tuple[int, int]]]:
+    count = reader.varint()
+    out: dict[int, list[tuple[int, int]]] = {}
+    for _ in range(count):
+        seq = reader.varint()
+        out[seq] = _read_trace_pairs(reader)
+    return out
+
+
 def _read_tuple(reader: _Reader, names: BinaryNames) -> StreamTuple:
     seq = reader.varint()
     ts = reader.f64()
@@ -618,18 +741,25 @@ def decode_binary_body(body: bytes, names: BinaryNames) -> dict:
     """
     reader = _Reader(body, pos=1)
     tag = body[0]
-    if tag == _TAG_INGEST or tag == _TAG_INGEST_BATCH:
+    if tag in (
+        _TAG_INGEST,
+        _TAG_INGEST_BATCH,
+        _TAG_INGEST_TRACED,
+        _TAG_INGEST_BATCH_TRACED,
+    ):
         req = reader.varint()
         source = reader.string()
         pad_len = reader.varint()
         reader.take(pad_len)  # padding is load-shaping only; discard
         _read_names(reader, names)
-        if tag == _TAG_INGEST:
+        if tag in (_TAG_INGEST, _TAG_INGEST_TRACED):
             frame: dict = {
                 "t": "ingest",
                 "source": source,
                 "tuple": _read_tuple(reader, names),
             }
+            if tag == _TAG_INGEST_TRACED:
+                frame["trace"] = _read_trace_pairs(reader)
         else:
             count = reader.varint()
             frame = {
@@ -637,20 +767,25 @@ def decode_binary_body(body: bytes, names: BinaryNames) -> dict:
                 "source": source,
                 "tuples": [_read_tuple(reader, names) for _ in range(count)],
             }
+            if tag == _TAG_INGEST_BATCH_TRACED:
+                frame["traces"] = _read_trace_map(reader)
         if req:
             frame["seq"] = req - 1
         return frame
-    if tag == _TAG_DECIDED:
+    if tag in (_TAG_DECIDED, _TAG_DECIDED_TRACED):
         app = reader.string()
         first_staged_ms = reader.f64()
         flushed_ms = reader.f64()
         _read_names(reader, names)
         count = reader.varint()
-        return {
+        frame = {
             "t": "decided",
             "app": app,
             "first_staged_ms": first_staged_ms,
             "flushed_ms": flushed_ms,
             "items": [_read_tuple(reader, names) for _ in range(count)],
         }
+        if tag == _TAG_DECIDED_TRACED:
+            frame["traces"] = _read_trace_map(reader)
+        return frame
     raise ProtocolError(f"unknown binary frame tag 0x{tag:02x}")

@@ -1,6 +1,6 @@
-"""Minimal HTTP endpoint serving live service snapshots for scraping.
+"""Minimal HTTP endpoint serving live service observability surfaces.
 
-Two routes, both read-only and stdlib-only (asyncio streams; no web
+Four routes, all read-only and stdlib-only (asyncio streams; no web
 framework):
 
 * ``GET /healthz`` — liveness: ``{"status": "ok", "sources": [...],
@@ -8,11 +8,24 @@ framework):
 * ``GET /snapshot`` — the full
   :meth:`~repro.service.broker.DisseminationService.snapshot` dict,
   including live p50/p99 decide latency, per-session queue depths and
-  drop counters — everything a scraper needs mid-run.
+  drop counters — everything a scraper needs mid-run;
+* ``GET /metrics`` — Prometheus text exposition of the attached
+  :class:`~repro.obs.telemetry.Telemetry` registry.  When the fronted
+  service is a cluster router (it has ``metrics_text``), the exposition
+  is the fleet merge: the router's own series labeled
+  ``worker="router"`` plus every live worker's scrape labeled with its
+  slot index;
+* ``GET /events?since=N&limit=M`` — the structured event log as JSON
+  lines, ids strictly increasing; pass the last seen ``id`` as
+  ``since`` to page.  On a cluster router the handler first folds every
+  worker's fresh events into the router log.
 
 Responses are ``Connection: close`` HTTP/1.1 with explicit
 ``Content-Length``, which every scraper (curl, prometheus blackbox,
-``urllib``) handles without keep-alive bookkeeping.
+``urllib``) handles without keep-alive bookkeeping.  Non-GET methods
+get a ``405``; a request head that overruns the buffer bound (or
+announces an oversized body via ``Content-Length``) gets a ``400``
+instead of a silent hangup.
 """
 
 from __future__ import annotations
@@ -20,14 +33,19 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Optional
+from urllib.parse import parse_qs
 
+from repro.obs.telemetry import Telemetry
 from repro.service.broker import DisseminationService
 
 __all__ = ["SnapshotHTTP"]
 
-#: Bound on the request head we are willing to buffer.
+#: Bound on the request head (and any announced body) we will buffer.
 _MAX_REQUEST_BYTES = 8192
 _REQUEST_TIMEOUT_S = 5.0
+
+#: Sentinel from ``_read_head``: the request overran the buffer bound.
+_OVERSIZED = object()
 
 
 class SnapshotHTTP:
@@ -39,9 +57,11 @@ class SnapshotHTTP:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.service = service
         self.host = host
+        self.telemetry = telemetry
         self._requested_port = port
         self._server: Optional[asyncio.base_events.Server] = None
 
@@ -74,13 +94,19 @@ class SnapshotHTTP:
             )
             if request is None:
                 return
-            method, path = request
-            status, payload = await self._route(method, path)
-            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            if request is _OVERSIZED:
+                status, ctype, body = self._json_reply(
+                    "400 Bad Request",
+                    {"error": "request head exceeds "
+                     f"{_MAX_REQUEST_BYTES} bytes"},
+                )
+            else:
+                method, path = request
+                status, ctype, body = await self._route(method, path)
             writer.write(
                 (
                     f"HTTP/1.1 {status}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {ctype}\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     "Connection: close\r\n"
                     "\r\n"
@@ -103,41 +129,125 @@ class SnapshotHTTP:
                 pass
 
     @staticmethod
-    async def _read_head(
-        reader: asyncio.StreamReader,
-    ) -> Optional[tuple[str, str]]:
-        """Parse the request line, drain headers, ignore any body."""
+    async def _read_head(reader: asyncio.StreamReader):
+        """Parse the request line and drain headers.
+
+        Returns ``(method, path)``, ``None`` for an empty/unparseable
+        request line, or :data:`_OVERSIZED` when the head overruns
+        :data:`_MAX_REQUEST_BYTES` or a ``Content-Length`` header
+        announces a body bigger than we are willing to read.
+        """
         request_line = await reader.readline()
         parts = request_line.decode("latin-1", "replace").split()
         if len(parts) < 2:
             return None
         drained = len(request_line)
-        while drained < _MAX_REQUEST_BYTES:
+        content_length = 0
+        terminated = False
+        while drained <= _MAX_REQUEST_BYTES:
             line = await reader.readline()
             drained += len(line)
             if line in (b"\r\n", b"\n", b""):
+                terminated = True
                 break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if not terminated or content_length > _MAX_REQUEST_BYTES:
+            return _OVERSIZED
         return parts[0].upper(), parts[1]
 
-    async def _route(self, method: str, path: str) -> tuple[str, dict]:
+    @staticmethod
+    def _json_reply(status: str, payload: dict) -> tuple[str, str, bytes]:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        return status, "application/json", body
+
+    async def _route(
+        self, method: str, path: str
+    ) -> tuple[str, str, bytes]:
         if method != "GET":
-            return "405 Method Not Allowed", {"error": "only GET is served"}
-        path = path.split("?", 1)[0]
+            return self._json_reply(
+                "405 Method Not Allowed", {"error": "only GET is served"}
+            )
+        path, _, query = path.partition("?")
         if path == "/healthz":
             # Liveness gets polled constantly: answer from the cheap
             # accessors, not a full snapshot (per-session stats plus
             # percentile computation).
-            return "200 OK", {
-                "status": "ok",
-                "sources": list(self.service.sources()),
-                "session_count": self.service.session_count(),
-            }
+            return self._json_reply(
+                "200 OK",
+                {
+                    "status": "ok",
+                    "sources": list(self.service.sources()),
+                    "session_count": self.service.session_count(),
+                },
+            )
         if path == "/snapshot":
             # The cluster router's snapshot is a coroutine (it gathers
             # per-worker snapshots) returning a plain merged dict.
             from repro.transport.server import service_snapshot_dict
 
-            return "200 OK", await service_snapshot_dict(self.service)
-        return "404 Not Found", {
-            "error": f"no route {path!r}; try /snapshot or /healthz"
-        }
+            payload = await service_snapshot_dict(self.service)
+            return self._json_reply("200 OK", payload)
+        if path == "/metrics":
+            return await self._metrics()
+        if path == "/events":
+            return await self._events(query)
+        return self._json_reply(
+            "404 Not Found",
+            {
+                "error": f"no route {path!r}; try /snapshot, /healthz, "
+                "/metrics or /events"
+            },
+        )
+
+    async def _metrics(self) -> tuple[str, str, bytes]:
+        """Prometheus exposition — fleet-merged when fronting a router."""
+        merged = getattr(self.service, "metrics_text", None)
+        if merged is not None:
+            text = await merged()
+        elif self.telemetry is not None:
+            text = self.telemetry.registry.render()
+        else:
+            return self._json_reply(
+                "404 Not Found", {"error": "telemetry is disabled"}
+            )
+        return (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            text.encode("utf-8"),
+        )
+
+    async def _events(self, query: str) -> tuple[str, str, bytes]:
+        """Structured event log as JSON lines, pageable via ``since``."""
+        if self.telemetry is None:
+            return self._json_reply(
+                "404 Not Found", {"error": "telemetry is disabled"}
+            )
+        params = parse_qs(query)
+
+        def intval(name: str, fallback):
+            raw = params.get(name, [None])[0]
+            if raw is None:
+                return fallback
+            try:
+                return int(raw)
+            except ValueError:
+                return fallback
+
+        since = intval("since", 0)
+        limit = intval("limit", None)
+        pull = getattr(self.service, "pull_events", None)
+        if pull is not None:
+            # Cluster router: fold fresh worker events in first, so one
+            # scrape sees the whole fleet.
+            await pull()
+        lines = [
+            json.dumps(record, separators=(",", ":"), default=str)
+            for record in self.telemetry.events.since(since, limit=limit)
+        ]
+        body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+        return "200 OK", "application/x-ndjson", body

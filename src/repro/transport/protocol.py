@@ -14,7 +14,7 @@ mismatch).
 
 Frame vocabulary (client → server unless noted)::
 
-    hello         {v, token?, codecs?}           -> welcome | error
+    hello         {v, token?, codecs?, features?} -> welcome | error
     ensure_source {seq, source}                  -> ok {created}
     ingest        {source, tuple, seq?, pad?}    -> ok {emissions}   (when seq given)
     ingest_batch  {source, tuples, seq?, pad?}   -> ok {emissions}   (when seq given)
@@ -28,7 +28,8 @@ Frame vocabulary (client → server unless noted)::
     snapshot      {seq, window?}                 -> snapshot {snapshot}
     bye           {reason?}                      (either direction)
 
-    welcome       {v, server, sources, codec}    (server → client)
+    welcome       {v, server, sources, codec,
+                   features}                     (server → client)
     ok            {reply_to, ...}                (server → client)
     error         {reply_to?, code, message}     (server → client)
     decided       {app, items, first_staged_ms,
@@ -45,6 +46,19 @@ emission count.  ``snapshot`` with ``window=true`` asks the server to
 attach its raw decide-latency sliding window (``decide_window_ms``) so
 a front-tier router can merge several workers' windows into one honest
 percentile computation.
+
+Besides ``codecs``, the hello may offer ``features`` — protocol
+extensions beyond the body codec.  The server confirms the agreed
+subset in ``welcome`` (:func:`negotiate_features`); an extension may
+only appear on the wire after both sides agreed, so v1 peers are
+untouched.  The one defined feature is ``"trace"``: sampled per-tuple
+stage-latency annotations (:mod:`repro.obs.trace`).  When negotiated,
+``ingest`` may carry ``trace`` (a ``[[stage_id, duration_ns], ...]``
+pair list for its tuple) and ``ingest_batch`` / ``decided`` may carry
+``traces`` (a ``{seq: pairs}`` map covering only the sampled tuples in
+the frame); :func:`traces_from_wire` normalizes either codec's decoded
+shape.  Trace annotations are additive metadata — receivers that
+negotiated the feature but find no trace field simply record nothing.
 
 Two *body codecs* share this frame vocabulary.  A body whose first byte
 is ``{`` is UTF-8 JSON (the v1 format); any other first byte is a
@@ -74,18 +88,28 @@ from repro.service.batching import Batch
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "FEATURE_TRACE",
+    "SUPPORTED_FEATURES",
     "ProtocolError",
     "FrameTooLarge",
     "encode_frame",
     "pack_header",
+    "negotiate_features",
     "FrameDecoder",
     "tuple_to_wire",
     "tuple_from_wire",
     "batch_to_wire",
     "batch_from_wire",
+    "traces_from_wire",
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Optional protocol extension: sampled per-tuple trace annotations.
+FEATURE_TRACE = "trace"
+
+#: Features this implementation understands (hello/welcome negotiation).
+SUPPORTED_FEATURES = (FEATURE_TRACE,)
 
 #: Default per-frame ceiling.  Generous for batched deliveries, small
 #: enough that one bad client cannot balloon broker memory.
@@ -122,6 +146,25 @@ def encode_frame(
     if len(body) > max_frame_bytes:
         raise FrameTooLarge(len(body), max_frame_bytes)
     return _HEADER.pack(len(body)) + body
+
+
+def negotiate_features(
+    offered,
+    supported: tuple = SUPPORTED_FEATURES,
+) -> list[str]:
+    """Server-side feature agreement: offered ∩ supported, offer order.
+
+    ``None`` (a v1 hello with no ``features`` key) or an unrecognized
+    offer yields the empty agreement — nothing extension-gated may be
+    sent to that peer.
+    """
+    if not offered:
+        return []
+    return [
+        str(name)
+        for name in offered
+        if name in supported and name in SUPPORTED_FEATURES
+    ]
 
 
 def pack_header(size: int) -> bytes:
@@ -245,3 +288,37 @@ def batch_from_wire(payload: Mapping) -> Batch:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed batch payload: {exc!r}") from exc
+
+
+def traces_from_wire(frame: Mapping) -> dict[int, list[tuple[int, int]]]:
+    """Normalize a frame's trace annotations to ``{seq: [(sid, ns)]}``.
+
+    Handles all three shapes: the JSON codec's string-keyed ``traces``
+    map, the binary codec's int-keyed map, and a single-tuple ``ingest``
+    frame's ``trace`` pair list (keyed by the tuple's own seq).  Returns
+    ``{}`` when the frame carries no annotations; malformed annotations
+    are dropped rather than failing the frame — traces are advisory.
+    """
+    out: dict[int, list[tuple[int, int]]] = {}
+    raw = frame.get("traces")
+    if isinstance(raw, Mapping):
+        for key, pairs in raw.items():
+            try:
+                out[int(key)] = [
+                    (int(sid), int(ns)) for sid, ns in pairs
+                ]
+            except (TypeError, ValueError):
+                continue
+    single = frame.get("trace")
+    if single is not None:
+        payload = frame.get("tuple")
+        try:
+            seq = (
+                payload.seq
+                if isinstance(payload, StreamTuple)
+                else int(payload["seq"])
+            )
+            out[seq] = [(int(sid), int(ns)) for sid, ns in single]
+        except (KeyError, TypeError, ValueError):
+            pass
+    return out

@@ -35,8 +35,15 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from typing import Optional
 
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    STAGE_SESSION_QUEUE,
+    STAGE_SOCKET_WRITE,
+    stage_id,
+)
 from repro.qos.spec import QualitySpec
 from repro.service.broker import DisseminationService
 from repro.service.session import SubscriberSession
@@ -53,12 +60,15 @@ from repro.transport.codec import (
     negotiate,
 )
 from repro.transport.protocol import (
+    FEATURE_TRACE,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameDecoder,
     ProtocolError,
     encode_frame,
+    negotiate_features,
     pack_header,
+    traces_from_wire,
     tuple_from_wire,
 )
 
@@ -66,6 +76,32 @@ __all__ = ["GatewayServer", "service_snapshot_dict"]
 
 #: Read-chunk size for the per-connection frame loop.
 _READ_CHUNK = 1 << 16
+
+_SID_SESSION_QUEUE = stage_id(STAGE_SESSION_QUEUE)
+
+
+class _TransportMetrics:
+    """Shared transport-layer instrument handles for all connections."""
+
+    def __init__(self, telemetry: Telemetry):
+        registry = telemetry.registry
+        self.frames = registry.counter(
+            "repro_transport_frames_total",
+            "Wire frames by direction and connection codec.",
+            ("direction", "codec"),
+        )
+        self.bytes = registry.counter(
+            "repro_transport_bytes_total",
+            "Wire bytes by direction and connection codec.",
+            ("direction", "codec"),
+        )
+        self.stall = registry.counter(
+            "repro_transport_backpressure_stall_seconds_total",
+            "Cumulative time writes spent awaiting socket drain.",
+        )
+        self.connections = registry.gauge(
+            "repro_transport_connections", "Open gateway connections."
+        )
 
 
 async def service_snapshot_dict(service) -> dict:
@@ -103,25 +139,45 @@ class _Connection:
         writer: asyncio.StreamWriter,
         max_frame_bytes: int,
         encoder: FrameEncoder,
+        metrics: Optional[_TransportMetrics] = None,
     ):
         self.reader = reader
         self.writer = writer
         self.max_frame_bytes = max_frame_bytes
         #: Negotiated sending-side codec (JSON until the hello upgrades it).
         self.encoder = encoder
+        #: Features agreed in the hello (empty for v1 peers).
+        self.features: list[str] = []
+        self.metrics = metrics
         self.pumps: dict[str, asyncio.Task] = {}
         self.sessions: dict[str, SubscriberSession] = {}
         self._write_lock = asyncio.Lock()
         self.peer = writer.get_extra_info("peername")
+
+    async def _drain(self) -> None:
+        """Drain the socket, charging wait time to the stall counter."""
+        if self.metrics is None:
+            await self.writer.drain()
+            return
+        started = time.perf_counter()
+        await self.writer.drain()
+        self.metrics.stall.inc(time.perf_counter() - started)
 
     async def send(self, frame: dict) -> None:
         """Write one frame; pumps and replies interleave whole frames."""
         payload = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
         async with self._write_lock:
             self.writer.write(payload)
-            await self.writer.drain()
+            await self._drain()
+        if self.metrics is not None:
+            self.metrics.frames.labels("out", self.encoder.codec).inc()
+            self.metrics.bytes.labels("out", self.encoder.codec).inc(
+                len(payload)
+            )
 
-    async def send_decided(self, app: str, batch, *, shared: bool) -> None:
+    async def send_decided(
+        self, app: str, batch, *, shared: bool, traces=None
+    ) -> None:
         """Fan one decided batch out as header + shared body pieces.
 
         Encoding happens *inside* the write lock: the binary encoder's
@@ -138,10 +194,16 @@ class _Connection:
                 batch,
                 max_frame_bytes=self.max_frame_bytes,
                 shared=shared,
+                traces=traces,
             )
             self.writer.write(pack_header(total))
             self.writer.writelines(memoryview(piece) for piece in pieces)
-            await self.writer.drain()
+            await self._drain()
+        if self.metrics is not None:
+            self.metrics.frames.labels("out", self.encoder.codec).inc()
+            self.metrics.bytes.labels("out", self.encoder.codec).inc(
+                total + 4
+            )
 
     async def send_quiet(self, frame: dict) -> None:
         """Best-effort send on teardown paths (peer may be gone)."""
@@ -181,6 +243,7 @@ class GatewayServer:
         codecs: tuple[str, ...] = SUPPORTED_CODECS,
         fanout: str = FANOUT_SHARED,
         segment_cache_size: int = 4096,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.service = service
         self.host = host
@@ -215,6 +278,27 @@ class GatewayServer:
         self._connections: set[_Connection] = set()
         self._handlers: set[asyncio.Task] = set()
         self._shutting_down = False
+        self.telemetry = telemetry
+        self._metrics: Optional[_TransportMetrics] = None
+        if telemetry is not None:
+            self._metrics = _TransportMetrics(telemetry)
+            cache_hits = telemetry.registry.counter(
+                "repro_transport_segment_cache_hits_total",
+                "Encode-once segment cache hits, by codec.",
+                ("codec",),
+            )
+            cache_misses = telemetry.registry.counter(
+                "repro_transport_segment_cache_misses_total",
+                "Encode-once segment cache misses, by codec.",
+                ("codec",),
+            )
+
+            def _collect_caches() -> None:
+                for codec, cache in self._segment_caches.items():
+                    cache_hits.labels(codec).value = float(cache.hits)
+                    cache_misses.labels(codec).value = float(cache.misses)
+
+            telemetry.registry.register_collector(_collect_caches)
 
     def _make_encoder(self, codec: str) -> FrameEncoder:
         return make_encoder(
@@ -324,8 +408,14 @@ class GatewayServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         conn = _Connection(
-            reader, writer, self.max_frame_bytes, self._make_encoder(CODEC_JSON)
+            reader,
+            writer,
+            self.max_frame_bytes,
+            self._make_encoder(CODEC_JSON),
+            metrics=self._metrics,
         )
+        if self._metrics is not None:
+            self._metrics.connections.inc()
         if self.sndbuf_bytes is not None:
             sock = writer.get_extra_info("socket")
             if sock is not None:
@@ -343,6 +433,8 @@ class GatewayServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            if self._metrics is not None:
+                self._metrics.connections.dec()
             self._connections.discard(conn)
             await self._reap(conn)
             conn.writer.close()
@@ -358,7 +450,16 @@ class GatewayServer:
             data = await conn.reader.read(_READ_CHUNK)
             if not data:
                 return
-            for frame in decoder.feed(data):
+            frames = decoder.feed(data)
+            if self._metrics is not None:
+                self._metrics.bytes.labels("in", conn.encoder.codec).inc(
+                    len(data)
+                )
+                if frames:
+                    self._metrics.frames.labels(
+                        "in", conn.encoder.codec
+                    ).inc(len(frames))
+            for frame in frames:
                 if not greeted:
                     if not await self._greet(conn, frame):
                         return
@@ -400,6 +501,13 @@ class GatewayServer:
         ):
             raise ProtocolError("hello 'codecs' must be a list of strings")
         codec = negotiate(offered, self.codecs)
+        offered_features = frame.get("features")
+        if offered_features is not None and (
+            not isinstance(offered_features, list)
+            or not all(isinstance(name, str) for name in offered_features)
+        ):
+            raise ProtocolError("hello 'features' must be a list of strings")
+        features = negotiate_features(offered_features)
         await conn.send(
             {
                 "t": "welcome",
@@ -408,8 +516,10 @@ class GatewayServer:
                 "server": "repro-gateway",
                 "sources": list(self.service.sources()),
                 "codec": codec,
+                "features": features,
             }
         )
+        conn.features = features
         # Upgrade only after the welcome is on the wire: everything the
         # client saw so far was JSON, everything after may be binary.
         if codec != conn.encoder.codec:
@@ -496,11 +606,35 @@ class GatewayServer:
                 }
             )
 
+    def _open_traces(self, frame: dict, source: str, items) -> None:
+        """Open traces for sampled tuples before they reach the broker.
+
+        The bag entry carries any ``(stage, ns)`` pairs accumulated by
+        upstream hops (client, router) off the wire frame; the broker
+        closes the ``ingest_recv`` stage at admission.
+        """
+        tele = self.telemetry
+        if tele is None or not tele.tracer.enabled:
+            return
+        sampled = [
+            item for item in items if tele.tracer.sampled(source, item.seq)
+        ]
+        if not sampled:
+            return
+        carried = traces_from_wire(frame)
+        recv_ns = time.perf_counter_ns()
+        for item in sampled:
+            tele.bag.begin(
+                (source, item.seq), recv_ns, carried.get(item.seq)
+            )
+
     async def _on_ingest(
         self, conn: _Connection, frame: dict, seq
     ) -> None:
+        source = _field(frame, "source")
         item = tuple_from_wire(_field(frame, "tuple"))
-        emissions = await self.service.offer(_field(frame, "source"), item)
+        self._open_traces(frame, source, (item,))
+        emissions = await self.service.offer(source, item)
         if seq is not None:
             await conn.send(
                 {"t": "ok", "reply_to": seq, "emissions": emissions}
@@ -512,10 +646,10 @@ class GatewayServer:
         # Inline like single ingest: a block-policy stall anywhere in the
         # batch pauses this connection's read loop, so batched producers
         # inherit the same backpressure semantics.
+        source = _field(frame, "source")
         items = [tuple_from_wire(t) for t in _field(frame, "tuples")]
-        emissions = await self.service.offer_many(
-            _field(frame, "source"), items
-        )
+        self._open_traces(frame, source, items)
+        emissions = await self.service.offer_many(source, items)
         if seq is not None:
             await conn.send(
                 {"t": "ok", "reply_to": seq, "emissions": emissions}
@@ -578,10 +712,35 @@ class GatewayServer:
         """
         oversized = False
         shared = self.fanout == FANOUT_SHARED
+        tele = self.telemetry
         try:
             async for batch in session.batches():
+                wire_traces = None
+                write_start_ns = 0
+                if tele is not None:
+                    notes = session.pop_traces(batch)
+                    if notes is not None:
+                        enqueue_ns, tmap = notes
+                        now_ns = time.perf_counter_ns()
+                        qdur = now_ns - enqueue_ns
+                        tele.observe_stage(STAGE_SESSION_QUEUE, qdur)
+                        for pairs in tmap.values():
+                            pairs.append((_SID_SESSION_QUEUE, qdur))
+                        if FEATURE_TRACE in conn.features:
+                            wire_traces = tmap
+                        write_start_ns = now_ns
                 try:
-                    await conn.send_decided(app, batch, shared=shared)
+                    await conn.send_decided(
+                        app, batch, shared=shared, traces=wire_traces
+                    )
+                    if write_start_ns:
+                        # Encode + write + drain for the whole decided
+                        # frame; measured after the fact, so this stage is
+                        # histogram-only (never rides the wire).
+                        tele.observe_stage(
+                            STAGE_SOCKET_WRITE,
+                            time.perf_counter_ns() - write_start_ns,
+                        )
                 except ProtocolError:
                     # The batch encodes past max_frame_bytes and cannot
                     # be delivered whole; end the subscription honestly
