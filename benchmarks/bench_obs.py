@@ -28,8 +28,14 @@ Environment knobs:
 ``BENCH_OBS_SAMPLE`` (instrumented sampling period, default ``256``),
 ``BENCH_OBS_MAX_OVERHEAD_PCT`` (gate, default ``3``; ``0`` reports
 without failing),
+``BENCH_OBS_MAX_WATCH_OVERHEAD_PCT`` (Watchtower gate vs the sampled
+cell, default ``2``; ``0`` reports without failing),
 ``BENCH_OBS_JSON`` (artifact path, default ``BENCH_obs.json``; set
 empty to skip writing).
+
+A third cell runs the sampled pipeline with the in-run Watchtower
+polling at 1 Hz — the analysis layer must cost <2% delivered
+throughput on top of plain telemetry.
 """
 
 from __future__ import annotations
@@ -52,9 +58,12 @@ SIZE = os.environ.get("BENCH_OBS_SIZE", "tiny")
 REPEATS = int(os.environ.get("BENCH_OBS_REPEATS", "3"))
 SAMPLE = int(os.environ.get("BENCH_OBS_SAMPLE", "256"))
 MAX_OVERHEAD_PCT = float(os.environ.get("BENCH_OBS_MAX_OVERHEAD_PCT", "3"))
+MAX_WATCH_OVERHEAD_PCT = float(
+    os.environ.get("BENCH_OBS_MAX_WATCH_OVERHEAD_PCT", "2")
+)
 
 
-def _cell_config(trace_sample: int) -> LoadGenConfig:
+def _cell_config(trace_sample: int, watch: bool = False) -> LoadGenConfig:
     return LoadGenConfig(
         rate=RATE,
         duration_s=DURATION_S,
@@ -64,6 +73,8 @@ def _cell_config(trace_sample: int) -> LoadGenConfig:
         ingest_batch=16,
         adaptive_batch=False,
         trace_sample=trace_sample,
+        watch=watch,
+        watch_interval_s=1.0,
     )
 
 
@@ -72,11 +83,13 @@ def _delivered_tps(summary: dict) -> float:
     return summary["delivered_tuples"] / wall if wall > 0 else 0.0
 
 
-def _run_cell(trace_sample: int, repeats: int = REPEATS) -> dict:
+def _run_cell(
+    trace_sample: int, repeats: int = REPEATS, watch: bool = False
+) -> dict:
     """Best-of-N throughput for one sampling period."""
     best: dict | None = None
     for _ in range(max(1, repeats)):
-        summary = run_loadgen(_cell_config(trace_sample))
+        summary = run_loadgen(_cell_config(trace_sample, watch=watch))
         if not summary["clean_shutdown"]:
             raise RuntimeError(
                 f"unclean loadgen shutdown: {summary['errors']}"
@@ -98,6 +111,15 @@ def test_telemetry_off_and_on_both_clean():
     assert off["delivered_tuples"] > 0 and on["delivered_tuples"] > 0
 
 
+def test_watchtower_cell_clean_and_reports_health():
+    watched = run_loadgen(_cell_config(SAMPLE, watch=True))
+    assert watched["clean_shutdown"], watched["errors"]
+    assert watched["delivered_tuples"] > 0
+    health = watched["health"]
+    assert health is not None and health["schema"] == "repro-health/v1"
+    assert health["verdicts"], health
+
+
 # ---------------------------------------------------------------------------
 # script mode
 # ---------------------------------------------------------------------------
@@ -109,10 +131,15 @@ def main() -> int:
     )
     baseline = _run_cell(0)
     sampled = _run_cell(SAMPLE)
+    watched = _run_cell(SAMPLE, watch=True)
     base_tps = _delivered_tps(baseline)
     obs_tps = _delivered_tps(sampled)
+    watch_tps = _delivered_tps(watched)
     overhead_pct = (
         (base_tps - obs_tps) / base_tps * 100.0 if base_tps > 0 else 0.0
+    )
+    watch_overhead_pct = (
+        (obs_tps - watch_tps) / obs_tps * 100.0 if obs_tps > 0 else 0.0
     )
     print(
         f"disabled: {base_tps:>9.0f} delivered tps "
@@ -122,9 +149,19 @@ def main() -> int:
         f"sampled:  {obs_tps:>9.0f} delivered tps "
         f"({sampled['delivered_tuples']} in {sampled['wall_s']}s)"
     )
+    print(
+        f"watched:  {watch_tps:>9.0f} delivered tps "
+        f"({watched['delivered_tuples']} in {watched['wall_s']}s, "
+        f"health={watched['health']['status'] if watched['health'] else '-'})"
+    )
     print(f"overhead: {overhead_pct:+.2f}% (gate: <{MAX_OVERHEAD_PCT}%)")
+    print(
+        f"watchtower overhead: {watch_overhead_pct:+.2f}% "
+        f"(gate: <{MAX_WATCH_OVERHEAD_PCT}%)"
+    )
     traced = sum(
-        stage["count"] for stage in (sampled["stage_latency"] or {}).values()
+        stage.get("count", 0)
+        for stage in (sampled["stage_latency"] or {}).values()
     )
     print(f"stage samples collected under sampling: {traced}")
     artifact = os.environ.get("BENCH_OBS_JSON", "BENCH_obs.json")
@@ -137,9 +174,13 @@ def main() -> int:
             "trace_sample": SAMPLE,
             "baseline_delivered_tps": round(base_tps, 1),
             "sampled_delivered_tps": round(obs_tps, 1),
+            "watched_delivered_tps": round(watch_tps, 1),
             "overhead_pct": round(overhead_pct, 3),
+            "watch_overhead_pct": round(watch_overhead_pct, 3),
             "max_overhead_pct": MAX_OVERHEAD_PCT,
+            "max_watch_overhead_pct": MAX_WATCH_OVERHEAD_PCT,
             "stage_latency": sampled["stage_latency"],
+            "health": watched["health"],
             "platform": platform_info(),
         }
         with open(artifact, "w", encoding="utf-8") as stream:
@@ -150,6 +191,15 @@ def main() -> int:
         print(
             f"FAIL: telemetry overhead {overhead_pct:.2f}% exceeds "
             f"{MAX_OVERHEAD_PCT}%"
+        )
+        return 1
+    if (
+        MAX_WATCH_OVERHEAD_PCT > 0
+        and watch_overhead_pct > MAX_WATCH_OVERHEAD_PCT
+    ):
+        print(
+            f"FAIL: watchtower overhead {watch_overhead_pct:.2f}% exceeds "
+            f"{MAX_WATCH_OVERHEAD_PCT}%"
         )
         return 1
     return 0

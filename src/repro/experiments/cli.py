@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments loadgen --rate 500 --duration 2 --size tiny
     python -m repro.experiments loadgen --transport tcp --verify
     python -m repro.experiments loadgen --transport tcp --connect 127.0.0.1:7787
+    python -m repro.experiments watch --connect 127.0.0.1:7788
 """
 
 from __future__ import annotations
@@ -71,6 +72,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each periodic metrics record as it is captured",
     )
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream health verdicts from a live gateway's /metrics + /events",
+    )
+    watch.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="HTTP (snapshot) address of a running `repro serve`",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="poll period in seconds"
+    )
+    watch.add_argument(
+        "--polls",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print each report as one JSON line instead of the text view",
+    )
+    watch.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the final HealthReport JSON to this file",
+    )
+    watch.add_argument(
+        "--expect",
+        choices=("ok", "warn", "critical"),
+        default=None,
+        help="exit nonzero unless the final report's status matches",
+    )
     return parser
 
 
@@ -130,6 +169,22 @@ def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--auth-token", default=None)
     parser.add_argument("--max-frame-bytes", type=int, default=MAX_FRAME_BYTES)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll period of the built-in Watchtower serving "
+        "/health/report (0 disables; needs --http-port and telemetry)",
+    )
+    parser.add_argument(
+        "--metrics-scrape-ttl",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="cluster routers cache per-worker /metrics bodies and "
+        "/events folds this long (0 re-scrapes every request)",
+    )
     _add_telemetry_knobs(parser)
 
 
@@ -182,6 +237,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
                 tick_cuts=not args.no_tick_cuts,
                 seed=args.seed,
                 max_frame_bytes=args.max_frame_bytes,
+                metrics_scrape_ttl_s=args.metrics_scrape_ttl,
             ),
             telemetry=telemetry,
         )
@@ -214,14 +270,26 @@ async def _serve_async(args: argparse.Namespace) -> int:
         telemetry=telemetry,
     )
     http = None
+    watchtower = None
+    watch_task = None
     try:
         await gateway.start()
         if args.http_port is not None:
+            if telemetry is not None and args.watch_interval > 0:
+                from repro.obs.watch import LocalProbe, Watchtower
+
+                watchtower = Watchtower(
+                    LocalProbe(telemetry, service=service),
+                    interval_s=args.watch_interval,
+                    events=telemetry.events,
+                )
             http = SnapshotHTTP(
                 service, host=args.host, port=args.http_port,
-                telemetry=telemetry,
+                telemetry=telemetry, watchtower=watchtower,
             )
             await http.start()
+            if watchtower is not None:
+                watch_task = asyncio.create_task(watchtower.run())
     except BaseException:
         # A bind failure after the cluster came up must not strand the
         # worker subprocesses (children outlive a crashed parent).
@@ -257,6 +325,12 @@ async def _serve_async(args: argparse.Namespace) -> int:
     print(ready, flush=True)
     await stop.wait()
     unhook()
+    if watch_task is not None:
+        watch_task.cancel()
+        try:
+            await watch_task
+        except asyncio.CancelledError:
+            pass
     # Graceful shutdown: final-flush every session batcher (gateway
     # shutdown closes the service, which cuts engines over and flushes),
     # then emit the terminal snapshot for whoever is scraping stdout.
@@ -264,6 +338,44 @@ async def _serve_async(args: argparse.Namespace) -> int:
     if http is not None:
         await http.close()
     print(json.dumps(snapshot), flush=True)
+    return 0
+
+
+async def _watch_async(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.watch import HttpProbe, Watchtower, format_report
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not port_text.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}")
+        return 2
+    tower = Watchtower(
+        HttpProbe(host or "127.0.0.1", int(port_text)),
+        interval_s=args.interval,
+    )
+    report = None
+    polls = 0
+    while args.polls is None or polls < args.polls:
+        report = await tower.poll()
+        polls += 1
+        if args.json:
+            print(json.dumps(report.to_dict()), flush=True)
+        else:
+            print(format_report(report), flush=True)
+        if args.polls is not None and polls >= args.polls:
+            break
+        await asyncio.sleep(args.interval)
+    if args.out is not None and report is not None:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.expect is not None and (
+        report is None or report.status != args.expect
+    ):
+        got = report.status if report is not None else "none"
+        print(f"watch: expected final status {args.expect!r}, got {got!r}")
+        return 1
     return 0
 
 
@@ -367,6 +479,11 @@ def _add_service_knobs(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="apply the default subscriber churn schedule",
     )
+    parser.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="skip the in-run Watchtower (no health block / health.json)",
+    )
     _add_telemetry_knobs(parser)
 
 
@@ -399,6 +516,7 @@ def _service_config(args: argparse.Namespace, out_dir: str | None, verify: bool)
         sources=args.sources,
         workers=args.workers,
         trace_sample=0 if args.no_telemetry else args.trace_sample,
+        watch=not args.no_watch,
     )
     if args.churn:
         from dataclasses import replace
@@ -456,6 +574,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "serve":
         return asyncio.run(_serve_async(args))
+    if args.command == "watch":
+        try:
+            return asyncio.run(_watch_async(args))
+        except KeyboardInterrupt:
+            return 130
     if args.command == "loadgen":
         from repro.service import run_loadgen
 

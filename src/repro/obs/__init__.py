@@ -15,6 +15,12 @@ Three surfaces, one bundle:
 
 :class:`~repro.obs.telemetry.Telemetry` ties them together; passing
 ``telemetry=None`` to any instrumented layer disables the whole thing.
+
+The analysis side lives in :mod:`repro.obs.watch`: a
+:class:`~repro.obs.watch.Watchtower` that parses the exposition back
+(:mod:`repro.obs.parse`), reduces it with streaming detectors
+(:mod:`repro.obs.detect`) and grades the signals with declarative rules
+and SLO burn windows (:mod:`repro.obs.slo`) into health verdicts.
 """
 
 from repro.obs.events import EventLog
@@ -27,6 +33,15 @@ from repro.obs.metrics import (
     merge_expositions,
     relabel_exposition,
 )
+from repro.obs.parse import Exposition, parse_exposition
+from repro.obs.slo import (
+    HealthReport,
+    Rule,
+    SloWindow,
+    Verdict,
+    default_rules,
+    default_slos,
+)
 from repro.obs.sysinfo import platform_info
 from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
 from repro.obs.trace import (
@@ -36,20 +51,32 @@ from repro.obs.trace import (
     stage_id,
     stage_name,
 )
+from repro.obs.watch import HttpProbe, LocalProbe, Watchtower
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "DEFAULT_SAMPLE_PERIOD",
     "EventLog",
+    "Exposition",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "HttpProbe",
+    "LocalProbe",
     "MetricsRegistry",
+    "Rule",
     "STAGES",
+    "SloWindow",
     "StageTracer",
     "Telemetry",
     "TraceBag",
+    "Verdict",
+    "Watchtower",
+    "default_rules",
+    "default_slos",
     "merge_expositions",
+    "parse_exposition",
     "platform_info",
     "relabel_exposition",
     "stage_id",

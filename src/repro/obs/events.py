@@ -31,6 +31,9 @@ class EventLog:
         self.capacity = capacity
         self._events: deque[dict] = deque(maxlen=capacity)
         self._next_id = 1
+        #: Events evicted from the ring before any reader saw them pass
+        #: — the ``repro_events_dropped_total`` overrun signal.
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -47,6 +50,8 @@ class EventLog:
             if value is not None:
                 event[key] = value
         self._next_id += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
         self._events.append(event)
         return event
 

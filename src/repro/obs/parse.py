@@ -1,0 +1,326 @@
+"""Prometheus text-exposition parser: the Watchtower's input side.
+
+:mod:`repro.obs.metrics` renders counters, gauges and histograms into
+the text exposition format (v0.0.4); this module parses that text back
+into typed samples so the :class:`~repro.obs.watch.Watchtower` can
+analyze a live scrape without regexes scattered through the detector
+code.  It round-trips everything the registry renders — escaped label
+values, ``+Inf`` bounds, integer-formatted floats — plus the cluster
+router's merged fleet exposition, where :func:`relabel_exposition`
+prepends a ``worker=`` label to every series.
+
+One deliberate lenience: the router's relabel can produce a duplicate
+label name on the router's *own* cluster families (the injected
+``worker="router"`` in front of an existing ``worker="0"``).  The
+parser resolves duplicates last-wins, which keeps the slot-index label
+— the one the analysis wants.
+
+Timestamps (a third token after the value) are tolerated and ignored;
+our renderer never emits them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Exposition",
+    "MetricFamily",
+    "Sample",
+    "parse_exposition",
+]
+
+#: Sample-name suffixes that belong to a declared histogram family.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One series sample: full sample name, label set, value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def label(self, name: str, default: str | None = None) -> str | None:
+        result = default
+        for key, value in self.labels:
+            if key == name:
+                result = value  # last wins (relabel duplicates)
+        return result
+
+    def matches(self, want: dict[str, str]) -> bool:
+        """Subset label match (every wanted pair present)."""
+        have = dict(self.labels)  # last-wins on duplicates
+        return all(have.get(k) == v for k, v in want.items())
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: base name, declared kind, help, samples."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _unescape_label_value(text: str) -> str:
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _unescape_help(text: str) -> str:
+    return text.replace("\\n", "\n").replace("\\\\", "\\")
+
+
+def _parse_labels(text: str, start: int) -> tuple[list[tuple[str, str]], int]:
+    """Parse ``{k="v",...}`` beginning at ``text[start] == '{'``.
+
+    Returns the pairs and the index just past the closing brace.  Label
+    values may contain any character (commas, braces, escaped quotes),
+    so this is a quote-aware scan, not a split.
+    """
+    pairs: list[tuple[str, str]] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in ", ":
+            i += 1
+        if i < n and text[i] == "}":
+            return pairs, i + 1
+        eq = text.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label set: {text[start:]!r}")
+        name = text[i:eq].strip()
+        i = eq + 1
+        if i >= n or text[i] != '"':
+            raise ValueError(f"unquoted label value in {text[start:]!r}")
+        i += 1
+        value_start = i
+        while i < n:
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == '"':
+                break
+            i += 1
+        if i >= n:
+            raise ValueError(f"unterminated label value in {text[start:]!r}")
+        pairs.append((name, _unescape_label_value(text[value_start:i])))
+        i += 1
+    raise ValueError(f"unterminated label set: {text[start:]!r}")
+
+
+def _parse_value(token: str) -> float:
+    # float() accepts "+Inf"/"-Inf"/"NaN" spellings natively.
+    return float(token)
+
+
+def _parse_sample(line: str) -> Sample:
+    name_end = len(line)
+    for i, ch in enumerate(line):
+        if ch == "{" or ch == " ":
+            name_end = i
+            break
+    name = line[:name_end]
+    if not name:
+        raise ValueError(f"sample line without a name: {line!r}")
+    if line[name_end : name_end + 1] == "{":
+        pairs, rest_start = _parse_labels(line, name_end)
+    else:
+        pairs, rest_start = [], name_end
+    rest = line[rest_start:].split()
+    if not rest:
+        raise ValueError(f"sample line without a value: {line!r}")
+    return Sample(name, tuple(pairs), _parse_value(rest[0]))
+
+
+class Exposition:
+    """Parsed scrape: families by base name plus flat series lookup."""
+
+    def __init__(self, families: dict[str, MetricFamily]):
+        self.families = families
+        self._by_sample_name: dict[str, list[Sample]] = {}
+        for family in families.values():
+            for sample in family.samples:
+                self._by_sample_name.setdefault(sample.name, []).append(
+                    sample
+                )
+
+    # -- lookup --------------------------------------------------------
+    def family(self, name: str) -> MetricFamily | None:
+        return self.families.get(name)
+
+    def samples(self, name: str, **labels: str) -> list[Sample]:
+        """All samples of one full sample name whose labels ⊇ ``labels``."""
+        want = {k: str(v) for k, v in labels.items()}
+        return [
+            s
+            for s in self._by_sample_name.get(name, ())
+            if s.matches(want)
+        ]
+
+    def value(self, name: str, **labels: str) -> float | None:
+        """The single matching sample's value (``None`` when absent).
+
+        Raises when the label set is ambiguous — a detector reading one
+        series must say which one.
+        """
+        matches = self.samples(name, **labels)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ValueError(
+                f"{name} with {labels} matches {len(matches)} series; "
+                "add labels or use total()"
+            )
+        return matches[0].value
+
+    def total(self, name: str, **labels: str) -> float:
+        """Sum of every matching series (0.0 when none)."""
+        return sum(s.value for s in self.samples(name, **labels))
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Distinct values one label takes across a sample name."""
+        seen: dict[str, None] = {}
+        for sample in self._by_sample_name.get(name, ()):
+            value = sample.label(label)
+            if value is not None:
+                seen.setdefault(value, None)
+        return list(seen)
+
+    # -- histograms ----------------------------------------------------
+    def histogram_buckets(self, name: str, **labels: str) -> dict[float, float]:
+        """Merged cumulative buckets ``{le_bound: count}`` for a family.
+
+        Matching series (e.g. the same stage across every worker) are
+        summed per bound — sums of cumulative counts stay cumulative.
+        """
+        merged: dict[float, float] = {}
+        for sample in self.samples(f"{name}_bucket", **labels):
+            le = sample.label("le")
+            if le is None:
+                continue
+            bound = _parse_value(le)
+            merged[bound] = merged.get(bound, 0.0) + sample.value
+        return merged
+
+    def histogram_count(self, name: str, **labels: str) -> float:
+        return self.total(f"{name}_count", **labels)
+
+    def histogram_sum(self, name: str, **labels: str) -> float:
+        return self.total(f"{name}_sum", **labels)
+
+    def histogram_quantile(
+        self, name: str, q: float, **labels: str
+    ) -> float | None:
+        """Estimated quantile from merged cumulative buckets.
+
+        Standard Prometheus estimation: find the first bucket whose
+        cumulative count reaches ``q * total`` and interpolate linearly
+        inside it (lower edge 0 for the first bucket; the ``+Inf``
+        bucket answers with the largest finite bound).  ``None`` when
+        the histogram is empty.
+        """
+        return quantile_from_buckets(
+            self.histogram_buckets(name, **labels), q
+        )
+
+
+def quantile_from_buckets(
+    buckets: dict[float, float], q: float
+) -> float | None:
+    """Quantile estimate over cumulative ``{le: count}`` buckets."""
+    if not buckets:
+        return None
+    bounds = sorted(buckets)
+    total = buckets[bounds[-1]]
+    if total <= 0:
+        return None
+    q = min(1.0, max(0.0, q))
+    target = q * total
+    previous_bound = 0.0
+    previous_cum = 0.0
+    largest_finite = 0.0
+    for bound in bounds:
+        cum = buckets[bound]
+        if math.isfinite(bound):
+            largest_finite = bound
+        if cum >= target and cum > previous_cum:
+            if not math.isfinite(bound):
+                return largest_finite
+            span = cum - previous_cum
+            fraction = (target - previous_cum) / span if span > 0 else 1.0
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = bound if math.isfinite(bound) else previous_bound
+        previous_cum = cum
+    return largest_finite
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse one scrape body into an :class:`Exposition`.
+
+    Unparseable sample lines raise: a detector acting on a half-read
+    scrape would fire on phantom signals, so the contract is all-or-
+    nothing per scrape.
+    """
+    families: dict[str, MetricFamily] = {}
+
+    def family_for(sample_name: str) -> MetricFamily:
+        # A histogram child sample belongs to its declared base family;
+        # undeclared names get an untyped family of their own.
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                declared = families.get(base)
+                if declared is not None and declared.kind == "histogram":
+                    return declared
+        family = families.get(sample_name)
+        if family is None:
+            family = families[sample_name] = MetricFamily(sample_name)
+        return family
+
+    for line in text.splitlines():
+        if not line or line.isspace():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            family = families.setdefault(name, MetricFamily(name))
+            family.help = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            family = families.setdefault(name, MetricFamily(name))
+            family.kind = kind.strip() or "untyped"
+            continue
+        if line.startswith("#"):
+            continue
+        sample = _parse_sample(line)
+        family_for(sample.name).samples.append(sample)
+
+    return Exposition(families)

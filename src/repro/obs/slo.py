@@ -1,0 +1,373 @@
+"""Declarative health rules, SLO burn windows and verdicts.
+
+The detector layer (:mod:`repro.obs.detect`) reduces a scrape to a flat
+``{signal_name: value}`` dict; this module turns signals into
+*verdicts*:
+
+* :class:`Rule` — an instant threshold on one signal (``warn`` /
+  ``critical`` bounds with a comparison operator), evaluated every
+  poll.  A rule whose signal is absent this poll abstains — no data is
+  not bad data.
+* :class:`SloWindow` — a rolling error-budget burn window: each poll
+  contributes good/bad counts, and the window's burn rate (observed
+  error ratio over the budget ``1 − objective``) grades the verdict.
+  One catastrophic poll dominates the window immediately, so an
+  induced overflow storm goes critical within a single poll interval.
+* :class:`Verdict` / :class:`HealthReport` — the structured output:
+  every verdict names the signal, value, thresholds and the exact
+  evidence series that fired, and the report's overall status is the
+  worst of its verdicts.
+
+Statuses order ``ok < warn < critical``; :func:`worst` folds them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "DEFAULT_RULES",
+    "HealthReport",
+    "Rule",
+    "SloWindow",
+    "Verdict",
+    "default_rules",
+    "default_slos",
+    "worst",
+]
+
+OK = "ok"
+WARN = "warn"
+CRITICAL = "critical"
+
+_RANK = {OK: 0, WARN: 1, CRITICAL: 2}
+
+
+def worst(statuses: Sequence[str]) -> str:
+    """The most severe status in ``statuses`` (``ok`` when empty)."""
+    top = OK
+    for status in statuses:
+        if _RANK.get(status, 0) > _RANK[top]:
+            top = status
+    return top
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One graded judgement with the evidence that produced it."""
+
+    name: str
+    status: str
+    signal: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+    evidence: dict = field(default_factory=dict)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "signal": self.signal,
+            "value": self.value,
+            "threshold": self.threshold,
+            "evidence": dict(self.evidence),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Instant threshold rule over one signal.
+
+    ``op`` is the *bad* direction: with ``op=">"`` the rule fires when
+    the signal exceeds a bound, with ``op="<"`` when it falls below.
+    Either bound may be ``None`` (that grade is never issued).
+    ``series`` names the exposition series (and event kinds) a fired
+    verdict should cite as evidence.
+    """
+
+    name: str
+    signal: str
+    warn: Optional[float] = None
+    critical: Optional[float] = None
+    op: str = ">"
+    series: tuple[str, ...] = ()
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in (">", "<"):
+            raise ValueError(f"unknown rule op {self.op!r}")
+        if self.warn is None and self.critical is None:
+            raise ValueError(f"rule {self.name!r} has no thresholds")
+
+    def _breaches(self, value: float, bound: Optional[float]) -> bool:
+        if bound is None:
+            return False
+        return value > bound if self.op == ">" else value < bound
+
+    def evaluate(self, signals: dict) -> Optional[Verdict]:
+        """Grade the rule against this poll's signals (None = abstain)."""
+        value = signals.get(self.signal)
+        if value is None:
+            return None
+        if self._breaches(value, self.critical):
+            status, threshold = CRITICAL, self.critical
+        elif self._breaches(value, self.warn):
+            status, threshold = WARN, self.warn
+        else:
+            status, threshold = OK, None
+        return Verdict(
+            name=self.name,
+            status=status,
+            signal=self.signal,
+            value=value,
+            threshold=threshold,
+            evidence={
+                "op": self.op,
+                "warn": self.warn,
+                "critical": self.critical,
+                "series": list(self.series),
+            },
+            detail=self.detail,
+        )
+
+
+class SloWindow:
+    """Rolling burn-rate window over per-poll good/bad observations.
+
+    The error budget is ``1 − objective``; the burn rate is the
+    window's observed error ratio divided by that budget.  A burn of
+    1.0 means the budget is being consumed exactly as fast as the SLO
+    tolerates; sustained burns above ``warn_burn`` / ``critical_burn``
+    grade the verdict.  Observations are weighted by their counts, so
+    one storm poll with thousands of bad units swings the whole window
+    at once.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        signal: str,
+        objective: float = 0.99,
+        window_s: float = 60.0,
+        warn_burn: float = 1.0,
+        critical_burn: float = 4.0,
+        series: Sequence[str] = (),
+        detail: str = "",
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.name = name
+        self.signal = signal
+        self.objective = objective
+        self.window_s = window_s
+        self.warn_burn = warn_burn
+        self.critical_burn = critical_burn
+        self.series = tuple(series)
+        self.detail = detail
+        self._observations: deque[tuple[float, float, float]] = deque()
+
+    def observe(self, now: float, good: float, bad: float) -> None:
+        """Record one poll's good/bad unit counts."""
+        self._observations.append((now, max(0.0, good), max(0.0, bad)))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        observations = self._observations
+        while observations and observations[0][0] < horizon:
+            observations.popleft()
+
+    def evaluate(self, now: float) -> Optional[Verdict]:
+        """Grade the window's burn rate (None before any observation)."""
+        self._evict(now)
+        good = sum(g for _, g, _ in self._observations)
+        bad = sum(b for _, _, b in self._observations)
+        total = good + bad
+        if total <= 0:
+            return None
+        error_ratio = bad / total
+        budget = 1.0 - self.objective
+        burn = error_ratio / budget
+        if burn >= self.critical_burn:
+            status, threshold = CRITICAL, self.critical_burn
+        elif burn >= self.warn_burn:
+            status, threshold = WARN, self.warn_burn
+        else:
+            status, threshold = OK, None
+        return Verdict(
+            name=self.name,
+            status=status,
+            signal=self.signal,
+            value=round(burn, 6),
+            threshold=threshold,
+            evidence={
+                "objective": self.objective,
+                "window_s": self.window_s,
+                "error_ratio": round(error_ratio, 6),
+                "good": good,
+                "bad": bad,
+                "warn_burn": self.warn_burn,
+                "critical_burn": self.critical_burn,
+                "series": list(self.series),
+            },
+            detail=self.detail,
+        )
+
+
+@dataclass
+class HealthReport:
+    """One poll's full judgement: overall status, verdicts, signals."""
+
+    ts: float
+    poll: int
+    status: str
+    verdicts: list[Verdict]
+    signals: dict
+
+    @property
+    def firing(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status != OK]
+
+    def counts(self) -> dict:
+        out = {OK: 0, WARN: 0, CRITICAL: 0}
+        for verdict in self.verdicts:
+            out[verdict.status] = out.get(verdict.status, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-health/v1",
+            "ts": self.ts,
+            "poll": self.poll,
+            "status": self.status,
+            "counts": self.counts(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "signals": dict(self.signals),
+        }
+
+
+def default_rules() -> list[Rule]:
+    """The stock rule set, tuned so a healthy run grades all-ok.
+
+    Thresholds lean conservative on warn-able noise (queue scores,
+    stall ratios) and hair-trigger on unambiguous failure (a dead
+    worker is critical the poll it is seen).
+    """
+    return [
+        Rule(
+            "worker_dead",
+            signal="workers_down",
+            critical=0.5,
+            series=("repro_cluster_worker_alive",),
+            detail="cluster worker process down (alive gauge is 0)",
+        ),
+        Rule(
+            "worker_death_seen",
+            signal="worker_deaths_recent",
+            critical=0.5,
+            series=("event:worker_death", "event:worker_lost"),
+            detail="worker_death/worker_lost event inside the flap window",
+        ),
+        Rule(
+            "worker_flapping",
+            signal="worker_respawns_per_min",
+            warn=2.5,
+            critical=5.5,
+            series=(
+                "repro_cluster_worker_respawns_total",
+                "event:worker_respawn",
+            ),
+            detail="supervisor is respawning workers repeatedly",
+        ),
+        Rule(
+            "overflow_drops",
+            signal="overflow_drop_ratio",
+            warn=0.01,
+            critical=0.10,
+            series=(
+                "repro_session_overflow_dropped_tuples_total",
+                "repro_broker_decided_emissions_total",
+            ),
+            detail="decided tuples dropped by session overflow policies",
+        ),
+        Rule(
+            "backpressure_stall",
+            signal="backpressure_stall_ratio",
+            warn=0.25,
+            critical=0.75,
+            series=("repro_transport_backpressure_stall_seconds_total",),
+            detail="fraction of wall time spent stalled on slow consumers",
+        ),
+        Rule(
+            "queue_depth_anomaly",
+            signal="queue_depth_score_max",
+            warn=6.0,
+            critical=12.0,
+            series=("repro_session_queue_depth_high_water",),
+            detail="session queue high-water jumped vs its own history "
+            "(MAD score)",
+        ),
+        Rule(
+            "stage_p99_regression",
+            signal="stage_p99_regression_max",
+            warn=3.0,
+            critical=10.0,
+            series=("repro_stage_latency_ms",),
+            detail="a stage's interval p99 regressed vs its warmup "
+            "baseline",
+        ),
+        Rule(
+            "event_log_overrun",
+            signal="events_dropped_rate",
+            warn=10.0,
+            series=("repro_events_dropped_total",),
+            detail="bounded event log is evicting entries faster than "
+            "readers drain them",
+        ),
+    ]
+
+
+#: Evaluated-once default instance, for callers that only introspect.
+DEFAULT_RULES: tuple[Rule, ...] = tuple(default_rules())
+
+
+def default_slos(
+    *,
+    decide_p99_target_ms: float = 500.0,
+    window_s: float = 60.0,
+) -> list[SloWindow]:
+    """Stock SLOs: decide-latency p99 and overflow-drop error budget."""
+    return [
+        SloWindow(
+            "slo_decide_p99",
+            signal="decide_p99_ms",
+            objective=0.9,
+            window_s=window_s,
+            warn_burn=1.0,
+            critical_burn=3.0,
+            series=("repro_stage_latency_ms{stage=decide}",),
+            detail=f"polls with decide p99 over {decide_p99_target_ms}ms "
+            "burning the 10% violation budget",
+        ),
+        SloWindow(
+            "slo_overflow_drops",
+            signal="overflow_drop_ratio",
+            objective=0.999,
+            window_s=window_s,
+            warn_burn=1.0,
+            critical_burn=10.0,
+            series=(
+                "repro_session_overflow_dropped_tuples_total",
+                "repro_broker_decided_emissions_total",
+            ),
+            detail="dropped vs decided tuples against a 99.9% delivery "
+            "objective",
+        ),
+    ]

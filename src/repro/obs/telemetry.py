@@ -42,6 +42,15 @@ class Telemetry:
             ("stage",),
         )
         self._stage_children: dict[str, object] = {}
+        m_dropped = self.registry.counter(
+            "repro_events_dropped_total",
+            "Events evicted from the bounded event ring.",
+        )
+        self.registry.register_collector(
+            lambda: setattr(
+                m_dropped.labels(), "value", float(self.events.dropped)
+            )
+        )
 
     # ------------------------------------------------------------------
     def observe_stage(self, stage: str, dur_ns: int) -> None:

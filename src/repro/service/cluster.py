@@ -112,12 +112,18 @@ class ClusterConfig:
     #: How long data-path calls (and orphaned sessions) wait for a
     #: respawning worker before giving up.
     reattach_timeout_s: float = 30.0
+    #: How long scraped worker observability bodies (``/metrics``
+    #: bodies, folded ``/events``) stay fresh before the next request
+    #: re-scrapes the fleet.  0 disables caching entirely.
+    metrics_scrape_ttl_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.codec not in ("binary", "json"):
             raise ValueError(f"unknown codec {self.codec!r}")
+        if self.metrics_scrape_ttl_s < 0:
+            raise ValueError("metrics_scrape_ttl_s must be >= 0")
 
 
 class _SessionQueue:
@@ -349,6 +355,9 @@ class _Worker:
         #: the router's event log (reset on respawn: fresh process,
         #: fresh id space).
         self.events_cursor = 0
+        #: ``(monotonic_ts, relabeled_text)`` of the last successful
+        #: ``/metrics`` scrape; failures are never cached.
+        self.metrics_cache: Optional[tuple[float, str]] = None
 
 
 class ClusterService:
@@ -381,6 +390,10 @@ class ClusterService:
         #: traces back) but never auto-sample — the router attaches the
         #: carried trace pairs explicitly on the forward path.
         self._client_telemetry: Optional[Telemetry] = None
+        #: Monotonic timestamp of the last fleet events fold (TTL
+        #: throttle for back-to-back ``/events`` polls).
+        self._events_pull_ts: Optional[float] = None
+        self._m_scrape_cache = None
         if telemetry is not None:
             self._client_telemetry = Telemetry(
                 sample_period=0, event_capacity=1, trace_capacity=1
@@ -403,6 +416,12 @@ class ClusterService:
                 "repro_cluster_placement_moves_total",
                 "Source placements onto workers.",
                 ("worker",),
+            )
+            self._m_scrape_cache = registry.counter(
+                "repro_cluster_scrape_cache_total",
+                "Worker observability scrapes answered from the TTL "
+                "cache (hit) vs re-fetched (miss).",
+                ("surface", "result"),
             )
 
             def _collect_fleet() -> None:
@@ -483,6 +502,10 @@ class ClusterService:
             str(cfg.max_frame_bytes),
             "--seed",
             str(cfg.seed),
+            # Workers never self-watch; health analysis runs once, at
+            # the router, over the merged fleet surfaces.
+            "--watch-interval",
+            "0",
         ]
         if cfg.constraint_ms is not None:
             command += ["--constraint-ms", str(cfg.constraint_ms)]
@@ -557,6 +580,7 @@ class ClusterService:
                 telemetry=self._client_telemetry,
             )
             worker.events_cursor = 0
+            worker.metrics_cache = None
             self._emit(
                 "worker_spawn",
                 worker=worker.index,
@@ -702,6 +726,8 @@ class ClusterService:
         """
         if worker.respawn_task is not None and not worker.respawn_task.done():
             return
+        # A dead worker must not keep serving its last scrape from cache.
+        worker.metrics_cache = None
         worker.respawn_task = asyncio.ensure_future(self._respawn(worker))
 
     async def _monitor(self) -> None:
@@ -1129,6 +1155,10 @@ class ClusterService:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def _count_scrape(self, surface: str, result: str, n: int = 1) -> None:
+        if self._m_scrape_cache is not None and n:
+            self._m_scrape_cache.labels(surface, result).inc(n)
+
     async def metrics_text(self) -> str:
         """Cluster-merged Prometheus exposition.
 
@@ -1137,6 +1167,10 @@ class ClusterService:
         port and relabeled with its slot index.  A worker that cannot be
         scraped (dead, mid-respawn) is skipped — the merged text
         degrades, the scrape never fails.
+
+        Per-worker bodies are cached for ``metrics_scrape_ttl_s`` so a
+        fleet fronting several scrapers (Prometheus + a Watchtower) is
+        not re-scraped for every request.
         """
         parts: list[str] = []
         if self.telemetry is not None:
@@ -1145,17 +1179,33 @@ class ClusterService:
                     self.telemetry.registry.render(), {"worker": "router"}
                 )
             )
+        ttl = self.config.metrics_scrape_ttl_s
+        now = time.monotonic()
+        stale: list[_Worker] = []
+        cached: dict[int, str] = {}
+        for worker in self._workers:
+            entry = worker.metrics_cache
+            if entry is not None and ttl > 0 and now - entry[0] < ttl:
+                cached[worker.index] = entry[1]
+            else:
+                stale.append(worker)
+        self._count_scrape("metrics", "hit", len(cached))
+        self._count_scrape("metrics", "miss", len(stale))
         bodies = await asyncio.gather(
-            *(self._http_get(w, "/metrics") for w in self._workers)
+            *(self._http_get(w, "/metrics") for w in stale)
         )
-        for worker, body in zip(self._workers, bodies):
+        for worker, body in zip(stale, bodies):
             if body:
-                parts.append(
-                    relabel_exposition(
-                        body.decode("utf-8", "replace"),
-                        {"worker": str(worker.index)},
-                    )
+                text = relabel_exposition(
+                    body.decode("utf-8", "replace"),
+                    {"worker": str(worker.index)},
                 )
+                worker.metrics_cache = (now, text)
+                cached[worker.index] = text
+        for worker in self._workers:
+            part = cached.get(worker.index)
+            if part:
+                parts.append(part)
         return merge_expositions(parts)
 
     async def pull_events(self) -> None:
@@ -1163,11 +1213,25 @@ class ClusterService:
 
         Per-worker cursors mean each worker event is ingested at most
         once; a respawned worker restarts its id space, and its cursor
-        was reset at launch.  Unreachable workers are skipped.
+        was reset at launch.  Unreachable workers are skipped.  Folds
+        themselves are throttled to one fleet round-trip per
+        ``metrics_scrape_ttl_s`` — repeated ``/events`` polls inside the
+        TTL answer from the already-folded router log.
         """
         tele = self.telemetry
         if tele is None:
             return
+        ttl = self.config.metrics_scrape_ttl_s
+        now = time.monotonic()
+        if (
+            self._events_pull_ts is not None
+            and ttl > 0
+            and now - self._events_pull_ts < ttl
+        ):
+            self._count_scrape("events", "hit")
+            return
+        self._events_pull_ts = now
+        self._count_scrape("events", "miss")
         bodies = await asyncio.gather(
             *(
                 self._http_get(w, f"/events?since={w.events_cursor}")

@@ -182,6 +182,12 @@ class LoadGenConfig:
     #: runs (e.g. delivered-stream digests across worker counts) needs
     #: identical offered sets, which only a full-trace replay gives.
     drain_trace: bool = False
+    #: Run a :class:`~repro.obs.watch.Watchtower` alongside the run
+    #: (telemetry permitting): the summary gains a ``health`` block and
+    #: ``--out`` manifests a ``health.json`` verdict file.
+    watch: bool = True
+    #: Watchtower poll cadence.
+    watch_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.source not in LOADGEN_SOURCES:
@@ -244,6 +250,8 @@ class LoadGenConfig:
                 "drain_trace promises an identical offered set across "
                 "runs; open-loop shedding breaks that — use mode='closed'"
             )
+        if self.watch_interval_s <= 0:
+            raise ValueError("watch_interval_s must be positive")
 
 
 def make_trace(config: LoadGenConfig, stream: int = 0) -> Trace:
@@ -438,6 +446,37 @@ def _stage_latency_summary(stages: dict) -> dict:
             "p99_ms": round(_pctl_ns(durs, 0.99) / 1e6, 6),
         }
     return block
+
+
+def _reconcile_stage_latency(block: Optional[dict], snapshot: dict) -> None:
+    """Telemetry-honesty check: two independent latency measurements of
+    the same interval must agree.
+
+    The ``decide`` stage trace times arrival→emission per *sampled*
+    tuple; the snapshot's ``decide_p50_ms`` is the percentile over
+    *every* decide in the window.  Same quantity, different instruments
+    — a large residual means one of them is lying (a stage boundary
+    moved, a unit slipped, sampling went biased).  The residual is
+    surfaced in the summary's ``stage_latency`` block; tolerance is
+    generous (sampled percentiles over few tuples are noisy) because
+    this is a sanity bound, not a benchmark.
+    """
+    if not block:
+        return
+    decide = block.get("decide")
+    e2e_p50 = snapshot.get("decide_p50_ms") or 0.0
+    if decide is None or decide.get("count", 0) < 5 or e2e_p50 <= 0:
+        return
+    stage_p50 = decide["p50_ms"]
+    residual = stage_p50 - e2e_p50
+    tolerance = max(5.0, 0.75 * e2e_p50)
+    block["reconciliation"] = {
+        "decide_p50_ms": e2e_p50,
+        "stage_decide_p50_ms": stage_p50,
+        "residual_ms": round(residual, 6),
+        "tolerance_ms": round(tolerance, 6),
+        "within_tolerance": abs(residual) <= tolerance,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -852,6 +891,24 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
                 feed.source, _app_name(config, feed.index, subscriber), spec
             )
 
+    # In-run health analysis: a Watchtower polling the same surfaces an
+    # external scraper would (the cluster merge when one is self-hosted),
+    # emitting verdict transitions into the run's event log.
+    watchtower = None
+    watch_task: Optional[asyncio.Task] = None
+    if tele is not None and config.watch:
+        from repro.obs.watch import LocalProbe, Watchtower
+
+        backend = getattr(driver, "cluster", None) or getattr(
+            driver, "service", None
+        )
+        watchtower = Watchtower(
+            LocalProbe(tele, service=backend),
+            interval_s=config.watch_interval_s,
+            events=tele.events,
+        )
+        watch_task = asyncio.create_task(watchtower.run())
+
     records: list[dict] = []
     in_flight: set[asyncio.Task] = set()
     shed = 0
@@ -1020,6 +1077,21 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         await metrics_task
     except recoverable as exc:
         errors.append(repr(exc))
+    if watch_task is not None:
+        watch_task.cancel()
+        try:
+            await watch_task
+        except asyncio.CancelledError:
+            pass
+        except recoverable as exc:
+            errors.append(repr(exc))
+    if watchtower is not None:
+        # One last poll over the run's full counters, while the backend
+        # (and any worker fleet) is still alive to answer.
+        try:
+            await watchtower.poll()
+        except recoverable as exc:
+            errors.append(repr(exc))
 
     try:
         epochs, final_snapshot, broker_subscriptions = await driver.finish(
@@ -1176,6 +1248,12 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "stage_latency": (
             _stage_latency_summary(stage_samples) if tele is not None else None
         ),
+        #: Latest Watchtower report (None when telemetry/watch is off).
+        "health": (
+            watchtower.report.to_dict()
+            if watchtower is not None and watchtower.report is not None
+            else None
+        ),
         "events_captured": len(tele.events) if tele is not None else 0,
         "churn_applied": churn_applied,
         "churn_unapplied": [asdict(event) for event in pending_churn],
@@ -1185,6 +1263,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         "errors": errors,
         "clean_shutdown": not errors and not in_flight,
     }
+    _reconcile_stage_latency(summary["stage_latency"], final_snapshot)
     records.append({"t_s": round(wall_s, 4), "final": True, **final_snapshot})
 
     if config.out_dir is not None:
@@ -1199,6 +1278,11 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         if tele is not None:
             (out / "events.jsonl").write_text(
                 tele.events.to_jsonl(), encoding="utf-8"
+            )
+        if summary["health"] is not None:
+            (out / "health.json").write_text(
+                json.dumps(summary["health"], indent=2) + "\n",
+                encoding="utf-8",
             )
     return summary
 

@@ -18,7 +18,12 @@ framework):
 * ``GET /events?since=N&limit=M`` — the structured event log as JSON
   lines, ids strictly increasing; pass the last seen ``id`` as
   ``since`` to page.  On a cluster router the handler first folds every
-  worker's fresh events into the router log.
+  worker's fresh events into the router log;
+* ``GET /health/report`` — the attached
+  :class:`~repro.obs.watch.Watchtower`'s latest
+  :class:`~repro.obs.slo.HealthReport` as JSON (polling on demand when
+  no background poll has run yet); ``404`` when no watchtower is
+  attached.
 
 Responses are ``Connection: close`` HTTP/1.1 with explicit
 ``Content-Length``, which every scraper (curl, prometheus blackbox,
@@ -58,10 +63,12 @@ class SnapshotHTTP:
         host: str = "127.0.0.1",
         port: int = 0,
         telemetry: Optional[Telemetry] = None,
+        watchtower=None,
     ):
         self.service = service
         self.host = host
         self.telemetry = telemetry
+        self.watchtower = watchtower
         self._requested_port = port
         self._server: Optional[asyncio.base_events.Server] = None
 
@@ -196,13 +203,27 @@ class SnapshotHTTP:
             return await self._metrics()
         if path == "/events":
             return await self._events(query)
+        if path == "/health/report":
+            return await self._health_report()
         return self._json_reply(
             "404 Not Found",
             {
                 "error": f"no route {path!r}; try /snapshot, /healthz, "
-                "/metrics or /events"
+                "/metrics, /events or /health/report"
             },
         )
+
+    async def _health_report(self) -> tuple[str, str, bytes]:
+        """Latest Watchtower verdicts (polling once when none yet)."""
+        tower = self.watchtower
+        if tower is None:
+            return self._json_reply(
+                "404 Not Found", {"error": "no watchtower is attached"}
+            )
+        report = tower.report
+        if report is None:
+            report = await tower.poll()
+        return self._json_reply("200 OK", report.to_dict())
 
     async def _metrics(self) -> tuple[str, str, bytes]:
         """Prometheus exposition — fleet-merged when fronting a router."""

@@ -556,8 +556,12 @@ class TestClusterObservabilityMerge:
 
         async def run():
             router_tele = Telemetry()
+            # ttl=0: this test drives three back-to-back folds and wants
+            # each to hit the worker, not the router's fold throttle.
             cluster = ClusterService(
-                ClusterConfig(workers=2, sources=("s0", "s1")),
+                ClusterConfig(
+                    workers=2, sources=("s0", "s1"), metrics_scrape_ttl_s=0.0
+                ),
                 telemetry=router_tele,
             )
             worker_tele = Telemetry()
