@@ -87,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--interval", type=float, default=1.0, help="poll period in seconds"
     )
     watch.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="declarative rules file (TOML on 3.11+, JSON anywhere) "
+        "replacing/extending the stock rules and SLO windows",
+    )
+    watch.add_argument(
         "--polls",
         type=_positive_int,
         default=None,
@@ -139,6 +146,31 @@ def _add_serve_knobs(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="shard sources across N broker worker processes behind "
         "this gateway (default 1: single in-process broker)",
+    )
+    parser.add_argument(
+        "--standby",
+        type=int,
+        default=0,
+        metavar="N",
+        help="keep N warm standby workers mirroring the first N shards; "
+        "a failover promotes the standby and splices its shadow "
+        "streams with zero delivery gap (requires --workers > 1... N)",
+    )
+    parser.add_argument(
+        "--self-heal",
+        action="store_true",
+        help="run the remediation loop: Watchtower verdict edges drive "
+        "standby adoption, respawns, live migration and (policy-"
+        "gated) scaling; requires --workers > 1, --http-port and "
+        "telemetry",
+    )
+    parser.add_argument(
+        "--watch-rules",
+        default=None,
+        metavar="FILE",
+        help="declarative rules file (TOML on 3.11+, JSON anywhere) "
+        "for the built-in Watchtower's rules/SLOs and the "
+        "remediation policy",
     )
     parser.add_argument(
         "--http-port",
@@ -221,6 +253,30 @@ async def _serve_async(args: argparse.Namespace) -> int:
         from repro.obs import Telemetry
 
         telemetry = Telemetry(sample_period=args.trace_sample)
+    rules_config = None
+    if args.watch_rules is not None:
+        from repro.obs.rulesfile import RulesFileError, load_rules_file
+
+        try:
+            rules_config = load_rules_file(args.watch_rules)
+        except RulesFileError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+    if args.self_heal and args.workers <= 1:
+        print(
+            "serve: --self-heal needs a worker fleet (--workers > 1)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.self_heal and (
+        args.http_port is None or telemetry is None or args.watch_interval <= 0
+    ):
+        print(
+            "serve: --self-heal needs the built-in Watchtower "
+            "(--http-port, telemetry and --watch-interval > 0)",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers > 1:
         from repro.service.cluster import ClusterConfig, ClusterService
 
@@ -238,6 +294,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 max_frame_bytes=args.max_frame_bytes,
                 metrics_scrape_ttl_s=args.metrics_scrape_ttl,
+                standby=max(args.standby, 0),
             ),
             telemetry=telemetry,
         )
@@ -272,22 +329,66 @@ async def _serve_async(args: argparse.Namespace) -> int:
     http = None
     watchtower = None
     watch_task = None
+    remediation = None
     try:
         await gateway.start()
         if args.http_port is not None:
             if telemetry is not None and args.watch_interval > 0:
                 from repro.obs.watch import LocalProbe, Watchtower
 
+                watch_kwargs: dict = {}
+                if rules_config is not None:
+                    watch_kwargs["rules"] = rules_config.rules
+                    watch_kwargs["slos"] = rules_config.slos
+                    # File settings win over the CLI defaults.
+                    settings = rules_config.watch
+                    if "decide_p99_target_ms" in settings:
+                        watch_kwargs["decide_p99_target_ms"] = settings[
+                            "decide_p99_target_ms"
+                        ]
+                    if "death_window_s" in settings:
+                        watch_kwargs["death_window_s"] = settings[
+                            "death_window_s"
+                        ]
+                    if "flap_window_s" in settings:
+                        watch_kwargs["flap_window_s"] = settings[
+                            "flap_window_s"
+                        ]
+                interval = args.watch_interval
+                if rules_config is not None:
+                    interval = rules_config.watch.get("interval_s", interval)
                 watchtower = Watchtower(
                     LocalProbe(telemetry, service=service),
-                    interval_s=args.watch_interval,
+                    interval_s=interval,
                     events=telemetry.events,
+                    **watch_kwargs,
                 )
             http = SnapshotHTTP(
                 service, host=args.host, port=args.http_port,
                 telemetry=telemetry, watchtower=watchtower,
             )
             await http.start()
+            if args.self_heal and watchtower is not None:
+                from repro.service.remediate import (
+                    RemediationLoop,
+                    RemediationPolicy,
+                )
+
+                policy = RemediationPolicy(
+                    **(
+                        rules_config.remediation
+                        if rules_config is not None
+                        and rules_config.remediation is not None
+                        else {}
+                    )
+                )
+                remediation = RemediationLoop(
+                    service,
+                    watchtower,
+                    policy=policy,
+                    events=telemetry.events,
+                )
+                remediation.attach()
             if watchtower is not None:
                 watch_task = asyncio.create_task(watchtower.run())
     except BaseException:
@@ -325,6 +426,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
     print(ready, flush=True)
     await stop.wait()
     unhook()
+    if remediation is not None:
+        await remediation.close()
     if watch_task is not None:
         watch_task.cancel()
         try:
@@ -350,9 +453,32 @@ async def _watch_async(args: argparse.Namespace) -> int:
     if not port_text.isdigit():
         print(f"--connect must be HOST:PORT, got {args.connect!r}")
         return 2
+    tower_kwargs: dict = {}
+    interval = args.interval
+    if args.rules is not None:
+        from repro.obs.rulesfile import RulesFileError, load_rules_file
+
+        try:
+            config = load_rules_file(args.rules)
+        except RulesFileError as exc:
+            print(f"watch: {exc}", file=sys.stderr)
+            return 2
+        tower_kwargs["rules"] = config.rules
+        tower_kwargs["slos"] = config.slos
+        settings = config.watch
+        if "decide_p99_target_ms" in settings:
+            tower_kwargs["decide_p99_target_ms"] = settings[
+                "decide_p99_target_ms"
+            ]
+        if "death_window_s" in settings:
+            tower_kwargs["death_window_s"] = settings["death_window_s"]
+        if "flap_window_s" in settings:
+            tower_kwargs["flap_window_s"] = settings["flap_window_s"]
+        interval = settings.get("interval_s", interval)
     tower = Watchtower(
         HttpProbe(host or "127.0.0.1", int(port_text)),
-        interval_s=args.interval,
+        interval_s=interval,
+        **tower_kwargs,
     )
     report = None
     polls = 0
@@ -365,7 +491,7 @@ async def _watch_async(args: argparse.Namespace) -> int:
             print(format_report(report), flush=True)
         if args.polls is not None and polls >= args.polls:
             break
-        await asyncio.sleep(args.interval)
+        await asyncio.sleep(interval)
     if args.out is not None and report is not None:
         Path(args.out).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"

@@ -34,6 +34,7 @@ from repro.obs.metrics import (
     relabel_exposition,
 )
 from repro.obs.parse import Exposition, parse_exposition
+from repro.obs.rulesfile import RulesConfig, RulesFileError, load_rules_file
 from repro.obs.slo import (
     HealthReport,
     Rule,
@@ -66,6 +67,8 @@ __all__ = [
     "LocalProbe",
     "MetricsRegistry",
     "Rule",
+    "RulesConfig",
+    "RulesFileError",
     "STAGES",
     "SloWindow",
     "StageTracer",
@@ -75,6 +78,7 @@ __all__ = [
     "Watchtower",
     "default_rules",
     "default_slos",
+    "load_rules_file",
     "merge_expositions",
     "parse_exposition",
     "platform_info",

@@ -15,9 +15,10 @@ poll:
    (:mod:`repro.obs.slo`) into a :class:`HealthReport`.
 
 Verdict *transitions* are emitted back into the event log as
-``anomaly_*`` / ``slo_*`` events — the edge-triggered input a future
-scheduler will subscribe to.  The Watchtower never actuates anything:
-detect and report only.
+``anomaly_*`` / ``slo_*`` events and handed to the optional
+:attr:`Watchtower.on_transitions` callback — the edge-triggered input
+the remediation loop (:mod:`repro.service.remediate`) subscribes to.
+The Watchtower itself never actuates anything: detect and report only.
 """
 
 from __future__ import annotations
@@ -204,6 +205,11 @@ class Watchtower:
         self._respawns = EventWindow(flap_window_s)
         self._flap_window_s = flap_window_s
         self._last_status: dict[str, str] = {}
+        #: Optional edge-trigger hook: called once per poll with the
+        #: list of ``(verdict, previous_status)`` transitions (only
+        #: verdicts whose status changed).  The remediation loop's
+        #: subscription point.
+        self.on_transitions = None
 
     # -- event ingestion -----------------------------------------------
     def _ingest_events(self, records: Iterable[dict]) -> int:
@@ -360,6 +366,8 @@ class Watchtower:
 
         if offered_delta is not None:
             signals["offered_delta"] = offered_delta
+        if decided_delta is not None:
+            signals["decided_delta"] = decided_delta
         return signals
 
     # -- SLO feeding ----------------------------------------------------
@@ -370,7 +378,13 @@ class Watchtower:
                 if p99 is None:
                     continue
                 bad = 1.0 if p99 > self.decide_p99_target_ms else 0.0
-                slo.observe(now, 1.0 - bad, bad)
+                # Weight by the interval's decide volume, not by polls:
+                # a violating poll that decided 10k tuples burns 10k
+                # units of budget, while an idle violating poll barely
+                # registers.  Floor at one unit so a quiet interval
+                # still contributes an observation.
+                weight = max(signals.get("decided_delta") or 0.0, 1.0)
+                slo.observe(now, weight * (1.0 - bad), weight * bad)
             elif slo.signal == "overflow_drop_ratio":
                 ratio = signals.get("overflow_drop_ratio")
                 if ratio is None:
@@ -386,12 +400,14 @@ class Watchtower:
 
     # -- verdict emission ----------------------------------------------
     def _emit_transitions(self, verdicts: Sequence[Verdict]) -> None:
-        if self.events is None:
-            return
+        transitions: list[tuple[Verdict, str]] = []
         for verdict in verdicts:
             previous = self._last_status.get(verdict.name, "ok")
             self._last_status[verdict.name] = verdict.status
             if verdict.status == previous:
+                continue
+            transitions.append((verdict, previous))
+            if self.events is None:
                 continue
             kind = (
                 verdict.name
@@ -407,6 +423,8 @@ class Watchtower:
                 threshold=verdict.threshold,
                 detail=verdict.detail or None,
             )
+        if transitions and self.on_transitions is not None:
+            self.on_transitions(transitions)
 
     # -- polling --------------------------------------------------------
     async def poll(self) -> HealthReport:

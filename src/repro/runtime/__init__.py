@@ -12,6 +12,7 @@ result whose decided outputs are identical to a sequential run.
 from repro.runtime.merge import CombinedResult, canonical_result, combine
 from repro.runtime.partition import (
     PLACEMENTS,
+    HashRing,
     partition_keyed_stream,
     partition_tasks,
     shard_for_key,
@@ -30,6 +31,7 @@ __all__ = [
     "CombinedResult",
     "EXECUTORS",
     "EngineConfig",
+    "HashRing",
     "PLACEMENTS",
     "GroupTask",
     "ShardedResult",

@@ -16,13 +16,20 @@ across different workloads (open-ended keyed streams).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from hashlib import blake2s
 from typing import Iterable, Sequence
 
 from repro.core.tuples import StreamTuple
 from repro.runtime.tasks import GroupTask
 
-__all__ = ["PLACEMENTS", "shard_for_key", "partition_tasks", "partition_keyed_stream"]
+__all__ = [
+    "PLACEMENTS",
+    "HashRing",
+    "shard_for_key",
+    "partition_tasks",
+    "partition_keyed_stream",
+]
 
 PLACEMENTS = ("balanced", "hashed")
 
@@ -35,6 +42,90 @@ def shard_for_key(key: str, shards: int) -> int:
         return 0
     digest = blake2s(key.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") % shards
+
+
+def _ring_point(token: str) -> int:
+    digest = blake2s(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named members.
+
+    :func:`shard_for_key` reshuffles nearly every key when the shard
+    count changes, which is fine for a fixed batch run but fatal for a
+    live cluster: growing from N to N+1 workers would migrate almost
+    every source.  The ring places each member at ``replicas`` BLAKE2
+    points on a 64-bit circle and assigns a key to the first member
+    point at or after the key's own point, so adding or removing one
+    member only moves the keys that fall in that member's arcs —
+    ~1/N of them in expectation.
+
+    Members are arbitrary hashable names (worker indices in the
+    cluster), so a member can leave and rejoin without renumbering the
+    survivors.
+    """
+
+    def __init__(self, members: Iterable[object] = (), *, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self._replicas = replicas
+        self._members: set[object] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, object] = {}
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: object) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def _tokens(self, member: object) -> list[int]:
+        return [
+            _ring_point(f"{member!r}#{i}") for i in range(self._replicas)
+        ]
+
+    def add(self, member: object) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for point in self._tokens(member):
+            # On the vanishingly rare 64-bit collision the earlier
+            # member keeps the point; placement stays deterministic.
+            if point not in self._owners:
+                self._owners[point] = member
+                self._points.insert(bisect_right(self._points, point), point)
+
+    def remove(self, member: object) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        for point in self._tokens(member):
+            if self._owners.get(point) is member or self._owners.get(point) == member:
+                del self._owners[point]
+                index = bisect_right(self._points, point) - 1
+                if 0 <= index < len(self._points) and self._points[index] == point:
+                    del self._points[index]
+
+    def owner(self, key: str):
+        """The member owning ``key``, or None for an empty ring."""
+        if not self._points:
+            return None
+        point = _ring_point(key)
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def assignment(self, keys: Iterable[str]) -> dict[str, object]:
+        """Owner per key — convenience for stability tests/rebalancing."""
+        return {key: self.owner(key) for key in keys}
 
 
 def partition_tasks(

@@ -23,6 +23,12 @@ from repro.service.loadgen import (
     make_trace,
     run_loadgen,
 )
+from repro.service.remediate import (
+    Action,
+    RemediationLoop,
+    RemediationPolicy,
+    default_proposers,
+)
 from repro.service.session import (
     OVERFLOW_POLICIES,
     DeliveryQueue,
@@ -33,6 +39,7 @@ from repro.service.session import (
 from repro.service.snapshot import ServiceSnapshot, SessionSnapshot
 
 __all__ = [
+    "Action",
     "Batch",
     "CODECS",
     "ChurnEvent",
@@ -43,6 +50,8 @@ __all__ = [
     "LoadGenConfig",
     "MicroBatcher",
     "OVERFLOW_POLICIES",
+    "RemediationLoop",
+    "RemediationPolicy",
     "ServiceConfig",
     "ServiceSnapshot",
     "SessionDisconnected",
@@ -51,6 +60,7 @@ __all__ = [
     "SubscriberSession",
     "decided_map",
     "default_churn",
+    "default_proposers",
     "make_trace",
     "run_loadgen",
     "SIZES",

@@ -160,6 +160,12 @@ class ServiceConfig:
     #: Sliding-window length for snapshot decide-latency percentiles
     #: (wall-clock arrival-to-emission milliseconds per decided tuple).
     decide_window: int = 4096
+    #: Epoch-journal entry cap for live source migration.  The journal
+    #: records every offer/tick fed to the current engine epoch so
+    #: :meth:`export_source` can hand the epoch to another worker for
+    #: byte-identical replay; past the cap the journal goes lossy and
+    #: export falls back to cutover-flush semantics.
+    migration_journal_cap: int = 100_000
 
     def __post_init__(self) -> None:
         if self.engine.algorithm == "self_interested":
@@ -203,6 +209,16 @@ class _SourceState:
     #: Wall-clock arrival time per offered-but-undecided tuple seq, for
     #: sub-tick decide-latency measurement (cleared on rebuild).
     arrivals_ns: dict[int, int] = field(default_factory=dict)
+    #: Replayable record of the current epoch: ``("o", item)`` per offer
+    #: and ``("t", now_ms)`` per tick fed to the live engines.  Because
+    #: the epoch's engine state is a pure function of this sequence
+    #: (engines are deterministic and rebuilt fresh on churn), replaying
+    #: it into fresh engines reproduces the epoch exactly — the basis of
+    #: live migration and warm-standby re-arm.  Cleared on rebuild.
+    journal: list[tuple[str, object]] = field(default_factory=list)
+    #: Set once the journal overflows its cap; export then falls back to
+    #: a cutover flush instead of exact replay.
+    journal_lossy: bool = False
 
 
 class DisseminationService:
@@ -290,7 +306,13 @@ class DisseminationService:
         """Advertise a source; its proxy node defaults deterministically."""
         if node_name is None:
             node_name = self._place(f"src:{source_name}")
-        self.system.add_source(source_name, node_name)
+        try:
+            self.system.add_source(source_name, node_name)
+        except ValueError:
+            # A source that migrated away and back keeps its overlay
+            # proxy and multicast group; re-advertising is idempotent at
+            # that layer (placement is deterministic per name).
+            pass
         self._sources[source_name] = _SourceState(
             name=source_name,
             node=node_name,
@@ -538,6 +560,8 @@ class DisseminationService:
         if not filters:
             src.slots = []
             src.arrivals_ns.clear()
+            src.journal.clear()
+            src.journal_lossy = False
             return
         groups: list[list[GroupAwareFilter]] = (
             partition_by_attribute(filters)
@@ -555,6 +579,8 @@ class DisseminationService:
         # A rebuild always follows a cutover: the old epoch's tuples were
         # emitted or dismissed with it, so their arrival times are dead.
         src.arrivals_ns.clear()
+        src.journal.clear()
+        src.journal_lossy = False
         src.slots = [
             _EngineSlot(
                 apps=tuple(f.name for f in group),
@@ -598,6 +624,186 @@ class DisseminationService:
             self._m_cutover_ms.observe(
                 (time.perf_counter_ns() - started_ns) / 1e6
             )
+
+    # ------------------------------------------------------------------
+    # Live migration (epoch journal replay)
+    # ------------------------------------------------------------------
+    def _journal(self, src: _SourceState, entry: tuple[str, object]) -> None:
+        if src.journal_lossy:
+            return
+        if len(src.journal) >= self.config.migration_journal_cap:
+            src.journal_lossy = True
+            src.journal.clear()
+            return
+        src.journal.append(entry)
+
+    async def export_source(self, source_name: str) -> dict:
+        """Detach a source for live migration; returns its portable state.
+
+        Flushes every session's staged batch (blocking — the subscribers
+        stay live through a migration, unlike teardown), then detaches
+        the sessions *without* a cutover: the epoch's engine state
+        travels as the offer/tick journal instead of being flushed, so
+        the importing worker reproduces it exactly and delivered streams
+        stay byte-identical to an unmigrated run.  Each detached
+        session's connection pump ends with the non-final
+        ``"unsubscribed"`` reason, which the router's staged-migration
+        continuation treats as a hand-off, not a teardown.
+
+        If the journal overflowed its cap the epoch cannot replay; the
+        fallback is a cutover (open candidate state is decided and
+        delivered rather than dropped) and the returned state is marked
+        ``exact: False``.
+
+        The caller must stop routing offers to this worker first (the
+        cluster router gates the source's offer path); an ingest racing
+        the export can lose at most the tuples admitted between its
+        source lookup and the lock acquisition here.
+        """
+        src = self._src(source_name)
+        async with src.lock:
+            for session in src.sessions.values():
+                batch = session.batcher.flush(self._now)
+                if batch is not None:
+                    await self._ship(src, session, batch)
+            exact = not src.journal_lossy
+            if not exact and src.fed:
+                await self._cutover(src)
+            journal = list(src.journal)
+            subscriptions = [
+                (s.app_name, s.spec, s.node) for s in src.sessions.values()
+            ]
+            shipped = {
+                s.app_name: s.stats.shipped_tuples
+                for s in src.sessions.values()
+            }
+            fed = src.fed if exact else 0
+            for app in list(src.sessions):
+                session = src.sessions.pop(app)
+                self.system.unsubscribe(app, source_name)
+                del self._app_sources[app]
+                await session.close()
+                self._retired.append(self._session_snapshot(session))
+            src.slots = []
+            src.journal = []
+            src.arrivals_ns.clear()
+            offered = src.offered
+            del self._sources[source_name]
+            if self.telemetry is not None:
+                self._m_sessions.set(self.session_count())
+                self.telemetry.events.emit(
+                    "migration_export",
+                    source=source_name,
+                    exact=exact,
+                    journal_len=len(journal),
+                    fed=fed,
+                    subscribers=len(subscriptions),
+                )
+            return {
+                "source": source_name,
+                "node": src.node,
+                "exact": exact,
+                "journal": journal,
+                "fed": fed,
+                "offered": offered,
+                "subscriptions": subscriptions,
+                "shipped": shipped,
+            }
+
+    async def snapshot_source(self, source_name: str) -> dict:
+        """Non-destructive copy of a source's replayable epoch state.
+
+        The same payload :meth:`export_source` produces, but the source
+        keeps serving — this is how a warm standby is re-armed after a
+        failover consumed its predecessor.  Exact only while the journal
+        has not overflowed; a lossy snapshot carries no journal and
+        ``exact: False`` (importing it arms the standby for future
+        epochs only).
+        """
+        src = self._src(source_name)
+        async with src.lock:
+            # Flush staged batches so each session's shipped count equals
+            # everything ever routed to it — the exact stream position the
+            # standby's mirror (whose replay is emission-suppressed) will
+            # continue from.
+            for session in src.sessions.values():
+                batch = session.batcher.flush(self._now)
+                if batch is not None:
+                    await self._ship(src, session, batch)
+            exact = not src.journal_lossy
+            return {
+                "source": source_name,
+                "node": src.node,
+                "exact": exact,
+                "journal": list(src.journal),
+                "fed": src.fed if exact else 0,
+                "offered": src.offered,
+                "subscriptions": [
+                    (s.app_name, s.spec, s.node)
+                    for s in src.sessions.values()
+                ],
+                "shipped": {
+                    s.app_name: s.stats.shipped_tuples
+                    for s in src.sessions.values()
+                },
+            }
+
+    async def import_source(
+        self, source_name: str, state: dict, *, force: bool = False
+    ) -> int:
+        """Adopt an exported source's epoch by journal replay.
+
+        The source must already exist here with the migrated
+        subscriptions attached in their original insertion order and
+        nothing fed to the current epoch.  Engines are rebuilt fresh
+        first (discarding any broadcast-tick contamination since the
+        subscriptions attached), then the journal replays through the
+        normal engine steps with *suppressed* emissions — each slot's
+        ``routed`` prefix advances without routing, because those
+        emissions were already delivered by the exporting worker.  The
+        replayed journal is retained, so the adopted epoch can itself
+        be exported again (chained migration, standby re-arm).
+
+        Returns the number of journal entries replayed.
+        """
+        src = self._src(source_name)
+        async with src.lock:
+            if src.fed and not force:
+                raise RuntimeError(
+                    f"source {source_name!r} already has {src.fed} tuples "
+                    "fed to its current epoch; import requires a clean one"
+                )
+            self._rebuild(src)
+            journal = list(state.get("journal") or ())
+            replayed = 0
+            if src.slots:
+                for entry in journal:
+                    kind, payload = entry
+                    if kind == "o":
+                        item = payload
+                        for slot in src.slots:
+                            slot.routed += len(slot.engine.process(item))
+                    else:
+                        now_ms = float(payload)  # type: ignore[arg-type]
+                        for slot in src.slots:
+                            slot.routed += len(
+                                slot.engine.tick(
+                                    now_ms, cuts=self.config.tick_cuts
+                                )
+                            )
+                    self._journal(src, entry)
+                    replayed += 1
+            src.fed = int(state.get("fed", 0))
+            src.offered += int(state.get("offered", 0))
+            if self.telemetry is not None:
+                self.telemetry.events.emit(
+                    "migration_import",
+                    source=source_name,
+                    exact=bool(state.get("exact", True)),
+                    journal_len=replayed,
+                    subscribers=len(src.sessions),
+                )
+            return replayed
 
     # ------------------------------------------------------------------
     # Data path
@@ -647,6 +853,8 @@ class DisseminationService:
             del arrivals[next(iter(arrivals))]
         arrival_ns = time.perf_counter_ns()
         arrivals[item.seq] = arrival_ns
+        if src.slots:
+            self._journal(src, ("o", item))
         t = self.telemetry
         traced = False
         if t is not None:
@@ -708,6 +916,11 @@ class DisseminationService:
         for src in targets:
             async with src.lock:
                 self._now = max(self._now, now_ms)
+                if src.slots and src.fed:
+                    # Idle epochs (nothing fed) need no tick replay:
+                    # fresh engines have no admitted tuples whose timely
+                    # cuts a tick could advance.
+                    self._journal(src, ("t", now_ms))
                 emissions = await self._run_slots(
                     src,
                     lambda engine: engine.tick(

@@ -44,10 +44,12 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import sys
 import time
 from collections import deque
-from dataclasses import dataclass
+from contextlib import AsyncExitStack
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional, Sequence
 
 from repro.metrics.latency import latency_percentiles
@@ -59,7 +61,7 @@ from repro.obs.trace import (
     stage_id,
 )
 from repro.qos.spec import QualitySpec
-from repro.runtime.partition import shard_for_key
+from repro.runtime.partition import HashRing
 from repro.transport.client import GatewayClient, GatewayError
 from repro.transport.protocol import MAX_FRAME_BYTES
 
@@ -105,9 +107,33 @@ class ClusterConfig:
     #: Supervisor cadence and tolerances.
     health_interval_s: float = 1.0
     health_misses: int = 3
-    #: Lifetime respawn budget per worker slot; past it the slot is
-    #: declared lost and its sessions are closed.
-    respawn_limit: int = 3
+    #: Sliding-window respawn budget per worker slot: more than
+    #: ``respawns_per_window`` respawn attempts inside
+    #: ``respawn_window_s`` declares the slot lost (a crash-looping
+    #: worker paces out via exponential backoff instead of burning a
+    #: lifetime budget in milliseconds; an occasional crash per hour
+    #: never exhausts anything).
+    respawns_per_window: int = 3
+    respawn_window_s: float = 60.0
+    #: Exponential backoff between respawn attempts (with +-50% jitter
+    #: so a correlated fleet-wide crash doesn't respawn in lockstep).
+    respawn_backoff_base_s: float = 0.2
+    respawn_backoff_max_s: float = 5.0
+    #: Warm standby workers.  Standby ``k`` mirrors primary ``k``: same
+    #: sources, shadow subscriptions, and every offer fed to both — so
+    #: a failover adopts the standby's live engine state instead of
+    #: cold-respawning, and subscribers' streams splice byte-identically.
+    #: Primaries beyond the standby count fall back to cold respawn.
+    standby: int = 0
+    #: With an attached remediation loop (``--self-heal``) the
+    #: supervisor defers worker-death actuation this long so the
+    #: detect -> propose -> verify -> execute pipeline owns the fix;
+    #: past the grace it falls back to direct supervision (a dead
+    #: remediation loop must not strand a dead worker).
+    deferred_heal_grace_s: float = 10.0
+    #: Whole-handshake bound for one live source migration (gating
+    #: offers, draining, journal transfer, replay).
+    migrate_timeout_s: float = 30.0
     ready_timeout_s: float = 30.0
     #: How long data-path calls (and orphaned sessions) wait for a
     #: respawning worker before giving up.
@@ -124,6 +150,10 @@ class ClusterConfig:
             raise ValueError(f"unknown codec {self.codec!r}")
         if self.metrics_scrape_ttl_s < 0:
             raise ValueError("metrics_scrape_ttl_s must be >= 0")
+        if self.standby < 0 or self.standby > self.workers:
+            raise ValueError("standby must be between 0 and workers")
+        if self.respawns_per_window < 1:
+            raise ValueError("respawns_per_window must be at least 1")
 
 
 class _SessionQueue:
@@ -219,6 +249,20 @@ class ClusterSession:
         self._explicit = False
         self._reattach_timeout_s = reattach_timeout_s
         self._replacement: Optional[asyncio.Future] = None
+        #: Tuples this session has yielded to the front tier.
+        self.delivered_tuples = 0
+        #: Tuples yielded from the *current* remote's stream (reset at
+        #: every generation switch) — the router-side stream position a
+        #: warm standby's discard consumer throttles against.  When a
+        #: stream ends, its final count parks in
+        #: :attr:`last_remote_delivered` for the splice-skip math.
+        self.delivered_this_remote = 0
+        self.last_remote_delivered = 0
+        #: Replacement subscription staged by a live migration: when the
+        #: current remote's stream ends (the exporting worker closes it
+        #: as "unsubscribed"), :meth:`batches` continues into the staged
+        #: remote instead of treating the reason as final.
+        self._staged = None
 
     # -- supervisor side -------------------------------------------------
     def adopt(self, remote) -> None:
@@ -228,12 +272,22 @@ class ClusterSession:
         if waiter is not None and not waiter.done():
             waiter.set_result(remote)
 
+    def stage_migration(self, remote) -> None:
+        """Park the migration target's subscription for hand-off."""
+        self._staged = remote
+
+    def unstage_migration(self) -> None:
+        self._staged = None
+
     def abandon(self, reason: str) -> None:
         """Give up on this session (worker lost for good, shutdown)."""
         self.closed = True
         waiter = self._replacement
         if waiter is not None and not waiter.done():
             waiter.set_result(None)
+        staged, self._staged = self._staged, None
+        if staged is not None:
+            staged.close_local(reason)
         self.remote.close_local(reason)
 
     # -- router side -----------------------------------------------------
@@ -249,6 +303,9 @@ class ClusterSession:
         waiter = self._replacement
         if waiter is not None and not waiter.done():
             waiter.set_result(None)
+        staged, self._staged = self._staged, None
+        if staged is not None:
+            staged.close_local(reason)
         self.remote.close_local(reason)
 
     _TRACE_NOTES_MAX = 64
@@ -296,7 +353,21 @@ class ClusterSession:
             remote = self.remote
             async for batch in remote.batches():
                 self._note_batch_traces(batch, remote)
+                self.delivered_tuples += len(batch.items)
+                self.delivered_this_remote += len(batch.items)
                 yield batch
+            # The old stream is fully drained here, so its tuple count is
+            # final — exactly what a standby splice must align against.
+            self.last_remote_delivered = self.delivered_this_remote
+            self.delivered_this_remote = 0
+            staged = self._staged
+            if staged is not None and not self.closed:
+                # Live-migration hand-off: the old worker drained this
+                # stream and closed it on purpose; continue into the
+                # target's subscription without surfacing anything.
+                self._staged = None
+                self.remote = staged
+                continue
             reason = remote.closed_reason or "connection_closed"
             if reason == "overflow_disconnect":
                 self.disconnected = True
@@ -330,11 +401,76 @@ class ClusterSession:
             self._replacement = None
 
 
+class _SpliceRemote:
+    """A standby shadow subscription minus its already-delivered prefix.
+
+    At failover the primary's stream had delivered tuples the standby's
+    throttled discard consumer had not yet drained from the mirror;
+    those tuples sit (whole or mid-batch) at the head of the shadow
+    buffer.  Dropping exactly that prefix makes the spliced stream
+    continue byte-identically from the subscriber's point of view — a
+    delivery gap of zero, not a replay and not a hole.
+
+    The skip is computed *lazily*, on first consumption: the session's
+    ``batches()`` loop only switches remotes after fully draining the
+    dead stream, so only then is ``last_remote_delivered`` final.  Both
+    counters are absolute stream positions (``consumed`` starts at the
+    worker-reported shipped offset the mirror was armed at), and the
+    discard throttle guarantees ``consumed <= delivered``, so the skip
+    is never negative.  If the dead worker's queue lost shipped-but-
+    undelivered tuples, the clamp surfaces that as a small delivery gap
+    — never duplicates.
+    """
+
+    def __init__(self, remote, session: "ClusterSession", consumed: int):
+        self._remote = remote
+        self._session = session
+        self._consumed = consumed
+        self._skip: Optional[int] = None
+
+    @property
+    def resolved(self):
+        return self._remote.resolved
+
+    @property
+    def closed_reason(self):
+        return self._remote.closed_reason
+
+    @property
+    def buffered(self):
+        return self._remote.buffered
+
+    def close_local(self, reason: str) -> None:
+        self._remote.close_local(reason)
+
+    def claim_trace(self, seq):
+        return self._remote.claim_trace(seq)
+
+    async def batches(self):
+        if self._skip is None:
+            self._skip = max(
+                0, self._session.last_remote_delivered - self._consumed
+            )
+        async for batch in self._remote.batches():
+            if self._skip:
+                items = batch.items
+                if len(items) <= self._skip:
+                    self._skip -= len(items)
+                    continue
+                batch = dc_replace(batch, items=items[self._skip :])
+                self._skip = 0
+            yield batch
+
+
 class _Worker:
     """One worker slot: subprocess, gateway client, owned subscriptions."""
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, *, role: str = "primary", mirror_of: Optional[int] = None):
         self.index = index
+        #: "primary" serves routed traffic; "standby" mirrors a primary.
+        self.role = role
+        #: Primary slot index a standby shadows (None for primaries).
+        self.mirror_of = mirror_of
         self.process: Optional[asyncio.subprocess.Process] = None
         self.port: Optional[int] = None
         self.http_port: Optional[int] = None
@@ -342,7 +478,28 @@ class _Worker:
         self.ready = asyncio.Event()
         self.failed = False
         self.respawns = 0
+        #: Monotonic timestamps of recent respawn attempts (the sliding
+        #: budget window) and the backoff currently being served.
+        self.respawn_times: deque[float] = deque()
+        self.backoff_s = 0.0
+        #: First time the supervisor saw this slot dead (deferred-heal
+        #: grace accounting); None while alive.
+        self.death_seen_ts: Optional[float] = None
         self.health_misses = 0
+        #: Standby-only state: shadow subscriptions per app, tuples the
+        #: throttled discard consumer has drained per app, the discard
+        #: tasks, and sources whose mirror went stale (failed shadow
+        #: churn or missed offers) — stale sources fall back to cold
+        #: re-subscribe at failover instead of a byte-identical splice.
+        self.shadows: dict[str, object] = {}
+        self.shadow_consumed: dict[str, int] = {}
+        self.shadow_tasks: dict[str, asyncio.Task] = {}
+        self.shadow_source: dict[str, str] = {}
+        self.stale_sources: set[str] = set()
+        self.arm_task: Optional[asyncio.Task] = None
+        #: Serializes heal decisions for this slot (monitor vs an
+        #: attached remediation loop racing to fix the same death).
+        self.heal_lock = asyncio.Lock()
         #: app -> ClusterSession, in subscription order (the broker
         #: groups filters by session insertion order, so respawn
         #: re-subscribes in the same order).
@@ -377,8 +534,29 @@ class ClusterService:
     ):
         self.config = config
         self._workers = [_Worker(i) for i in range(config.workers)]
-        #: Source registry (insertion-ordered); values are shard indexes.
+        #: Warm standby tier: standby ``k`` mirrors primary ``k``.
+        #: Standbys live outside ``_workers`` so primary indexing (and
+        #: every merged-snapshot total) never sees mirrored traffic.
+        self._standbys = [
+            _Worker(config.workers + k, role="standby", mirror_of=k)
+            for k in range(config.standby)
+        ]
+        #: Consistent-hash ring over primary slot indexes: adding or
+        #: removing a worker moves ~1/N of the sources instead of
+        #: reshuffling nearly all of them (which modulo hashing did).
+        self._ring = HashRing(range(config.workers))
+        #: Source registry (insertion-ordered); values are shard
+        #: indexes.  This map is *authoritative* — the ring only places
+        #: sources on first registration, so a migrated source stays
+        #: where the migration put it.
         self._sources: dict[str, int] = {}
+        #: Per-source serialization of the data path against migration
+        #: and standby arming (uncontended in steady state).
+        self._source_locks: dict[str, asyncio.Lock] = {}
+        #: Set by an attached remediation loop: worker-death actuation
+        #: is deferred (up to ``deferred_heal_grace_s``) so the
+        #: propose/verify/schedule pipeline owns the fix.
+        self.defer_death_handling = False
         self._apps: dict[str, ClusterSession] = {}
         self._monitor_task: Optional[asyncio.Task] = None
         self._started = False
@@ -394,6 +572,7 @@ class ClusterService:
         #: throttle for back-to-back ``/events`` polls).
         self._events_pull_ts: Optional[float] = None
         self._m_scrape_cache = None
+        self._m_migrations = None
         if telemetry is not None:
             self._client_telemetry = Telemetry(
                 sample_period=0, event_capacity=1, trace_capacity=1
@@ -423,9 +602,31 @@ class ClusterService:
                 "cache (hit) vs re-fetched (miss).",
                 ("surface", "result"),
             )
+            m_backoff = registry.gauge(
+                "repro_cluster_respawn_backoff_s",
+                "Backoff delay the slot's next respawn attempt is "
+                "serving (0 when not backing off).",
+                ("worker",),
+            )
+            m_window = registry.gauge(
+                "repro_cluster_respawn_window",
+                "Respawn attempts inside the sliding budget window.",
+                ("worker",),
+            )
+            self._m_migrations = registry.counter(
+                "repro_cluster_migrations_total",
+                "Live source migrations by outcome.",
+                ("outcome",),
+            )
+            m_standby_armed = registry.gauge(
+                "repro_cluster_standby_armed_sources",
+                "Sources this standby can splice byte-identically.",
+                ("worker",),
+            )
 
             def _collect_fleet() -> None:
-                for worker in self._workers:
+                now = time.monotonic()
+                for worker in self._workers + self._standbys:
                     label = str(worker.index)
                     alive = (
                         worker.process is not None
@@ -434,6 +635,22 @@ class ClusterService:
                     )
                     m_alive.labels(label).set(1.0 if alive else 0.0)
                     m_respawns.labels(label).value = float(worker.respawns)
+                    m_backoff.labels(label).set(worker.backoff_s)
+                    in_window = sum(
+                        1
+                        for ts in worker.respawn_times
+                        if now - ts <= self.config.respawn_window_s
+                    )
+                    m_window.labels(label).set(float(in_window))
+                for standby in self._standbys:
+                    armed = sum(
+                        1
+                        for s in self._shard_sources(standby.mirror_of)
+                        if s not in standby.stale_sources
+                    )
+                    m_standby_armed.labels(str(standby.index)).set(
+                        float(armed) if standby.ready.is_set() else 0.0
+                    )
                 m_sessions.set(float(self.session_count()))
 
             registry.register_collector(_collect_fleet)
@@ -446,11 +663,64 @@ class ClusterService:
     # Placement
     # ------------------------------------------------------------------
     def shard_of(self, source_name: str) -> int:
-        """Deterministic worker index for a source (stable across runs)."""
-        return shard_for_key(source_name, self.config.workers)
+        """Worker slot index for a source.
 
-    def _shard_sources(self, index: int) -> list[str]:
+        The registry override wins — a migrated source stays wherever
+        the migration put it — and otherwise the consistent-hash ring
+        places it, so growing the fleet moves only ~1/N of the sources.
+        """
+        placed = self._sources.get(source_name)
+        if placed is not None:
+            return placed
+        owner = self._ring.owner(source_name)
+        return 0 if owner is None else owner
+
+    def _shard_sources(self, index: Optional[int]) -> list[str]:
         return [s for s, shard in self._sources.items() if shard == index]
+
+    def _primary(self, shard: int) -> _Worker:
+        for worker in self._workers:
+            if worker.index == shard:
+                return worker
+        raise KeyError(f"no worker slot {shard}")
+
+    def _slot(self, index: int) -> Optional[_Worker]:
+        for worker in self._workers + self._standbys:
+            if worker.index == index:
+                return worker
+        return None
+
+    def _source_lock(self, source_name: str) -> asyncio.Lock:
+        lock = self._source_locks.get(source_name)
+        if lock is None:
+            lock = self._source_locks[source_name] = asyncio.Lock()
+        return lock
+
+    def _standby_for(self, shard: int) -> Optional[_Worker]:
+        """The live, ready standby mirroring primary ``shard`` (or None)."""
+        for standby in self._standbys:
+            if standby.mirror_of != shard or standby.failed:
+                continue
+            process = standby.process
+            if (
+                process is None
+                or process.returncode is not None
+                or not standby.ready.is_set()
+                or standby.client is None
+            ):
+                continue
+            return standby
+        return None
+
+    def _mark_stale(self, standby: _Worker, source_name: str) -> None:
+        """The mirror for ``source_name`` diverged: splice is off the
+        table until the next re-arm; failover falls back to a cold
+        re-subscribe for this source's apps."""
+        if source_name not in standby.stale_sources:
+            standby.stale_sources.add(source_name)
+            self._emit(
+                "standby_stale", standby=standby.index, source=source_name
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -461,16 +731,19 @@ class ClusterService:
         self._started = True
         for name in self.config.sources:
             self._sources.setdefault(name, self.shard_of(name))
+        fleet = self._workers + self._standbys
         results = await asyncio.gather(
-            *(self._launch(worker) for worker in self._workers),
+            *(self._launch(worker) for worker in fleet),
             return_exceptions=True,
         )
         failures = [r for r in results if isinstance(r, BaseException)]
         if failures:
             await self._terminate_workers()
             raise failures[0]
-        for worker in self._workers:
+        for worker in fleet:
             worker.ready.set()
+        for standby in self._standbys:
+            await self._arm_standby(standby)
         self._monitor_task = asyncio.ensure_future(self._monitor())
 
     def _worker_command(self, worker: _Worker) -> list[str]:
@@ -487,7 +760,11 @@ class ClusterService:
             "--http-port",
             "0",
             "--sources",
-            ",".join(self._shard_sources(worker.index)),
+            ",".join(
+                self._shard_sources(
+                    worker.mirror_of if worker.role == "standby" else worker.index
+                )
+            ),
             "--algorithm",
             cfg.algorithm,
             "--queue-capacity",
@@ -584,6 +861,7 @@ class ClusterService:
             self._emit(
                 "worker_spawn",
                 worker=worker.index,
+                role=worker.role,
                 pid=process.pid,
                 port=worker.port,
                 http_port=worker.http_port,
@@ -650,15 +928,20 @@ class ClusterService:
                 # process exit) must not abort shutdown: the workers
                 # below still need terminating.
                 pass
-        for worker in self._workers:
-            if worker.respawn_task is not None and not worker.respawn_task.done():
-                worker.respawn_task.cancel()
-                try:
-                    await worker.respawn_task
-                except (asyncio.CancelledError, Exception):
-                    pass
+        for worker in self._workers + self._standbys:
+            for task in (worker.respawn_task, worker.arm_task):
+                if task is not None and not task.done():
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+            for task in worker.shadow_tasks.values():
+                task.cancel()
+            worker.shadow_tasks.clear()
         # Latency windows must be read before the workers die; terminal
-        # totals come from the terminal snapshots afterwards.
+        # totals come from the terminal snapshots afterwards.  Standbys
+        # are excluded: their mirrored traffic would double every total.
         live = await asyncio.gather(
             *(self._worker_snapshot(worker) for worker in self._workers)
         )
@@ -668,12 +951,12 @@ class ClusterService:
                 window.extend(snapshot.get("decide_window_ms", ()))
         await self._terminate_workers()
         terminals = []
-        for worker in self._workers:
+        for worker, fallback in zip(self._workers, live):
             terminal = self._parse_terminal(worker)
             if terminal is None:
                 # Crashed or unreachable worker: fall back to its last
                 # live snapshot so totals degrade, not vanish.
-                terminal = live[worker.index] if worker.index < len(live) else None
+                terminal = fallback
             if terminal is not None:
                 terminals.append(terminal)
         for session in list(self._apps.values()):
@@ -683,11 +966,11 @@ class ClusterService:
         return dict(self._final_snapshot)
 
     async def _terminate_workers(self) -> None:
-        for worker in self._workers:
+        for worker in self._workers + self._standbys:
             process = worker.process
             if process is not None and process.returncode is None:
                 self._signal(process, kill=False)
-        for worker in self._workers:
+        for worker in self._workers + self._standbys:
             process = worker.process
             if process is None:
                 continue
@@ -734,7 +1017,7 @@ class ClusterService:
         cfg = self.config
         while True:
             await asyncio.sleep(cfg.health_interval_s)
-            for worker in self._workers:
+            for worker in self._workers + self._standbys:
                 if worker.failed:
                     continue
                 if (
@@ -744,14 +1027,12 @@ class ClusterService:
                     continue
                 process = worker.process
                 if process is None or process.returncode is not None:
-                    self._emit(
-                        "worker_death",
-                        worker=worker.index,
+                    await self._on_worker_death(
+                        worker,
                         returncode=(
                             process.returncode if process is not None else None
                         ),
                     )
-                    self._schedule_respawn(worker)
                     continue
                 if not worker.ready.is_set():
                     continue
@@ -761,15 +1042,87 @@ class ClusterService:
                 worker.health_misses += 1
                 if worker.health_misses >= cfg.health_misses:
                     # Alive but unresponsive: treat as dead.
-                    self._emit(
-                        "worker_death",
-                        worker=worker.index,
-                        reason="unresponsive",
-                        misses=worker.health_misses,
-                    )
                     self._signal(process, kill=True)
                     await process.wait()
-                    self._schedule_respawn(worker)
+                    await self._on_worker_death(
+                        worker,
+                        returncode=process.returncode,
+                        reason="unresponsive",
+                    )
+            for standby in self._standbys:
+                # Self-correcting mirror: anything stale (or any open app
+                # without a shadow) re-arms on the supervisor's cadence.
+                if standby.ready.is_set() and not standby.failed:
+                    self._schedule_arm(standby)
+
+    async def _on_worker_death(
+        self,
+        worker: _Worker,
+        *,
+        returncode: Optional[int],
+        reason: Optional[str] = None,
+    ) -> None:
+        """First sighting emits the verdict-grade ``worker_death`` event
+        and (for primaries under ``--self-heal``) starts the deferred
+        grace so the remediation loop owns the fix; past the grace the
+        supervisor heals directly."""
+        now = time.monotonic()
+        if worker.death_seen_ts is None:
+            worker.death_seen_ts = now
+            # Data-path calls park on `ready` instead of erroring into
+            # producers while the heal decision is pending.
+            worker.ready.clear()
+            fields = {
+                "worker": worker.index,
+                "role": worker.role,
+                "returncode": returncode,
+            }
+            if reason:
+                fields["reason"] = reason
+            self._emit("worker_death", **fields)
+        if (
+            worker.role == "primary"
+            and self.defer_death_handling
+            and now - worker.death_seen_ts < self.config.deferred_heal_grace_s
+        ):
+            return
+        await self.heal_worker(worker.index)
+
+    async def heal_worker(
+        self, index: int, *, prefer_standby: bool = True
+    ) -> str:
+        """Actuate recovery for one worker slot (remediation surface).
+
+        Returns what happened: ``"noop"`` (already healthy), ``"adopted"``
+        (an armed standby was promoted in place), ``"respawned"`` (a
+        replacement process is coming up under the backoff budget), or
+        ``"lost"`` (the slot exhausted its respawn budget).
+        """
+        worker = self._slot(index)
+        if worker is None:
+            raise KeyError(f"no worker slot {index}")
+        async with worker.heal_lock:
+            if worker.failed:
+                return "lost"
+            process = worker.process
+            if (
+                process is not None
+                and process.returncode is None
+                and worker.ready.is_set()
+            ):
+                return "noop"
+            if worker.role == "primary" and prefer_standby:
+                standby = self._standby_for(worker.index)
+                if standby is not None:
+                    try:
+                        await self.adopt_standby(worker.index)
+                        return "adopted"
+                    except Exception:
+                        # Promotion raced the standby dying (or worse):
+                        # cold respawn is always available.
+                        pass
+            self._schedule_respawn(worker)
+            return "respawned"
 
     async def _http_get(
         self, worker: _Worker, path: str, *, timeout_s: float = 2.0
@@ -817,13 +1170,21 @@ class ClusterService:
     async def _respawn(self, worker: _Worker) -> None:
         """Drain a dead worker slot and bring up a replacement.
 
-        The fresh process gets the slot's current source set, then every
-        session the slot owned is re-subscribed with its previously
-        resolved bounds and re-attached, so router-side pumps resume.
-        The decided state of the dead process is gone — subscribers see
-        a delivery gap, which is the paper's timeliness-over-
-        completeness stance applied to process failure.
+        Attempts are paced by a jittered exponential backoff and bounded
+        by a *sliding-window* budget: more than ``respawns_per_window``
+        attempts inside ``respawn_window_s`` declares the slot lost, but
+        an occasional crash per hour never exhausts anything.  The first
+        attempt after a quiet period is immediate.
+
+        For a primary, every session the slot owned is re-subscribed
+        with its previously resolved bounds and re-attached, so
+        router-side pumps resume.  The decided state of the dead process
+        is gone — subscribers see a delivery gap, which is the paper's
+        timeliness-over-completeness stance applied to process failure.
+        A respawned standby instead comes back empty and re-arms its
+        mirror from the serving primary.
         """
+        cfg = self.config
         worker.ready.clear()
         self._emit("drain_start", worker=worker.index)
         if worker.client is not None:
@@ -837,33 +1198,79 @@ class ClusterService:
         if worker.drain_task is not None:
             await worker.drain_task
             worker.drain_task = None
+        for task in worker.shadow_tasks.values():
+            task.cancel()
+        worker.shadow_tasks.clear()
+        worker.shadows.clear()
+        worker.shadow_consumed.clear()
+        worker.shadow_source.clear()
+        if worker.role == "standby":
+            worker.stale_sources = set(self._shard_sources(worker.mirror_of))
         self._emit("drain_end", worker=worker.index)
-        while worker.respawns < self.config.respawn_limit:
+        while True:
+            now = time.monotonic()
+            while (
+                worker.respawn_times
+                and now - worker.respawn_times[0] > cfg.respawn_window_s
+            ):
+                worker.respawn_times.popleft()
+            if len(worker.respawn_times) >= cfg.respawns_per_window:
+                break  # budget exhausted inside the window: slot lost
+            attempt = len(worker.respawn_times) + 1
+            if attempt > 1:
+                backoff = min(
+                    cfg.respawn_backoff_max_s,
+                    cfg.respawn_backoff_base_s * (2 ** (attempt - 2)),
+                ) * random.uniform(0.5, 1.5)
+                worker.backoff_s = backoff
+                self._emit(
+                    "respawn_backoff",
+                    worker=worker.index,
+                    role=worker.role,
+                    attempt=attempt,
+                    backoff_s=round(backoff, 3),
+                )
+                await asyncio.sleep(backoff)
+                worker.backoff_s = 0.0
+            worker.respawn_times.append(time.monotonic())
             worker.respawns += 1
             try:
                 await self._launch(worker)
-                for app, session in list(worker.apps.items()):
-                    if session.closed:
-                        worker.apps.pop(app, None)
-                        # Identity check: the name may have been re-used
-                        # by a live session on another worker.
-                        if self._apps.get(app) is session:
-                            del self._apps[app]
-                        continue
-                    remote = await worker.client.subscribe(
-                        app,
-                        session.source_name,
-                        session.spec,
-                        queue_capacity=session.queue.capacity,
-                        overflow=session.queue.policy,
-                        batch_max_items=session.batcher.max_items,
-                        batch_max_delay_ms=session.batcher.max_delay_ms,
-                    )
-                    session.adopt(remote)
+                if worker.role == "primary":
+                    for app, session in list(worker.apps.items()):
+                        if session.closed:
+                            worker.apps.pop(app, None)
+                            # Identity check: the name may have been
+                            # re-used by a live session on another worker.
+                            if self._apps.get(app) is session:
+                                del self._apps[app]
+                            continue
+                        remote = await worker.client.subscribe(
+                            app,
+                            session.source_name,
+                            session.spec,
+                            queue_capacity=session.queue.capacity,
+                            overflow=session.queue.policy,
+                            batch_max_items=session.batcher.max_items,
+                            batch_max_delay_ms=session.batcher.max_delay_ms,
+                        )
+                        session.adopt(remote)
                 worker.ready.set()
+                worker.death_seen_ts = None
+                if worker.role == "standby":
+                    await self._arm_standby(worker)
+                else:
+                    # A cold respawn starts the engines fresh, so any
+                    # standby mirror of this slot no longer matches.
+                    standby = self._standby_for(worker.index)
+                    if standby is not None:
+                        for source in self._shard_sources(worker.index):
+                            self._mark_stale(standby, source)
+                        self._schedule_arm(standby)
                 self._emit(
                     "worker_respawn",
                     worker=worker.index,
+                    role=worker.role,
                     respawns=worker.respawns,
                 )
                 return
@@ -875,10 +1282,13 @@ class ClusterService:
                 if worker.client is not None:
                     await worker.client.close(send_bye=False)
                     worker.client = None
-                await asyncio.sleep(0.2 * worker.respawns)
         worker.failed = True
+        worker.backoff_s = 0.0
         self._emit(
-            "worker_lost", worker=worker.index, respawns=worker.respawns
+            "worker_lost",
+            worker=worker.index,
+            role=worker.role,
+            respawns=worker.respawns,
         )
         for app, session in list(worker.apps.items()):
             session.abandon("worker_lost")
@@ -887,7 +1297,7 @@ class ClusterService:
                 del self._apps[app]
 
     async def _worker_for(self, source_name: str) -> _Worker:
-        worker = self._workers[self.shard_of(source_name)]
+        worker = self._primary(self.shard_of(source_name))
         if worker.failed:
             raise RuntimeError(
                 f"worker {worker.index} (sources like {source_name!r}) is lost"
@@ -934,6 +1344,14 @@ class ClusterService:
         except BaseException:
             del self._sources[source_name]
             raise
+        # Mirror the registration: a source born while its standby is
+        # live is armed from birth (nothing fed yet on either side).
+        standby = self._standby_for(shard)
+        if standby is not None:
+            try:
+                await standby.client.ensure_source(source_name)
+            except (ConnectionError, GatewayError):
+                self._mark_stale(standby, source_name)
 
     def session_count(self) -> int:
         return sum(0 if s.closed else 1 for s in self._apps.values())
@@ -954,26 +1372,76 @@ class ClusterService:
         if source_name not in self._sources:
             raise KeyError(f"unknown source {source_name!r}")
 
+    async def _ingest_guarded(self, source_name: str):
+        """Acquire the source's lock with a consistent worker.
+
+        The ready-wait happens *outside* the lock (a parked offer must
+        not block the migration or adoption that would unpark it), then
+        the placement is re-checked under the lock — a migration may
+        have moved the source while we waited.  Async context manager
+        yielding ``(worker, standby)``.
+        """
+        while True:
+            worker = await self._worker_for(source_name)
+            lock = self._source_lock(source_name)
+            await lock.acquire()
+            if (
+                self._primary(self.shard_of(source_name)) is worker
+                and worker.ready.is_set()
+            ):
+                return lock, worker, self._standby_for(worker.index)
+            lock.release()
+
+    async def _mirrored_ingest(
+        self, source_name: str, worker: _Worker, standby: Optional[_Worker], coro, mirror_coro
+    ) -> int:
+        """Run the primary ingest and its mirror copy concurrently.
+
+        The primary's ack is authoritative (its failure propagates, its
+        emissions count returns); a mirror whose outcome *diverges* from
+        the primary's marks the source stale — the mirrored streams can
+        no longer be byte-aligned.
+        """
+        if standby is None:
+            return int(await coro() or 0)
+        primary_result, mirror_result = await asyncio.gather(
+            coro(), mirror_coro(), return_exceptions=True
+        )
+        primary_failed = isinstance(primary_result, BaseException)
+        if isinstance(mirror_result, BaseException) != primary_failed:
+            self._mark_stale(standby, source_name)
+        if primary_failed:
+            raise primary_result
+        return int(primary_result or 0)
+
     async def offer(self, source_name: str, item) -> int:
         """Route one tuple to its source's worker; ack-for-ack.
 
         The worker's ack *is* the broker's completion: a block-policy
         stall inside the worker withholds it, which suspends exactly the
         router read loop that forwarded this frame — per-connection
-        backpressure survives the extra hop.
+        backpressure survives the extra hop.  The per-source lock held
+        across the ingest is the migration/arming offer-gate, and the
+        standby mirror (when one is armed) sees every tuple in the same
+        per-source order.
         """
         self._require_source(source_name)
-        worker = await self._worker_for(source_name)
-        trace = self._forward_trace(source_name, item.seq)
+        lock, worker, standby = await self._ingest_guarded(source_name)
         try:
-            emissions = await worker.client.ingest(
-                source_name, item, trace=trace
+            trace = self._forward_trace(source_name, item.seq)
+            return await self._mirrored_ingest(
+                source_name,
+                worker,
+                standby,
+                lambda: worker.client.ingest(source_name, item, trace=trace),
+                lambda: standby.client.ingest(source_name, item),
             )
         except (ConnectionError, GatewayError) as exc:
             raise RuntimeError(
                 f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
             ) from exc
-        return int(emissions or 0)
+        finally:
+            lock.release()
 
     def _forward_trace(self, source_name: str, seq: int) -> Optional[list]:
         """Close the ``router_forward`` stage and hand the pairs over.
@@ -1012,29 +1480,49 @@ class ClusterService:
         self._require_source(source_name)
         if not items:
             return 0
-        worker = await self._worker_for(source_name)
-        traces = self._forward_traces(source_name, items)
+        lock, worker, standby = await self._ingest_guarded(source_name)
         try:
-            emissions = await worker.client.ingest_many(
-                source_name, items, traces=traces
+            traces = self._forward_traces(source_name, items)
+            return await self._mirrored_ingest(
+                source_name,
+                worker,
+                standby,
+                lambda: worker.client.ingest_many(
+                    source_name, items, traces=traces
+                ),
+                lambda: standby.client.ingest_many(source_name, items),
             )
         except (ConnectionError, GatewayError) as exc:
             raise RuntimeError(
                 f"worker {worker.index} failed ingest for {source_name!r}: {exc}"
             ) from exc
-        return int(emissions or 0)
+        finally:
+            lock.release()
 
     async def tick(self, now_ms: float, source_name: Optional[str] = None) -> int:
-        """Broadcast a timer tick (or route a per-source one)."""
+        """Broadcast a timer tick (or route a per-source one).
+
+        Standbys receive broadcast ticks too, so mirrored engines cut at
+        the same times.  Mirror fidelity is exact for offer-driven
+        decided output; in constrained mode a tick racing a concurrent
+        offer may land at a different per-source boundary on the mirror
+        — drivers that tick and offer from one task (the load generator
+        does) keep the interleaving identical.
+        """
         if source_name is not None:
             self._require_source(source_name)
             worker = await self._worker_for(source_name)
             targets = [worker]
+            standby = self._standby_for(worker.index)
+            if standby is not None:
+                targets.append(standby)
         else:
             targets = [
                 worker
-                for worker in self._workers
-                if not worker.failed and worker.ready.is_set()
+                for worker in self._workers + self._standbys
+                if not worker.failed
+                and worker.ready.is_set()
+                and worker.client is not None
             ]
 
         async def one(worker: _Worker) -> int:
@@ -1067,39 +1555,79 @@ class ClusterService:
         self._require_source(source_name)
         if app_name in self._apps and not self._apps[app_name].closed:
             raise ValueError(f"app {app_name!r} is already subscribed")
-        worker = await self._worker_for(source_name)
+        lock, worker, standby = await self._ingest_guarded(source_name)
         try:
-            remote = await worker.client.subscribe(
+            try:
+                remote = await worker.client.subscribe(
+                    app_name,
+                    source_name,
+                    spec,
+                    qos=qos,
+                    queue_capacity=queue_capacity,
+                    overflow=overflow,
+                    batch_max_items=batch_max_items,
+                    batch_max_delay_ms=batch_max_delay_ms,
+                )
+            except GatewayError as exc:
+                raise ValueError(str(exc)) from exc
+            except ConnectionError as exc:
+                raise RuntimeError(
+                    f"worker {worker.index} failed subscribe: {exc}"
+                ) from exc
+            session = ClusterSession(
                 app_name,
                 source_name,
                 spec,
-                qos=qos,
-                queue_capacity=queue_capacity,
-                overflow=overflow,
-                batch_max_items=batch_max_items,
-                batch_max_delay_ms=batch_max_delay_ms,
+                remote,
+                reattach_timeout_s=self.config.reattach_timeout_s,
+                defaults=self.config,
+                telemetry=self.telemetry,
             )
-        except GatewayError as exc:
-            raise ValueError(str(exc)) from exc
-        except ConnectionError as exc:
-            raise RuntimeError(
-                f"worker {worker.index} failed subscribe: {exc}"
-            ) from exc
-        session = ClusterSession(
-            app_name,
-            source_name,
-            spec,
-            remote,
-            reattach_timeout_s=self.config.reattach_timeout_s,
-            defaults=self.config,
-            telemetry=self.telemetry,
+            self._apps[app_name] = session
+            worker.apps[app_name] = session
+            if standby is not None and source_name not in standby.stale_sources:
+                await self._shadow_subscribe(standby, session, consumed=0)
+            self._emit(
+                "subscribe",
+                app=app_name,
+                source=source_name,
+                worker=worker.index,
+            )
+            return session
+        finally:
+            lock.release()
+
+    async def _shadow_subscribe(
+        self, standby: _Worker, session: ClusterSession, *, consumed: int
+    ) -> None:
+        """Mirror one subscription onto the standby (same app name, the
+        primary's resolved bounds) and start its throttled discard
+        consumer.  Only ``block``-policy streams can splice byte-exactly
+        (drop policies drop *different* tuples on each side), so any
+        other policy stales the source instead."""
+        if session.queue.policy != "block":
+            self._mark_stale(standby, session.source_name)
+            return
+        try:
+            shadow = await standby.client.subscribe(
+                session.app_name,
+                session.source_name,
+                session.spec,
+                queue_capacity=session.queue.capacity,
+                overflow=session.queue.policy,
+                batch_max_items=session.batcher.max_items,
+                batch_max_delay_ms=session.batcher.max_delay_ms,
+            )
+        except (ConnectionError, GatewayError):
+            self._mark_stale(standby, session.source_name)
+            return
+        app = session.app_name
+        standby.shadows[app] = shadow
+        standby.shadow_consumed[app] = consumed
+        standby.shadow_source[app] = session.source_name
+        standby.shadow_tasks[app] = asyncio.ensure_future(
+            self._shadow_discard(standby, app, session, shadow)
         )
-        self._apps[app_name] = session
-        worker.apps[app_name] = session
-        self._emit(
-            "subscribe", app=app_name, source=source_name, worker=worker.index
-        )
-        return session
 
     async def unsubscribe(self, app_name: str) -> None:
         # A locally-closed session (oversized decided frame, shutdown
@@ -1110,47 +1638,632 @@ class ClusterService:
         if session is None:
             raise KeyError(f"app {app_name!r} is not subscribed")
         session.mark_explicit()
-        worker = self._workers[self.shard_of(session.source_name)]
-        self._apps.pop(app_name, None)
-        worker.apps.pop(app_name, None)
-        forwarded = False
-        # Forward whenever a client exists, ready flag or not: during a
-        # respawn the fresh worker may already hold this app's
-        # re-subscription before `ready` is set, and skipping the
-        # forward would leak the registration there.  (While the client
-        # is still None mid-launch, popping the app above plus the
-        # closed flag set below keeps the respawn's re-subscribe loop
-        # from recreating it.)
-        if worker.client is not None:
-            try:
-                await worker.client.unsubscribe(app_name)
-                forwarded = True
-            except (ConnectionError, GatewayError):
-                pass
-        if forwarded and not session.closed:
-            # Do NOT end the remote locally here: the worker's
-            # final-flushed decided frames may still be in flight behind
-            # the unsubscribe ack (its pump writes and its dispatch
-            # reply are ordered independently), and a local close would
-            # drop them.  The worker's `closed` frame ends the stream
-            # after every delivery.
+        async with self._source_lock(session.source_name):
+            worker = self._primary(self.shard_of(session.source_name))
+            self._apps.pop(app_name, None)
+            worker.apps.pop(app_name, None)
+            standby = self._standby_for(worker.index)
+            if standby is not None:
+                await self._shadow_unsubscribe(
+                    standby, app_name, session.source_name
+                )
+            forwarded = False
+            # Forward whenever a client exists, ready flag or not: during
+            # a respawn the fresh worker may already hold this app's
+            # re-subscription before `ready` is set, and skipping the
+            # forward would leak the registration there.  (While the
+            # client is still None mid-launch, popping the app above plus
+            # the closed flag set below keeps the respawn's re-subscribe
+            # loop from recreating it.)
+            if worker.client is not None:
+                try:
+                    await worker.client.unsubscribe(app_name)
+                    forwarded = True
+                except (ConnectionError, GatewayError):
+                    pass
+            if forwarded and not session.closed:
+                # Do NOT end the remote locally here: the worker's
+                # final-flushed decided frames may still be in flight
+                # behind the unsubscribe ack (its pump writes and its
+                # dispatch reply are ordered independently), and a local
+                # close would drop them.  The worker's `closed` frame
+                # ends the stream after every delivery.
+                return
+            session.end_local("unsubscribed")
+
+    async def _shadow_unsubscribe(
+        self, standby: _Worker, app: str, source_name: str
+    ) -> None:
+        """Retire one app's mirror subscription alongside the real one."""
+        task = standby.shadow_tasks.pop(app, None)
+        if task is not None:
+            task.cancel()
+        shadow = standby.shadows.pop(app, None)
+        standby.shadow_consumed.pop(app, None)
+        standby.shadow_source.pop(app, None)
+        if shadow is None:
             return
-        session.end_local("unsubscribed")
+        shadow.close_local("unsubscribed")
+        if standby.client is not None:
+            try:
+                await standby.client.unsubscribe(app)
+            except (ConnectionError, GatewayError):
+                self._mark_stale(standby, source_name)
 
     async def re_filter(self, app_name: str, new_spec: str) -> None:
         session = self._apps.get(app_name)
         if session is None or session.closed:
             raise KeyError(f"app {app_name!r} is not subscribed")
-        worker = await self._worker_for(session.source_name)
+        lock, worker, standby = await self._ingest_guarded(session.source_name)
         try:
-            await worker.client.re_filter(app_name, new_spec)
-        except GatewayError as exc:
-            raise ValueError(str(exc)) from exc
-        except ConnectionError as exc:
+            try:
+                await worker.client.re_filter(app_name, new_spec)
+            except GatewayError as exc:
+                raise ValueError(str(exc)) from exc
+            except ConnectionError as exc:
+                raise RuntimeError(
+                    f"worker {worker.index} failed re_filter: {exc}"
+                ) from exc
+            session.spec = new_spec
+            if standby is not None and app_name in standby.shadows:
+                try:
+                    await standby.client.re_filter(app_name, new_spec)
+                except (ConnectionError, GatewayError):
+                    self._mark_stale(standby, session.source_name)
+        finally:
+            lock.release()
+
+    # ------------------------------------------------------------------
+    # Live migration, warm standby, elasticity (the actuator surface)
+    # ------------------------------------------------------------------
+    def _count_migration(self, outcome: str) -> None:
+        if self._m_migrations is not None:
+            self._m_migrations.labels(outcome).inc()
+
+    async def migrate_source(
+        self, source_name: str, target_index: int
+    ) -> dict:
+        """Move one live source to another worker, subscribers attached.
+
+        The handshake, all under the source's lock (so it doubles as the
+        offer gate): subscribe every open app on the target (fresh
+        source, so no cutover), stage those streams into the sessions,
+        move router-side ownership, then ``export_source`` on the old
+        worker (flush + detach, state as an offer/tick journal) and
+        ``import_source`` on the target (suppressed replay).  The old
+        streams end with the non-final ``"unsubscribed"`` reason and
+        each session continues into its staged stream — zero subscriber
+        teardown, and with an exact journal the delivered bytes are
+        identical to an unmigrated run.
+
+        A failure before the export unwinds completely.  A failure after
+        it cannot (the old worker no longer owns the source): ownership
+        still moves and subscribers see a state gap — the same contract
+        as a worker crash, never a teardown.
+        """
+        self._require_source(source_name)
+        try:
+            new = self._primary(target_index)
+        except KeyError:
+            raise ValueError(f"no worker slot {target_index}") from None
+        async with self._source_lock(source_name):
+            old = self._primary(self._sources[source_name])
+            if old is new:
+                return {
+                    "source": source_name,
+                    "moved": False,
+                    "worker": old.index,
+                }
+            try:
+                return await asyncio.wait_for(
+                    self._migrate_locked(source_name, old, new),
+                    timeout=self.config.migrate_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                self._count_migration("timeout")
+                self._emit(
+                    "migration_failed",
+                    source=source_name,
+                    src=old.index,
+                    dst=new.index,
+                    reason="timeout",
+                )
+                raise RuntimeError(
+                    f"migration of {source_name!r} timed out"
+                ) from None
+
+    async def _migrate_locked(
+        self, source_name: str, old: _Worker, new: _Worker
+    ) -> dict:
+        apps = [
+            (app, session)
+            for app, session in old.apps.items()
+            if session.source_name == source_name and not session.closed
+        ]
+        self._emit(
+            "migration_start",
+            source=source_name,
+            src=old.index,
+            dst=new.index,
+            apps=len(apps),
+        )
+        staged: list[tuple[str, ClusterSession, object]] = []
+        try:
+            await new.client.ensure_source(source_name)
+            for app, session in apps:
+                remote = await new.client.subscribe(
+                    app,
+                    source_name,
+                    session.spec,
+                    queue_capacity=session.queue.capacity,
+                    overflow=session.queue.policy,
+                    batch_max_items=session.batcher.max_items,
+                    batch_max_delay_ms=session.batcher.max_delay_ms,
+                )
+                staged.append((app, session, remote))
+        except (ConnectionError, GatewayError) as exc:
+            for app, _session, remote in staged:
+                remote.close_local("router_closed")
+                try:
+                    await new.client.unsubscribe(app)
+                except (ConnectionError, GatewayError):
+                    pass
+            self._count_migration("failed")
+            self._emit(
+                "migration_failed",
+                source=source_name,
+                src=old.index,
+                dst=new.index,
+                reason=str(exc),
+            )
             raise RuntimeError(
-                f"worker {worker.index} failed re_filter: {exc}"
+                f"cannot stage migration of {source_name!r}: {exc}"
             ) from exc
-        session.spec = new_spec
+        # Hand-off point: stage the target streams and move router-side
+        # ownership before the export detaches anything, so a racing
+        # respawn of the old slot can no longer re-subscribe the moving
+        # apps there.
+        for app, session, remote in staged:
+            session.stage_migration(remote)
+            old.apps.pop(app, None)
+            new.apps[app] = session
+        old_standby = next(
+            (sb for sb in self._standbys if sb.mirror_of == old.index), None
+        )
+        if old_standby is not None:
+            for app, _session, _remote in staged:
+                await self._shadow_unsubscribe(old_standby, app, source_name)
+            old_standby.stale_sources.discard(source_name)
+        exact = False
+        replayed = 0
+        try:
+            state = await old.client.export_source(source_name)
+            exact = bool(state.get("exact", False))
+            replayed = await new.client.import_source(source_name, state)
+        except (ConnectionError, GatewayError) as exc:
+            self._sources[source_name] = new.index
+            self._count_migration("lossy")
+            self._stale_shard_standby(new.index, source_name)
+            self._emit(
+                "migration_failed",
+                source=source_name,
+                src=old.index,
+                dst=new.index,
+                reason=str(exc),
+                lossy=True,
+            )
+            return {
+                "source": source_name,
+                "moved": True,
+                "exact": False,
+                "replayed": 0,
+                "worker": new.index,
+            }
+        self._sources[source_name] = new.index
+        if self.telemetry is not None:
+            self._m_placements.labels(str(new.index)).inc()
+        self._count_migration("complete" if exact else "lossy")
+        self._stale_shard_standby(new.index, source_name)
+        self._emit(
+            "migration_complete",
+            source=source_name,
+            src=old.index,
+            dst=new.index,
+            exact=exact,
+            replayed=replayed,
+            apps=len(staged),
+        )
+        return {
+            "source": source_name,
+            "moved": True,
+            "exact": exact,
+            "replayed": replayed,
+            "worker": new.index,
+        }
+
+    def _stale_shard_standby(self, shard: int, source_name: str) -> None:
+        """A source just landed on ``shard``: its standby (if any) has no
+        mirror of it yet — flag it so the arm cadence picks it up."""
+        for standby in self._standbys:
+            if standby.mirror_of == shard and not standby.failed:
+                self._mark_stale(standby, source_name)
+
+    async def adopt_standby(self, shard: int) -> None:
+        """Promote the warm standby into its dead primary's slot.
+
+        Under every source lock of the shard: freeze the mirror's
+        discard consumers, retire the dead process, swap the standby's
+        process/client into the primary slot, then per source either
+        *splice* (armed: every open app has a shadow and the mirror
+        never went stale — subscribers continue byte-identically minus
+        the already-delivered prefix) or *cold re-subscribe* (state gap,
+        stream preserved).  The emptied standby slot relaunches and
+        re-arms itself afterwards.
+        """
+        primary = self._primary(shard)
+        standby = self._standby_for(shard)
+        if standby is None:
+            raise RuntimeError(f"no armed standby for worker {shard}")
+        if standby.arm_task is not None and not standby.arm_task.done():
+            standby.arm_task.cancel()
+            try:
+                await standby.arm_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        sources = sorted(self._shard_sources(shard))
+        async with AsyncExitStack() as stack:
+            for source in sources:
+                await stack.enter_async_context(self._source_lock(source))
+            for task in standby.shadow_tasks.values():
+                task.cancel()
+            for task in list(standby.shadow_tasks.values()):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            standby.shadow_tasks.clear()
+            if primary.client is not None:
+                await primary.client.close(send_bye=False)
+            process = primary.process
+            if process is not None:
+                if process.returncode is None:
+                    self._signal(process, kill=True)
+                await process.wait()
+            if primary.drain_task is not None:
+                await primary.drain_task
+            primary.process = standby.process
+            primary.port = standby.port
+            primary.http_port = standby.http_port
+            primary.client = standby.client
+            primary.drain_task = standby.drain_task
+            primary.stdout_tail = standby.stdout_tail
+            primary.events_cursor = standby.events_cursor
+            primary.metrics_cache = None
+            primary.terminal_snapshot = None
+            primary.health_misses = 0
+            shadows = standby.shadows
+            consumed = standby.shadow_consumed
+            stale = standby.stale_sources
+            standby.process = None
+            standby.port = None
+            standby.http_port = None
+            standby.client = None
+            standby.drain_task = None
+            standby.stdout_tail = deque(maxlen=8)
+            standby.shadows = {}
+            standby.shadow_consumed = {}
+            standby.shadow_source = {}
+            standby.stale_sources = set(sources)
+            standby.events_cursor = 0
+            standby.metrics_cache = None
+            standby.ready.clear()
+            spliced = cold = 0
+            for source in sources:
+                open_apps = [
+                    (app, session)
+                    for app, session in primary.apps.items()
+                    if session.source_name == source and not session.closed
+                ]
+                armed = source not in stale and all(
+                    app in shadows for app, _ in open_apps
+                )
+                for app, session in open_apps:
+                    shadow = shadows.pop(app, None)
+                    if armed:
+                        session.adopt(
+                            _SpliceRemote(shadow, session, consumed[app])
+                        )
+                        spliced += 1
+                        continue
+                    # Cold path: retire any half-armed shadow, then a
+                    # fresh subscribe (state gap, stream preserved).
+                    if shadow is not None:
+                        shadow.close_local("router_closed")
+                        try:
+                            await primary.client.unsubscribe(app)
+                        except (ConnectionError, GatewayError):
+                            pass
+                    try:
+                        remote = await primary.client.subscribe(
+                            app,
+                            source,
+                            session.spec,
+                            queue_capacity=session.queue.capacity,
+                            overflow=session.queue.policy,
+                            batch_max_items=session.batcher.max_items,
+                            batch_max_delay_ms=session.batcher.max_delay_ms,
+                        )
+                    except (ConnectionError, GatewayError):
+                        # Session stays parked; the reattach timeout (or
+                        # a later heal) decides its fate.
+                        continue
+                    session.adopt(remote)
+                    cold += 1
+            # Shadows for apps that closed since arming: retire them so
+            # they do not keep decided streams flowing on the promoted
+            # worker.
+            for app, shadow in shadows.items():
+                shadow.close_local("router_closed")
+                try:
+                    await primary.client.unsubscribe(app)
+                except (ConnectionError, GatewayError):
+                    pass
+            primary.ready.set()
+            primary.death_seen_ts = None
+            primary.failed = False
+            primary.health_misses = 0
+            self._emit(
+                "standby_adopt",
+                worker=shard,
+                standby=standby.index,
+                spliced=spliced,
+                cold=cold,
+            )
+        # Outside the locks: bring up a fresh standby process for the
+        # emptied slot and re-arm it against the promoted primary.
+        self._schedule_respawn(standby)
+
+    def _schedule_arm(self, standby: _Worker) -> None:
+        if standby.arm_task is not None and not standby.arm_task.done():
+            return
+        if not self._needs_arming(standby):
+            return
+        standby.arm_task = asyncio.ensure_future(self._arm_standby(standby))
+
+    def _needs_arming(self, standby: _Worker) -> bool:
+        if standby.stale_sources:
+            return True
+        try:
+            primary = self._primary(standby.mirror_of)
+        except KeyError:
+            return False
+        return any(
+            not session.closed and app not in standby.shadows
+            for app, session in primary.apps.items()
+        )
+
+    async def _arm_standby(self, standby: _Worker) -> None:
+        """(Re-)arm a standby's mirror from its serving primary.
+
+        Per source, under its lock: tear down stale shadows, re-attach a
+        shadow subscription per open app, pull a non-destructive
+        ``snapshot_source`` from the primary (flushed, so its per-app
+        shipped offsets are exact) and force-import it — the suppressed
+        replay leaves the standby's engines byte-equal to the primary's
+        with the shadow streams starting exactly at the snapshot point.
+        Failures leave the source stale; the supervisor cadence retries.
+        """
+        try:
+            primary = self._primary(standby.mirror_of)
+        except KeyError:
+            return
+        armed: list[str] = []
+        for source in self._shard_sources(standby.mirror_of):
+            if (
+                standby.failed
+                or not standby.ready.is_set()
+                or standby.client is None
+            ):
+                return
+            async with self._source_lock(source):
+                sessions = [
+                    (app, session)
+                    for app, session in primary.apps.items()
+                    if session.source_name == source and not session.closed
+                ]
+                needs = source in standby.stale_sources or any(
+                    app not in standby.shadows for app, _ in sessions
+                )
+                if not needs:
+                    continue
+                if (
+                    primary.client is None
+                    or not primary.ready.is_set()
+                    or (
+                        primary.process is not None
+                        and primary.process.returncode is not None
+                    )
+                ):
+                    continue  # nothing to mirror from; retry next cadence
+                try:
+                    for app in [
+                        a
+                        for a, s in standby.shadow_source.items()
+                        if s == source
+                    ]:
+                        await self._shadow_unsubscribe(standby, app, source)
+                    await standby.client.ensure_source(source)
+                    if any(
+                        s.queue.policy != "block" for _, s in sessions
+                    ):
+                        continue  # splice impossible; stays stale
+                    for app, session in sessions:
+                        shadow = await standby.client.subscribe(
+                            app,
+                            source,
+                            session.spec,
+                            queue_capacity=session.queue.capacity,
+                            overflow=session.queue.policy,
+                            batch_max_items=session.batcher.max_items,
+                            batch_max_delay_ms=session.batcher.max_delay_ms,
+                        )
+                        standby.shadows[app] = shadow
+                        standby.shadow_source[app] = source
+                    state = await primary.client.snapshot_source(source)
+                    if not state.get("exact", False) and state.get("fed"):
+                        # Lossy journal: the mirror can only arm for the
+                        # *next* epoch; leave this source stale.
+                        for app, _session in sessions:
+                            await self._shadow_unsubscribe(
+                                standby, app, source
+                            )
+                        continue
+                    await standby.client.import_source(
+                        source, state, force=True
+                    )
+                    shipped = dict(state.get("shipped") or {})
+                    for app, session in sessions:
+                        standby.shadow_consumed[app] = int(
+                            shipped.get(app, 0)
+                        )
+                        standby.shadow_tasks[app] = asyncio.ensure_future(
+                            self._shadow_discard(
+                                standby, app, session, standby.shadows[app]
+                            )
+                        )
+                    standby.stale_sources.discard(source)
+                    armed.append(source)
+                except (ConnectionError, GatewayError, RuntimeError):
+                    self._mark_stale(standby, source)
+        if armed:
+            self._emit(
+                "standby_armed",
+                standby=standby.index,
+                worker=standby.mirror_of,
+                sources=len(armed),
+            )
+
+    async def _shadow_discard(
+        self,
+        standby: _Worker,
+        app: str,
+        session: ClusterSession,
+        shadow,
+    ) -> None:
+        """Throttled consumer of one mirror stream.
+
+        Drains shadow batches only while staying ``batch_max_items``
+        *behind* the real subscriber's stream position — the invariant
+        that makes the failover skip non-negative: every tuple the
+        primary delivered but the mirror did not yet discard is still in
+        the shadow buffer, mid-batch or whole.
+        """
+        margin = session.batcher.max_items
+        try:
+            iterator = shadow.batches().__aiter__()
+            while True:
+                consumed = standby.shadow_consumed.get(app)
+                if consumed is None:
+                    return  # unsubscribed underneath us
+                if consumed + margin > session.delivered_this_remote:
+                    await asyncio.sleep(0.02)
+                    continue
+                batch = await iterator.__anext__()
+                if app in standby.shadow_consumed:
+                    standby.shadow_consumed[app] += len(batch.items)
+        except StopAsyncIteration:
+            return  # mirror stream ended (standby died or re-armed)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self._mark_stale(standby, session.source_name)
+
+    # ------------------------------------------------------------------
+    # Elasticity
+    # ------------------------------------------------------------------
+    async def add_worker(self) -> int:
+        """Grow the primary tier by one slot.
+
+        The new worker joins the consistent-hash ring, then every source
+        the ring now assigns to it is live-migrated over — ~1/N of the
+        fleet's sources move, the rest stay untouched.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        index = 1 + max(
+            worker.index for worker in self._workers + self._standbys
+        )
+        worker = _Worker(index)
+        await self._launch(worker)
+        self._workers.append(worker)
+        worker.ready.set()
+        self._ring.add(index)
+        self._emit("worker_added", worker=index)
+        for source in list(self._sources):
+            if (
+                self._ring.owner(source) == index
+                and self._sources[source] != index
+            ):
+                try:
+                    await self.migrate_source(source, index)
+                except Exception:
+                    pass  # stays put; the move was an optimization
+        return index
+
+    async def remove_worker(self) -> int:
+        """Shrink the primary tier by one slot (the newest).
+
+        Its sources live-migrate to their new ring owners first; only
+        then does the process retire.  A standby mirroring the removed
+        slot retires with it.
+        """
+        if len(self._workers) <= 1:
+            raise RuntimeError("cannot remove the last worker")
+        worker = self._workers[-1]
+        self._ring.remove(worker.index)
+        try:
+            for source in self._shard_sources(worker.index):
+                target = self._ring.owner(source)
+                await self.migrate_source(source, int(target))
+        except BaseException:
+            self._ring.add(worker.index)
+            raise
+        if worker.respawn_task is not None and not worker.respawn_task.done():
+            worker.respawn_task.cancel()
+            try:
+                await worker.respawn_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers.remove(worker)
+        for standby in [
+            sb for sb in self._standbys if sb.mirror_of == worker.index
+        ]:
+            self._standbys.remove(standby)
+            for task in standby.shadow_tasks.values():
+                task.cancel()
+            standby.shadow_tasks.clear()
+            await self._retire_process(standby)
+        await self._retire_process(worker)
+        self._emit("worker_removed", worker=worker.index)
+        return worker.index
+
+    async def _retire_process(self, worker: _Worker) -> None:
+        worker.ready.clear()
+        process = worker.process
+        if process is not None and process.returncode is None:
+            self._signal(process, kill=False)
+        if process is not None:
+            try:
+                await asyncio.wait_for(process.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                self._signal(process, kill=True)
+                await process.wait()
+        if worker.drain_task is not None:
+            await worker.drain_task
+            worker.drain_task = None
+        if worker.client is not None:
+            await worker.client.close(send_bye=False)
+            worker.client = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -1158,6 +2271,49 @@ class ClusterService:
     def _count_scrape(self, surface: str, result: str, n: int = 1) -> None:
         if self._m_scrape_cache is not None and n:
             self._m_scrape_cache.labels(surface, result).inc(n)
+
+    def fleet_status(self) -> dict:
+        """Synchronous control-plane view (no worker round-trips).
+
+        The remediation loop's working set: per-slot liveness, respawn
+        budget state and standby arming, plus current source placement —
+        everything its proposers and invariant checks need without
+        waiting on a scrape of a possibly-wedged fleet.
+        """
+        return {
+            "workers": [
+                {
+                    "index": worker.index,
+                    "alive": worker.process is not None
+                    and worker.process.returncode is None,
+                    "ready": worker.ready.is_set(),
+                    "failed": worker.failed,
+                    "respawns": worker.respawns,
+                    "backoff_s": worker.backoff_s,
+                    "sources": self._shard_sources(worker.index),
+                    "apps": [
+                        a for a, s in worker.apps.items() if not s.closed
+                    ],
+                }
+                for worker in self._workers
+            ],
+            "standbys": [
+                {
+                    "index": standby.index,
+                    "mirror_of": standby.mirror_of,
+                    "alive": standby.process is not None
+                    and standby.process.returncode is None,
+                    "ready": standby.ready.is_set(),
+                    "failed": standby.failed,
+                    "armed_sources": sorted(
+                        set(self._shard_sources(standby.mirror_of))
+                        - standby.stale_sources
+                    ),
+                }
+                for standby in self._standbys
+            ],
+            "sources": dict(self._sources),
+        }
 
     async def metrics_text(self) -> str:
         """Cluster-merged Prometheus exposition.
@@ -1183,7 +2339,8 @@ class ClusterService:
         now = time.monotonic()
         stale: list[_Worker] = []
         cached: dict[int, str] = {}
-        for worker in self._workers:
+        fleet = self._workers + self._standbys
+        for worker in fleet:
             entry = worker.metrics_cache
             if entry is not None and ttl > 0 and now - entry[0] < ttl:
                 cached[worker.index] = entry[1]
@@ -1202,7 +2359,7 @@ class ClusterService:
                 )
                 worker.metrics_cache = (now, text)
                 cached[worker.index] = text
-        for worker in self._workers:
+        for worker in fleet:
             part = cached.get(worker.index)
             if part:
                 parts.append(part)
@@ -1232,13 +2389,14 @@ class ClusterService:
             return
         self._events_pull_ts = now
         self._count_scrape("events", "miss")
+        fleet = self._workers + self._standbys
         bodies = await asyncio.gather(
             *(
                 self._http_get(w, f"/events?since={w.events_cursor}")
-                for w in self._workers
+                for w in fleet
             )
         )
-        for worker, body in zip(self._workers, bodies):
+        for worker, body in zip(fleet, bodies):
             if not body:
                 continue
             records: list[dict] = []
@@ -1337,5 +2495,21 @@ class ClusterService:
                     ],
                 }
                 for worker in self._workers
+            ],
+            "standbys": [
+                {
+                    "index": standby.index,
+                    "mirror_of": standby.mirror_of,
+                    "alive": standby.process is not None
+                    and standby.process.returncode is None,
+                    "ready": standby.ready.is_set(),
+                    "failed": standby.failed,
+                    "respawns": standby.respawns,
+                    "armed_sources": sorted(
+                        set(self._shard_sources(standby.mirror_of))
+                        - standby.stale_sources
+                    ),
+                }
+                for standby in self._standbys
             ],
         }

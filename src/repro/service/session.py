@@ -53,6 +53,11 @@ class SessionStats:
 
     staged_tuples: int = 0
     enqueued_batches: int = 0
+    #: Tuples that entered the delivery queue (the session's outbound
+    #: stream position).  After a batcher flush this equals every tuple
+    #: ever routed to the session — the exact splice offset a warm
+    #: standby's mirror stream is aligned against.
+    shipped_tuples: int = 0
     delivered_batches: int = 0
     delivered_tuples: int = 0
     dropped_batches: int = 0
@@ -227,6 +232,7 @@ class SubscriberSession:
             self.stats.dropped_tuples += len(rejected)
         if rejected is not batch:
             self.stats.enqueued_batches += 1
+            self.stats.shipped_tuples += len(batch)
             return True
         return False
 

@@ -60,6 +60,10 @@ __all__ = [
 
 _READ_CHUNK = 1 << 16
 
+#: Journal entries per frame while streaming a live-migration transfer
+#: (kept well under MAX_FRAME_BYTES at typical tuple widths).
+_MIGRATION_CHUNK = 1024
+
 _SID_INGEST_SEND = stage_id(STAGE_INGEST_SEND)
 
 
@@ -667,6 +671,79 @@ class GatewayClient:
             frame["window"] = True
         reply = await self._request(frame)
         return reply["snapshot"]
+
+    async def export_source(self, source: str) -> dict:
+        """Detach ``source`` on the server; returns its portable state.
+
+        The epoch journal can exceed one frame, so it streams back in
+        ``export_pull`` chunks; the returned state's ``journal`` holds
+        wire-format entries ready to feed :meth:`import_source` on
+        another gateway unchanged.
+        """
+        reply = await self._request({"t": "export_source", "source": source})
+        return await self._pull_source_state(source, reply)
+
+    async def snapshot_source(self, source: str) -> dict:
+        """Copy ``source``'s portable epoch state without detaching it.
+
+        The non-destructive sibling of :meth:`export_source` — used to
+        arm a warm standby from a serving primary.
+        """
+        reply = await self._request(
+            {"t": "snapshot_source", "source": source}
+        )
+        return await self._pull_source_state(source, reply)
+
+    async def _pull_source_state(self, source: str, reply: dict) -> dict:
+        state = dict(reply["state"])
+        total = int(state.pop("journal_len", 0))
+        journal: list = []
+        while len(journal) < total:
+            pull = await self._request(
+                {
+                    "t": "export_pull",
+                    "source": source,
+                    "offset": len(journal),
+                    "count": _MIGRATION_CHUNK,
+                }
+            )
+            entries = list(pull.get("entries") or ())
+            journal.extend(entries)
+            if pull.get("done") or not entries:
+                break
+        state["journal"] = journal
+        return state
+
+    async def import_source(
+        self, source: str, state: dict, *, force: bool = False
+    ) -> int:
+        """Stream an exported source's epoch into this gateway's broker.
+
+        ``source`` must already exist on the target with the migrated
+        subscriptions re-attached in their original order; returns the
+        number of journal entries replayed.
+        """
+        journal = list(state.get("journal") or ())
+        await self._request({"t": "import_begin", "source": source})
+        for start in range(0, len(journal), _MIGRATION_CHUNK):
+            await self._request(
+                {
+                    "t": "import_chunk",
+                    "source": source,
+                    "entries": journal[start : start + _MIGRATION_CHUNK],
+                }
+            )
+        reply = await self._request(
+            {
+                "t": "import_commit",
+                "source": source,
+                "fed": int(state.get("fed", 0)),
+                "offered": int(state.get("offered", 0)),
+                "exact": bool(state.get("exact", True)),
+                "force": force,
+            }
+        )
+        return int(reply.get("replayed", 0))
 
     async def subscribe(
         self,

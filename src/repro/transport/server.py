@@ -70,6 +70,7 @@ from repro.transport.protocol import (
     pack_header,
     traces_from_wire,
     tuple_from_wire,
+    tuple_to_wire,
 )
 
 __all__ = ["GatewayServer", "service_snapshot_dict"]
@@ -278,6 +279,11 @@ class GatewayServer:
         self._connections: set[_Connection] = set()
         self._handlers: set[asyncio.Task] = set()
         self._shutting_down = False
+        # Live-migration staging: exported journals awaiting chunked
+        # pulls and inbound chunks awaiting an import commit.  Journals
+        # can exceed one frame, so the handshake streams them.
+        self._export_stash: dict[str, list] = {}
+        self._import_stash: dict[str, list] = {}
         self.telemetry = telemetry
         self._metrics: Optional[_TransportMetrics] = None
         if telemetry is not None:
@@ -571,6 +577,50 @@ class GatewayServer:
                         "snapshot": snapshot,
                     }
                 )
+            elif kind == "export_source":
+                await self._send_source_state(
+                    conn,
+                    seq,
+                    _field(frame, "source"),
+                    destructive=True,
+                )
+            elif kind == "snapshot_source":
+                await self._send_source_state(
+                    conn,
+                    seq,
+                    _field(frame, "source"),
+                    destructive=False,
+                )
+            elif kind == "export_pull":
+                name = _field(frame, "source")
+                offset = int(_field(frame, "offset"))
+                count = max(1, int(_field(frame, "count")))
+                entries = self._export_stash.get(name, [])
+                chunk = entries[offset : offset + count]
+                done = offset + len(chunk) >= len(entries)
+                if done:
+                    self._export_stash.pop(name, None)
+                await conn.send(
+                    {
+                        "t": "ok",
+                        "reply_to": seq,
+                        "entries": chunk,
+                        "done": done,
+                    }
+                )
+            elif kind == "import_begin":
+                self._import_stash[_field(frame, "source")] = []
+                await conn.send({"t": "ok", "reply_to": seq})
+            elif kind == "import_chunk":
+                name = _field(frame, "source")
+                if name not in self._import_stash:
+                    raise _BadRequest(
+                        f"no import in progress for source {name!r}"
+                    )
+                self._import_stash[name].extend(_field(frame, "entries"))
+                await conn.send({"t": "ok", "reply_to": seq})
+            elif kind == "import_commit":
+                await self._on_import_commit(conn, frame, seq)
             elif kind == "ensure_source":
                 name = _field(frame, "source")
                 created = not self.service.has_source(name)
@@ -627,6 +677,56 @@ class GatewayServer:
             tele.bag.begin(
                 (source, item.seq), recv_ns, carried.get(item.seq)
             )
+
+    async def _send_source_state(
+        self, conn: _Connection, seq, name: str, *, destructive: bool
+    ) -> None:
+        """Reply with a source's portable epoch state; journal chunked.
+
+        ``export_source`` detaches the source (migration);
+        ``snapshot_source`` copies it non-destructively (standby
+        arming).  Either way the reply carries the state minus the
+        journal (which can exceed one frame); the caller streams it
+        with ``export_pull`` until ``done``, freeing the stash.
+        """
+        if destructive:
+            state = await self.service.export_source(name)
+        else:
+            state = await self.service.snapshot_source(name)
+        entries = [
+            ["o", tuple_to_wire(entry[1])]
+            if entry[0] == "o"
+            else ["t", entry[1]]
+            for entry in state.pop("journal")
+        ]
+        if entries:
+            self._export_stash[name] = entries
+        state["journal_len"] = len(entries)
+        state["subscriptions"] = [list(sub) for sub in state["subscriptions"]]
+        await conn.send({"t": "ok", "reply_to": seq, "state": state})
+
+    async def _on_import_commit(
+        self, conn: _Connection, frame: dict, seq
+    ) -> None:
+        name = _field(frame, "source")
+        entries = self._import_stash.pop(name, [])
+        journal = [
+            ("o", tuple_from_wire(entry[1]))
+            if entry[0] == "o"
+            else ("t", float(entry[1]))
+            for entry in entries
+        ]
+        replayed = await self.service.import_source(
+            name,
+            {
+                "journal": journal,
+                "fed": int(frame.get("fed", 0)),
+                "offered": int(frame.get("offered", 0)),
+                "exact": bool(frame.get("exact", True)),
+            },
+            force=bool(frame.get("force", False)),
+        )
+        await conn.send({"t": "ok", "reply_to": seq, "replayed": replayed})
 
     async def _on_ingest(
         self, conn: _Connection, frame: dict, seq

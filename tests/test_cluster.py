@@ -22,7 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.tuples import StreamTuple
-from repro.runtime.partition import shard_for_key
+from repro.runtime.partition import HashRing
 from repro.runtime.tasks import EngineConfig
 from repro.service import DisseminationService, ServiceConfig
 from repro.service.cluster import ClusterConfig, ClusterService
@@ -37,14 +37,15 @@ SPECS = (
 
 
 def _two_sources_on_distinct_shards(workers: int = 2) -> tuple[str, str]:
-    """Source names that hash onto different workers (deterministic)."""
+    """Source names the cluster's ring places on different workers."""
+    ring = HashRing(range(workers))
     by_shard: dict[int, str] = {}
     index = 0
     while len(by_shard) < 2:
         name = f"shardsrc{index}"
-        by_shard.setdefault(shard_for_key(name, workers), name)
+        by_shard.setdefault(int(ring.owner(name)), name)
         index += 1
-    return by_shard[0], by_shard[1]
+    return tuple(by_shard[k] for k in sorted(by_shard))[:2]
 
 
 # ---------------------------------------------------------------------------
@@ -136,6 +137,89 @@ def test_any_source_partitioning_delivers_identical_streams(
 
     baseline, partitioned = asyncio.run(run())
     assert partitioned == baseline
+
+
+async def _run_migrated(
+    algorithm: str, moves: frozenset[int], trace
+) -> dict[str, list[int]]:
+    """Replay the fixed script, live-migrating ``SOURCES[0]`` mid-stream.
+
+    At every offer index in ``moves`` the source is exported from its
+    current broker and imported into a brand-new one (subscriptions
+    re-attached first, in their recorded order), so two moves exercise
+    the chained export of a replayed journal.  Per-app streams
+    accumulate across brokers; transparency means the concatenation
+    equals the unmigrated baseline byte for byte.
+    """
+    services = [_broker(algorithm, list(SOURCES))]
+    owner: dict[str, DisseminationService] = {
+        source: services[0] for source in SOURCES
+    }
+    delivered: dict[str, list[int]] = {}
+    consumers: list[asyncio.Task] = []
+
+    async def drain(app: str, session) -> None:
+        async for batch in session.batches():
+            delivered[app].extend(item.seq for item in batch.items)
+
+    async def attach(app: str, source: str, spec: str) -> None:
+        session = await owner[source].subscribe(app, source, spec)
+        delivered.setdefault(app, [])
+        consumers.append(asyncio.create_task(drain(app, session)))
+
+    async def migrate() -> None:
+        moving = SOURCES[0]
+        state = await owner[moving].export_source(moving)
+        target = _broker(algorithm, [moving])
+        services.append(target)
+        owner[moving] = target
+        # Subscriptions re-attach before the import, in export order,
+        # with whatever spec each app had at the hand-off (a re-filtered
+        # app migrates with its current filter).
+        for app, spec, _node in state["subscriptions"]:
+            await attach(app, moving, spec)
+        await target.import_source(moving, state)
+
+    for source in SOURCES:
+        await attach(f"{source}.x", source, SPECS[0])
+        await attach(f"{source}.y", source, SPECS[1])
+    for index, item in enumerate(trace):
+        if index in moves:
+            await migrate()
+        if index == 25:
+            await owner[SOURCES[0]].re_filter(f"{SOURCES[0]}.x", SPECS[2])
+        if index == 40:
+            await owner[SOURCES[1]].unsubscribe(f"{SOURCES[1]}.y")
+        if index == 55:
+            await attach(f"{SOURCES[2]}.late", SOURCES[2], SPECS[2])
+        source = SOURCES[index % len(SOURCES)]
+        await owner[source].offer(source, item)
+    for service in services:
+        await service.close()
+    await asyncio.gather(*consumers)
+    return delivered
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    move_at=st.integers(min_value=0, max_value=89),
+    second_move=st.integers(min_value=0, max_value=89),
+    algorithm=st.sampled_from(["region", "per_candidate_set"]),
+)
+def test_live_migration_at_any_point_is_stream_transparent(
+    move_at, second_move, algorithm
+):
+    trace = random_walk_trace(n=90, seed=11, attribute="temp")
+
+    async def run():
+        baseline = await _run_partitioned(algorithm, (0, 0, 0), trace)
+        migrated = await _run_migrated(
+            algorithm, frozenset({move_at, second_move}), trace
+        )
+        return baseline, migrated
+
+    baseline, migrated = asyncio.run(run())
+    assert migrated == baseline
 
 
 # ---------------------------------------------------------------------------
@@ -276,3 +360,209 @@ def test_slow_worker_throttles_only_its_sources_producers():
             await cluster.close()
 
     asyncio.run(run())
+
+# ---------------------------------------------------------------------------
+# Live migration / warm standby / elasticity (real subprocess fleets)
+# ---------------------------------------------------------------------------
+async def _baseline_stream(offers: list[StreamTuple], spec: str) -> list[int]:
+    """What one app subscribed with ``spec`` sees from an unmigrated,
+    uncrashed single broker fed ``offers`` — the byte-identity oracle."""
+    service = _broker("region", ["oracle"])
+    session = await service.subscribe("oracle.app", "oracle", spec)
+    delivered: list[int] = []
+
+    async def drain():
+        async for batch in session.batches():
+            delivered.extend(item.seq for item in batch.items)
+
+    consumer = asyncio.create_task(drain())
+    for item in offers:
+        await service.offer("oracle", item)
+    await service.close()
+    await consumer
+    return delivered
+
+
+async def _settled(received: list[int], *, quiet_s: float = 0.4) -> None:
+    """Wait until the received stream stops growing for ``quiet_s``."""
+    last = -1
+    stable_since = None
+    for _ in range(400):
+        if len(received) != last:
+            last = len(received)
+            stable_since = asyncio.get_running_loop().time()
+        elif asyncio.get_running_loop().time() - stable_since >= quiet_s:
+            return
+        await asyncio.sleep(0.05)
+
+
+def test_live_migration_moves_source_without_subscriber_teardown():
+    source_a, source_b = _two_sources_on_distinct_shards()
+    offers = _tuples(0, 30)
+
+    async def run():
+        expected = await _baseline_stream(offers, _CHATTY)
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=2,
+                sources=(source_a, source_b),
+                batch_max_items=1,
+                health_interval_s=0.25,
+            )
+        )
+        await cluster.start()
+        try:
+            session = await cluster.subscribe(
+                f"{source_a}.app", source_a, _CHATTY
+            )
+            received: list[int] = []
+
+            async def consume():
+                async for batch in session.batches():
+                    received.extend(item.seq for item in batch.items)
+
+            consumer = asyncio.create_task(consume())
+            for item in offers[:15]:
+                await cluster.offer(source_a, item)
+            old_shard = cluster.shard_of(source_a)
+            target = cluster.shard_of(source_b)
+            result = await cluster.migrate_source(source_a, target)
+            assert result["moved"] and result["exact"], result
+            assert cluster.shard_of(source_a) == target != old_shard
+            # The session survived the move and keeps delivering.
+            assert not session.closed
+            for item in offers[15:]:
+                await cluster.offer(source_a, item)
+            await cluster.close()
+            await asyncio.wait_for(consumer, timeout=30)
+            kinds = [e["event"] for e in cluster.telemetry.events.tail(200)] \
+                if cluster.telemetry else []
+            return received, expected, kinds
+        except BaseException:
+            await cluster.close()
+            raise
+
+    received, expected, kinds = asyncio.run(run())
+    # Exact journal replay: the migrated stream is byte-identical to the
+    # unmigrated oracle — no gap, no replay, no teardown.
+    assert received == expected
+    if kinds:
+        assert "migration_start" in kinds and "migration_complete" in kinds
+
+
+def test_standby_adoption_splices_stream_with_zero_gap():
+    offers = _tuples(0, 30)
+
+    async def run():
+        expected = await _baseline_stream(offers, _CHATTY)
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=1,
+                standby=1,
+                sources=("solo",),
+                batch_max_items=1,
+                health_interval_s=0.25,
+            )
+        )
+        await cluster.start()
+        try:
+            session = await cluster.subscribe("solo.app", "solo", _CHATTY)
+            received: list[int] = []
+
+            async def consume():
+                async for batch in session.batches():
+                    received.extend(item.seq for item in batch.items)
+
+            consumer = asyncio.create_task(consume())
+            for item in offers[:15]:
+                await cluster.offer("solo", item)
+            await _settled(received)
+            primary = cluster._primary(0)
+            standby = cluster._standby_for(0)
+            assert standby is not None, "standby never armed"
+            assert "solo" not in standby.stale_sources
+            old_pid = primary.process.pid
+            standby_pid = standby.process.pid
+            primary.process.kill()
+            # Healed = the slot runs a *different* process and is ready
+            # again (ready alone is not enough: it only drops once the
+            # monitor sights the death).
+            for _ in range(600):
+                process = primary.process
+                if (
+                    process is not None
+                    and process.pid != old_pid
+                    and primary.ready.is_set()
+                ):
+                    break
+                await asyncio.sleep(0.05)
+            assert primary.ready.is_set(), "slot never healed"
+            assert primary.process.pid == standby_pid
+            # Healed by adoption, not respawn: the standby's process was
+            # promoted into the primary slot.
+            assert primary.respawns == 0
+            for item in offers[15:]:
+                await cluster.offer("solo", item)
+            assert not session.closed
+            await cluster.close()
+            await asyncio.wait_for(consumer, timeout=30)
+            return received, expected
+        except BaseException:
+            await cluster.close()
+            raise
+
+    received, expected = asyncio.run(run())
+    # The splice drops exactly the already-delivered prefix: the stream
+    # across the failover equals the uncrashed oracle — zero gap, zero
+    # duplicates, zero teardown.
+    assert received == expected
+
+
+def test_add_and_remove_worker_rebalance_via_live_migration():
+    async def run():
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=2,
+                sources=SOURCES,
+                batch_max_items=1,
+                health_interval_s=0.25,
+            )
+        )
+        await cluster.start()
+        try:
+            session = await cluster.subscribe(
+                f"{SOURCES[0]}.app", SOURCES[0], _CHATTY
+            )
+            received: list[int] = []
+
+            async def consume():
+                async for batch in session.batches():
+                    received.extend(item.seq for item in batch.items)
+
+            consumer = asyncio.create_task(consume())
+            for item in _tuples(0, 10):
+                await cluster.offer(SOURCES[0], item)
+            index = await cluster.add_worker()
+            assert index == 2
+            ring_owner = {s: int(cluster._ring.owner(s)) for s in SOURCES}
+            # Every source sits where the grown ring says it should.
+            assert {s: cluster.shard_of(s) for s in SOURCES} == ring_owner
+            for item in _tuples(10, 10):
+                await cluster.offer(SOURCES[0], item)
+            removed = await cluster.remove_worker()
+            assert removed == index
+            assert all(cluster.shard_of(s) in (0, 1) for s in SOURCES)
+            for item in _tuples(20, 10):
+                await cluster.offer(SOURCES[0], item)
+            assert not session.closed
+            await cluster.close()
+            await asyncio.wait_for(consumer, timeout=30)
+            return received
+        except BaseException:
+            await cluster.close()
+            raise
+
+    received = asyncio.run(run())
+    # Streams survived two rebalances; the chatty spec decides nearly
+    # every offer, so deliveries kept flowing across both moves.
+    assert received and received == sorted(received)

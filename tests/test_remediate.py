@@ -1,0 +1,377 @@
+"""Remediation loop: proposers, verifier, risk gating, scheduling."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.slo import Verdict
+from repro.service.remediate import (
+    Action,
+    RemediationLoop,
+    RemediationPolicy,
+    propose_heal,
+    propose_rebalance,
+    propose_scale,
+    propose_shed,
+)
+
+
+def _edge(name, status="critical", previous="ok"):
+    return (Verdict(name=name, status=status, signal="x"), previous)
+
+
+def _worker(index, *, alive=True, ready=True, failed=False, sources=(), apps=()):
+    return {
+        "index": index,
+        "alive": alive,
+        "ready": ready,
+        "failed": failed,
+        "respawns": 0,
+        "backoff_s": 0.0,
+        "sources": list(sources),
+        "apps": list(apps),
+    }
+
+
+def _standby(index, mirror_of, *, alive=True, ready=True, failed=False, armed=()):
+    return {
+        "index": index,
+        "mirror_of": mirror_of,
+        "alive": alive,
+        "ready": ready,
+        "failed": failed,
+        "armed_sources": list(armed),
+    }
+
+
+class FakeCluster:
+    """Control-plane double recording every actuation."""
+
+    def __init__(self, fleet):
+        self.fleet = fleet
+        self.calls = []
+        self.defer_death_handling = False
+
+    def fleet_status(self):
+        return self.fleet
+
+    async def heal_worker(self, index, *, prefer_standby=True):
+        self.calls.append(("heal", index, prefer_standby))
+        # Healing makes the slot healthy for post-verification.
+        for worker in self.fleet["workers"]:
+            if worker["index"] == index:
+                worker["alive"] = worker["ready"] = True
+        return "adopted" if prefer_standby else "respawned"
+
+    async def migrate_source(self, source, to):
+        self.calls.append(("migrate", source, to))
+        self.fleet["sources"][source] = to
+        return {"moved": True, "exact": True}
+
+    async def add_worker(self):
+        self.calls.append(("add",))
+        return 9
+
+    async def remove_worker(self):
+        self.calls.append(("remove",))
+        return 9
+
+    async def unsubscribe(self, app):
+        self.calls.append(("shed", app))
+        for worker in self.fleet["workers"]:
+            if app in worker["apps"]:
+                worker["apps"].remove(app)
+
+
+def _dead_worker_fleet(*, with_standby=True):
+    return {
+        "workers": [
+            _worker(0, alive=False, ready=False, sources=["s0"], apps=["a"]),
+            _worker(1, sources=["s1"]),
+        ],
+        "standbys": (
+            [_standby(2, 0, armed=["s0"])] if with_standby else []
+        ),
+        "sources": {"s0": 0, "s1": 1},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Proposers
+# ---------------------------------------------------------------------------
+def test_heal_prefers_armed_standby_over_respawn():
+    policy = RemediationPolicy()
+    edges = [_edge("worker_dead")]
+    actions = propose_heal(edges, _dead_worker_fleet(), policy)
+    kinds = {a.kind for a in actions}
+    assert "adopt_standby" in kinds
+    adopt = next(a for a in actions if a.kind == "adopt_standby")
+    assert adopt.target == {"worker": 0}
+    assert adopt.confidence > 0.8
+
+    cold = propose_heal(
+        edges, _dead_worker_fleet(with_standby=False), policy
+    )
+    assert [a.kind for a in cold] == ["respawn"]
+    # Same blast radius, lower confidence: adoption outranks respawn.
+    assert cold[0].risk > adopt.risk
+
+
+def test_heal_ignores_healthy_and_lost_slots():
+    fleet = {
+        "workers": [
+            _worker(0),
+            _worker(1, alive=False, ready=False, failed=True),
+        ],
+        "standbys": [],
+        "sources": {},
+    }
+    assert propose_heal([_edge("worker_dead")], fleet, RemediationPolicy()) == []
+
+
+def test_rebalance_targets_lopsided_placement_only():
+    policy = RemediationPolicy()
+    even = {
+        "workers": [_worker(0, sources=["a"]), _worker(1, sources=["b"])],
+        "standbys": [],
+        "sources": {"a": 0, "b": 1},
+    }
+    assert propose_rebalance([_edge("queue_depth_anomaly", "warn")], even, policy) == []
+    skewed = {
+        "workers": [
+            _worker(0, sources=["a", "b", "c"]),
+            _worker(1, sources=[]),
+        ],
+        "standbys": [],
+        "sources": {"a": 0, "b": 0, "c": 0},
+    }
+    actions = propose_rebalance(
+        [_edge("queue_depth_anomaly", "warn")], skewed, policy
+    )
+    assert [a.kind for a in actions] == ["migrate_source"]
+    assert actions[0].target["to"] == 1
+
+
+def test_scale_is_opt_in_and_respects_the_cap():
+    fleet = {
+        "workers": [_worker(0), _worker(1)],
+        "standbys": [],
+        "sources": {},
+    }
+    edges = [_edge("slo_decide_p99")]
+    assert propose_scale(edges, fleet, RemediationPolicy()) == []
+    permissive = RemediationPolicy(allow_scale=True, max_workers=2)
+    assert propose_scale(edges, fleet, permissive) == []
+    roomy = RemediationPolicy(allow_scale=True, max_workers=4)
+    actions = propose_scale(edges, fleet, roomy)
+    assert [a.kind for a in actions] == ["add_worker"]
+
+
+def test_shed_is_opt_in():
+    fleet = {
+        "workers": [_worker(0, apps=["laggard", "ok"])],
+        "standbys": [],
+        "sources": {},
+    }
+    edges = [_edge("overflow_drops")]
+    assert propose_shed(edges, fleet, RemediationPolicy()) == []
+    actions = propose_shed(
+        edges, fleet, RemediationPolicy(allow_shed=True)
+    )
+    assert [a.kind for a in actions] == ["shed_load"]
+
+
+# ---------------------------------------------------------------------------
+# Risk model
+# ---------------------------------------------------------------------------
+def test_risk_is_blast_radius_weighted_by_doubt():
+    sure = Action("x", {}, "r", blast_radius=0.5, confidence=1.0)
+    risky = Action("x", {}, "r", blast_radius=0.5, confidence=0.0)
+    assert sure.risk == 0.0
+    assert risky.risk == 0.5
+    assert Action("x", {}, "r", blast_radius=0.0, confidence=0.0).risk == 0.0
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RemediationPolicy(max_risk=1.5)
+    with pytest.raises(ValueError):
+        RemediationPolicy(actions_per_window=0)
+    with pytest.raises(ValueError):
+        RemediationPolicy(window_s=0)
+
+
+# ---------------------------------------------------------------------------
+# The loop end-to-end (fake cluster, real pipeline)
+# ---------------------------------------------------------------------------
+def _loop(cluster, policy=None, events=None, clock=None):
+    kwargs = {"policy": policy or RemediationPolicy(), "events": events}
+    if clock is not None:
+        kwargs["clock"] = clock
+    return RemediationLoop(cluster, None, **kwargs)
+
+
+def _kinds(events):
+    return [record["kind"] for record in events.since(0)]
+
+
+def test_incident_runs_full_chain_and_adopts():
+    async def run():
+        events = EventLog()
+        cluster = FakeCluster(_dead_worker_fleet())
+        loop = _loop(cluster, events=events)
+        loop.attach()
+        assert cluster.defer_death_handling is True
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        await loop.close()
+        assert cluster.defer_death_handling is False
+        return cluster.calls, _kinds(events), loop
+
+    calls, kinds, loop = asyncio.run(run())
+    # Standby adoption won the ranking; exactly one actuation ran.
+    assert calls == [("heal", 0, True)]
+    assert "remediation_proposed" in kinds
+    assert "remediation_scheduled" in kinds
+    assert "remediation_executed" in kinds
+    assert loop.executed == 1 and loop.failed == 0
+
+
+def test_risk_gate_blocks_wide_blast_low_confidence_actions():
+    async def run():
+        events = EventLog()
+        cluster = FakeCluster(_dead_worker_fleet(with_standby=False))
+        # A policy so strict even a 1/2-fleet respawn exceeds it.
+        loop = _loop(
+            cluster, policy=RemediationPolicy(max_risk=0.05), events=events
+        )
+        loop.attach()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        await loop.close()
+        return cluster.calls, events.since(0)
+
+    calls, records = asyncio.run(run())
+    assert calls == []  # nothing actuated
+    skipped = [r for r in records if r["kind"] == "remediation_skipped"]
+    assert skipped and skipped[0]["why"] == "risk_gated"
+
+
+def test_cooldown_and_budget_bound_actuation_frequency():
+    async def run():
+        now = {"t": 0.0}
+        events = EventLog()
+        cluster = FakeCluster(_dead_worker_fleet())
+        policy = RemediationPolicy(
+            cooldown_s=100.0, actions_per_window=2, window_s=1000.0
+        )
+        loop = _loop(cluster, policy=policy, events=events, clock=lambda: now["t"])
+        loop.attach()
+
+        def kill():
+            for worker in cluster.fleet["workers"]:
+                if worker["index"] == 0:
+                    worker["alive"] = worker["ready"] = False
+
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        # Same slot dies again inside the cooldown: the identical action
+        # is proposed but skipped; nothing else qualifies.
+        kill()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        # Past the cooldown the heal runs again...
+        now["t"] = 200.0
+        kill()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        # ...but the window budget (2 actions) is now spent.
+        now["t"] = 400.0
+        kill()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        await loop.close()
+        return cluster.calls, events.since(0)
+
+    calls, records = asyncio.run(run())
+    assert calls == [("heal", 0, True), ("heal", 0, True)]
+    reasons = [
+        r["why"] for r in records if r["kind"] == "remediation_skipped"
+    ]
+    assert "cooldown" in reasons and "budget_exhausted" in reasons
+
+
+def test_preconditions_catch_stale_proposals():
+    async def run():
+        events = EventLog()
+        # The verdict edge races the slot healing on its own: by the
+        # time the loop looks, the worker is healthy again.
+        cluster = FakeCluster(
+            {
+                "workers": [_worker(0), _worker(1)],
+                "standbys": [],
+                "sources": {},
+            }
+        )
+        loop = _loop(cluster, events=events)
+        loop.attach()
+        loop.submit(
+            [
+                (
+                    Verdict(name="worker_dead", status="critical", signal="x"),
+                    "ok",
+                )
+            ]
+        )
+        await asyncio.sleep(0.05)
+        await loop.close()
+        return cluster.calls
+
+    assert asyncio.run(run()) == []
+
+
+def test_post_verification_flags_unachieved_goals():
+    async def run():
+        events = EventLog()
+
+        class StubbornCluster(FakeCluster):
+            async def heal_worker(self, index, *, prefer_standby=True):
+                self.calls.append(("heal", index, prefer_standby))
+                return "adopted"  # claims success, changes nothing
+
+        cluster = StubbornCluster(_dead_worker_fleet())
+        loop = _loop(cluster, events=events)
+        loop.attach()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        await loop.close()
+        return _kinds(events), loop
+
+    kinds, loop = asyncio.run(run())
+    assert "remediation_unverified" in kinds
+    assert loop.failed == 1
+
+
+def test_loop_survives_actuator_exceptions():
+    async def run():
+        events = EventLog()
+
+        class BrokenCluster(FakeCluster):
+            async def heal_worker(self, index, *, prefer_standby=True):
+                raise RuntimeError("boom")
+
+        cluster = BrokenCluster(_dead_worker_fleet())
+        loop = _loop(cluster, events=events)
+        loop.attach()
+        loop.submit([_edge("worker_dead")])
+        await asyncio.sleep(0.05)
+        # The loop is still alive and handles the next incident.
+        cluster.fleet["workers"][0]["alive"] = False
+        assert not loop._task.done()
+        await loop.close()
+        return _kinds(events), loop
+
+    kinds, loop = asyncio.run(run())
+    assert "remediation_failed" in kinds
+    assert loop.failed == 1

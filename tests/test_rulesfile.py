@@ -1,0 +1,181 @@
+"""Declarative rules file loading, merging and validation."""
+
+import json
+
+import pytest
+
+from repro.obs.rulesfile import RulesFileError, load_rules_file
+from repro.obs.slo import default_rules, default_slos
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    if isinstance(payload, str):
+        path.write_text(payload, encoding="utf-8")
+    else:
+        path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_empty_file_yields_the_defaults(tmp_path):
+    config = load_rules_file(_write(tmp_path, "rules.json", {}))
+    assert {r.name for r in config.rules} == {r.name for r in default_rules()}
+    assert {s.name for s in config.slos} == {s.name for s in default_slos()}
+    assert config.remediation is None
+
+
+def test_rules_merge_by_name_over_defaults(tmp_path):
+    path = _write(
+        tmp_path,
+        "rules.json",
+        {
+            "rule": [
+                # Override a stock rule's thresholds...
+                {
+                    "name": "overflow_drops",
+                    "signal": "overflow_drop_ratio",
+                    "warn": 0.5,
+                    "critical": 0.9,
+                },
+                # ...and add a brand-new one.
+                {"name": "custom_lag", "signal": "lag_ms", "warn": 100},
+            ]
+        },
+    )
+    config = load_rules_file(path)
+    by_name = {r.name: r for r in config.rules}
+    assert by_name["overflow_drops"].warn == 0.5
+    assert "custom_lag" in by_name
+    # Untouched defaults survive the merge.
+    assert "worker_dead" in by_name
+
+
+def test_disable_drops_a_stock_rule_and_replace_defaults_starts_empty(tmp_path):
+    disabled = load_rules_file(
+        _write(
+            tmp_path,
+            "a.json",
+            {"rule": [{"name": "worker_flapping", "disable": True}]},
+        )
+    )
+    assert "worker_flapping" not in {r.name for r in disabled.rules}
+
+    replaced = load_rules_file(
+        _write(
+            tmp_path,
+            "b.json",
+            {
+                "replace_defaults": True,
+                "rule": [{"name": "only_one", "signal": "x", "warn": 1}],
+                "slo": [],
+            },
+        )
+    )
+    assert [r.name for r in replaced.rules] == ["only_one"]
+    assert replaced.slos == []
+
+
+def test_watch_table_feeds_slo_defaults(tmp_path):
+    config = load_rules_file(
+        _write(
+            tmp_path,
+            "rules.json",
+            {"watch": {"interval_s": 0.25, "decide_p99_target_ms": 123.0}},
+        )
+    )
+    assert config.watch["interval_s"] == 0.25
+    assert config.watch["decide_p99_target_ms"] == 123.0
+    # The target threads into the stock decide-latency SLO.
+    assert any(s.name == "slo_decide_p99" for s in config.slos)
+
+
+def test_remediation_table_round_trips_into_policy(tmp_path):
+    from repro.service.remediate import RemediationPolicy
+
+    config = load_rules_file(
+        _write(
+            tmp_path,
+            "rules.json",
+            {
+                "remediation": {
+                    "max_risk": 0.7,
+                    "cooldown_s": 3.0,
+                    "allow_scale": True,
+                    "max_workers": 5,
+                }
+            },
+        )
+    )
+    policy = RemediationPolicy(**config.remediation)
+    assert policy.max_risk == 0.7
+    assert policy.allow_scale is True
+    assert policy.max_workers == 5
+
+
+@pytest.mark.parametrize(
+    "payload,needle",
+    [
+        ({"rule": [{"signal": "x"}]}, "name"),
+        ({"rule": [{"name": "r"}]}, "signal"),
+        ({"rule": {"name": "r"}}, "array"),
+        ({"watch": {"intervall_s": 1}}, "unknown key"),
+        ({"remediation": {"max_risks": 1}}, "unknown key"),
+        ({"watch": {"interval_s": -1}}, "positive"),
+        ({"bogus_top": 1}, "unknown key"),
+    ],
+)
+def test_malformed_files_fail_loudly(tmp_path, payload, needle):
+    with pytest.raises(RulesFileError) as err:
+        load_rules_file(_write(tmp_path, "bad.json", payload))
+    assert needle in str(err.value)
+
+
+def test_unreadable_and_unparseable_files(tmp_path):
+    with pytest.raises(RulesFileError, match="cannot read"):
+        load_rules_file(tmp_path / "missing.json")
+    with pytest.raises(RulesFileError, match="not valid"):
+        load_rules_file(_write(tmp_path, "bad.json", "{ not json ["))
+
+
+@pytest.mark.skipif(tomllib is None, reason="tomllib needs Python 3.11+")
+def test_toml_and_json_describe_the_same_config(tmp_path):
+    toml_text = """
+        [watch]
+        interval_s = 0.5
+
+        [[rule]]
+        name = "overflow_drops"
+        signal = "overflow_drop_ratio"
+        warn = 0.1
+        critical = 0.4
+
+        [remediation]
+        max_risk = 0.25
+    """
+    json_payload = {
+        "watch": {"interval_s": 0.5},
+        "rule": [
+            {
+                "name": "overflow_drops",
+                "signal": "overflow_drop_ratio",
+                "warn": 0.1,
+                "critical": 0.4,
+            }
+        ],
+        "remediation": {"max_risk": 0.25},
+    }
+    from_toml = load_rules_file(_write(tmp_path, "rules.toml", toml_text))
+    from_json = load_rules_file(_write(tmp_path, "rules.json", json_payload))
+    assert from_toml.watch == from_json.watch
+    assert from_toml.remediation == from_json.remediation
+    t = next(r for r in from_toml.rules if r.name == "overflow_drops")
+    j = next(r for r in from_json.rules if r.name == "overflow_drops")
+    assert (t.warn, t.critical) == (j.warn, j.critical)
+    # An unsuffixed file containing TOML is sniffed correctly too.
+    sniffed = load_rules_file(_write(tmp_path, "rules", toml_text))
+    assert sniffed.watch == from_toml.watch

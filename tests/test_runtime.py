@@ -15,6 +15,7 @@ from repro.experiments.harness import (
 from repro.runtime import (
     EngineConfig,
     GroupTask,
+    HashRing,
     ShardedRuntime,
     canonical_result,
     combine,
@@ -88,6 +89,80 @@ class TestPartition:
         streams = partition_keyed_stream(keyed)
         assert [t.seq for t in streams["a"]] == [0, 2]
         assert [t.seq for t in streams["b"]] == [1, 3]
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+class TestHashRing:
+    KEYS = [f"source-{i}" for i in range(400)]
+
+    def test_placement_is_deterministic_and_bounded(self):
+        a = HashRing(range(5))
+        b = HashRing(range(5))
+        owners = a.assignment(self.KEYS)
+        assert owners == b.assignment(self.KEYS)
+        assert set(owners.values()) <= set(range(5))
+
+    def test_incremental_build_equals_fresh_build(self):
+        fresh = HashRing(range(6))
+        grown = HashRing()
+        for member in range(6):
+            grown.add(member)
+        assert fresh.assignment(self.KEYS) == grown.assignment(self.KEYS)
+        # add() is idempotent.
+        grown.add(3)
+        assert fresh.assignment(self.KEYS) == grown.assignment(self.KEYS)
+
+    def test_adding_a_member_moves_few_keys_and_only_to_it(self):
+        ring = HashRing(range(5))
+        before = ring.assignment(self.KEYS)
+        ring.add(5)
+        after = ring.assignment(self.KEYS)
+        moved = [k for k in self.KEYS if before[k] != after[k]]
+        # Everything that moved went to the newcomer, nothing shuffled
+        # between survivors...
+        assert all(after[k] == 5 for k in moved)
+        # ...and the volume is ~1/N of the keys (generous 3x slack for
+        # virtual-replica variance).
+        assert len(moved) <= 3 * len(self.KEYS) / 6
+
+    def test_removing_a_member_moves_only_its_keys(self):
+        ring = HashRing(range(6))
+        before = ring.assignment(self.KEYS)
+        ring.remove(2)
+        after = ring.assignment(self.KEYS)
+        for key in self.KEYS:
+            if before[key] == 2:
+                assert after[key] != 2
+            else:
+                assert after[key] == before[key]
+
+    def test_leave_and_rejoin_restores_the_original_placement(self):
+        ring = HashRing(range(4))
+        before = ring.assignment(self.KEYS)
+        ring.remove(1)
+        ring.add(1)
+        assert ring.assignment(self.KEYS) == before
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.owner("anything") is None
+        assert len(ring) == 0
+        ring.remove("ghost")  # no-op, no error
+
+    def test_replicas_spread_load(self):
+        ring = HashRing(range(4), replicas=64)
+        counts = {m: 0 for m in range(4)}
+        for key, owner in ring.assignment(self.KEYS).items():
+            counts[owner] += 1
+        # No member starves or hogs: within 4x of even share.
+        share = len(self.KEYS) / 4
+        assert all(share / 4 <= c <= 4 * share for c in counts.values())
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
 
 
 # ---------------------------------------------------------------------------

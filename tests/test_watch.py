@@ -858,3 +858,102 @@ class TestWatchClusterEndToEnd:
                     proc.wait(timeout=15)
                 except subprocess.TimeoutExpired:
                     proc.kill()
+
+
+# ---------------------------------------------------------------------------
+# Volume-weighted decide SLO + remediation hook
+# ---------------------------------------------------------------------------
+class TestDecideSloWeighting:
+    def _tower(self, tele):
+        return Watchtower(
+            LocalProbe(tele), events=tele.events, clock=_FakeClock()
+        )
+
+    def test_budget_burns_by_decide_volume_not_by_polls(self):
+        recorded = []
+
+        class StubSlo:
+            name = "slo_decide_p99"
+            signal = "decide_p99_ms"
+
+            def observe(self, now, good, bad):
+                recorded.append((good, bad))
+
+            def evaluate(self, now):
+                return None
+
+        tower = self._tower(Telemetry())
+        tower.slos = [StubSlo()]
+        tower.decide_p99_target_ms = 100.0
+        # A violating poll that decided 1000 tuples burns 1000 units...
+        tower._observe_slos(
+            {"decide_p99_ms": 250.0, "decided_delta": 1000.0}, 0.0
+        )
+        # ...an idle violating poll burns the one-unit floor...
+        tower._observe_slos({"decide_p99_ms": 250.0}, 1.0)
+        # ...and a healthy busy poll credits its full volume.
+        tower._observe_slos(
+            {"decide_p99_ms": 50.0, "decided_delta": 500.0}, 2.0
+        )
+        assert recorded == [(0.0, 1000.0), (0.0, 1.0), (500.0, 0.0)]
+
+    def test_decided_delta_signal_derived_from_counter(self):
+        async def run():
+            tele = Telemetry()
+            decided = tele.registry.counter(
+                "repro_broker_decided_emissions_total", "Decided."
+            )
+            tower = self._tower(tele)
+            decided.inc(100)
+            await tower.poll()  # baseline
+            tower.clock.now += 1.0
+            decided.inc(40)
+            report = await tower.poll()
+            return report
+
+        report = asyncio.run(run())
+        assert report.signals["decided_delta"] == 40.0
+
+
+class TestTransitionHook:
+    def test_hook_sees_each_edge_exactly_once(self):
+        async def run():
+            tele = Telemetry()
+            decided = tele.registry.counter(
+                "repro_broker_decided_emissions_total", "Decided."
+            )
+            drops = tele.registry.counter(
+                "repro_session_overflow_dropped_tuples_total",
+                "Dropped.",
+                ("policy",),
+            )
+            clock = _FakeClock()
+            tower = Watchtower(
+                LocalProbe(tele), events=tele.events, clock=clock
+            )
+            captured = []
+            tower.on_transitions = captured.extend
+            decided.inc(100)
+            await tower.poll()
+            clock.now += 1.0
+            decided.inc(100)
+            drops.labels("drop_oldest").inc(50)
+            await tower.poll()  # edge: ok -> critical
+            clock.now += 1.0
+            decided.inc(100)
+            await tower.poll()  # edge: critical -> ok
+            clock.now += 1.0
+            decided.inc(100)
+            await tower.poll()  # steady: no edge
+            return captured
+
+        captured = asyncio.run(run())
+        edges = [
+            (v.name, prev, v.status)
+            for v, prev in captured
+            if v.name == "overflow_drops"
+        ]
+        assert edges == [
+            ("overflow_drops", "ok", "critical"),
+            ("overflow_drops", "critical", "ok"),
+        ]
