@@ -51,8 +51,8 @@ process-scaling sweep, default ``1,2,4``; empty skips it),
 (source streams and per-source subscriber preset of that sweep,
 defaults ``16`` / ``tiny``), ``BENCH_PIPELINE_MIN_WORKER_SPEEDUP``
 (default ``0`` = report only: required delivered-throughput multiple of
-the largest multi-worker cell over the 1-worker cell — CI gates 2
-workers at 1.3x; a multi-core host should show >=1.8x at 4), and
+the largest multi-worker cell over the 1-worker cell — CI gates 4
+workers at 1.8x), and
 ``BENCH_PIPELINE_JSON`` (artifact path, default ``BENCH_pipeline.json``;
 set empty to skip writing).
 

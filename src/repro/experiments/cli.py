@@ -117,6 +117,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit nonzero unless the final report's status matches",
     )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a declarative robustness scenario and grade its verdict",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run one scenario file (TOML/JSON) to a verdict manifest",
+    )
+    scenario_run.add_argument("file", help="scenario file path")
+    scenario_run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory (summary, metrics, events, verdict.json); "
+        "default runs/scenario/<name>[-off]",
+    )
+    scenario_run.add_argument(
+        "--degradation",
+        choices=("on", "off"),
+        default="on",
+        help="'off' strips the ladder and grades the [verdict.disabled] "
+        "criteria instead (the control run)",
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the verdict manifest as JSON instead of the text view",
+    )
     return parser
 
 
@@ -501,6 +531,22 @@ async def _watch_async(args: argparse.Namespace) -> int:
     ):
         got = report.status if report is not None else "none"
         print(f"watch: expected final status {args.expect!r}, got {got!r}")
+        # Name the rules that produced the mismatched status — "it went
+        # critical" without which rule and at what value is undebuggable
+        # from CI logs.
+        if report is not None:
+            for verdict in report.firing:
+                bound = (
+                    f"{verdict.threshold:g}"
+                    if verdict.threshold is not None
+                    else "n/a"
+                )
+                print(
+                    f"watch:   {verdict.status:<8} {verdict.name} "
+                    f"({verdict.signal} = {verdict.value:g}, "
+                    f"threshold {bound})"
+                    + (f" - {verdict.detail}" if verdict.detail else "")
+                )
         return 1
     return 0
 
@@ -686,6 +732,55 @@ def _kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _scenario_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.scenario import (
+        ScenarioError,
+        load_scenario_file,
+        run_scenario,
+    )
+
+    try:
+        scenario = load_scenario_file(args.file)
+    except ScenarioError as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+    degradation = args.degradation != "off"
+    out_dir = args.out
+    if out_dir is None:
+        out_dir = str(
+            Path("runs")
+            / "scenario"
+            / (scenario.name + ("" if degradation else "-off"))
+        )
+    manifest = run_scenario(
+        scenario, degradation=degradation, out_dir=out_dir
+    )
+    if args.json:
+        print(json.dumps(manifest, indent=2))
+    else:
+        mode = "degradation on" if degradation else "degradation off"
+        print(f"scenario {scenario.name!r} ({mode}):")
+        for check in manifest["checks"]:
+            flag = "PASS" if check["ok"] else "FAIL"
+            bound = f" (value {check['value']!r}, bound {check['bound']!r})"
+            print(f"  {flag}  {check['name']}{bound}  {check['detail']}")
+        qos = manifest.get("qos")
+        if qos:
+            print(
+                f"  qos: max level {qos.get('max_level')}, "
+                f"{qos.get('degraded_events')} degrades / "
+                f"{qos.get('recovered_events')} recoveries, "
+                f"recovery {qos.get('recovery_time_s')}s"
+            )
+        print(f"  artifacts in {out_dir}/")
+    if not manifest["passed"]:
+        print("scenario: verdict FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if getattr(args, "shards", None) is not None:
@@ -705,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
             return asyncio.run(_watch_async(args))
         except KeyboardInterrupt:
             return 130
+    if args.command == "scenario":
+        return _scenario_run(args)
     if args.command == "loadgen":
         from repro.service import run_loadgen
 

@@ -52,7 +52,12 @@ try:  # Python 3.11+
 except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
     tomllib = None
 
-__all__ = ["RulesFileError", "RulesConfig", "load_rules_file"]
+__all__ = [
+    "RulesFileError",
+    "RulesConfig",
+    "load_rules_file",
+    "rules_config_from_dict",
+]
 
 #: Keys accepted in a ``[watch]`` table (anything else is a typo).
 _WATCH_KEYS = frozenset(
@@ -202,6 +207,18 @@ def load_rules_file(path: str | Path) -> RulesConfig:
     except OSError as exc:
         raise RulesFileError(f"cannot read rules file {path}: {exc}") from exc
     data = _parse_text(text, path.suffix.lower(), str(path))
+    return rules_config_from_dict(data, where=str(path))
+
+
+def rules_config_from_dict(data: dict, where: str = "<inline>") -> RulesConfig:
+    """Validate and resolve an already-parsed rules table.
+
+    The same resolution :func:`load_rules_file` applies after parsing —
+    exposed so embedding configs (scenario files carrying a
+    ``[watch_rules]`` table) reuse one loader instead of re-implementing
+    the merge-by-name semantics.  ``where`` labels error messages.
+    """
+    path = where
     if not isinstance(data, dict):
         raise RulesFileError(f"{path}: top level must be a table/object")
     known_top = {"replace_defaults", "watch", "rule", "slo", "remediation"}

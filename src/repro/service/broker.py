@@ -69,7 +69,12 @@ from repro.obs.trace import (
     STAGE_INGEST_RECV,
     stage_id,
 )
-from repro.qos.spec import QualitySpec, session_limits
+from repro.qos.controller import (
+    DegradationConfig,
+    DegradationController,
+    DegradationDecision,
+)
+from repro.qos.spec import DegradationPolicy, QualitySpec, session_limits
 from repro.runtime.partition import shard_for_key
 from repro.runtime.tasks import EngineConfig
 from repro.service.batching import MicroBatcher
@@ -298,6 +303,12 @@ class DisseminationService:
                 "Tuples dropped by session overflow policy.",
                 ("policy",),
             )
+            self._m_degradation = registry.gauge(
+                "repro_session_degradation_level",
+                "Active QoS degradation level per session "
+                "(0 = preferred quality).",
+                ("app",),
+            )
 
     # ------------------------------------------------------------------
     # Topology
@@ -355,6 +366,9 @@ class DisseminationService:
         batch_max_items: Optional[int] = None,
         batch_max_delay_ms: Optional[float] = None,
         qos: Optional[QualitySpec] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        degradation_level: int = 0,
+        degradation_config: Optional[DegradationConfig] = None,
     ) -> SubscriberSession:
         """Attach a subscriber at runtime; forces an engine regroup.
 
@@ -363,8 +377,34 @@ class DisseminationService:
         :func:`repro.qos.spec.session_limits`); explicit keyword
         overrides win over the QoS mapping, and broker-wide defaults
         remain the fallback for everything else.
+
+        ``degradation`` attaches a server-driven
+        :class:`~repro.qos.controller.DegradationController`: under
+        overload the broker steps the session down the policy's levels
+        instead of letting its queue drop or disconnect, and probes back
+        up AIMD-style once the session is healthy again.  ``spec`` must
+        equal the active level's filter spec (the cluster's re-subscribe
+        paths pass ``degradation_level`` > 0 so a degraded session
+        resumes at its level after respawn/migration/failover).
         """
         src = self._src(source_name)
+        controller: Optional[DegradationController] = None
+        if degradation is not None:
+            if degradation.app_name != app_name:
+                raise ValueError(
+                    f"degradation policy names app {degradation.app_name!r}, "
+                    f"subscription is for {app_name!r}"
+                )
+            controller = DegradationController(
+                degradation, degradation_config, level=degradation_level
+            )
+            if spec != controller.spec:
+                raise ValueError(
+                    "subscription spec must equal the degradation policy's "
+                    f"active level spec {controller.spec!r}, got {spec!r}"
+                )
+            if qos is None:
+                qos = degradation.levels[degradation_level]
         async with src.lock:
             if app_name in self._app_sources:
                 raise ValueError(f"app {app_name!r} is already subscribed")
@@ -423,6 +463,7 @@ class DisseminationService:
                     if batch_max_delay_ms is not None
                     else cfg.batch_max_delay_ms,
                 ),
+                degradation=controller,
                 _broker=self,
             )
             self.system.subscribe(app_name, node, source_name, spec)
@@ -443,6 +484,8 @@ class DisseminationService:
                 raise
             if self.telemetry is not None:
                 self._m_sessions.set(self.session_count())
+                if controller is not None:
+                    self._m_degradation.labels(app_name).set(controller.level)
                 self.telemetry.events.emit(
                     "subscribe", app=app_name, source=source_name, spec=spec
                 )
@@ -456,44 +499,63 @@ class DisseminationService:
             await self._detach(src, app_name)
 
     async def re_filter(self, app_name: str, new_spec: str) -> None:
-        """Swap a live subscriber's filter spec; forces an engine regroup."""
+        """Swap a live subscriber's filter spec; forces an engine regroup.
+
+        A client-driven re-filter on a degradable session detaches its
+        :class:`DegradationController`: an explicit spec choice is a
+        manual override, and keeping the controller would race it (the
+        next stressed dispatch would immediately re-write the spec the
+        client just chose).
+        """
         source_name = self._require_app(app_name)
         src = self._src(source_name)
         async with src.lock:
             session = src.sessions[app_name]
-            parse_filter(new_spec, name=app_name)
-            old_spec = session.spec
-            # Swap the registration before the cutover so a failure leaves
-            # the old epoch intact (and the old spec restored).
-            self.system.unsubscribe(app_name, source_name)
-            try:
-                self.system.subscribe(
-                    app_name, session.node, source_name, new_spec
-                )
-            except Exception:
-                self.system.subscribe(
-                    app_name, session.node, source_name, old_spec
-                )
-                raise
-            try:
-                await self._cutover(src)
-                session.spec = new_spec
-                self._rebuild(src)
+            await self._re_filter_locked(src, session, new_spec)
+            if session.degradation is not None:
+                session.degradation = None
                 if self.telemetry is not None:
-                    self.telemetry.events.emit(
-                        "re_filter", app=app_name, spec=new_spec
-                    )
-            except Exception:
-                # Same contract as subscribe: a failed churn must leave
-                # the source serving under the old spec, with the system
-                # registration matching what the engines filter on.
-                session.spec = old_spec
-                self.system.unsubscribe(app_name, source_name)
-                self.system.subscribe(
-                    app_name, session.node, source_name, old_spec
+                    self._m_degradation.labels(app_name).set(0)
+            if self.telemetry is not None:
+                self.telemetry.events.emit(
+                    "re_filter", app=app_name, spec=new_spec
                 )
-                self._rebuild(src)
-                raise
+
+    async def _re_filter_locked(
+        self, src: _SourceState, session: SubscriberSession, new_spec: str
+    ) -> None:
+        """Spec-swap core (caller holds the source lock; no events)."""
+        app_name = session.app_name
+        source_name = src.name
+        parse_filter(new_spec, name=app_name)
+        old_spec = session.spec
+        # Swap the registration before the cutover so a failure leaves
+        # the old epoch intact (and the old spec restored).
+        self.system.unsubscribe(app_name, source_name)
+        try:
+            self.system.subscribe(
+                app_name, session.node, source_name, new_spec
+            )
+        except Exception:
+            self.system.subscribe(
+                app_name, session.node, source_name, old_spec
+            )
+            raise
+        try:
+            await self._cutover(src)
+            session.spec = new_spec
+            self._rebuild(src)
+        except Exception:
+            # Same contract as subscribe: a failed churn must leave
+            # the source serving under the old spec, with the system
+            # registration matching what the engines filter on.
+            session.spec = old_spec
+            self.system.unsubscribe(app_name, source_name)
+            self.system.subscribe(
+                app_name, session.node, source_name, old_spec
+            )
+            self._rebuild(src)
+            raise
 
     def subscriptions(self, source_name: str) -> list[tuple[str, str]]:
         """Current ``(app, spec)`` pairs in broker (engine) order."""
@@ -1023,6 +1085,88 @@ class DisseminationService:
         if dead:
             for app in dead:
                 await self._detach(src, app)
+        await self._adapt_quality(src)
+
+    async def _adapt_quality(self, src: _SourceState) -> None:
+        """Evaluate degradation controllers; apply at most one step each.
+
+        Runs under the source lock at the tail of every dispatch (so
+        arrivals *and* idle ticks drive both directions — recovery
+        probing needs the tick cadence when a burst has passed and
+        arrivals are sparse).  Decisions are collected first and applied
+        after the iteration: applying one runs a cutover + rebuild,
+        which must not happen mid-iteration over the session dict.
+        """
+        decisions: Optional[
+            list[tuple[SubscriberSession, DegradationDecision]]
+        ] = None
+        tuple_bytes = self.config.tuple_size_bytes
+        for session in src.sessions.values():
+            controller = session.degradation
+            if controller is None or session.disconnected:
+                continue
+            decision = controller.observe(
+                time.monotonic(),
+                queue_depth=session.queue.depth,
+                queue_capacity=session.queue.capacity,
+                dropped_tuples=session.stats.dropped_tuples,
+                egress_bytes=session.stats.shipped_tuples * tuple_bytes,
+            )
+            if decision is not None:
+                if decisions is None:
+                    decisions = []
+                decisions.append((session, decision))
+        if not decisions:
+            return
+        for session, decision in decisions:
+            await self._apply_degradation(src, session, decision)
+
+    async def _apply_degradation(
+        self,
+        src: _SourceState,
+        session: SubscriberSession,
+        decision: DegradationDecision,
+    ) -> None:
+        """Push one controller decision through the re-filter machinery."""
+        try:
+            await self._re_filter_locked(src, session, decision.spec)
+        except Exception:
+            # Degradation is best-effort: a failed autonomous re-filter
+            # must not break the ingest path.  The rollback inside
+            # _re_filter_locked left the old spec serving; rewind the
+            # controller to match.
+            controller = session.degradation
+            if controller is not None:
+                controller.level = decision.from_level
+                controller.trajectory.pop()
+            return
+        if self.telemetry is not None:
+            self._m_degradation.labels(session.app_name).set(decision.to_level)
+            self.telemetry.events.emit(
+                "qos_degraded" if decision.action == "degrade"
+                else "qos_recovered",
+                app=session.app_name,
+                source=src.name,
+                from_level=decision.from_level,
+                level=decision.to_level,
+                spec=decision.spec,
+                signal=decision.signal,
+                value=round(decision.value, 4),
+                threshold=decision.threshold,
+            )
+        if session.qos_listener is not None:
+            session.qos_listener(
+                {
+                    "app": session.app_name,
+                    "source": src.name,
+                    "action": decision.action,
+                    "level": decision.to_level,
+                    "spec": decision.spec,
+                    "signal": decision.signal,
+                    "value": decision.value,
+                    "threshold": decision.threshold,
+                }
+            )
 
     async def _route(
         self, src: _SourceState, emissions: Sequence[Emission], now: float
@@ -1047,7 +1191,19 @@ class DisseminationService:
             dropped_before = session.stats.dropped_tuples
             if t.tracer.enabled:
                 self._note_batch_traces(src, session, batch)
-        await session.deliver(batch)
+        controller = session.degradation
+        if controller is not None:
+            # A blocking put that waits is the clearest per-session
+            # stress signal there is (the consumer is pacing the broker);
+            # measure it so the controller sees it even when the policy
+            # never drops.
+            ship_started_ns = time.perf_counter_ns()
+            await session.deliver(batch)
+            controller.note_flush_wait(
+                (time.perf_counter_ns() - ship_started_ns) / 1e6
+            )
+        else:
+            await session.deliver(batch)
         if t is not None:
             dropped = session.stats.dropped_tuples - dropped_before
             if dropped:

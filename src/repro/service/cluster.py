@@ -60,7 +60,8 @@ from repro.obs.trace import (
     STAGE_ROUTER_REASSEMBLY,
     stage_id,
 )
-from repro.qos.spec import QualitySpec
+from repro.qos.controller import DegradationConfig, policy_to_profile
+from repro.qos.spec import DegradationPolicy, QualitySpec
 from repro.runtime.partition import HashRing
 from repro.transport.client import GatewayClient, GatewayError
 from repro.transport.protocol import MAX_FRAME_BYTES
@@ -263,6 +264,24 @@ class ClusterSession:
         #: as "unsubscribed"), :meth:`batches` continues into the staged
         #: remote instead of treating the reason as final.
         self._staged = None
+        #: Wire-shape degradation profile (``policy_to_profile`` dict)
+        #: with its ``level`` key tracking the worker's active level, so
+        #: every re-subscribe path (respawn, migration, failover) can
+        #: re-attach the ladder at the level the worker last reported.
+        #: ``None`` for fixed-spec sessions and after a client re-filter
+        #: (an explicit spec choice overrides the automatic policy).
+        self.degradation: Optional[dict] = None
+        #: Same contract as ``SubscriberSession.qos_listener``: the front
+        #: tier wires this to a ``qos_update`` push frame; the router
+        #: forwards every worker-side transition through it.
+        self.qos_listener = None
+
+    @property
+    def degradation_level(self) -> int:
+        """Active degradation level as last reported by the worker."""
+        if self.degradation is None:
+            return 0
+        return int(self.degradation.get("level", 0))
 
     # -- supervisor side -------------------------------------------------
     def adopt(self, remote) -> None:
@@ -1253,7 +1272,9 @@ class ClusterService:
                             overflow=session.queue.policy,
                             batch_max_items=session.batcher.max_items,
                             batch_max_delay_ms=session.batcher.max_delay_ms,
+                            degradation=session.degradation,
                         )
+                        self._wire_qos(session, remote)
                         session.adopt(remote)
                 worker.ready.set()
                 worker.death_seen_ts = None
@@ -1545,16 +1566,36 @@ class ClusterService:
         batch_max_items: Optional[int] = None,
         batch_max_delay_ms: Optional[float] = None,
         qos: Optional[QualitySpec] = None,
+        degradation=None,
+        degradation_level: int = 0,
+        degradation_config: Optional[DegradationConfig] = None,
     ) -> ClusterSession:
         """Attach a subscriber on its source's worker.
 
         Same signature the broker exposes (the front tier calls either
         interchangeably); QoS resolution happens in the worker, and the
         resolved bounds come back with the subscribe reply.
+        ``degradation`` (a :class:`DegradationPolicy` or a wire-shape
+        profile mapping) attaches the controller in the *worker*; the
+        router records the profile so respawn/migration/failover can
+        re-attach it at the worker's last reported level, and forwards
+        every ``qos_update`` to the front tier.
         """
         self._require_source(source_name)
         if app_name in self._apps and not self._apps[app_name].closed:
             raise ValueError(f"app {app_name!r} is already subscribed")
+        profile: Optional[dict] = None
+        if degradation is not None:
+            if isinstance(degradation, DegradationPolicy):
+                profile = policy_to_profile(
+                    degradation,
+                    level=degradation_level,
+                    config=degradation_config,
+                )
+            else:
+                profile = dict(degradation)
+                if degradation_level:
+                    profile["level"] = degradation_level
         lock, worker, standby = await self._ingest_guarded(source_name)
         try:
             try:
@@ -1567,6 +1608,7 @@ class ClusterService:
                     overflow=overflow,
                     batch_max_items=batch_max_items,
                     batch_max_delay_ms=batch_max_delay_ms,
+                    degradation=profile,
                 )
             except GatewayError as exc:
                 raise ValueError(str(exc)) from exc
@@ -1583,6 +1625,8 @@ class ClusterService:
                 defaults=self.config,
                 telemetry=self.telemetry,
             )
+            session.degradation = profile
+            self._wire_qos(session, remote)
             self._apps[app_name] = session
             worker.apps[app_name] = session
             if standby is not None and source_name not in standby.stale_sources:
@@ -1597,6 +1641,36 @@ class ClusterService:
         finally:
             lock.release()
 
+    def _wire_qos(self, session: ClusterSession, remote) -> None:
+        """Forward one remote subscription's ``qos_update`` pushes.
+
+        The worker owns the controller; the router mirrors each applied
+        transition into the session (spec + profile level, so the next
+        re-subscribe carries the ladder at the right rung), stales any
+        standby shadow (its mirror now decides at a stale spec), and
+        relays the update to the front tier's listener.
+        """
+        if session.degradation is None:
+            return
+
+        def _on_update(update: dict) -> None:
+            spec = update.get("spec")
+            if isinstance(spec, str):
+                session.spec = spec
+            level = update.get("level")
+            if isinstance(level, int) and session.degradation is not None:
+                session.degradation["level"] = level
+            standby = self._standby_for(
+                self.shard_of(session.source_name)
+            )
+            if standby is not None and session.app_name in standby.shadows:
+                self._mark_stale(standby, session.source_name)
+            listener = session.qos_listener
+            if listener is not None:
+                listener(update)
+
+        remote.on_qos_update = _on_update
+
     async def _shadow_subscribe(
         self, standby: _Worker, session: ClusterSession, *, consumed: int
     ) -> None:
@@ -1604,8 +1678,12 @@ class ClusterService:
         primary's resolved bounds) and start its throttled discard
         consumer.  Only ``block``-policy streams can splice byte-exactly
         (drop policies drop *different* tuples on each side), so any
-        other policy stales the source instead."""
-        if session.queue.policy != "block":
+        other policy stales the source instead.  Sessions with a live
+        degradation ladder also stale: the worker may re-filter them at
+        any dispatch, after which a mirror decided at the old spec can
+        no longer splice — failover re-attaches the ladder on the cold
+        path instead."""
+        if session.queue.policy != "block" or session.degradation is not None:
             self._mark_stale(standby, session.source_name)
             return
         try:
@@ -1705,6 +1783,10 @@ class ClusterService:
                     f"worker {worker.index} failed re_filter: {exc}"
                 ) from exc
             session.spec = new_spec
+            # A client re-filter is an explicit spec choice: the worker
+            # detaches its controller, so drop the recorded ladder too
+            # (a respawn must not resurrect the automatic policy).
+            session.degradation = None
             if standby is not None and app_name in standby.shadows:
                 try:
                     await standby.client.re_filter(app_name, new_spec)
@@ -1799,7 +1881,9 @@ class ClusterService:
                     overflow=session.queue.policy,
                     batch_max_items=session.batcher.max_items,
                     batch_max_delay_ms=session.batcher.max_delay_ms,
+                    degradation=session.degradation,
                 )
+                self._wire_qos(session, remote)
                 staged.append((app, session, remote))
         except (ConnectionError, GatewayError) as exc:
             for app, _session, remote in staged:
@@ -1992,11 +2076,13 @@ class ClusterService:
                             overflow=session.queue.policy,
                             batch_max_items=session.batcher.max_items,
                             batch_max_delay_ms=session.batcher.max_delay_ms,
+                            degradation=session.degradation,
                         )
                     except (ConnectionError, GatewayError):
                         # Session stays parked; the reattach timeout (or
                         # a later heal) decides its fate.
                         continue
+                    self._wire_qos(session, remote)
                     session.adopt(remote)
                     cold += 1
             # Shadows for apps that closed since arming: retire them so

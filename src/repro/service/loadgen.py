@@ -188,6 +188,20 @@ class LoadGenConfig:
     watch: bool = True
     #: Watchtower poll cadence.
     watch_interval_s: float = 1.0
+    #: Piecewise-constant load shape: ``(duration_s, rate_multiplier)``
+    #: segments applied to ``rate`` in order (flash crowds, diurnal
+    #: swells, correlated bursts).  Past the profile's total duration
+    #: the base rate resumes; ``()`` keeps the historic constant rate.
+    rate_profile: tuple[tuple[float, float], ...] = ()
+    #: Server-side degradation ladder: coarser filter specs (level 1,
+    #: 2, ... below each subscriber's own level-0 spec) every
+    #: subscriber subscribes with.  Under overload the broker walks
+    #: sessions down this ladder instead of dropping them, and the
+    #: summary gains a ``qos`` block recording the transitions.
+    degradation_levels: tuple[str, ...] = ()
+    #: :class:`~repro.qos.controller.DegradationConfig` overrides (a
+    #: plain kwargs dict, so the config stays JSON-round-trippable).
+    degradation_config: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.source not in LOADGEN_SOURCES:
@@ -252,6 +266,73 @@ class LoadGenConfig:
             )
         if self.watch_interval_s <= 0:
             raise ValueError("watch_interval_s must be positive")
+        for i, segment in enumerate(self.rate_profile):
+            if len(segment) != 2:
+                raise ValueError(
+                    f"rate_profile[{i}] must be (duration_s, multiplier)"
+                )
+            duration, multiplier = segment
+            if duration <= 0 or multiplier <= 0:
+                raise ValueError(
+                    f"rate_profile[{i}] needs positive duration and "
+                    f"multiplier, got {segment!r}"
+                )
+        if self.degradation_config is not None and not self.degradation_levels:
+            raise ValueError(
+                "degradation_config needs degradation_levels to apply to"
+            )
+        if self.degradation_levels and self.verify:
+            raise ValueError(
+                "degradation re-filters sessions mid-run, so the batch "
+                "reference cannot match; use delivered digests instead "
+                "of verify="
+            )
+
+
+class _RateSchedule:
+    """Arrival pacing under a piecewise-constant rate profile.
+
+    Maps tuple index → offer time (:meth:`time_for`) and elapsed time →
+    expected offered count (:meth:`count_until`); the two are inverses.
+    With an empty profile both reduce to the historic constant-rate
+    arithmetic (``index / rate``), exactly.
+    """
+
+    def __init__(self, rate: float, profile) -> None:
+        self.rate = rate
+        #: ``(start_s, end_s, segment_rate, count_before)`` per segment.
+        self._segments: list[tuple[float, float, float, float]] = []
+        t = 0.0
+        count = 0.0
+        for duration, multiplier in profile:
+            segment_rate = rate * multiplier
+            self._segments.append((t, t + duration, segment_rate, count))
+            count += segment_rate * duration
+            t += duration
+        self._tail_start = t
+        self._tail_count = count
+
+    def time_for(self, index: int) -> float:
+        """Seconds into the run at which tuple ``index`` is due."""
+        for start, end, segment_rate, before in self._segments:
+            if index < before + segment_rate * (end - start):
+                return start + (index - before) / segment_rate
+        return self._tail_start + (index - self._tail_count) / self.rate
+
+    def count_until(self, t_s: float) -> float:
+        """Tuples due in the first ``t_s`` seconds."""
+        total = 0.0
+        for start, end, segment_rate, _ in self._segments:
+            if t_s <= start:
+                return total
+            total += segment_rate * (min(t_s, end) - start)
+        if t_s > self._tail_start:
+            total += self.rate * (t_s - self._tail_start)
+        return total
+
+
+def _rate_schedule(config: LoadGenConfig) -> _RateSchedule:
+    return _RateSchedule(config.rate, config.rate_profile)
 
 
 def make_trace(config: LoadGenConfig, stream: int = 0) -> Trace:
@@ -260,9 +341,10 @@ def make_trace(config: LoadGenConfig, stream: int = 0) -> Trace:
     ``stream`` selects one of the config's independent source streams
     (each stream reseeds the generator with ``seed + stream``, so the
     streams are distinct but every run of the config replays the same
-    set).
+    set).  Sizing integrates the rate profile, so a flash-crowd shape
+    has the whole surge's tuples to offer.
     """
-    n = max(16, int(config.rate * config.duration_s))
+    n = max(16, int(_rate_schedule(config).count_until(config.duration_s)))
     return CATALOG.make(config.source, n=n, seed=config.seed + stream)
 
 
@@ -371,6 +453,7 @@ async def _consume(
     delay_ms: float,
     sink: Optional[list[int]] = None,
     stages: Optional[dict] = None,
+    gate: Optional[asyncio.Event] = None,
 ) -> int:
     """Drain one subscription (in-process session or remote).
 
@@ -379,7 +462,10 @@ async def _consume(
     long run does not retain one int per delivered tuple.  ``stages``
     (``{stage_id: [dur_ns, ...]}``) accumulates the sampled stage
     traces that reach this subscriber, feeding the summary's
-    ``stage_latency`` block.
+    ``stage_latency`` block.  ``gate`` (set = flowing) is the chaos
+    harness's stalled-reader valve: while cleared, this consumer stops
+    taking batches and backpressure does whatever the overflow policy
+    says.
     """
     total = 0
     async for batch in handle.batches():
@@ -390,6 +476,8 @@ async def _consume(
             _collect_stages(handle, batch, stages)
         if delay_ms > 0.0:
             await asyncio.sleep(delay_ms / 1000.0)
+        if gate is not None and not gate.is_set():
+            await gate.wait()
     return total
 
 
@@ -544,8 +632,21 @@ class _InProcDriver:
     def negotiated_codec(self) -> Optional[str]:
         return None
 
-    async def attach(self, source: str, app: str, spec: str):
-        return await self.service.subscribe(app, source, spec)
+    async def attach(
+        self,
+        source: str,
+        app: str,
+        spec: str,
+        degradation=None,
+        degradation_config=None,
+    ):
+        return await self.service.subscribe(
+            app,
+            source,
+            spec,
+            degradation=degradation,
+            degradation_config=degradation_config,
+        )
 
     async def unsubscribe(self, app: str) -> None:
         await self.service.unsubscribe(app)
@@ -693,7 +794,14 @@ class _TcpDriver:
     def negotiated_codec(self) -> Optional[str]:
         return self.control.codec if self.control is not None else None
 
-    async def attach(self, source: str, app: str, spec: str):
+    async def attach(
+        self,
+        source: str,
+        app: str,
+        spec: str,
+        degradation=None,
+        degradation_config=None,
+    ):
         client = self.clients[source]
         subscription = await client.subscribe(
             app,
@@ -703,6 +811,8 @@ class _TcpDriver:
             overflow=self.config.overflow,
             batch_max_items=self.config.batch_max_items,
             batch_max_delay_ms=self.config.batch_max_delay_ms,
+            degradation=degradation,
+            degradation_config=degradation_config,
         )
         self._app_client[app] = client
         return subscription
@@ -804,8 +914,16 @@ class _Feed:
     failed: bool = False
 
 
-async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
+async def _run_async(
+    config: LoadGenConfig,
+    on_record=None,
+    *,
+    chaos=None,
+    watch_rules=None,
+    collect_digests: bool = False,
+) -> dict:
     names = _source_names(config)
+    schedule = _rate_schedule(config)
     feeds: list[_Feed] = []
     for index, source in enumerate(names):
         trace = make_trace(config, stream=index)
@@ -869,19 +987,73 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
 
     # Delivered-seq collection feeds the external/cluster verify branch
     # and the cross-run stream digests; in-process runs verify against
-    # engine epochs and skip the retention.
-    collect_seqs = config.verify and config.transport == "tcp"
+    # engine epochs and skip the retention.  ``collect_digests`` forces
+    # it on any transport — scenario verdicts want per-app delivered
+    # digests even where verify= is unavailable (degradation re-filters
+    # make the batch reference unmatchable).
+    collect_seqs = (
+        config.verify and config.transport == "tcp"
+    ) or collect_digests
+
+    #: Per-app consumer pause gates (set = flowing); the chaos
+    #: harness's stall_reader op clears and restores these.
+    gates: dict[str, asyncio.Event] = {}
+    #: Applied qos transitions in arrival order (server-pushed level
+    #: changes; the summary's ``qos`` block folds these).
+    qos_transitions: list[dict] = []
+
+    def _ladder(app: str, spec: str):
+        from repro.qos.controller import DegradationConfig
+        from repro.qos.spec import DegradationPolicy, QualitySpec
+
+        policy = DegradationPolicy(
+            app,
+            tuple(
+                QualitySpec(app, level_spec)
+                for level_spec in (spec, *config.degradation_levels)
+            ),
+        )
+        knobs = (
+            DegradationConfig(**config.degradation_config)
+            if config.degradation_config
+            else None
+        )
+        return policy, knobs
 
     async def attach(source: str, app: str, spec: str) -> None:
-        handle = await driver.attach(source, app, spec)
+        if config.degradation_levels:
+            policy, knobs = _ladder(app, spec)
+            handle = await driver.attach(
+                source, app, spec, degradation=policy, degradation_config=knobs
+            )
+
+            def on_update(update: dict, _app=app) -> None:
+                qos_transitions.append(
+                    {
+                        "t_s": round(time.perf_counter() - started, 4),
+                        **update,
+                    }
+                )
+
+            # In-process sessions push through the broker's listener
+            # seam, remote subscriptions through the qos_update hook.
+            if hasattr(handle, "on_qos_update"):
+                handle.on_qos_update = on_update
+            else:
+                handle.qos_listener = on_update
+        else:
+            handle = await driver.attach(source, app, spec)
         live[app] = (source, spec)
         sink = delivered_seqs.setdefault(app, []) if collect_seqs else None
+        gate = gates.setdefault(app, asyncio.Event())
+        gate.set()
         consumers[app] = asyncio.create_task(
             _consume(
                 handle,
                 config.consumer_delay_ms,
                 sink,
                 stage_samples if tele is not None else None,
+                gate,
             )
         )
 
@@ -906,14 +1078,32 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             LocalProbe(tele, service=backend),
             interval_s=config.watch_interval_s,
             events=tele.events,
+            rules=watch_rules.rules if watch_rules is not None else None,
+            slos=watch_rules.slos if watch_rules is not None else None,
         )
         watch_task = asyncio.create_task(watchtower.run())
+
+    chaos_task: Optional[asyncio.Task] = None
+    if chaos is not None and chaos:
+        from repro.service.chaos import ChaosContext
+
+        chaos_ctx = ChaosContext(
+            cluster=getattr(driver, "cluster", None),
+            gates=gates,
+            emit=(tele.events.emit if tele is not None else None),
+        )
+        chaos_task = asyncio.create_task(chaos.run(chaos_ctx))
 
     records: list[dict] = []
     in_flight: set[asyncio.Task] = set()
     shed = 0
     started = time.perf_counter()
     ingest_batch = config.ingest_batch
+    #: Open-loop offers that failed on a recoverable transport error —
+    #: expected during a chaos fault window (a killed worker fails
+    #: ingest until its respawn), so they are counted and sampled
+    #: instead of left as unretrieved task exceptions.
+    offer_failures: dict = {"count": 0, "sample": []}
 
     async def offer_batch(feed: _Feed, batch: Sequence[StreamTuple]) -> None:
         if len(batch) == 1:
@@ -921,6 +1111,14 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         else:
             await driver.offer_many(feed.source, batch, adapt=feed.controller)
         feed.processed_ts = max(feed.processed_ts, batch[-1].timestamp)
+
+    async def offer_tracked(feed: _Feed, batch: Sequence[StreamTuple]) -> None:
+        try:
+            await offer_batch(feed, batch)
+        except recoverable as exc:
+            offer_failures["count"] += 1
+            if len(offer_failures["sample"]) < 3:
+                offer_failures["sample"].append(repr(exc))
 
     def take_pending(feed: _Feed) -> list[StreamTuple]:
         batch = feed.pending[:]
@@ -931,7 +1129,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         """Fire-and-track the staged batch (open-loop mode)."""
         if not feed.pending:
             return
-        task = asyncio.create_task(offer_batch(feed, take_pending(feed)))
+        task = asyncio.create_task(offer_tracked(feed, take_pending(feed)))
         in_flight.add(task)
         task.add_done_callback(in_flight.discard)
 
@@ -946,7 +1144,12 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
         # last *processed* tuple (not merely task-scheduled): ticking
         # past an unprocessed arrival's timestamp could close a region a
         # lagging tuple would still join (see GroupAwareEngine.tick).
-        wall = (time.perf_counter() - started) * config.rate * feeds[0].dt_ms
+        # Under a rate profile the due-count integral replaces the
+        # constant-rate product (they agree when the profile is empty).
+        wall = (
+            schedule.count_until(time.perf_counter() - started)
+            * feeds[0].dt_ms
+        )
         # Failed feeds never offer again; including them would freeze
         # the clock (and every healthy stream's timely cuts) forever.
         caps = [
@@ -1022,7 +1225,7 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
                 now = time.perf_counter()
                 if now >= deadline and not config.drain_trace:
                     break
-                target = started + index / config.rate
+                target = started + schedule.time_for(index)
                 if target > now:
                     await asyncio.sleep(target - now)
                     if time.perf_counter() >= deadline and not config.drain_trace:
@@ -1065,12 +1268,40 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             *list(in_flight), return_exceptions=True
         )
         errors.extend(repr(r) for r in offer_results if isinstance(r, BaseException))
+    if offer_failures["count"] and chaos is None:
+        # Without a fault schedule there is nothing that legitimizes
+        # failed offers: surface them as run errors (one line, sampled)
+        # exactly like an inline transport failure would have been.
+        errors.append(
+            f"{offer_failures['count']} open-loop offers failed "
+            f"(first: {offer_failures['sample'][0]})"
+        )
     # Late-scheduled churn (at_s near or past the feed's end) still runs
     # before shutdown; anything genuinely beyond the horizon is reported.
     if not errors:
         try:
             await apply_due_churn(time.perf_counter() - started)
         except recoverable as exc:
+            errors.append(repr(exc))
+    if chaos_task is not None and not chaos_task.done():
+        # Let in-flight fault windows close (they restore SIGCONT /
+        # consumer gates in their finally blocks), bounded by the
+        # schedule's own horizon so a mis-sized schedule cannot hang
+        # the run.
+        horizon = max(
+            (op.at_s + op.duration_s for op in chaos.ops), default=0.0
+        )
+        grace = max(0.0, horizon - (time.perf_counter() - started)) + 1.0
+        try:
+            await asyncio.wait_for(chaos_task, timeout=grace)
+        except asyncio.TimeoutError:
+            chaos_task.cancel()
+    if chaos_task is not None:
+        try:
+            await chaos_task
+        except asyncio.CancelledError:
+            pass
+        except Exception as exc:  # chaos must never sink the summary
             errors.append(repr(exc))
     stop_metrics.set()
     try:
@@ -1198,11 +1429,58 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             for app, seqs in sorted(delivered_seqs.items())
         }
 
+    qos_block: Optional[dict] = None
+    if config.degradation_levels:
+        max_level: dict[str, int] = {}
+        final_level: dict[str, int] = {}
+        first_degrade_s: Optional[float] = None
+        recovered_at_s: Optional[float] = None
+        degraded = recovered = 0
+        for update in qos_transitions:
+            app = str(update.get("app"))
+            level = int(update.get("level", 0))
+            max_level[app] = max(max_level.get(app, 0), level)
+            final_level[app] = level
+            if update.get("action") == "degrade":
+                degraded += 1
+                if first_degrade_s is None:
+                    first_degrade_s = update["t_s"]
+            else:
+                recovered += 1
+            if level == 0 and update.get("action") == "recover":
+                recovered_at_s = update["t_s"]
+        fully_recovered = bool(final_level) and all(
+            lvl == 0 for lvl in final_level.values()
+        )
+        qos_block = {
+            "levels": len(config.degradation_levels) + 1,
+            "degraded_events": degraded,
+            "recovered_events": recovered,
+            "max_level": max(max_level.values(), default=0),
+            "max_level_by_app": dict(sorted(max_level.items())),
+            "final_level_by_app": dict(sorted(final_level.items())),
+            #: Overload-to-calm round trip: first degrade to the last
+            #: recover-to-0 (None while any session is still degraded
+            #: or nothing ever tripped).
+            "recovery_time_s": (
+                round(recovered_at_s - first_degrade_s, 4)
+                if first_degrade_s is not None
+                and recovered_at_s is not None
+                and fully_recovered
+                else None
+            ),
+            "transitions": qos_transitions,
+        }
+
     summary = {
         "schema": "repro-loadgen/v1",
         "config": {
             **asdict(replace(config, churn=())),
             "churn": [asdict(event) for event in config.churn],
+            # Tuple-typed fields as lists, so the in-memory summary is
+            # byte-identical to its JSON round trip (summary.json).
+            "rate_profile": [list(seg) for seg in config.rate_profile],
+            "degradation_levels": list(config.degradation_levels),
         },
         "transport": config.transport,
         #: Actually negotiated wire codec (None in-process; may be
@@ -1255,6 +1533,14 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
             else None
         ),
         "events_captured": len(tele.events) if tele is not None else 0,
+        #: Server-driven degradation outcome (None without a ladder).
+        "qos": qos_block,
+        #: What the chaos schedule actually injected (None without one).
+        "chaos_applied": list(chaos.applied) if chaos is not None else None,
+        #: Open-loop offers lost to recoverable transport errors (the
+        #: expected cost of a fault window; errors-proper without chaos).
+        "offer_failures": offer_failures["count"],
+        "offer_failure_sample": list(offer_failures["sample"]),
         "churn_applied": churn_applied,
         "churn_unapplied": [asdict(event) for event in pending_churn],
         "final_subscriptions": [list(pair) for pair in final_subscriptions],
@@ -1287,10 +1573,31 @@ async def _run_async(config: LoadGenConfig, on_record=None) -> dict:
     return summary
 
 
-def run_loadgen(config: LoadGenConfig, on_record=None) -> dict:
+def run_loadgen(
+    config: LoadGenConfig,
+    on_record=None,
+    *,
+    chaos=None,
+    watch_rules=None,
+    collect_digests: bool = False,
+) -> dict:
     """Run one load-generation session to completion (blocking wrapper).
 
     ``on_record`` is called with each periodic metrics record as it is
-    captured (``loadgen --progress`` prints these live).
+    captured (``loadgen --progress`` prints these live).  ``chaos`` (a
+    :class:`~repro.service.chaos.ChaosSchedule`) injects scheduled
+    faults into the run; ``watch_rules`` (a
+    :class:`~repro.obs.rulesfile.RulesConfig`) replaces the in-run
+    Watchtower's stock rules/SLOs; ``collect_digests`` records per-app
+    delivered-stream digests regardless of ``verify=`` (the scenario
+    harness's evidence of intact delivery).
     """
-    return asyncio.run(_run_async(config, on_record=on_record))
+    return asyncio.run(
+        _run_async(
+            config,
+            on_record=on_record,
+            chaos=chaos,
+            watch_rules=watch_rules,
+            collect_digests=collect_digests,
+        )
+    )

@@ -24,12 +24,13 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, AsyncIterator, Optional
+from typing import TYPE_CHECKING, AsyncIterator, Callable, Optional
 
 from repro.core.tuples import StreamTuple
 from repro.service.batching import Batch, MicroBatcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.qos.controller import DegradationController
     from repro.service.broker import DisseminationService
 
 __all__ = [
@@ -175,6 +176,16 @@ class SubscriberSession:
     batcher: MicroBatcher
     stats: SessionStats = field(default_factory=SessionStats)
     disconnected: bool = False
+    #: Server-driven quality adaptation (None = fixed-spec session).
+    #: The broker evaluates it per dispatch and applies its decisions
+    #: through the re-filter machinery; a *client* re-filter detaches it
+    #: (an explicit spec choice overrides the automatic policy).
+    degradation: Optional["DegradationController"] = None
+    #: Called with every applied level transition (a plain dict update);
+    #: the transport wires this to a ``qos_update`` push frame.  Invoked
+    #: synchronously under the source lock, so listeners must only
+    #: schedule work, never await.
+    qos_listener: Optional[Callable[[dict], None]] = None
     _broker: Optional["DisseminationService"] = None
     #: Trace side channel, keyed by batch identity: ``id(batch) ->
     #: (enqueue_ns, {seq: [(stage_id, dur_ns), ...]})`` for sampled
@@ -186,6 +197,11 @@ class SubscriberSession:
 
     #: Eviction bound for :attr:`_trace_notes`.
     _TRACE_NOTES_MAX = 64
+
+    @property
+    def degradation_level(self) -> int:
+        """Active degradation level (0 = preferred quality / no policy)."""
+        return self.degradation.level if self.degradation is not None else 0
 
     # ------------------------------------------------------------------
     # Consumer side

@@ -30,7 +30,8 @@ from typing import AsyncIterator, Mapping, Optional, Sequence, Union
 from repro.core.tuples import StreamTuple
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import STAGE_INGEST_SEND, stage_id
-from repro.qos.spec import QualitySpec
+from repro.qos.controller import DegradationConfig, policy_to_profile
+from repro.qos.spec import DegradationPolicy, QualitySpec
 from repro.service.batching import Batch
 from repro.transport.codec import (
     CODEC_BINARY,
@@ -39,6 +40,7 @@ from repro.transport.codec import (
     make_encoder,
 )
 from repro.transport.protocol import (
+    FEATURE_QOS,
     FEATURE_TRACE,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -205,6 +207,14 @@ class RemoteSubscription:
         self.stage_traces: dict[int, list] = {}
         self._trace_noted_ns: dict[int, int] = {}
         self._stage_traces_max = 4096
+        #: Server-driven degradation state: the active level (updated by
+        #: ``qos_update`` frames), every update received (in order), and
+        #: an optional synchronous callback invoked per update — the
+        #: cluster router uses it to forward worker-side transitions to
+        #: the end subscriber.
+        self.degradation_level: int = 0
+        self.qos_updates: list[dict] = []
+        self.on_qos_update = None
 
     def _note_traces(self, traces: dict) -> None:
         """Fold one decided frame's trace map into the bounded store."""
@@ -394,8 +404,13 @@ class GatewayClient:
         client._read_task = asyncio.ensure_future(client._read_loop())
         offered = [codec] if codec == CODEC_JSON else [codec, CODEC_JSON]
         hello: dict = {"t": "hello", "v": PROTOCOL_VERSION, "codecs": offered}
+        # qos (server-pushed degradation updates) costs nothing to
+        # receive, so it is always offered; trace only makes sense with
+        # a telemetry bundle to record into.
+        features = [FEATURE_QOS]
         if telemetry is not None:
-            hello["features"] = [FEATURE_TRACE]
+            features.insert(0, FEATURE_TRACE)
+        hello["features"] = features
         if token is not None:
             hello["token"] = token
         try:
@@ -752,6 +767,9 @@ class GatewayClient:
         spec: str,
         *,
         qos: Union[QualitySpec, Mapping, None] = None,
+        degradation: Union[DegradationPolicy, Mapping, None] = None,
+        degradation_level: int = 0,
+        degradation_config: Optional[DegradationConfig] = None,
         queue_capacity: Optional[int] = None,
         overflow: Optional[str] = None,
         batch_max_items: Optional[int] = None,
@@ -763,6 +781,15 @@ class GatewayClient:
         (``latency_tolerance_ms`` / ``priority`` — see
         :func:`repro.qos.spec.session_limits`); the explicit keyword
         bounds override whatever the profile resolves to.
+
+        ``degradation`` hands the server a whole fallback ladder (a
+        :class:`~repro.qos.spec.DegradationPolicy` or an already-built
+        wire profile): under overload the server steps this session down
+        the ladder instead of dropping or disconnecting it, announcing
+        each transition with a ``qos_update`` frame (reflected in the
+        returned subscription's ``degradation_level`` / ``qos_updates``
+        and its ``on_qos_update`` callback).  ``spec`` must equal the
+        active level's filter spec.
         """
         existing = self._subscriptions.get(app)
         if existing is not None:
@@ -798,6 +825,18 @@ class GatewayClient:
             else:
                 profile = dict(qos)
             frame["qos"] = profile
+        if degradation is not None:
+            if isinstance(degradation, DegradationPolicy):
+                ladder = policy_to_profile(
+                    degradation,
+                    level=degradation_level,
+                    config=degradation_config,
+                )
+            else:
+                ladder = dict(degradation)
+                if degradation_level:
+                    ladder["level"] = degradation_level
+            frame["degradation"] = ladder
         for key, value in (
             ("queue_capacity", queue_capacity),
             ("overflow", overflow),
@@ -813,6 +852,10 @@ class GatewayClient:
         subscription = RemoteSubscription(
             app, source, spec, capacity=queue_capacity or 0
         )
+        if degradation is not None:
+            subscription.degradation_level = int(
+                frame["degradation"].get("level", 0)
+            )
         self._subscriptions[app] = subscription
         try:
             reply = await self._request(frame)
@@ -883,6 +926,32 @@ class GatewayClient:
                 # This put blocks when the consumer lags, intentionally
                 # pausing the read loop (see the module docstring).
                 await subscription._push(batch_from_wire(frame))
+        elif kind == "qos_update":
+            subscription = self._subscriptions.get(frame.get("app"))
+            if subscription is not None:
+                level = frame.get("level")
+                if isinstance(level, int):
+                    subscription.degradation_level = level
+                spec = frame.get("spec")
+                if isinstance(spec, str):
+                    subscription.spec = spec
+                update = {
+                    key: frame.get(key)
+                    for key in (
+                        "app",
+                        "source",
+                        "action",
+                        "level",
+                        "spec",
+                        "signal",
+                        "value",
+                        "threshold",
+                    )
+                }
+                subscription.qos_updates.append(update)
+                callback = subscription.on_qos_update
+                if callback is not None:
+                    callback(update)
         elif kind == "closed":
             subscription = self._subscriptions.pop(frame.get("app"), None)
             if subscription is not None:

@@ -19,8 +19,9 @@ Frame vocabulary (client → server unless noted)::
     ingest        {source, tuple, seq?, pad?}    -> ok {emissions}   (when seq given)
     ingest_batch  {source, tuples, seq?, pad?}   -> ok {emissions}   (when seq given)
     subscribe     {seq, app, source, spec, qos?,
-                   queue_capacity?, overflow?,
-                   batch_max_items?, batch_max_delay_ms?}
+                   degradation?, queue_capacity?,
+                   overflow?, batch_max_items?,
+                   batch_max_delay_ms?}
                                                  -> ok
     unsubscribe   {seq, app}                     -> ok (then closed)
     re_filter     {seq, app, spec}               -> ok
@@ -34,6 +35,8 @@ Frame vocabulary (client → server unless noted)::
     error         {reply_to?, code, message}     (server → client)
     decided       {app, items, first_staged_ms,
                    flushed_ms}                   (server → client)
+    qos_update    {app, action, level, spec,
+                   signal, value, threshold}     (server → client)
     closed        {app, reason}                  (server → client)
 
 ``ingest`` may carry ``pad`` — a throwaway string whose only purpose is
@@ -51,14 +54,25 @@ Besides ``codecs``, the hello may offer ``features`` — protocol
 extensions beyond the body codec.  The server confirms the agreed
 subset in ``welcome`` (:func:`negotiate_features`); an extension may
 only appear on the wire after both sides agreed, so v1 peers are
-untouched.  The one defined feature is ``"trace"``: sampled per-tuple
-stage-latency annotations (:mod:`repro.obs.trace`).  When negotiated,
-``ingest`` may carry ``trace`` (a ``[[stage_id, duration_ns], ...]``
-pair list for its tuple) and ``ingest_batch`` / ``decided`` may carry
-``traces`` (a ``{seq: pairs}`` map covering only the sampled tuples in
-the frame); :func:`traces_from_wire` normalizes either codec's decoded
-shape.  Trace annotations are additive metadata — receivers that
-negotiated the feature but find no trace field simply record nothing.
+untouched.  The defined features:
+
+* ``"trace"``: sampled per-tuple stage-latency annotations
+  (:mod:`repro.obs.trace`).  When negotiated, ``ingest`` may carry
+  ``trace`` (a ``[[stage_id, duration_ns], ...]`` pair list for its
+  tuple) and ``ingest_batch`` / ``decided`` may carry ``traces`` (a
+  ``{seq: pairs}`` map covering only the sampled tuples in the frame);
+  :func:`traces_from_wire` normalizes either codec's decoded shape.
+  Trace annotations are additive metadata — receivers that negotiated
+  the feature but find no trace field simply record nothing.
+* ``"qos"``: server-initiated graceful degradation.  ``subscribe`` may
+  carry ``degradation`` — a :func:`repro.qos.policy_to_profile` shape
+  (``{levels, bandwidth_floors_kbps?, level?, config?}``) handing the
+  server a whole fallback ladder — and the server pushes an unsolicited
+  ``qos_update`` frame per applied level transition, carrying the
+  triggering signal as evidence.  Degradation itself is server-side
+  policy: a server may accept ``degradation`` and adapt the session
+  even for a client that did not negotiate ``qos``; only the
+  ``qos_update`` notifications are gated on the agreement.
 
 Two *body codecs* share this frame vocabulary.  A body whose first byte
 is ``{`` is UTF-8 JSON (the v1 format); any other first byte is a
@@ -88,6 +102,7 @@ from repro.service.batching import Batch
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "FEATURE_QOS",
     "FEATURE_TRACE",
     "SUPPORTED_FEATURES",
     "ProtocolError",
@@ -108,8 +123,12 @@ PROTOCOL_VERSION = 1
 #: Optional protocol extension: sampled per-tuple trace annotations.
 FEATURE_TRACE = "trace"
 
+#: Optional protocol extension: degradation profiles in ``subscribe``
+#: and server-pushed ``qos_update`` level-transition frames.
+FEATURE_QOS = "qos"
+
 #: Features this implementation understands (hello/welcome negotiation).
-SUPPORTED_FEATURES = (FEATURE_TRACE,)
+SUPPORTED_FEATURES = (FEATURE_TRACE, FEATURE_QOS)
 
 #: Default per-frame ceiling.  Generous for batched deliveries, small
 #: enough that one bad client cannot balloon broker memory.

@@ -44,6 +44,7 @@ from repro.obs.trace import (
     STAGE_SOCKET_WRITE,
     stage_id,
 )
+from repro.qos.controller import policy_from_profile
 from repro.qos.spec import QualitySpec
 from repro.service.broker import DisseminationService
 from repro.service.session import SubscriberSession
@@ -60,6 +61,7 @@ from repro.transport.codec import (
     negotiate,
 )
 from repro.transport.protocol import (
+    FEATURE_QOS,
     FEATURE_TRACE,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -772,6 +774,16 @@ class GatewayServer:
                 ),
                 priority=int(qos_profile.get("priority", 0)),
             )
+        ladder = frame.get("degradation")
+        degradation = None
+        degradation_level = 0
+        degradation_config = None
+        if ladder is not None:
+            # Malformed profiles raise ValueError, which _dispatch turns
+            # into a bad_request reply instead of a socket teardown.
+            degradation, degradation_level, degradation_config = (
+                policy_from_profile(ladder, app)
+            )
         session = await self.service.subscribe(
             app,
             _field(frame, "source"),
@@ -781,7 +793,19 @@ class GatewayServer:
             batch_max_items=frame.get("batch_max_items"),
             batch_max_delay_ms=frame.get("batch_max_delay_ms"),
             qos=qos,
+            degradation=degradation,
+            degradation_level=degradation_level,
+            degradation_config=degradation_config,
         )
+        if degradation is not None and FEATURE_QOS in conn.features:
+            # Invoked synchronously under the source lock: only schedule
+            # the push, never await on the listener path.
+            def _push_qos(update: dict, conn=conn) -> None:
+                asyncio.ensure_future(
+                    conn.send_quiet({"t": "qos_update", **update})
+                )
+
+            session.qos_listener = _push_qos
         conn.sessions[app] = session
         conn.pumps[app] = asyncio.ensure_future(
             self._pump(conn, app, session)

@@ -489,7 +489,10 @@ class TestTracedGateway:
             )
             await gateway.start()
             client = await GatewayClient.connect("127.0.0.1", gateway.port)
-            assert client.features == []
+            # The qos feature is offered unconditionally (it needs no
+            # telemetry); what a telemetry-less client must NOT get is
+            # the trace feature.
+            assert "trace" not in client.features
             sub = await client.subscribe(
                 "app0", "src", CHATTY_SPEC, queue_capacity=10_000
             )

@@ -89,6 +89,35 @@ class TestDegradationPolicy:
                 bandwidth_floors_kbps=(100.0, 200.0),
             )
 
+    def test_equal_floors_are_non_increasing(self):
+        """Ties are legal: two levels may share a floor (the coarser one
+        simply never gets selected by bandwidth alone)."""
+        policy = DegradationPolicy(
+            "tracker",
+            (_spec("tracker", delta=1.0), _spec("tracker", delta=2.0)),
+            bandwidth_floors_kbps=(100.0, 100.0),
+        )
+        assert policy.level_for_bandwidth(150.0).instantiate().delta == 1.0
+
+    def test_single_level_policy(self):
+        """A one-rung ladder is valid and always selects its only level,
+        however starved the link is."""
+        policy = DegradationPolicy(
+            "tracker",
+            (_spec("tracker", delta=1.0),),
+            bandwidth_floors_kbps=(500.0,),
+        )
+        assert policy.level_for_bandwidth(1000.0).instantiate().delta == 1.0
+        # Below the only floor there is nothing coarser to fall back to.
+        assert policy.level_for_bandwidth(0.0).instantiate().delta == 1.0
+
+    def test_exact_floor_boundary_selects_that_level(self):
+        """``available == floor`` satisfies the floor (>=, not >)."""
+        policy = self._policy()
+        assert policy.level_for_bandwidth(500.0).instantiate().delta == 1.0
+        assert policy.level_for_bandwidth(499.999).instantiate().delta == 2.0
+        assert policy.level_for_bandwidth(200.0).instantiate().delta == 2.0
+
 
 def _diamond() -> WorkflowGraph:
     """source -> op -> {app1, app2}; source -> app3 directly."""
@@ -143,6 +172,43 @@ class TestPropagation:
         specs["ghost"] = _spec("ghost")
         with pytest.raises(ValueError, match="unknown applications"):
             propagate(graph, specs)
+
+    def test_deep_chain_accumulates_transitively(self):
+        """src -> op1 -> op2 -> {app1, app2}: the juncture requirement is
+        visible all the way back at the source, not just one hop up."""
+        graph = WorkflowGraph()
+        graph.add_source("src")
+        graph.add_operator("op1")
+        graph.add_operator("op2")
+        graph.add_application("app1")
+        graph.add_application("app2")
+        graph.connect("src", "op1")
+        graph.connect("op1", "op2")
+        graph.connect("op2", "app1")
+        graph.connect("op2", "app2")
+        propagated = propagate(graph, {a: _spec(a) for a in ("app1", "app2")})
+        for node in ("src", "op1", "op2"):
+            assert [s.app_name for s in propagated.specs_at(node)] == [
+                "app1",
+                "app2",
+            ]
+        assert propagated.group_junctures() == ["op1", "op2", "src"]
+
+    def test_multipath_app_counted_once(self):
+        """An application reachable through two operator paths must not
+        inflate the upstream node into a phantom juncture."""
+        graph = WorkflowGraph()
+        graph.add_source("src")
+        graph.add_operator("opA")
+        graph.add_operator("opB")
+        graph.add_application("app1")
+        graph.connect("src", "opA")
+        graph.connect("src", "opB")
+        graph.connect("opA", "app1")
+        graph.connect("opB", "app1")
+        propagated = propagate(graph, {"app1": _spec("app1")})
+        assert [s.app_name for s in propagated.specs_at("src")] == ["app1"]
+        assert propagated.group_junctures() == []
 
 
 class TestSessionLimits:
